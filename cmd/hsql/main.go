@@ -1,0 +1,199 @@
+// Command hsql is an interactive SQL shell for the hybrid-store engine.
+// It supports the engine's SQL dialect (CREATE TABLE, SELECT with
+// aggregates and joins, INSERT, UPDATE, DELETE) plus shell commands:
+//
+//	\store <table> row|column     move a table between stores
+//	\stats <table>                collect and show table statistics
+//	\tables                       list tables with store and row count
+//	\advise                       recommend a layout for the session's queries
+//	\apply                        apply the last recommendation
+//	\quit
+//
+// Every query prints its result and engine-measured execution time; the
+// session's statements feed the online-mode monitor, so \advise reflects
+// the workload actually executed.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"hybridstore/internal/advisor"
+	"hybridstore/internal/catalog"
+	"hybridstore/internal/costmodel"
+	"hybridstore/internal/engine"
+	"hybridstore/internal/schema"
+	"hybridstore/internal/sql"
+	"hybridstore/internal/value"
+)
+
+func main() {
+	db := engine.New()
+	adv := advisor.New(costmodel.DefaultModel())
+	monitor := advisor.NewMonitor(db, adv)
+	var lastRec *advisor.Recommendation
+
+	resolver := func(name string) *schema.Table {
+		if e := db.Catalog().Table(name); e != nil {
+			return e.Schema
+		}
+		return nil
+	}
+
+	fmt.Println("hybrid-store SQL shell — \\quit to exit, \\tables, \\advise, \\store <t> row|column")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("hsql> ")
+		} else {
+			fmt.Print("  ... ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if !command(db, monitor, &lastRec, trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if !strings.Contains(line, ";") {
+			prompt()
+			continue
+		}
+		for _, stmtText := range sql.SplitStatements(buf.String()) {
+			execute(db, resolver, stmtText)
+		}
+		buf.Reset()
+		prompt()
+	}
+}
+
+func execute(db *engine.Database, resolver sql.Resolver, stmtText string) {
+	st, err := sql.Parse(stmtText, resolver)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if st.CreateTable != nil {
+		if err := db.CreateTable(st.CreateTable, catalog.RowStore); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("created table %s (row store)\n", st.CreateTable.Name)
+		return
+	}
+	res, err := db.Exec(st.Query)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	printResult(res)
+}
+
+func printResult(res *engine.Result) {
+	if len(res.Cols) > 0 {
+		fmt.Println(strings.Join(res.Cols, " | "))
+		limit := len(res.Rows)
+		const maxShown = 25
+		if limit > maxShown {
+			limit = maxShown
+		}
+		for _, row := range res.Rows[:limit] {
+			parts := make([]string, len(row))
+			for i, v := range row {
+				parts[i] = v.String()
+			}
+			fmt.Println(strings.Join(parts, " | "))
+		}
+		if len(res.Rows) > limit {
+			fmt.Printf("... (%d more rows)\n", len(res.Rows)-limit)
+		}
+	}
+	fmt.Printf("(%d rows, %v)\n", res.Affected, res.Duration)
+}
+
+// command handles backslash commands; it returns false on \quit.
+func command(db *engine.Database, monitor *advisor.Monitor, lastRec **advisor.Recommendation, line string) bool {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "\\quit", "\\q":
+		return false
+	case "\\tables":
+		for _, name := range db.Catalog().Names() {
+			e := db.Catalog().Table(name)
+			n, _ := db.Rows(name)
+			fmt.Printf("  %-20s %-12s %10d rows", name, e.Store, n)
+			if e.Partitioning != nil {
+				fmt.Printf("  %s", e.Partitioning)
+			}
+			fmt.Println()
+		}
+	case "\\store":
+		if len(fields) != 3 {
+			fmt.Println("usage: \\store <table> row|column")
+			break
+		}
+		store := catalog.RowStore
+		if strings.EqualFold(fields[2], "column") {
+			store = catalog.ColumnStore
+		}
+		if err := db.SetLayout(fields[1], store, nil); err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Printf("moved %s to the %s store\n", fields[1], store)
+	case "\\stats":
+		if len(fields) != 2 {
+			fmt.Println("usage: \\stats <table>")
+			break
+		}
+		st, err := db.CollectStats(fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		e := db.Catalog().Table(fields[1])
+		fmt.Printf("  %s; per-column distinct/compression:\n", st)
+		for i, c := range e.Schema.Columns {
+			fmt.Printf("    %-20s %-8s distinct=%-8d compression=%.2f\n",
+				c.Name, c.Type, st.Distinct(i), st.CompressionOf(i))
+		}
+	case "\\advise":
+		rec, err := monitor.Reevaluate()
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		*lastRec = rec
+		fmt.Printf("estimated runtimes: RS-only %.2fms, CS-only %.2fms, table-level %.2fms, partitioned %.2fms\n",
+			rec.RowOnlyCost/1e6, rec.ColumnOnlyCost/1e6, rec.TableLevelCost/1e6, rec.PartitionedCost/1e6)
+		for _, ddl := range rec.DDL {
+			fmt.Println(" ", ddl)
+		}
+	case "\\apply":
+		if *lastRec == nil {
+			fmt.Println("no recommendation yet — run \\advise first")
+			break
+		}
+		if err := monitor.Apply(*lastRec); err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Println("layout applied")
+	default:
+		fmt.Println("unknown command:", fields[0])
+	}
+	return true
+}
+
+var _ = value.Value{} // value types surface in printed results

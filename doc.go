@@ -1,0 +1,20 @@
+// Package hybridstore is a from-scratch Go reproduction of "A Storage
+// Advisor for Hybrid-Store Databases" (Rösch, Dannecker, Hackenbroich,
+// Färber; PVLDB 5(12), 2012): an in-memory hybrid-store database engine
+// (row store + dictionary-compressed column store, store-aware horizontal
+// and vertical partitioning, SQL subset) together with the paper's
+// storage advisor — a calibrated cost model that recommends, per table and
+// per partition, whether data should live in the row store or the column
+// store.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); the runnable entry points are:
+//
+//   - cmd/advisor — offline storage advisor over SQL schema+workload files
+//   - cmd/hsbench — regenerates every figure of the paper's evaluation
+//   - cmd/hsql — interactive SQL shell for the hybrid engine
+//   - examples/ — quickstart, mixed-workload, partitioning and TPC-H demos
+//
+// The benchmarks in bench_test.go wrap the same experiment harness that
+// cmd/hsbench runs; EXPERIMENTS.md records paper-vs-measured results.
+package hybridstore

@@ -1,0 +1,85 @@
+// TPC-H end-to-end demo (the paper's Figure 10 scenario at a small scale
+// factor): load all eight TPC-H tables, run a mixed enterprise workload,
+// let the advisor recommend a layout, and compare the measured runtimes of
+// the four strategies the paper evaluates.
+//
+//	go run ./examples/tpch
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hybridstore/internal/advisor"
+	"hybridstore/internal/catalog"
+	"hybridstore/internal/costmodel"
+	"hybridstore/internal/engine"
+	"hybridstore/internal/tpch"
+)
+
+const (
+	sf      = 0.01
+	queries = 1500
+)
+
+func measure(label string, layout func(string) (catalog.StoreKind, *catalog.PartitionSpec), g *tpch.Generator) {
+	db := engine.New()
+	if _, err := tpch.LoadLayout(db, sf, 1, layout); err != nil {
+		log.Fatal(err)
+	}
+	db.CreateIndex("lineitem", 0)
+	db.CreateIndex("partsupp", 0)
+	w := tpch.GenWorkload(g, tpch.WorkloadConfig{Queries: queries, OLAPFraction: 0.01, Seed: 1})
+	var total time.Duration
+	for _, q := range w.Queries {
+		res, err := db.Exec(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total += res.Duration
+	}
+	fmt.Printf("  %-14s %v\n", label, total.Round(time.Millisecond))
+}
+
+func main() {
+	fmt.Printf("loading TPC-H at SF %.2f and recommending a layout...\n", sf)
+
+	// Stats pass: load once, collect statistics, derive the workload's
+	// recommendation offline.
+	statsDB := engine.New()
+	g, err := tpch.Load(statsDB, sf, 1, catalog.ColumnStore)
+	if err != nil {
+		log.Fatal(err)
+	}
+	statsDB.CreateIndex("lineitem", 0)
+	statsDB.CreateIndex("partsupp", 0)
+	for _, t := range tpch.TableNames {
+		if _, err := statsDB.CollectStats(t); err != nil {
+			log.Fatal(err)
+		}
+	}
+	adv := advisor.New(costmodel.DefaultModel())
+	adv.Config.MinPartitionRows = 500
+	w := tpch.GenWorkload(g, tpch.WorkloadConfig{Queries: queries, OLAPFraction: 0.01, Seed: 1})
+	rec := adv.Recommend(w, advisor.InfoFromCatalog(statsDB.Catalog()), nil, nil)
+
+	fmt.Println("\nrecommended layout:")
+	for _, ddl := range rec.DDL {
+		fmt.Println(" ", ddl)
+	}
+
+	fmt.Println("\nmeasured workload runtimes (paper Figure 10):")
+	measure("RS only", func(string) (catalog.StoreKind, *catalog.PartitionSpec) {
+		return catalog.RowStore, nil
+	}, g)
+	measure("CS only", func(string) (catalog.StoreKind, *catalog.PartitionSpec) {
+		return catalog.ColumnStore, nil
+	}, g)
+	measure("Table", func(t string) (catalog.StoreKind, *catalog.PartitionSpec) {
+		return rec.TableOnly.StoreOf(t), nil
+	}, g)
+	measure("Partitioned", func(t string) (catalog.StoreKind, *catalog.PartitionSpec) {
+		return rec.Layout.Stores.StoreOf(t), rec.Layout.SpecFor(t)
+	}, g)
+}

@@ -1,0 +1,185 @@
+package advisor
+
+import (
+	"testing"
+
+	"hybridstore/internal/agg"
+	"hybridstore/internal/catalog"
+	"hybridstore/internal/costmodel"
+	"hybridstore/internal/expr"
+	"hybridstore/internal/query"
+	"hybridstore/internal/schema"
+	"hybridstore/internal/value"
+	"hybridstore/internal/workload"
+)
+
+func layoutInfo() (costmodel.InfoSource, *schema.Table) {
+	sch := workload.StandardTable("exp").Schema
+	info := fabricatedInfo(
+		map[string]*schema.Table{"exp": sch},
+		map[string]int{"exp": 100000},
+	)
+	return info, sch
+}
+
+func TestEstimateQueryLayoutUnpartitioned(t *testing.T) {
+	a := New(costmodel.DefaultModel())
+	info, _ := layoutInfo()
+	q := &query.Query{Kind: query.Aggregate, Table: "exp",
+		Aggs: []agg.Spec{{Func: agg.Sum, Col: 1}}}
+	layout := Layout{Stores: costmodel.Placement{"exp": catalog.ColumnStore},
+		Partitions: map[string]*catalog.PartitionSpec{}}
+	got := a.estimateQueryLayout(q, info, layout)
+	want := a.Model.EstimateQuery(q, info, layout.Stores)
+	if got != want {
+		t.Errorf("unpartitioned layout estimate diverges: %v vs %v", got, want)
+	}
+}
+
+func TestHorizontalRoutingInEstimate(t *testing.T) {
+	a := New(costmodel.DefaultModel())
+	info, _ := layoutInfo()
+	spec := &catalog.PartitionSpec{Horizontal: &catalog.HorizontalSpec{
+		SplitCol: 0, SplitVal: value.NewBigint(90000),
+		HotStore: catalog.RowStore, ColdStore: catalog.ColumnStore,
+	}}
+	layout := Layout{Stores: costmodel.Placement{"exp": catalog.ColumnStore},
+		Partitions: map[string]*catalog.PartitionSpec{"exp": spec}}
+
+	// An update confined to the hot range costs less than one spanning
+	// both partitions.
+	hotUpd := &query.Query{Kind: query.Update, Table: "exp",
+		Set:  map[int]value.Value{1: value.NewDouble(1)},
+		Pred: &expr.Between{Col: 0, Lo: value.NewBigint(95000), Hi: value.NewBigint(95100)}}
+	spanUpd := &query.Query{Kind: query.Update, Table: "exp",
+		Set:  map[int]value.Value{1: value.NewDouble(1)},
+		Pred: &expr.Between{Col: 0, Lo: value.NewBigint(85000), Hi: value.NewBigint(95000)}}
+	hot := a.estimateQueryLayout(hotUpd, info, layout)
+	span := a.estimateQueryLayout(spanUpd, info, layout)
+	if hot >= span {
+		t.Errorf("hot-routed update should be cheaper: hot=%v span=%v", hot, span)
+	}
+	// Inserts route to the hot partition only.
+	ins := &query.Query{Kind: query.Insert, Table: "exp",
+		Rows: make([][]value.Value, 1)}
+	insCost := a.estimateQueryLayout(ins, info, layout)
+	flat := Layout{Stores: costmodel.Placement{"exp": catalog.ColumnStore},
+		Partitions: map[string]*catalog.PartitionSpec{}}
+	if flatCost := a.estimateQueryLayout(ins, info, flat); insCost >= flatCost {
+		t.Errorf("insert into hot RS partition should beat CS insert: %v vs %v", insCost, flatCost)
+	}
+}
+
+func TestVerticalRoutingInEstimate(t *testing.T) {
+	a := New(costmodel.DefaultModel())
+	info, sch := layoutInfo()
+	// Columns 1,2 columnar; everything else row (PK 0 in both).
+	var rowCols []int
+	rowCols = append(rowCols, 0)
+	for i := 3; i < sch.NumColumns(); i++ {
+		rowCols = append(rowCols, i)
+	}
+	v := &catalog.VerticalSpec{RowCols: rowCols, ColCols: []int{0, 1, 2}}
+	layout := Layout{Stores: costmodel.Placement{"exp": catalog.ColumnStore},
+		Partitions: map[string]*catalog.PartitionSpec{"exp": {Vertical: v}}}
+
+	colAgg := &query.Query{Kind: query.Aggregate, Table: "exp",
+		Aggs: []agg.Spec{{Func: agg.Sum, Col: 1}}}
+	spanAgg := &query.Query{Kind: query.Aggregate, Table: "exp",
+		Aggs:    []agg.Spec{{Func: agg.Sum, Col: 1}},
+		GroupBy: []int{5}} // group col in the row partition → spanning
+	cin := a.estimateQueryLayout(colAgg, info, layout)
+	span := a.estimateQueryLayout(spanAgg, info, layout)
+	if cin >= span {
+		t.Errorf("covered aggregate should be cheaper than spanning: %v vs %v", cin, span)
+	}
+	// A row-partition update is cheaper than a spanning one.
+	rowUpd := &query.Query{Kind: query.Update, Table: "exp",
+		Set:  map[int]value.Value{5: value.NewInt(1)},
+		Pred: &expr.Comparison{Col: 0, Op: expr.Eq, Val: value.NewBigint(7)}}
+	spanUpd := &query.Query{Kind: query.Update, Table: "exp",
+		Set:  map[int]value.Value{5: value.NewInt(1), 1: value.NewDouble(2)},
+		Pred: &expr.Comparison{Col: 0, Op: expr.Eq, Val: value.NewBigint(7)}}
+	if a.estimateQueryLayout(rowUpd, info, layout) >= a.estimateQueryLayout(spanUpd, info, layout) {
+		t.Error("single-partition update should be cheaper than spanning")
+	}
+}
+
+func TestHotFraction(t *testing.T) {
+	info, _ := layoutInfo()
+	ti, _ := info("exp")
+	h := &catalog.HorizontalSpec{SplitCol: 0, SplitVal: value.NewBigint(90000)}
+	f := hotFraction(ti, h)
+	if f < 0.08 || f > 0.12 {
+		t.Errorf("hot fraction = %v, want ≈0.1", f)
+	}
+	// Split above the max: empty hot partition.
+	h.SplitVal = value.NewBigint(200000)
+	if f := hotFraction(ti, h); f != 0 {
+		t.Errorf("out-of-range split fraction = %v", f)
+	}
+	// No stats: default.
+	if f := hotFraction(costmodel.TableInfo{}, h); f != 0.1 {
+		t.Errorf("no-stats fraction = %v", f)
+	}
+}
+
+func TestVerticalVariantsContested(t *testing.T) {
+	a := New(costmodel.DefaultModel())
+	sch := schema.MustNew("t", []schema.Column{
+		{Name: "id", Type: value.Bigint},
+		{Name: "status", Type: value.Integer}, // updated AND grouped: contested
+		{Name: "amount", Type: value.Double},  // aggregated
+		{Name: "note", Type: value.Varchar},   // untouched
+	}, "id")
+	info := fabricatedInfo(map[string]*schema.Table{"t": sch}, map[string]int{"t": 50000})
+	w := &query.Workload{}
+	for i := 0; i < 20; i++ {
+		w.Add(&query.Query{Kind: query.Update, Table: "t",
+			Set:  map[int]value.Value{1: value.NewInt(1)},
+			Pred: &expr.Comparison{Col: 0, Op: expr.Eq, Val: value.NewBigint(int64(i))}})
+	}
+	for i := 0; i < 5; i++ {
+		w.Add(&query.Query{Kind: query.Aggregate, Table: "t",
+			Aggs:    []agg.Spec{{Func: agg.Sum, Col: 2}},
+			GroupBy: []int{1}})
+	}
+	cands := a.PartitionCandidates(w, info, nil, nil)
+	var rowSide, colSide bool
+	for _, c := range cands {
+		v := c.Spec.Vertical
+		if v == nil || c.Spec.Horizontal != nil {
+			continue
+		}
+		inRow := false
+		for _, col := range v.RowCols {
+			if col == 1 {
+				inRow = true
+			}
+		}
+		if inRow {
+			rowSide = true
+		} else {
+			colSide = true
+		}
+		if err := (&catalog.PartitionSpec{Vertical: v}).Validate(sch); err != nil {
+			t.Errorf("invalid variant: %v", err)
+		}
+	}
+	if !rowSide || !colSide {
+		t.Errorf("contested attribute should produce both variants: row=%v col=%v", rowSide, colSide)
+	}
+}
+
+func TestLayoutClone(t *testing.T) {
+	l := Layout{
+		Stores:     costmodel.Placement{"a": catalog.RowStore},
+		Partitions: map[string]*catalog.PartitionSpec{"a": {}},
+	}
+	c := l.Clone()
+	c.Stores["a"] = catalog.ColumnStore
+	delete(c.Partitions, "a")
+	if l.Stores.StoreOf("a") != catalog.RowStore || l.SpecFor("a") == nil {
+		t.Error("clone aliases original")
+	}
+}

@@ -1,0 +1,270 @@
+// Package agg implements aggregation accumulators and grouped aggregation
+// results shared by the row store (tuple-at-a-time accumulation), the
+// column store (per-dictionary-code weighted accumulation) and the engine
+// (merging partial results across horizontal partitions; the paper's
+// "union of both partitions" for queries that span them).
+package agg
+
+import (
+	"fmt"
+
+	"hybridstore/internal/value"
+)
+
+// Func is an aggregation function.
+type Func uint8
+
+const (
+	Sum Func = iota
+	Avg
+	Min
+	Max
+	Count
+)
+
+// String returns the SQL name of the function.
+func (f Func) String() string {
+	switch f {
+	case Sum:
+		return "SUM"
+	case Avg:
+		return "AVG"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	case Count:
+		return "COUNT"
+	default:
+		return fmt.Sprintf("Func(%d)", uint8(f))
+	}
+}
+
+// ParseFunc converts a SQL aggregate name into a Func.
+func ParseFunc(s string) (Func, error) {
+	switch s {
+	case "SUM":
+		return Sum, nil
+	case "AVG":
+		return Avg, nil
+	case "MIN":
+		return Min, nil
+	case "MAX":
+		return Max, nil
+	case "COUNT":
+		return Count, nil
+	default:
+		return 0, fmt.Errorf("agg: unknown aggregate %q", s)
+	}
+}
+
+// Spec is one aggregate in a query: a function applied to a column.
+// Col may be -1 for COUNT(*).
+type Spec struct {
+	Func Func
+	Col  int
+}
+
+// String renders the spec with positional column naming.
+func (s Spec) String() string {
+	if s.Col < 0 {
+		return s.Func.String() + "(*)"
+	}
+	return fmt.Sprintf("%s(col%d)", s.Func, s.Col)
+}
+
+// Acc accumulates one aggregate. A single Acc tracks enough state to answer
+// any Func, so partial results can be merged regardless of function.
+type Acc struct {
+	sum      float64
+	count    int64
+	min, max value.Value
+	seen     bool
+}
+
+// Add folds a single value into the accumulator. NULLs are ignored except
+// by COUNT(*) (which callers express by adding a non-null dummy or using
+// AddWeighted with the row count).
+func (a *Acc) Add(v value.Value) {
+	if v.IsNull() {
+		return
+	}
+	a.AddWeighted(v, 1)
+}
+
+// AddWeighted folds a value occurring weight times. This is the column
+// store's per-code fast path: one call per distinct value rather than one
+// per row.
+func (a *Acc) AddWeighted(v value.Value, weight int64) {
+	if v.IsNull() || weight <= 0 {
+		return
+	}
+	a.sum += v.Float() * float64(weight)
+	a.count += weight
+	if !a.seen {
+		a.min, a.max = v, v
+		a.seen = true
+		return
+	}
+	if value.Less(v, a.min) {
+		a.min = v
+	}
+	if value.Less(a.max, v) {
+		a.max = v
+	}
+}
+
+// AddCount increments only the row counter; used for COUNT(*) where no
+// column value is inspected.
+func (a *Acc) AddCount(n int64) {
+	a.count += n
+	a.seen = true
+}
+
+// Merge folds another accumulator into a. Used when combining partial
+// results from horizontal partitions.
+func (a *Acc) Merge(b *Acc) {
+	if !b.seen {
+		return
+	}
+	a.sum += b.sum
+	a.count += b.count
+	if !a.seen {
+		a.min, a.max, a.seen = b.min, b.max, true
+		return
+	}
+	if !b.min.IsNull() && (a.min.IsNull() || value.Less(b.min, a.min)) {
+		a.min = b.min
+	}
+	if !b.max.IsNull() && (a.max.IsNull() || value.Less(a.max, b.max)) {
+		a.max = b.max
+	}
+}
+
+// Count returns the number of accumulated (non-NULL) values.
+func (a *Acc) Count() int64 { return a.count }
+
+// Final computes the aggregate value for the requested function.
+func (a *Acc) Final(f Func) value.Value {
+	switch f {
+	case Count:
+		return value.NewBigint(a.count)
+	case Sum:
+		if a.count == 0 {
+			return value.Null(value.Double)
+		}
+		return value.NewDouble(a.sum)
+	case Avg:
+		if a.count == 0 {
+			return value.Null(value.Double)
+		}
+		return value.NewDouble(a.sum / float64(a.count))
+	case Min:
+		if !a.seen {
+			return value.Null(value.Double)
+		}
+		return a.min
+	case Max:
+		if !a.seen {
+			return value.Null(value.Double)
+		}
+		return a.max
+	default:
+		return value.Null(value.Double)
+	}
+}
+
+// Group is one group-by bucket: the key values and one accumulator per
+// aggregate spec.
+type Group struct {
+	Key  []value.Value
+	Accs []Acc
+}
+
+// Result is a grouped aggregation result. With no group-by columns it
+// holds exactly one global group.
+type Result struct {
+	Specs     []Spec
+	GroupCols []int
+	Groups    []*Group
+
+	index map[string]int
+}
+
+// NewResult allocates an empty result for the given aggregates and
+// grouping columns.
+func NewResult(specs []Spec, groupCols []int) *Result {
+	r := &Result{Specs: specs, GroupCols: groupCols}
+	if len(groupCols) == 0 {
+		r.Groups = []*Group{{Accs: make([]Acc, len(specs))}}
+		return r
+	}
+	r.index = make(map[string]int)
+	return r
+}
+
+// Global returns the single group of an ungrouped result.
+func (r *Result) Global() *Group { return r.Groups[0] }
+
+// GroupFor returns (creating if needed) the bucket for the given key. The
+// key slice is copied on first use so callers may reuse their buffer.
+func (r *Result) GroupFor(key []value.Value) *Group {
+	k := groupKey(key)
+	if i, ok := r.index[k]; ok {
+		return r.Groups[i]
+	}
+	kc := make([]value.Value, len(key))
+	copy(kc, key)
+	g := &Group{Key: kc, Accs: make([]Acc, len(r.Specs))}
+	r.index[k] = len(r.Groups)
+	r.Groups = append(r.Groups, g)
+	return g
+}
+
+func groupKey(key []value.Value) string {
+	if len(key) == 1 {
+		return key[0].Key()
+	}
+	s := ""
+	for _, v := range key {
+		s += v.Key() + "\x1f"
+	}
+	return s
+}
+
+// Merge folds a compatible partial result (same specs and grouping) into r.
+func (r *Result) Merge(other *Result) {
+	if other == nil {
+		return
+	}
+	if len(r.GroupCols) == 0 {
+		for i := range r.Global().Accs {
+			r.Global().Accs[i].Merge(&other.Global().Accs[i])
+		}
+		return
+	}
+	for _, g := range other.Groups {
+		dst := r.GroupFor(g.Key)
+		for i := range dst.Accs {
+			dst.Accs[i].Merge(&g.Accs[i])
+		}
+	}
+}
+
+// NumGroups returns the number of result groups.
+func (r *Result) NumGroups() int { return len(r.Groups) }
+
+// Rows materializes the result as output rows: group-key columns followed
+// by one value per aggregate spec.
+func (r *Result) Rows() [][]value.Value {
+	out := make([][]value.Value, 0, len(r.Groups))
+	for _, g := range r.Groups {
+		row := make([]value.Value, 0, len(g.Key)+len(r.Specs))
+		row = append(row, g.Key...)
+		for i, s := range r.Specs {
+			row = append(row, g.Accs[i].Final(s.Func))
+		}
+		out = append(out, row)
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"fmt"
+
+	"hybridstore/internal/advisor"
+	"hybridstore/internal/agg"
+	"hybridstore/internal/catalog"
+	"hybridstore/internal/costmodel"
+	"hybridstore/internal/engine"
+	"hybridstore/internal/query"
+	"hybridstore/internal/workload"
+)
+
+// fig6Setup loads the paper's 30-attribute experiment table into a fresh
+// engine with the given store and returns the engine plus an InfoSource
+// backed by freshly collected statistics.
+func fig6Setup(cfg Config, store catalog.StoreKind, rows int) (*engine.Database, costmodel.InfoSource, error) {
+	db := engine.New()
+	spec := workload.StandardTable("exp")
+	if err := spec.Load(db, store, rows, cfg.Seed); err != nil {
+		return nil, nil, err
+	}
+	if _, err := db.CollectStats("exp"); err != nil {
+		return nil, nil, err
+	}
+	return db, advisor.InfoFromCatalog(db.Catalog()), nil
+}
+
+// Fig6a reproduces Figure 6(a): a constant aggregation query (SUM over
+// one keyfigure) against the experiment table at growing data volumes;
+// the paper's 2m–20m tuples are scaled to 50k–500k. For each size and
+// store it reports the cost-model estimate next to the measured runtime.
+func Fig6a(cfg Config) (*Result, error) {
+	m, err := cfg.model()
+	if err != nil {
+		return nil, err
+	}
+	spec := workload.StandardTable("exp")
+	q := &query.Query{
+		Kind: query.Aggregate, Table: "exp",
+		Aggs: []agg.Spec{{Func: agg.Sum, Col: spec.Keyfigures[0]}},
+	}
+	res := &Result{Columns: []string{"rows", "rs_est_ms", "rs_act_ms", "cs_est_ms", "cs_act_ms"}}
+	sizes := []int{50_000, 125_000, 250_000, 375_000, 500_000}
+	for _, base := range sizes {
+		n := cfg.scaled(base)
+		row := []string{fmt.Sprintf("%d", n)}
+		numeric := map[string]float64{"rows": float64(n)}
+		for _, store := range []catalog.StoreKind{catalog.RowStore, catalog.ColumnStore} {
+			db, info, err := fig6Setup(cfg, store, n)
+			if err != nil {
+				return nil, err
+			}
+			place := costmodel.Placement{"exp": store}
+			est := m.EstimateQuery(q, info, place)
+			act, err := measureQuery(db, q, cfg.Reps)
+			if err != nil {
+				return nil, err
+			}
+			prefix := "rs"
+			if store == catalog.ColumnStore {
+				prefix = "cs"
+			}
+			row = append(row, ms(est), ms(float64(act)))
+			numeric[prefix+"_est"] = est
+			numeric[prefix+"_act"] = float64(act)
+		}
+		res.AddRow(row, numeric)
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("row store estimation error (mean abs): %.1f%%",
+			100*costmodel.MeanAbsError(res.Series["rs_est"], res.Series["rs_act"])),
+		fmt.Sprintf("column store estimation error (mean abs): %.1f%%",
+			100*costmodel.MeanAbsError(res.Series["cs_est"], res.Series["cs_act"])),
+		"expected shape: both stores linear in rows; estimates track actuals (paper Fig. 6a)",
+	)
+	return res, nil
+}
+
+// Fig6b reproduces Figure 6(b): the same table at a fixed size (paper:
+// 10m tuples, ours: 250k) with the number of aggregates in the query
+// varied from 1 to 5.
+func Fig6b(cfg Config) (*Result, error) {
+	m, err := cfg.model()
+	if err != nil {
+		return nil, err
+	}
+	spec := workload.StandardTable("exp")
+	n := cfg.scaled(250_000)
+	res := &Result{Columns: []string{"aggregates", "rs_est_ms", "rs_act_ms", "cs_est_ms", "cs_act_ms"}}
+
+	type ctx struct {
+		db   *engine.Database
+		info costmodel.InfoSource
+	}
+	stores := map[catalog.StoreKind]*ctx{}
+	for _, store := range []catalog.StoreKind{catalog.RowStore, catalog.ColumnStore} {
+		db, info, err := fig6Setup(cfg, store, n)
+		if err != nil {
+			return nil, err
+		}
+		stores[store] = &ctx{db: db, info: info}
+	}
+	funcs := []agg.Func{agg.Sum, agg.Avg, agg.Min, agg.Max, agg.Sum}
+	for k := 1; k <= 5; k++ {
+		aggs := make([]agg.Spec, k)
+		for i := 0; i < k; i++ {
+			aggs[i] = agg.Spec{Func: funcs[i], Col: spec.Keyfigures[i]}
+		}
+		q := &query.Query{Kind: query.Aggregate, Table: "exp", Aggs: aggs}
+		row := []string{fmt.Sprintf("%d", k)}
+		numeric := map[string]float64{"aggregates": float64(k)}
+		for _, store := range []catalog.StoreKind{catalog.RowStore, catalog.ColumnStore} {
+			c := stores[store]
+			est := m.EstimateQuery(q, c.info, costmodel.Placement{"exp": store})
+			act, err := measureQuery(c.db, q, cfg.Reps)
+			if err != nil {
+				return nil, err
+			}
+			prefix := "rs"
+			if store == catalog.ColumnStore {
+				prefix = "cs"
+			}
+			row = append(row, ms(est), ms(float64(act)))
+			numeric[prefix+"_est"] = est
+			numeric[prefix+"_act"] = float64(act)
+		}
+		res.AddRow(row, numeric)
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("row store estimation error (mean abs): %.1f%%",
+			100*costmodel.MeanAbsError(res.Series["rs_est"], res.Series["rs_act"])),
+		fmt.Sprintf("column store estimation error (mean abs): %.1f%%",
+			100*costmodel.MeanAbsError(res.Series["cs_est"], res.Series["cs_act"])),
+		"expected shape: linear growth with the number of aggregates (paper Fig. 6b)",
+	)
+	return res, nil
+}

@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"hybridstore/internal/advisor"
+	"hybridstore/internal/catalog"
+	"hybridstore/internal/costmodel"
+	"hybridstore/internal/engine"
+	"hybridstore/internal/workload"
+)
+
+// olapFractions7 is the sweep of Figure 7: 0%..5%.
+var olapFractions7 = []float64{0, 0.0125, 0.025, 0.0375, 0.05}
+
+// Fig7a reproduces Figure 7(a): 500-query mixed workloads against the
+// single experiment table at varying OLAP fractions, run with the table
+// in the row store, the column store, and the store recommended by the
+// advisor. The paper's table has 10m tuples; ours 150k.
+func Fig7a(cfg Config) (*Result, error) {
+	m, err := cfg.model()
+	if err != nil {
+		return nil, err
+	}
+	adv := advisor.New(m)
+	n := cfg.scaled(150_000)
+	spec := workload.StandardTable("exp")
+
+	// Statistics for the advisor come from a one-off load (data
+	// characteristics are store-independent).
+	statsDB := engine.New()
+	if err := spec.Load(statsDB, catalog.ColumnStore, n, cfg.Seed); err != nil {
+		return nil, err
+	}
+	if _, err := statsDB.CollectStats("exp"); err != nil {
+		return nil, err
+	}
+	info := advisor.InfoFromCatalog(statsDB.Catalog())
+
+	res := &Result{Columns: []string{"olap_frac", "rs_only_s", "cs_only_s", "advisor_s", "recommended"}}
+	for _, frac := range olapFractions7 {
+		w := workload.GenMixed(spec, workload.MixConfig{
+			Queries: 500, OLAPFraction: frac, TableRows: n,
+			UpdateRowsPerQuery: 20, Seed: cfg.Seed + int64(frac*10000),
+		})
+		rec := adv.RecommendTables(w, info, nil)
+		times := map[catalog.StoreKind]time.Duration{}
+		for _, store := range []catalog.StoreKind{catalog.RowStore, catalog.ColumnStore} {
+			db := engine.New()
+			if err := spec.Load(db, store, n, cfg.Seed); err != nil {
+				return nil, err
+			}
+			t, err := runWorkload(db, w)
+			if err != nil {
+				return nil, err
+			}
+			times[store] = t
+		}
+		chosen := rec.Placement.StoreOf("exp")
+		res.AddRow([]string{
+			fmt.Sprintf("%.2f%%", frac*100),
+			secs(times[catalog.RowStore]),
+			secs(times[catalog.ColumnStore]),
+			secs(times[chosen]),
+			chosen.String(),
+		}, map[string]float64{
+			"olap_frac": frac,
+			"rs_only":   float64(times[catalog.RowStore]),
+			"cs_only":   float64(times[catalog.ColumnStore]),
+			"advisor":   float64(times[chosen]),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"expected shape: row store cheaper at 0% OLAP with steeper growth; the advisor line tracks the minimum (paper Fig. 7a)",
+	)
+	return res, nil
+}
+
+// Fig7b reproduces Figure 7(b): the star-schema join workloads. The
+// dimension table (1000 rows) is pinned to the row store "based on
+// preceding measurements" (paper §5.3); the advisor decides the fact
+// table's store. The paper's fact table has 20m tuples; ours 200k.
+func Fig7b(cfg Config) (*Result, error) {
+	m, err := cfg.model()
+	if err != nil {
+		return nil, err
+	}
+	adv := advisor.New(m)
+	factRows := cfg.scaled(200_000)
+	const dimRows = 1000
+	dim := workload.DimensionTable("dim")
+	fact := workload.FactTable("fact", dimRows)
+
+	statsDB := engine.New()
+	if err := fact.Load(statsDB, catalog.ColumnStore, factRows, cfg.Seed); err != nil {
+		return nil, err
+	}
+	if err := dim.Load(statsDB, catalog.RowStore, dimRows, cfg.Seed+1); err != nil {
+		return nil, err
+	}
+	for _, t := range []string{"fact", "dim"} {
+		if _, err := statsDB.CollectStats(t); err != nil {
+			return nil, err
+		}
+	}
+	info := advisor.InfoFromCatalog(statsDB.Catalog())
+	pinned := costmodel.Placement{"dim": catalog.RowStore}
+
+	res := &Result{Columns: []string{"olap_frac", "rs_only_s", "cs_only_s", "advisor_s", "recommended"}}
+	for _, frac := range olapFractions7 {
+		w := workload.GenJoinMixed(fact, dim, workload.JoinMixConfig{
+			Queries: 500, OLAPFraction: frac,
+			FactRows: factRows, DimRows: dimRows,
+			UpdateRowsPerQuery: 20, Seed: cfg.Seed + int64(frac*10000),
+		})
+		rec := adv.RecommendTables(w, info, pinned)
+		times := map[catalog.StoreKind]time.Duration{}
+		for _, store := range []catalog.StoreKind{catalog.RowStore, catalog.ColumnStore} {
+			db := engine.New()
+			if err := fact.Load(db, store, factRows, cfg.Seed); err != nil {
+				return nil, err
+			}
+			if err := dim.Load(db, catalog.RowStore, dimRows, cfg.Seed+1); err != nil {
+				return nil, err
+			}
+			t, err := runWorkload(db, w)
+			if err != nil {
+				return nil, err
+			}
+			times[store] = t
+		}
+		chosen := rec.Placement.StoreOf("fact")
+		res.AddRow([]string{
+			fmt.Sprintf("%.2f%%", frac*100),
+			secs(times[catalog.RowStore]),
+			secs(times[catalog.ColumnStore]),
+			secs(times[chosen]),
+			chosen.String(),
+		}, map[string]float64{
+			"olap_frac": frac,
+			"rs_only":   float64(times[catalog.RowStore]),
+			"cs_only":   float64(times[catalog.ColumnStore]),
+			"advisor":   float64(times[chosen]),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"dimension table pinned to the row store as in the paper",
+		"expected shape: like Fig. 7a with an earlier crossover to the column store (paper Fig. 7b)",
+	)
+	return res, nil
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+
+	"hybridstore/internal/advisor"
+	"hybridstore/internal/catalog"
+	"hybridstore/internal/engine"
+	"hybridstore/internal/value"
+	"hybridstore/internal/workload"
+)
+
+// Fig8 reproduces Figure 8: a fixed mixed workload (500 queries, 5% OLAP,
+// update queries addressing the most recent 10% of the data) is run
+// against horizontal partitionings that put different fractions of the
+// data into the row-store partition — ignoring the advisor's
+// recommendation to show that the recommended 10% is the minimum. The
+// paper's 10m-tuple table is scaled to 150k.
+func Fig8(cfg Config) (*Result, error) {
+	m, err := cfg.model()
+	if err != nil {
+		return nil, err
+	}
+	adv := advisor.New(m)
+	n := cfg.scaled(150_000)
+	spec := workload.StandardTable("exp")
+	w := workload.GenMixed(spec, workload.MixConfig{
+		Queries: 500, OLAPFraction: 0.05, TableRows: n,
+		HotDataFraction: 0.10, UpdateRowsPerQuery: 100,
+		InsertWeight: 0.2, UpdateWeight: 2, PointSelectWeight: 0.3,
+		Seed: cfg.Seed,
+	})
+
+	// What does the advisor itself recommend?
+	statsDB := engine.New()
+	if err := spec.Load(statsDB, catalog.ColumnStore, n, cfg.Seed); err != nil {
+		return nil, err
+	}
+	if _, err := statsDB.CollectStats("exp"); err != nil {
+		return nil, err
+	}
+	info := advisor.InfoFromCatalog(statsDB.Catalog())
+	rec := adv.Recommend(w, info, nil, nil)
+	recFraction := -1.0
+	if s := rec.Layout.SpecFor("exp"); s != nil && s.Horizontal != nil {
+		recFraction = 1 - s.Horizontal.SplitVal.Float()/float64(n)
+	}
+
+	res := &Result{Columns: []string{"rs_fraction", "runtime_s"}}
+	for _, frac := range []float64{0, 0.025, 0.05, 0.075, 0.10, 0.125, 0.15, 0.20} {
+		db := engine.New()
+		var spec2 *catalog.PartitionSpec
+		if frac > 0 {
+			splitAt := int64(float64(n) * (1 - frac))
+			spec2 = &catalog.PartitionSpec{Horizontal: &catalog.HorizontalSpec{
+				SplitCol: 0, SplitVal: value.NewBigint(splitAt),
+				HotStore: catalog.RowStore, ColdStore: catalog.ColumnStore,
+			}}
+		}
+		ts := workload.StandardTable("exp")
+		if err := ts.LoadLayout(db, catalog.ColumnStore, spec2, n, cfg.Seed); err != nil {
+			return nil, err
+		}
+		t, err := runWorkload(db, w)
+		if err != nil {
+			return nil, err
+		}
+		res.AddRow(
+			[]string{fmt.Sprintf("%.1f%%", frac*100), secs(t)},
+			map[string]float64{"rs_fraction": frac, "runtime": float64(t)},
+		)
+	}
+	if recFraction >= 0 {
+		res.Notes = append(res.Notes,
+			fmt.Sprintf("advisor recommended a row-store partition of %.1f%% of the data", recFraction*100))
+	} else {
+		res.Notes = append(res.Notes, "advisor did not recommend a horizontal partition")
+	}
+	res.Notes = append(res.Notes,
+		"expected shape: minimum near the 10% of data the updates address (paper Fig. 8)")
+	return res, nil
+}

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"hybridstore/internal/advisor"
+	"hybridstore/internal/catalog"
+	"hybridstore/internal/engine"
+	"hybridstore/internal/workload"
+)
+
+// olapFractions9 is the sweep of Figure 9: 0%..2.5%.
+var olapFractions9 = []float64{0, 0.00625, 0.0125, 0.01875, 0.025}
+
+// Fig9a reproduces Figure 9(a), the OLAP setting of the vertical
+// partitioning experiment: a table with 10 keyfigures, 8 group-by
+// attributes and 2 selection/update attributes, run unpartitioned in each
+// store and vertically partitioned as the advisor recommends.
+func Fig9a(cfg Config) (*Result, error) {
+	return fig9(cfg, workload.VerticalOLAPTable("vexp"),
+		"expected shape: partitioned table tracks the column store with a constant gain; row store explodes with OLAP fraction (paper Fig. 9a)")
+}
+
+// Fig9b reproduces Figure 9(b), the OLTP setting: 18 selection/update
+// attributes, 1 keyfigure, 1 group-by attribute.
+func Fig9b(cfg Config) (*Result, error) {
+	return fig9(cfg, workload.VerticalOLTPTable("vexp"),
+		"expected shape: like 9(a) but with smaller gains; at 0% OLAP the unpartitioned row store is optimal (paper Fig. 9b)")
+}
+
+func fig9(cfg Config, spec *workload.TableSpec, expect string) (*Result, error) {
+	m, err := cfg.model()
+	if err != nil {
+		return nil, err
+	}
+	adv := advisor.New(m)
+	n := cfg.scaled(150_000)
+
+	// Derive the vertical split the advisor recommends from a
+	// representative workload.
+	statsDB := engine.New()
+	if err := spec.Load(statsDB, catalog.ColumnStore, n, cfg.Seed); err != nil {
+		return nil, err
+	}
+	if _, err := statsDB.CollectStats(spec.Schema.Name); err != nil {
+		return nil, err
+	}
+	info := advisor.InfoFromCatalog(statsDB.Catalog())
+	// The probe workload needs enough aggregation queries to cover every
+	// keyfigure; otherwise never-seen attributes land in the row partition
+	// and later aggregates would span the split.
+	probe := workload.GenMixed(spec, workload.MixConfig{
+		Queries: 500, OLAPFraction: 0.2, TableRows: n,
+		OLTPAttrsOnly: true, UpdateRowsPerQuery: 100,
+		MaxAggs: 3, NoFilterPreds: true, Seed: cfg.Seed,
+	})
+	var vertical *catalog.PartitionSpec
+	for _, c := range adv.PartitionCandidates(probe, info, nil, nil) {
+		if c.Spec.Vertical != nil && c.Spec.Horizontal == nil {
+			vertical = c.Spec
+			break
+		}
+	}
+	if vertical == nil {
+		// Fall back to the role-based split the paper describes: OLAP
+		// attributes (keyfigures, group-bys) columnar, the rest row.
+		rowCols := append([]int{0}, spec.OLTPAttrs...)
+		colCols := append([]int{0}, spec.Keyfigures...)
+		colCols = append(colCols, spec.GroupBys...)
+		vertical = &catalog.PartitionSpec{Vertical: &catalog.VerticalSpec{RowCols: rowCols, ColCols: colCols}}
+	}
+
+	res := &Result{Columns: []string{"olap_frac", "rs_only_s", "cs_only_s", "vertical_s"}}
+	for _, frac := range olapFractions9 {
+		w := workload.GenMixed(spec, workload.MixConfig{
+			Queries: 500, OLAPFraction: frac, TableRows: n,
+			OLTPAttrsOnly: true, UpdateRowsPerQuery: 100,
+			NoFilterPreds: true,
+			Seed:          cfg.Seed + int64(frac*100000),
+		})
+		var times [3]time.Duration
+		variants := []struct {
+			store catalog.StoreKind
+			spec  *catalog.PartitionSpec
+		}{
+			{catalog.RowStore, nil},
+			{catalog.ColumnStore, nil},
+			{catalog.Partitioned, vertical},
+		}
+		for i, v := range variants {
+			db := engine.New()
+			ts := *spec // Load mutates nothing, reuse schema safely
+			if err := ts.LoadLayout(db, v.store, v.spec, n, cfg.Seed); err != nil {
+				return nil, err
+			}
+			t, err := runWorkload(db, w)
+			if err != nil {
+				return nil, err
+			}
+			times[i] = t
+		}
+		res.AddRow([]string{
+			fmt.Sprintf("%.3f%%", frac*100),
+			secs(times[0]), secs(times[1]), secs(times[2]),
+		}, map[string]float64{
+			"olap_frac": frac,
+			"rs_only":   float64(times[0]),
+			"cs_only":   float64(times[1]),
+			"vertical":  float64(times[2]),
+		})
+	}
+	res.Notes = append(res.Notes, expect)
+	return res, nil
+}

@@ -1,0 +1,182 @@
+package catalog
+
+import (
+	"fmt"
+	"strings"
+
+	"hybridstore/internal/compress"
+	"hybridstore/internal/value"
+)
+
+// TableStats holds the data characteristics the paper's cost model
+// consumes: cardinality, per-column distinct counts (which determine
+// dictionary-compression rates), value ranges for selectivity estimation,
+// and the resulting compression rates. These are "basic table statistics"
+// in offline mode and are refreshed from live data in online mode.
+type TableStats struct {
+	NumRows     int
+	DistinctN   []int // per column
+	MinV, MaxV  []value.Value
+	HasRange    []bool
+	Compression []float64 // per column, the rate the column store achieves
+	AvgVarchar  []int     // average varchar payload length per column
+}
+
+// Rows implements expr.ColumnStats.
+func (s *TableStats) Rows() int { return s.NumRows }
+
+// Distinct implements expr.ColumnStats.
+func (s *TableStats) Distinct(col int) int {
+	if s == nil || col < 0 || col >= len(s.DistinctN) {
+		return 0
+	}
+	return s.DistinctN[col]
+}
+
+// MinMax implements expr.ColumnStats.
+func (s *TableStats) MinMax(col int) (value.Value, value.Value, bool) {
+	if s == nil || col < 0 || col >= len(s.HasRange) || !s.HasRange[col] {
+		return value.Value{}, value.Value{}, false
+	}
+	return s.MinV[col], s.MaxV[col], true
+}
+
+// AvgCompression returns the mean compression rate over all columns — the
+// table-level rate used by f_compression when a query touches the whole
+// table.
+func (s *TableStats) AvgCompression() float64 {
+	if s == nil || len(s.Compression) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range s.Compression {
+		sum += r
+	}
+	return sum / float64(len(s.Compression))
+}
+
+// CompressionOf returns the compression rate of one column, falling back
+// to the table average when unknown.
+func (s *TableStats) CompressionOf(col int) float64 {
+	if s == nil {
+		return 0
+	}
+	if col >= 0 && col < len(s.Compression) {
+		return s.Compression[col]
+	}
+	return s.AvgCompression()
+}
+
+// String summarizes the stats.
+func (s *TableStats) String() string {
+	if s == nil {
+		return "<no stats>"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "rows=%d avg_compression=%.2f", s.NumRows, s.AvgCompression())
+	return b.String()
+}
+
+// StatsCollector incrementally builds TableStats from a stream of rows.
+// Distinct counting is exact up to distinctCap values per column and
+// linearly extrapolated beyond it, so collection stays O(rows) with
+// bounded memory on large tables.
+type StatsCollector struct {
+	types       []value.Type
+	rows        int
+	seen        []map[string]struct{}
+	capped      []bool
+	seenAtCap   []int // rows scanned when the cap was hit
+	minV, maxV  []value.Value
+	hasRange    []bool
+	varcharLen  []int
+	varcharCnt  []int
+	distinctCap int
+}
+
+// DefaultDistinctCap bounds per-column exact distinct tracking.
+const DefaultDistinctCap = 1 << 16
+
+// NewStatsCollector creates a collector for columns of the given types.
+func NewStatsCollector(types []value.Type) *StatsCollector {
+	n := len(types)
+	sc := &StatsCollector{
+		types:       types,
+		seen:        make([]map[string]struct{}, n),
+		capped:      make([]bool, n),
+		seenAtCap:   make([]int, n),
+		minV:        make([]value.Value, n),
+		maxV:        make([]value.Value, n),
+		hasRange:    make([]bool, n),
+		varcharLen:  make([]int, n),
+		varcharCnt:  make([]int, n),
+		distinctCap: DefaultDistinctCap,
+	}
+	for i := range sc.seen {
+		sc.seen[i] = make(map[string]struct{})
+	}
+	return sc
+}
+
+// Add folds one row into the statistics.
+func (sc *StatsCollector) Add(row []value.Value) {
+	sc.rows++
+	for i, v := range row {
+		if v.IsNull() {
+			continue
+		}
+		if !sc.capped[i] {
+			sc.seen[i][v.Key()] = struct{}{}
+			if len(sc.seen[i]) >= sc.distinctCap {
+				sc.capped[i] = true
+				sc.seenAtCap[i] = sc.rows
+			}
+		}
+		if !sc.hasRange[i] {
+			sc.minV[i], sc.maxV[i] = v, v
+			sc.hasRange[i] = true
+		} else {
+			if value.Less(v, sc.minV[i]) {
+				sc.minV[i] = v
+			}
+			if value.Less(sc.maxV[i], v) {
+				sc.maxV[i] = v
+			}
+		}
+		if sc.types[i] == value.Varchar {
+			sc.varcharLen[i] += len(v.Varchar())
+			sc.varcharCnt[i]++
+		}
+	}
+}
+
+// Finish produces the TableStats.
+func (sc *StatsCollector) Finish() *TableStats {
+	n := len(sc.types)
+	st := &TableStats{
+		NumRows:     sc.rows,
+		DistinctN:   make([]int, n),
+		MinV:        sc.minV,
+		MaxV:        sc.maxV,
+		HasRange:    sc.hasRange,
+		Compression: make([]float64, n),
+		AvgVarchar:  make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		d := len(sc.seen[i])
+		if sc.capped[i] && sc.seenAtCap[i] > 0 {
+			// Linear extrapolation: distinct values kept appearing at the
+			// cap rate for the remaining rows (upper-bounded by row count).
+			d = int(float64(d) * float64(sc.rows) / float64(sc.seenAtCap[i]))
+			if d > sc.rows {
+				d = sc.rows
+			}
+		}
+		st.DistinctN[i] = d
+		if sc.varcharCnt[i] > 0 {
+			st.AvgVarchar[i] = sc.varcharLen[i] / sc.varcharCnt[i]
+		}
+		st.Compression[i] = compress.ColumnRate(sc.rows, d, sc.types[i], st.AvgVarchar[i])
+	}
+	return st
+}

@@ -1,0 +1,307 @@
+package colstore
+
+import (
+	"hybridstore/internal/agg"
+	"hybridstore/internal/expr"
+	"hybridstore/internal/value"
+)
+
+// Aggregate computes the given aggregates over live rows matching pred,
+// grouped by the groupBy columns. It is the column store's analytical fast
+// path: predicate evaluation happens on dictionary codes (matchBitmap) and
+// ungrouped aggregates use per-code counting — one decode per distinct
+// value instead of one per row — which is how compression speeds up
+// aggregation in the paper's column store (f_compression).
+func (t *Table) Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate) *agg.Result {
+	res := agg.NewResult(specs, groupBy)
+	match := t.matchBitmap(pred) // nil means all live rows
+	switch {
+	case len(groupBy) == 0:
+		t.aggregateGlobal(res, specs, match)
+	case len(groupBy) == 1:
+		t.aggregateSingleGroup(res, specs, groupBy[0], match)
+	case len(groupBy) == 2 && t.pairGroupFeasible(groupBy):
+		t.aggregatePairGroup(res, specs, groupBy, match)
+	default:
+		t.aggregateGeneric(res, specs, groupBy, match)
+	}
+	return res
+}
+
+// pairGroupDenseLimit bounds the dense bucket array used for two-column
+// group-bys (product of the two dictionaries' sizes).
+const pairGroupDenseLimit = 1 << 18
+
+// pairGroupFeasible reports whether the two group columns' combined code
+// space is small enough for the dense fast path.
+func (t *Table) pairGroupFeasible(groupBy []int) bool {
+	prod := 1
+	for _, g := range groupBy {
+		c := &t.cols[g]
+		d := c.mainDict.Len() + c.deltaDict.Len() + 1 // +1 for NULL
+		if d == 0 {
+			d = 1
+		}
+		if prod > pairGroupDenseLimit/d {
+			return false
+		}
+		prod *= d
+	}
+	return prod <= pairGroupDenseLimit
+}
+
+// aggregatePairGroup groups by two low-cardinality columns using a dense
+// bucket array indexed by the combined codes — the typical shape of
+// analytical queries like TPC-H Q1 (GROUP BY l_returnflag, l_linestatus).
+func (t *Table) aggregatePairGroup(res *agg.Result, specs []agg.Spec, groupBy []int, match []bool) {
+	g0, g1 := &t.cols[groupBy[0]], &t.cols[groupBy[1]]
+	// Combined code: local code offset by fragment (delta codes follow
+	// main codes; the extra slot at the end is the NULL key).
+	d0 := g0.mainDict.Len() + g0.deltaDict.Len() + 1
+	d1 := g1.mainDict.Len() + g1.deltaDict.Len() + 1
+	null0, null1 := uint32(d0-1), uint32(d1-1)
+	codeOf := func(c *column, rid int, null uint32) uint32 {
+		if c.isNullAt(rid, t.mainRows) {
+			return null
+		}
+		if rid < t.mainRows {
+			return c.mainCodes.Get(rid)
+		}
+		return uint32(c.mainDict.Len()) + c.deltaCodes[rid-t.mainRows]
+	}
+	buckets := make([][]agg.Acc, d0*d1)
+	for rid := 0; rid < t.totalRows(); rid++ {
+		if !t.participates(match, rid) {
+			continue
+		}
+		key := codeOf(g0, rid, null0)*uint32(d1) + codeOf(g1, rid, null1)
+		b := buckets[key]
+		if b == nil {
+			b = make([]agg.Acc, len(specs))
+			buckets[key] = b
+		}
+		for si, s := range specs {
+			if s.Col < 0 {
+				b[si].AddCount(1)
+				continue
+			}
+			c := &t.cols[s.Col]
+			if c.isNullAt(rid, t.mainRows) {
+				continue
+			}
+			b[si].Add(c.valueAt(rid, t.mainRows))
+		}
+	}
+	valueOf := func(c *column, code, null uint32) value.Value {
+		if code == null {
+			return value.Null(c.typ)
+		}
+		if int(code) < c.mainDict.Len() {
+			return c.mainDict.Value(code)
+		}
+		return c.deltaDict.Value(code - uint32(c.mainDict.Len()))
+	}
+	for key, b := range buckets {
+		if b == nil {
+			continue
+		}
+		k0 := uint32(key) / uint32(d1)
+		k1 := uint32(key) % uint32(d1)
+		grp := res.GroupFor([]value.Value{valueOf(g0, k0, null0), valueOf(g1, k1, null1)})
+		for i := range b {
+			grp.Accs[i].Merge(&b[i])
+		}
+	}
+}
+
+// participates reports whether row slot rid contributes.
+func (t *Table) participates(match []bool, rid int) bool {
+	if match == nil {
+		return t.valid[rid]
+	}
+	return match[rid]
+}
+
+// countMatches counts contributing rows.
+func (t *Table) countMatches(match []bool) int64 {
+	if match == nil {
+		return int64(t.live)
+	}
+	var n int64
+	for _, m := range match {
+		if m {
+			n++
+		}
+	}
+	return n
+}
+
+func (t *Table) aggregateGlobal(res *agg.Result, specs []agg.Spec, match []bool) {
+	g := res.Global()
+	for si, s := range specs {
+		if s.Col < 0 {
+			g.Accs[si].AddCount(t.countMatches(match))
+			continue
+		}
+		c := &t.cols[s.Col]
+		// Per-code counting over the main fragment.
+		if t.mainRows > 0 {
+			counts := make([]int64, c.mainDict.Len())
+			if c.mainNulls == nil && match == nil && t.live == t.totalRows() {
+				// Fully dense main fragment: no per-row branches at all
+				// (delta rows, if any, are handled below).
+				c.mainCodes.ForEach(func(i int, code uint32) { counts[code]++ })
+			} else {
+				c.mainCodes.ForEach(func(i int, code uint32) {
+					if !t.participates(match, i) {
+						return
+					}
+					if c.mainNulls != nil && c.mainNulls[i] {
+						return
+					}
+					counts[code]++
+				})
+			}
+			for code, cnt := range counts {
+				if cnt > 0 {
+					g.Accs[si].AddWeighted(c.mainDict.Value(uint32(code)), cnt)
+				}
+			}
+		}
+		// Per-code counting over the delta fragment.
+		if t.deltaRows > 0 {
+			counts := make([]int64, c.deltaDict.Len())
+			if c.deltaNulls == nil && match == nil && t.live == t.totalRows() {
+				for _, code := range c.deltaCodes {
+					counts[code]++
+				}
+			} else {
+				for d, code := range c.deltaCodes {
+					rid := t.mainRows + d
+					if !t.participates(match, rid) {
+						continue
+					}
+					if c.deltaNulls != nil && c.deltaNulls[d] {
+						continue
+					}
+					counts[code]++
+				}
+			}
+			for code, cnt := range counts {
+				if cnt > 0 {
+					g.Accs[si].AddWeighted(c.deltaDict.Value(uint32(code)), cnt)
+				}
+			}
+		}
+	}
+}
+
+// aggregateSingleGroup groups by one column using per-fragment dense
+// bucket arrays indexed by the group column's dictionary codes.
+func (t *Table) aggregateSingleGroup(res *agg.Result, specs []agg.Spec, gcol int, match []bool) {
+	gc := &t.cols[gcol]
+	// Pre-decode spec column dictionaries so the per-row work is an
+	// integer code lookup plus an accumulator update.
+	type fragVals struct {
+		main  []value.Value
+		delta []value.Value
+	}
+	specVals := make([]fragVals, len(specs))
+	for si, s := range specs {
+		if s.Col < 0 {
+			continue
+		}
+		c := &t.cols[s.Col]
+		fv := fragVals{
+			main:  c.mainDict.Values(),
+			delta: c.deltaDict.Values(),
+		}
+		specVals[si] = fv
+	}
+
+	// buckets per fragment, indexed by group code; NULL group key gets a
+	// dedicated bucket.
+	mainBuckets := make([][]agg.Acc, gc.mainDict.Len())
+	deltaBuckets := make([][]agg.Acc, gc.deltaDict.Len())
+	var nullBucket []agg.Acc
+
+	add := func(bucket []agg.Acc, rid int) []agg.Acc {
+		if bucket == nil {
+			bucket = make([]agg.Acc, len(specs))
+		}
+		for si, s := range specs {
+			if s.Col < 0 {
+				bucket[si].AddCount(1)
+				continue
+			}
+			c := &t.cols[s.Col]
+			if c.isNullAt(rid, t.mainRows) {
+				continue
+			}
+			if rid < t.mainRows {
+				bucket[si].Add(specVals[si].main[c.mainCodes.Get(rid)])
+			} else {
+				bucket[si].Add(specVals[si].delta[c.deltaCodes[rid-t.mainRows]])
+			}
+		}
+		return bucket
+	}
+
+	for rid := 0; rid < t.totalRows(); rid++ {
+		if !t.participates(match, rid) {
+			continue
+		}
+		if gc.isNullAt(rid, t.mainRows) {
+			nullBucket = add(nullBucket, rid)
+			continue
+		}
+		if rid < t.mainRows {
+			code := gc.mainCodes.Get(rid)
+			mainBuckets[code] = add(mainBuckets[code], rid)
+		} else {
+			code := gc.deltaCodes[rid-t.mainRows]
+			deltaBuckets[code] = add(deltaBuckets[code], rid)
+		}
+	}
+
+	fold := func(key value.Value, bucket []agg.Acc) {
+		if bucket == nil {
+			return
+		}
+		g := res.GroupFor([]value.Value{key})
+		for i := range bucket {
+			g.Accs[i].Merge(&bucket[i])
+		}
+	}
+	for code, b := range mainBuckets {
+		fold(gc.mainDict.Value(uint32(code)), b)
+	}
+	for code, b := range deltaBuckets {
+		fold(gc.deltaDict.Value(uint32(code)), b)
+	}
+	if nullBucket != nil {
+		fold(value.Null(gc.typ), nullBucket)
+	}
+}
+
+// aggregateGeneric handles multi-column group-bys by materializing the key
+// per row.
+func (t *Table) aggregateGeneric(res *agg.Result, specs []agg.Spec, groupBy []int, match []bool) {
+	key := make([]value.Value, len(groupBy))
+	for rid := 0; rid < t.totalRows(); rid++ {
+		if !t.participates(match, rid) {
+			continue
+		}
+		for i, c := range groupBy {
+			key[i] = t.cols[c].valueAt(rid, t.mainRows)
+		}
+		g := res.GroupFor(key)
+		for si, s := range specs {
+			if s.Col < 0 {
+				g.Accs[si].AddCount(1)
+				continue
+			}
+			g.Accs[si].Add(t.cols[s.Col].valueAt(rid, t.mainRows))
+		}
+	}
+}

@@ -1,0 +1,581 @@
+package colstore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hybridstore/internal/agg"
+	"hybridstore/internal/expr"
+	"hybridstore/internal/rowstore"
+	"hybridstore/internal/schema"
+	"hybridstore/internal/value"
+)
+
+func testSchema() *schema.Table {
+	return schema.MustNew("items",
+		[]schema.Column{
+			{Name: "id", Type: value.Bigint},
+			{Name: "grp", Type: value.Integer},
+			{Name: "amount", Type: value.Double},
+			{Name: "note", Type: value.Varchar, Nullable: true},
+		}, "id")
+}
+
+func mkRow(id, grp int64, amount float64, note string) []value.Value {
+	return []value.Value{value.NewBigint(id), value.NewInt(grp), value.NewDouble(amount), value.NewVarchar(note)}
+}
+
+func loaded(t *testing.T, n int) *Table {
+	t.Helper()
+	tb := New(testSchema())
+	rows := make([][]value.Value, 0, n)
+	for i := 0; i < n; i++ {
+		rows = append(rows, mkRow(int64(i), int64(i%5), float64(i), fmt.Sprintf("n%d", i%7)))
+	}
+	if err := tb.Insert(rows); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestInsertAndGet(t *testing.T) {
+	tb := loaded(t, 10)
+	if tb.Rows() != 10 {
+		t.Errorf("Rows = %d", tb.Rows())
+	}
+	row := tb.Get(3)
+	if row[0].Int() != 3 || row[2].Double() != 3 {
+		t.Errorf("Get(3) = %v", row)
+	}
+	if tb.Schema().Name != "items" {
+		t.Error("Schema accessor broken")
+	}
+	if !tb.Valid(3) {
+		t.Error("Valid broken")
+	}
+}
+
+func TestInsertValidatesAndChecksPK(t *testing.T) {
+	tb := loaded(t, 5)
+	if err := tb.Insert([][]value.Value{{value.NewInt(1)}}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := tb.Insert([][]value.Value{mkRow(3, 0, 0, "dup")}); err == nil {
+		t.Error("duplicate PK accepted")
+	}
+	if tb.Rows() != 5 {
+		t.Errorf("rows after failures = %d", tb.Rows())
+	}
+}
+
+func TestLookupPK(t *testing.T) {
+	tb := loaded(t, 100)
+	rid, ok := tb.LookupPK([]value.Value{value.NewBigint(42)})
+	if !ok || tb.Get(rid)[0].Int() != 42 {
+		t.Errorf("LookupPK = %d, %v", rid, ok)
+	}
+	if _, ok := tb.LookupPK([]value.Value{value.NewBigint(4200)}); ok {
+		t.Error("missing key found")
+	}
+}
+
+func TestMergeCompactsAndPreservesData(t *testing.T) {
+	tb := loaded(t, 50)
+	if tb.DeltaRows() != 50 {
+		t.Errorf("delta = %d before merge", tb.DeltaRows())
+	}
+	tb.Merge()
+	if tb.DeltaRows() != 0 || tb.Rows() != 50 {
+		t.Errorf("after merge: delta=%d rows=%d", tb.DeltaRows(), tb.Rows())
+	}
+	if tb.Merges() != 1 {
+		t.Errorf("merges = %d", tb.Merges())
+	}
+	for i := 0; i < 50; i++ {
+		rid, ok := tb.LookupPK([]value.Value{value.NewBigint(int64(i))})
+		if !ok {
+			t.Fatalf("key %d lost after merge", i)
+		}
+		if got := tb.Get(rid)[2].Double(); got != float64(i) {
+			t.Fatalf("value for %d = %v", i, got)
+		}
+	}
+	// Merge with nothing to do is a no-op.
+	tb.Merge()
+	if tb.Merges() != 1 {
+		t.Error("no-op merge counted")
+	}
+}
+
+func TestAutoMerge(t *testing.T) {
+	tb := New(testSchema())
+	tb.MergeThreshold = 0.1
+	batch := make([][]value.Value, 0, 1000)
+	for i := 0; i < 10000; i++ {
+		batch = append(batch, mkRow(int64(i), int64(i%5), float64(i), "x"))
+		if len(batch) == 1000 {
+			if err := tb.Insert(batch); err != nil {
+				t.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	if tb.Merges() == 0 {
+		t.Error("auto-merge never triggered")
+	}
+	if tb.Rows() != 10000 {
+		t.Errorf("rows = %d", tb.Rows())
+	}
+}
+
+func TestScanPredicateFastPath(t *testing.T) {
+	tb := loaded(t, 100)
+	tb.Merge() // half the data in main...
+	if err := tb.Insert([][]value.Value{mkRow(100, 2, 100, "d"), mkRow(101, 3, 101, "d")}); err != nil {
+		t.Fatal(err)
+	}
+	pred := &expr.And{Preds: []expr.Predicate{
+		&expr.Comparison{Col: 1, Op: expr.Eq, Val: value.NewInt(2)},
+		&expr.Comparison{Col: 2, Op: expr.Ge, Val: value.NewDouble(50)},
+	}}
+	var ids []int64
+	tb.Scan(pred, []int{0}, func(rid int, row []value.Value) bool {
+		ids = append(ids, row[0].Int())
+		return true
+	})
+	// grp==2: ids 2,7,...,97 and 100; amount>=50: 52,57,...,97,100
+	want := 11
+	if len(ids) != want {
+		t.Errorf("matched %d ids: %v", len(ids), ids)
+	}
+}
+
+func TestScanBetween(t *testing.T) {
+	tb := loaded(t, 50)
+	tb.Merge()
+	pred := &expr.Between{Col: 0, Lo: value.NewBigint(10), Hi: value.NewBigint(19)}
+	count := 0
+	tb.Scan(pred, []int{0}, func(rid int, row []value.Value) bool {
+		count++
+		return true
+	})
+	if count != 10 {
+		t.Errorf("BETWEEN matched %d", count)
+	}
+}
+
+func TestScanFallbackOr(t *testing.T) {
+	tb := loaded(t, 30)
+	pred := &expr.Or{Preds: []expr.Predicate{
+		&expr.Comparison{Col: 0, Op: expr.Eq, Val: value.NewBigint(3)},
+		&expr.Comparison{Col: 0, Op: expr.Eq, Val: value.NewBigint(7)},
+	}}
+	count := 0
+	tb.Scan(pred, nil, func(rid int, row []value.Value) bool {
+		count++
+		return true
+	})
+	if count != 2 {
+		t.Errorf("OR matched %d", count)
+	}
+}
+
+func TestScanPKShortcut(t *testing.T) {
+	tb := loaded(t, 100)
+	pred := &expr.Comparison{Col: 0, Op: expr.Eq, Val: value.NewBigint(55)}
+	var got []int64
+	tb.Scan(pred, []int{0, 2}, func(rid int, row []value.Value) bool {
+		got = append(got, row[0].Int())
+		return true
+	})
+	if len(got) != 1 || got[0] != 55 {
+		t.Errorf("PK scan = %v", got)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	tb := loaded(t, 30)
+	count := 0
+	tb.Scan(nil, nil, func(rid int, row []value.Value) bool {
+		count++
+		return count < 4
+	})
+	if count != 4 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestAggregateGlobalAcrossFragments(t *testing.T) {
+	tb := loaded(t, 100) // all in delta
+	tb.Merge()
+	// Add 10 more rows in delta so both fragments contribute.
+	extra := make([][]value.Value, 0, 10)
+	for i := 100; i < 110; i++ {
+		extra = append(extra, mkRow(int64(i), int64(i%5), float64(i), "x"))
+	}
+	if err := tb.Insert(extra); err != nil {
+		t.Fatal(err)
+	}
+	res := tb.Aggregate([]agg.Spec{
+		{Func: agg.Sum, Col: 2},
+		{Func: agg.Count, Col: -1},
+		{Func: agg.Min, Col: 2},
+		{Func: agg.Max, Col: 2},
+	}, nil, nil)
+	rows := res.Rows()
+	wantSum := float64(109*110) / 2
+	if rows[0][0].Double() != wantSum {
+		t.Errorf("SUM = %v, want %v", rows[0][0], wantSum)
+	}
+	if rows[0][1].Int() != 110 {
+		t.Errorf("COUNT = %v", rows[0][1])
+	}
+	if rows[0][2].Double() != 0 || rows[0][3].Double() != 109 {
+		t.Errorf("MIN/MAX = %v/%v", rows[0][2], rows[0][3])
+	}
+}
+
+func TestAggregateWithPredicate(t *testing.T) {
+	tb := loaded(t, 100)
+	tb.Merge()
+	pred := &expr.Comparison{Col: 2, Op: expr.Lt, Val: value.NewDouble(10)}
+	res := tb.Aggregate([]agg.Spec{{Func: agg.Sum, Col: 2}}, nil, pred)
+	if got := res.Rows()[0][0].Double(); got != 45 {
+		t.Errorf("filtered SUM = %v", got)
+	}
+}
+
+func TestAggregateSingleGroup(t *testing.T) {
+	tb := loaded(t, 100)
+	tb.Merge()
+	if err := tb.Insert([][]value.Value{mkRow(100, 0, 1000, "x")}); err != nil {
+		t.Fatal(err)
+	}
+	res := tb.Aggregate([]agg.Spec{{Func: agg.Count, Col: -1}, {Func: agg.Sum, Col: 2}}, []int{1}, nil)
+	if res.NumGroups() != 5 {
+		t.Fatalf("groups = %d", res.NumGroups())
+	}
+	counts := map[int64]int64{}
+	for _, row := range res.Rows() {
+		counts[row[0].Int()] = row[1].Int()
+	}
+	if counts[0] != 21 { // 20 + the extra row
+		t.Errorf("group 0 count = %d", counts[0])
+	}
+	for g := int64(1); g < 5; g++ {
+		if counts[g] != 20 {
+			t.Errorf("group %d count = %d", g, counts[g])
+		}
+	}
+}
+
+func TestAggregateMultiGroup(t *testing.T) {
+	tb := loaded(t, 20)
+	res := tb.Aggregate([]agg.Spec{{Func: agg.Count, Col: -1}}, []int{1, 3}, nil)
+	// grp has 5 values, note has 7 values; with 20 rows keyed by i%5 and
+	// i%7 there are 20 distinct (i%5, i%7) pairs.
+	if res.NumGroups() != 20 {
+		t.Errorf("multi-group count = %d", res.NumGroups())
+	}
+}
+
+func TestAggregateNullHandling(t *testing.T) {
+	sch := schema.MustNew("t", []schema.Column{
+		{Name: "id", Type: value.Bigint},
+		{Name: "v", Type: value.Double, Nullable: true},
+	}, "id")
+	tb := New(sch)
+	rows := [][]value.Value{
+		{value.NewBigint(1), value.NewDouble(10)},
+		{value.NewBigint(2), value.Null(value.Double)},
+		{value.NewBigint(3), value.NewDouble(20)},
+	}
+	if err := tb.Insert(rows); err != nil {
+		t.Fatal(err)
+	}
+	check := func() {
+		res := tb.Aggregate([]agg.Spec{{Func: agg.Sum, Col: 1}, {Func: agg.Count, Col: -1}}, nil, nil)
+		r := res.Rows()[0]
+		if r[0].Double() != 30 {
+			t.Errorf("SUM with NULL = %v", r[0])
+		}
+		if r[1].Int() != 3 {
+			t.Errorf("COUNT(*) = %v", r[1])
+		}
+	}
+	check()
+	tb.Merge() // NULLs must survive the merge
+	check()
+}
+
+func TestUpdateInPlaceDelta(t *testing.T) {
+	tb := loaded(t, 10) // all in delta
+	pred := &expr.Comparison{Col: 0, Op: expr.Eq, Val: value.NewBigint(3)}
+	n, err := tb.Update(pred, map[int]value.Value{2: value.NewDouble(333)})
+	if err != nil || n != 1 {
+		t.Fatalf("update: %d, %v", n, err)
+	}
+	rid, _ := tb.LookupPK([]value.Value{value.NewBigint(3)})
+	if got := tb.Get(rid)[2].Double(); got != 333 {
+		t.Errorf("updated value = %v", got)
+	}
+	if tb.Rows() != 10 {
+		t.Errorf("rows changed: %d", tb.Rows())
+	}
+}
+
+func TestUpdateMigratesMainRow(t *testing.T) {
+	tb := loaded(t, 10)
+	tb.Merge() // everything in main
+	pred := &expr.Comparison{Col: 0, Op: expr.Eq, Val: value.NewBigint(5)}
+	// -1 is not in the main dictionary, forcing a migrate.
+	n, err := tb.Update(pred, map[int]value.Value{2: value.NewDouble(-1)})
+	if err != nil || n != 1 {
+		t.Fatalf("update: %d, %v", n, err)
+	}
+	if tb.DeltaRows() != 1 {
+		t.Errorf("expected row migration to delta, delta=%d", tb.DeltaRows())
+	}
+	rid, ok := tb.LookupPK([]value.Value{value.NewBigint(5)})
+	if !ok || tb.Get(rid)[2].Double() != -1 {
+		t.Errorf("migrated row wrong: %v", tb.Get(rid))
+	}
+	if tb.Rows() != 10 {
+		t.Errorf("live rows = %d", tb.Rows())
+	}
+	// Aggregates must see exactly one row per id.
+	res := tb.Aggregate([]agg.Spec{{Func: agg.Count, Col: -1}}, nil, nil)
+	if res.Rows()[0][0].Int() != 10 {
+		t.Errorf("count after migrate = %v", res.Rows()[0][0])
+	}
+}
+
+func TestUpdateInPlaceMainWhenValueInDict(t *testing.T) {
+	tb := loaded(t, 10)
+	tb.Merge()
+	// amount 7 exists in the dictionary, so updating id 2's amount to 7
+	// can be done in place.
+	pred := &expr.Comparison{Col: 0, Op: expr.Eq, Val: value.NewBigint(2)}
+	n, err := tb.Update(pred, map[int]value.Value{2: value.NewDouble(7)})
+	if err != nil || n != 1 {
+		t.Fatalf("update: %d, %v", n, err)
+	}
+	if tb.DeltaRows() != 0 {
+		t.Errorf("in-place update should not touch delta: %d", tb.DeltaRows())
+	}
+	rid, _ := tb.LookupPK([]value.Value{value.NewBigint(2)})
+	if got := tb.Get(rid)[2].Double(); got != 7 {
+		t.Errorf("value = %v", got)
+	}
+}
+
+func TestUpdatePKMaintainsIndex(t *testing.T) {
+	tb := loaded(t, 10)
+	tb.Merge()
+	pred := &expr.Comparison{Col: 0, Op: expr.Eq, Val: value.NewBigint(4)}
+	n, err := tb.Update(pred, map[int]value.Value{0: value.NewBigint(400)})
+	if err != nil || n != 1 {
+		t.Fatalf("update: %d, %v", n, err)
+	}
+	if _, ok := tb.LookupPK([]value.Value{value.NewBigint(4)}); ok {
+		t.Error("old PK still resolvable")
+	}
+	if _, ok := tb.LookupPK([]value.Value{value.NewBigint(400)}); !ok {
+		t.Error("new PK not resolvable")
+	}
+}
+
+func TestUpdateValidates(t *testing.T) {
+	tb := loaded(t, 5)
+	if _, err := tb.Update(nil, map[int]value.Value{2: value.NewInt(1)}); err == nil {
+		t.Error("type mismatch accepted")
+	}
+	if _, err := tb.Update(nil, map[int]value.Value{0: value.Null(value.Bigint)}); err == nil {
+		t.Error("NULL into NOT NULL accepted")
+	}
+	if _, err := tb.Update(nil, map[int]value.Value{-1: value.NewInt(1)}); err == nil {
+		t.Error("bad column accepted")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tb := loaded(t, 20)
+	tb.Merge()
+	n := tb.Delete(&expr.Comparison{Col: 1, Op: expr.Eq, Val: value.NewInt(0)})
+	if n != 4 || tb.Rows() != 16 {
+		t.Errorf("Delete = %d, Rows = %d", n, tb.Rows())
+	}
+	if _, ok := tb.LookupPK([]value.Value{value.NewBigint(0)}); ok {
+		t.Error("deleted key still resolvable")
+	}
+	res := tb.Aggregate([]agg.Spec{{Func: agg.Count, Col: -1}}, nil, nil)
+	if res.Rows()[0][0].Int() != 16 {
+		t.Errorf("count after delete = %v", res.Rows()[0][0])
+	}
+	// Merge reclaims tombstones.
+	tb.Merge()
+	if tb.Rows() != 16 {
+		t.Errorf("rows after compacting merge = %d", tb.Rows())
+	}
+	// Re-insert of a deleted key is allowed.
+	if err := tb.Insert([][]value.Value{mkRow(0, 0, 0, "back")}); err != nil {
+		t.Errorf("re-insert: %v", err)
+	}
+}
+
+func TestCompressionRateAndMemory(t *testing.T) {
+	tb := loaded(t, 1000)
+	tb.Merge()
+	// grp has 5 distinct values over 1000 rows: compresses very well.
+	rGrp := tb.CompressionRate(1)
+	// id is unique: compresses poorly.
+	rID := tb.CompressionRate(0)
+	if rGrp < 0.5 {
+		t.Errorf("grp compression rate = %v", rGrp)
+	}
+	if rGrp <= rID {
+		t.Errorf("expected grp (%v) to compress better than id (%v)", rGrp, rID)
+	}
+	if tb.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes should be positive")
+	}
+	if tb.DistinctCount(1) != 5 {
+		t.Errorf("DistinctCount(grp) = %d", tb.DistinctCount(1))
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tb := loaded(t, 100)
+	tb.Merge()
+	if err := tb.Insert([][]value.Value{mkRow(500, 9, -50, "x")}); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, ok := tb.MinMax(2)
+	if !ok || lo.Double() != -50 || hi.Double() != 99 {
+		t.Errorf("MinMax = %v, %v, %v", lo, hi, ok)
+	}
+	empty := New(testSchema())
+	if _, _, ok := empty.MinMax(0); ok {
+		t.Error("empty table should have no MinMax")
+	}
+}
+
+// Cross-validation: the column store and row store must produce identical
+// results for random data, predicates and aggregations.
+func TestColumnRowStoreEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sch := testSchema()
+	cs := New(sch)
+	rs := rowstore.New(sch)
+	var rows [][]value.Value
+	for i := 0; i < 500; i++ {
+		rows = append(rows, mkRow(int64(i), rng.Int63n(8), float64(rng.Intn(100)), fmt.Sprintf("s%d", rng.Intn(4))))
+	}
+	if err := cs.Insert(rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Insert(rows); err != nil {
+		t.Fatal(err)
+	}
+	cs.Merge()
+	for trial := 0; trial < 50; trial++ {
+		var pred expr.Predicate
+		switch trial % 4 {
+		case 0:
+			pred = &expr.Comparison{Col: 1, Op: expr.Eq, Val: value.NewInt(rng.Int63n(8))}
+		case 1:
+			pred = &expr.Comparison{Col: 2, Op: expr.Ge, Val: value.NewDouble(float64(rng.Intn(100)))}
+		case 2:
+			pred = &expr.Between{Col: 0, Lo: value.NewBigint(rng.Int63n(250)), Hi: value.NewBigint(250 + rng.Int63n(250))}
+		case 3:
+			pred = nil
+		}
+		specs := []agg.Spec{{Func: agg.Sum, Col: 2}, {Func: agg.Count, Col: -1}, {Func: agg.Min, Col: 2}, {Func: agg.Max, Col: 2}}
+		var groupBy []int
+		if trial%2 == 0 {
+			groupBy = []int{1}
+		}
+		cres := cs.Aggregate(specs, groupBy, pred)
+		rres := rs.Aggregate(specs, groupBy, pred)
+		if cres.NumGroups() != rres.NumGroups() {
+			t.Fatalf("trial %d: group counts differ: cs=%d rs=%d", trial, cres.NumGroups(), rres.NumGroups())
+		}
+		csums := map[string][]value.Value{}
+		for _, row := range cres.Rows() {
+			key := ""
+			if groupBy != nil {
+				key = row[0].String()
+			}
+			csums[key] = row
+		}
+		for _, row := range rres.Rows() {
+			key := ""
+			if groupBy != nil {
+				key = row[0].String()
+			}
+			crow, ok := csums[key]
+			if !ok {
+				t.Fatalf("trial %d: group %q missing in column store", trial, key)
+			}
+			for i := range row {
+				if crow[i].IsNull() != row[i].IsNull() {
+					t.Fatalf("trial %d: null mismatch at %d", trial, i)
+				}
+				if !row[i].IsNull() && crow[i].Float() != row[i].Float() {
+					t.Fatalf("trial %d group %q col %d: cs=%v rs=%v", trial, key, i, crow[i], row[i])
+				}
+			}
+		}
+	}
+}
+
+// Mutation equivalence under random updates and deletes.
+func TestMutationEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	sch := testSchema()
+	cs := New(sch)
+	rs := rowstore.New(sch)
+	var rows [][]value.Value
+	for i := 0; i < 300; i++ {
+		rows = append(rows, mkRow(int64(i), rng.Int63n(5), float64(i), "x"))
+	}
+	if err := cs.Insert(rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Insert(rows); err != nil {
+		t.Fatal(err)
+	}
+	cs.Merge()
+	for step := 0; step < 60; step++ {
+		id := rng.Int63n(300)
+		pred := &expr.Comparison{Col: 0, Op: expr.Eq, Val: value.NewBigint(id)}
+		switch step % 3 {
+		case 0:
+			set := map[int]value.Value{2: value.NewDouble(float64(rng.Intn(1000)))}
+			cn, cerr := cs.Update(pred, set)
+			rn, rerr := rs.Update(pred, set)
+			if cn != rn || (cerr == nil) != (rerr == nil) {
+				t.Fatalf("step %d: update mismatch cs=%d,%v rs=%d,%v", step, cn, cerr, rn, rerr)
+			}
+		case 1:
+			cn := cs.Delete(pred)
+			rn := rs.Delete(pred)
+			if cn != rn {
+				t.Fatalf("step %d: delete mismatch cs=%d rs=%d", step, cn, rn)
+			}
+		case 2:
+			if step%6 == 2 {
+				cs.Merge()
+			}
+		}
+		if cs.Rows() != rs.Rows() {
+			t.Fatalf("step %d: row counts diverged cs=%d rs=%d", step, cs.Rows(), rs.Rows())
+		}
+	}
+	cres := cs.Aggregate([]agg.Spec{{Func: agg.Sum, Col: 2}}, nil, nil)
+	rres := rs.Aggregate([]agg.Spec{{Func: agg.Sum, Col: 2}}, nil, nil)
+	if cres.Rows()[0][0].Double() != rres.Rows()[0][0].Double() {
+		t.Fatalf("final sums diverged: cs=%v rs=%v", cres.Rows()[0][0], rres.Rows()[0][0])
+	}
+}

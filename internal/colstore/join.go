@@ -1,0 +1,54 @@
+package colstore
+
+import (
+	"hybridstore/internal/expr"
+	"hybridstore/internal/value"
+)
+
+// KeyDictValues returns the value for every code of column col in the
+// combined code space used by JoinProbe: main-dictionary codes first, then
+// delta codes offset by the main dictionary's size. A hash-join build side
+// can be resolved once per distinct code instead of once per row — the
+// dictionary-join optimization of columnar engines.
+func (t *Table) KeyDictValues(col int) []value.Value {
+	c := &t.cols[col]
+	out := make([]value.Value, 0, c.mainDict.Len()+c.deltaDict.Len())
+	out = append(out, c.mainDict.Values()...)
+	out = append(out, c.deltaDict.Values()...)
+	return out
+}
+
+// JoinProbe streams every live row matching pred as (key code, extra
+// column values). Key codes live in the combined space of KeyDictValues;
+// NULL keys yield code -1. extraVals is reused between calls — the
+// callback must not retain it. Returning false stops the scan.
+func (t *Table) JoinProbe(keyCol int, extra []int, pred expr.Predicate, fn func(keyCode int64, extraVals []value.Value) bool) {
+	match := t.matchBitmap(pred)
+	kc := &t.cols[keyCol]
+	mainLen := int64(kc.mainDict.Len())
+	extraVals := make([]value.Value, len(extra))
+	for rid := 0; rid < t.totalRows(); rid++ {
+		if match == nil {
+			if !t.valid[rid] {
+				continue
+			}
+		} else if !match[rid] {
+			continue
+		}
+		var code int64
+		switch {
+		case kc.isNullAt(rid, t.mainRows):
+			code = -1
+		case rid < t.mainRows:
+			code = int64(kc.mainCodes.Get(rid))
+		default:
+			code = mainLen + int64(kc.deltaCodes[rid-t.mainRows])
+		}
+		for i, c := range extra {
+			extraVals[i] = t.cols[c].valueAt(rid, t.mainRows)
+		}
+		if !fn(code, extraVals) {
+			return
+		}
+	}
+}

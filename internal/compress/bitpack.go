@@ -1,0 +1,176 @@
+package compress
+
+import "math/bits"
+
+// Packed is a fixed-width bit-packed vector of uint32 codes. With a
+// dictionary of d distinct values each code occupies ceil(log2(d)) bits,
+// which is the compression the column store's main fragment gets from
+// dictionary encoding.
+type Packed struct {
+	words []uint64
+	width uint // bits per code; 0 means all codes are 0
+	n     int
+}
+
+// BitsFor returns the number of bits needed to represent codes in
+// [0, distinct).
+func BitsFor(distinct int) uint {
+	if distinct <= 1 {
+		return 0
+	}
+	return uint(bits.Len64(uint64(distinct - 1)))
+}
+
+// Pack builds a packed vector from codes, sized for maxCode distinct codes.
+func Pack(codes []uint32, distinct int) *Packed {
+	w := BitsFor(distinct)
+	p := &Packed{width: w, n: len(codes)}
+	if w == 0 {
+		return p
+	}
+	totalBits := uint64(len(codes)) * uint64(w)
+	p.words = make([]uint64, (totalBits+63)/64)
+	for i, c := range codes {
+		p.set(i, c)
+	}
+	return p
+}
+
+func (p *Packed) set(i int, c uint32) {
+	bitPos := uint64(i) * uint64(p.width)
+	word := bitPos / 64
+	off := bitPos % 64
+	p.words[word] |= uint64(c) << off
+	if spill := off + uint64(p.width); spill > 64 {
+		p.words[word+1] |= uint64(c) >> (64 - off)
+	}
+}
+
+// Set overwrites the i-th code in place. The new code must fit the vector's
+// width (i.e. be a valid code for the dictionary the vector was packed
+// against).
+func (p *Packed) Set(i int, c uint32) {
+	if p.width == 0 {
+		return // only code 0 exists
+	}
+	mask := uint64(1)<<p.width - 1
+	bitPos := uint64(i) * uint64(p.width)
+	word := bitPos / 64
+	off := bitPos % 64
+	p.words[word] = p.words[word]&^(mask<<off) | uint64(c)<<off
+	if spill := off + uint64(p.width); spill > 64 {
+		rem := spill - 64
+		remMask := uint64(1)<<rem - 1
+		p.words[word+1] = p.words[word+1]&^remMask | uint64(c)>>(64-off)
+	}
+}
+
+// Len returns the number of codes.
+func (p *Packed) Len() int { return p.n }
+
+// Width returns the bits used per code.
+func (p *Packed) Width() uint { return p.width }
+
+// Get returns the i-th code.
+func (p *Packed) Get(i int) uint32 {
+	if p.width == 0 {
+		return 0
+	}
+	bitPos := uint64(i) * uint64(p.width)
+	word := bitPos / 64
+	off := bitPos % 64
+	v := p.words[word] >> off
+	if spill := off + uint64(p.width); spill > 64 {
+		v |= p.words[word+1] << (64 - off)
+	}
+	return uint32(v & ((1 << p.width) - 1))
+}
+
+// ForEach streams all codes in order to fn. It is the sequential-scan fast
+// path: codes are unpacked word-by-word without per-element bounds math.
+func (p *Packed) ForEach(fn func(i int, code uint32)) {
+	if p.width == 0 {
+		for i := 0; i < p.n; i++ {
+			fn(i, 0)
+		}
+		return
+	}
+	mask := uint64(1)<<p.width - 1
+	for i := 0; i < p.n; i++ {
+		bitPos := uint64(i) * uint64(p.width)
+		word := bitPos / 64
+		off := bitPos % 64
+		v := p.words[word] >> off
+		if spill := off + uint64(p.width); spill > 64 {
+			v |= p.words[word+1] << (64 - off)
+		}
+		fn(i, uint32(v&mask))
+	}
+}
+
+// RangeMatch writes, for every position i, whether the code lies in
+// [lo, hi) into match[i]. It is the column store's hot predicate-scan
+// loop, written without per-element closures.
+func (p *Packed) RangeMatch(lo, hi uint32, match []bool) {
+	n := p.n
+	if len(match) < n {
+		n = len(match)
+	}
+	if p.width == 0 {
+		m := lo == 0 && hi > 0
+		for i := 0; i < n; i++ {
+			match[i] = m
+		}
+		return
+	}
+	width := uint64(p.width)
+	mask := uint64(1)<<width - 1
+	bitPos := uint64(0)
+	for i := 0; i < n; i++ {
+		word := bitPos >> 6
+		off := bitPos & 63
+		v := p.words[word] >> off
+		if off+width > 64 {
+			v |= p.words[word+1] << (64 - off)
+		}
+		code := uint32(v & mask)
+		match[i] = code >= lo && code < hi
+		bitPos += width
+	}
+}
+
+// RangeMatchAnd is RangeMatch but ANDs into an already-initialized bitmap.
+func (p *Packed) RangeMatchAnd(lo, hi uint32, match []bool) {
+	n := p.n
+	if len(match) < n {
+		n = len(match)
+	}
+	if p.width == 0 {
+		if lo == 0 && hi > 0 {
+			return
+		}
+		for i := 0; i < n; i++ {
+			match[i] = false
+		}
+		return
+	}
+	width := uint64(p.width)
+	mask := uint64(1)<<width - 1
+	bitPos := uint64(0)
+	for i := 0; i < n; i++ {
+		if match[i] {
+			word := bitPos >> 6
+			off := bitPos & 63
+			v := p.words[word] >> off
+			if off+width > 64 {
+				v |= p.words[word+1] << (64 - off)
+			}
+			code := uint32(v & mask)
+			match[i] = code >= lo && code < hi
+		}
+		bitPos += width
+	}
+}
+
+// SizeBytes returns the in-memory size of the packed payload.
+func (p *Packed) SizeBytes() int { return len(p.words) * 8 }

@@ -1,0 +1,134 @@
+// Package compress implements the dictionary encoding and bit-packing
+// primitives of the column store: a sorted, read-optimized dictionary for
+// the main fragment, an unsorted append-friendly dictionary for the delta
+// fragment, and fixed-width bit-packed code vectors. It also defines the
+// compression-rate metric that the paper's cost model consumes through
+// f_compression.
+package compress
+
+import (
+	"sort"
+
+	"hybridstore/internal/value"
+)
+
+// Dict is a sorted, immutable dictionary mapping codes to values. Because
+// the values are sorted, order-preserving code comparisons can answer
+// range predicates directly on the encoded representation — this is the
+// "implicit index" the paper ascribes to the column store.
+type Dict struct {
+	vals []value.Value
+}
+
+// NewDict builds a sorted dictionary from the distinct values of vals.
+// NULLs are excluded; callers track them separately.
+func NewDict(vals []value.Value) *Dict {
+	distinct := make([]value.Value, 0, len(vals))
+	seen := make(map[string]struct{}, len(vals))
+	for _, v := range vals {
+		if v.IsNull() {
+			continue
+		}
+		k := v.Key()
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		distinct = append(distinct, v)
+	}
+	sort.Slice(distinct, func(i, j int) bool { return value.Less(distinct[i], distinct[j]) })
+	return &Dict{vals: distinct}
+}
+
+// Len returns the number of distinct values.
+func (d *Dict) Len() int { return len(d.vals) }
+
+// Value returns the value for a code. Codes are dense in [0, Len).
+func (d *Dict) Value(code uint32) value.Value { return d.vals[code] }
+
+// Code finds the code of v via binary search.
+func (d *Dict) Code(v value.Value) (uint32, bool) {
+	i := sort.Search(len(d.vals), func(i int) bool { return value.Compare(d.vals[i], v) >= 0 })
+	if i < len(d.vals) && value.Equal(d.vals[i], v) {
+		return uint32(i), true
+	}
+	return 0, false
+}
+
+// CodeRange returns the half-open code interval [lo, hi) of values
+// satisfying op against v. This turns a value predicate into an integer
+// range check on codes.
+func (d *Dict) CodeRange(op CodeRangeOp, v value.Value) (lo, hi uint32) {
+	n := len(d.vals)
+	first := sort.Search(n, func(i int) bool { return value.Compare(d.vals[i], v) >= 0 })
+	firstGreater := sort.Search(n, func(i int) bool { return value.Compare(d.vals[i], v) > 0 })
+	switch op {
+	case RangeEq:
+		return uint32(first), uint32(firstGreater)
+	case RangeLt:
+		return 0, uint32(first)
+	case RangeLe:
+		return 0, uint32(firstGreater)
+	case RangeGt:
+		return uint32(firstGreater), uint32(n)
+	case RangeGe:
+		return uint32(first), uint32(n)
+	default:
+		return 0, 0
+	}
+}
+
+// CodeRangeOp selects the comparison for CodeRange.
+type CodeRangeOp uint8
+
+const (
+	RangeEq CodeRangeOp = iota
+	RangeLt
+	RangeLe
+	RangeGt
+	RangeGe
+)
+
+// Values exposes the sorted value slice (read-only by convention); the
+// merge path uses it to combine dictionaries without re-sorting.
+func (d *Dict) Values() []value.Value { return d.vals }
+
+// UDict is an unsorted dictionary used by the write-optimized delta
+// fragment. Codes are assigned in arrival order; lookup is via a hash map,
+// so inserts are O(1) but there is no order-preserving code comparison.
+type UDict struct {
+	vals  []value.Value
+	index map[string]uint32
+}
+
+// NewUDict returns an empty unsorted dictionary.
+func NewUDict() *UDict {
+	return &UDict{index: make(map[string]uint32)}
+}
+
+// Len returns the number of distinct values.
+func (d *UDict) Len() int { return len(d.vals) }
+
+// Value returns the value for a code.
+func (d *UDict) Value(code uint32) value.Value { return d.vals[code] }
+
+// Code returns the existing code for v.
+func (d *UDict) Code(v value.Value) (uint32, bool) {
+	c, ok := d.index[v.Key()]
+	return c, ok
+}
+
+// GetOrAdd returns the code for v, inserting it if new.
+func (d *UDict) GetOrAdd(v value.Value) uint32 {
+	k := v.Key()
+	if c, ok := d.index[k]; ok {
+		return c
+	}
+	c := uint32(len(d.vals))
+	d.vals = append(d.vals, v)
+	d.index[k] = c
+	return c
+}
+
+// Values exposes the value slice in code order.
+func (d *UDict) Values() []value.Value { return d.vals }

@@ -1,0 +1,44 @@
+package compress
+
+import "hybridstore/internal/value"
+
+// Rate quantifies how much dictionary encoding shrinks a column. It is
+// defined as 1 - compressed/uncompressed, so 0 means incompressible and
+// values toward 1 mean highly repetitive data. The paper's f_compression
+// adjustment is a function of this rate (their example uses a rate of 0.7).
+func Rate(uncompressedBytes, compressedBytes int) float64 {
+	if uncompressedBytes <= 0 {
+		return 0
+	}
+	r := 1 - float64(compressedBytes)/float64(uncompressedBytes)
+	if r < 0 {
+		return 0
+	}
+	if r > 1 {
+		return 1
+	}
+	return r
+}
+
+// ColumnRate computes the dictionary-compression rate for a column with the
+// given row count, distinct count and element type: packed codes plus the
+// dictionary payload versus the uncompressed value payload.
+func ColumnRate(rows, distinct int, typ value.Type, avgVarcharLen int) float64 {
+	if rows == 0 {
+		return 0
+	}
+	elem := 8
+	switch typ {
+	case value.Integer:
+		elem = 4
+	case value.Varchar:
+		elem = avgVarcharLen
+		if elem <= 0 {
+			elem = 16
+		}
+	}
+	uncompressed := rows * elem
+	codeBits := BitsFor(distinct)
+	compressed := (rows*int(codeBits))/8 + distinct*elem
+	return Rate(uncompressed, compressed)
+}

@@ -1,0 +1,430 @@
+// Package engine implements the hybrid-store database engine: tables
+// placed in a row store, a column store, or partitioned across both, with
+// a uniform execution layer for selections, aggregations, joins and DML.
+// Partitioned tables are rewritten transparently (unions and partial-
+// aggregate merges across horizontal partitions, primary-key joins across
+// vertical partitions) based on the catalog's partitioning annotations,
+// mirroring the query-rewrite mechanism of the paper's §4.
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"hybridstore/internal/agg"
+	"hybridstore/internal/catalog"
+	"hybridstore/internal/colstore"
+	"hybridstore/internal/query"
+	"hybridstore/internal/rowstore"
+	"hybridstore/internal/schema"
+	"hybridstore/internal/value"
+)
+
+// QueryObserver receives every executed query with its measured runtime.
+// The online-mode statistics recorder implements it.
+type QueryObserver interface {
+	Observe(q *query.Query, d time.Duration)
+}
+
+// Result is the outcome of one executed query.
+type Result struct {
+	Cols     []string
+	Rows     [][]value.Value
+	Affected int
+	Duration time.Duration
+}
+
+// tableRuntime pairs a catalog entry with its physical storage.
+type tableRuntime struct {
+	entry *catalog.TableEntry
+	store storage
+}
+
+// Database is an in-memory hybrid-store database instance.
+type Database struct {
+	mu     sync.RWMutex
+	cat    *catalog.Catalog
+	tables map[string]*tableRuntime
+	obs    QueryObserver
+}
+
+// New creates an empty database.
+func New() *Database {
+	return &Database{
+		cat:    catalog.New(),
+		tables: make(map[string]*tableRuntime),
+	}
+}
+
+// Catalog exposes the system catalog.
+func (db *Database) Catalog() *catalog.Catalog { return db.cat }
+
+// SetObserver attaches a query observer (nil detaches).
+func (db *Database) SetObserver(obs QueryObserver) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.obs = obs
+}
+
+func tableKey(name string) string { return strings.ToLower(name) }
+
+// buildStorage constructs the physical storage for a placement.
+func buildStorage(sch *schema.Table, store catalog.StoreKind, spec *catalog.PartitionSpec) (storage, error) {
+	single := func(kind catalog.StoreKind, s *schema.Table) (storage, error) {
+		switch kind {
+		case catalog.RowStore:
+			return &rowStorage{t: rowstore.New(s)}, nil
+		case catalog.ColumnStore:
+			return &colStorage{t: colstore.New(s)}, nil
+		default:
+			return nil, fmt.Errorf("engine: invalid leaf store %v", kind)
+		}
+	}
+	if spec == nil {
+		return single(store, sch)
+	}
+	if err := spec.Validate(sch); err != nil {
+		return nil, err
+	}
+	// Cold side: plain store or vertical split.
+	buildCold := func(kind catalog.StoreKind) (storage, error) {
+		if spec.Vertical != nil {
+			return newVerticalStorage(sch, spec.Vertical)
+		}
+		return single(kind, sch)
+	}
+	if h := spec.Horizontal; h != nil {
+		hot, err := single(h.HotStore, sch)
+		if err != nil {
+			return nil, err
+		}
+		cold, err := buildCold(h.ColdStore)
+		if err != nil {
+			return nil, err
+		}
+		return newHorizontalStorage(sch, h, hot, cold), nil
+	}
+	return newVerticalStorage(sch, spec.Vertical)
+}
+
+// CreateTable registers a new table in the given store.
+func (db *Database) CreateTable(sch *schema.Table, store catalog.StoreKind) error {
+	return db.CreateTableWithLayout(sch, store, nil)
+}
+
+// CreateTableWithLayout registers a new table with an explicit
+// partitioning layout.
+func (db *Database) CreateTableWithLayout(sch *schema.Table, store catalog.StoreKind, spec *catalog.PartitionSpec) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	k := tableKey(sch.Name)
+	if _, dup := db.tables[k]; dup {
+		return fmt.Errorf("engine: table %q already exists", sch.Name)
+	}
+	if spec != nil {
+		store = catalog.Partitioned
+	}
+	st, err := buildStorage(sch, store, spec)
+	if err != nil {
+		return err
+	}
+	entry := &catalog.TableEntry{Schema: sch, Store: store, Partitioning: spec}
+	if err := db.cat.Add(entry); err != nil {
+		return err
+	}
+	db.tables[k] = &tableRuntime{entry: entry, store: st}
+	return nil
+}
+
+// DropTable removes a table.
+func (db *Database) DropTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	k := tableKey(name)
+	if _, ok := db.tables[k]; !ok {
+		return fmt.Errorf("engine: unknown table %q", name)
+	}
+	delete(db.tables, k)
+	db.cat.Remove(name)
+	return nil
+}
+
+// runtime resolves a table; callers hold the lock.
+func (db *Database) runtime(name string) (*tableRuntime, error) {
+	rt, ok := db.tables[tableKey(name)]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", name)
+	}
+	return rt, nil
+}
+
+// Rows returns a table's live row count.
+func (db *Database) Rows(name string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rt, err := db.runtime(name)
+	if err != nil {
+		return 0, err
+	}
+	return rt.store.Rows(), nil
+}
+
+// CreateIndex declares a secondary index on a column; it is materialized
+// wherever the table's current layout has row-store storage and recorded
+// in the catalog so the cost model sees it (f_selectivity depends on index
+// availability for the row store).
+func (db *Database) CreateIndex(name string, col int) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rt, err := db.runtime(name)
+	if err != nil {
+		return err
+	}
+	if col < 0 || col >= rt.entry.Schema.NumColumns() {
+		return fmt.Errorf("engine: index column %d out of range for %q", col, name)
+	}
+	rt.store.CreateIndex(col)
+	for _, c := range rt.entry.Indexes {
+		if c == col {
+			return nil
+		}
+	}
+	rt.entry.Indexes = append(rt.entry.Indexes, col)
+	return nil
+}
+
+// layoutBatch is the row-buffer size used when rebuilding layouts.
+const layoutBatch = 4096
+
+// SetLayout moves a table to a new placement: a plain store (spec nil) or
+// a partitioned layout. All data is streamed from the old storage into the
+// new one; indexes recorded in the catalog are re-created. This implements
+// the "statements to move the data into the recommended store" that the
+// advisor hands to the administrator (§4).
+func (db *Database) SetLayout(name string, store catalog.StoreKind, spec *catalog.PartitionSpec) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rt, err := db.runtime(name)
+	if err != nil {
+		return err
+	}
+	if spec != nil {
+		store = catalog.Partitioned
+	}
+	newStore, err := buildStorage(rt.entry.Schema, store, spec)
+	if err != nil {
+		return err
+	}
+	// Stream rows across in batches, reusing row buffers (Insert copies).
+	width := rt.entry.Schema.NumColumns()
+	batch := make([][]value.Value, 0, layoutBatch)
+	bufs := make([]value.Value, layoutBatch*width)
+	var insertErr error
+	i := 0
+	rt.store.Scan(nil, nil, func(row []value.Value) bool {
+		dst := bufs[i*width : (i+1)*width]
+		copy(dst, row)
+		batch = append(batch, dst)
+		i++
+		if i == layoutBatch {
+			if insertErr = newStore.Insert(batch); insertErr != nil {
+				return false
+			}
+			batch = batch[:0]
+			i = 0
+		}
+		return true
+	})
+	if insertErr != nil {
+		return insertErr
+	}
+	if len(batch) > 0 {
+		if err := newStore.Insert(batch); err != nil {
+			return err
+		}
+	}
+	for _, c := range rt.entry.Indexes {
+		newStore.CreateIndex(c)
+	}
+	if err := db.cat.SetPlacement(name, store, spec); err != nil {
+		return err
+	}
+	rt.store = newStore
+	return nil
+}
+
+// Compact brings a table's storage to its read-optimized steady state
+// (column-store delta merged, row-store tombstones reclaimed). Bulk
+// loaders call it so measurements start from a merged state instead of an
+// arbitrary delta fill.
+func (db *Database) Compact(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rt, err := db.runtime(name)
+	if err != nil {
+		return err
+	}
+	rt.store.Compact()
+	return nil
+}
+
+// CollectStats refreshes the catalog statistics of a table from its data.
+func (db *Database) CollectStats(name string) (*catalog.TableStats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rt, err := db.runtime(name)
+	if err != nil {
+		return nil, err
+	}
+	types := make([]value.Type, rt.entry.Schema.NumColumns())
+	for i, c := range rt.entry.Schema.Columns {
+		types[i] = c.Type
+	}
+	sc := catalog.NewStatsCollector(types)
+	rt.store.Scan(nil, nil, func(row []value.Value) bool {
+		sc.Add(row)
+		return true
+	})
+	st := sc.Finish()
+	rt.entry.Stats = st
+	return st, nil
+}
+
+// MemoryBytes returns the estimated payload size of a table.
+func (db *Database) MemoryBytes(name string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rt, err := db.runtime(name)
+	if err != nil {
+		return 0, err
+	}
+	return rt.store.MemoryBytes(), nil
+}
+
+// Exec executes one query, measuring its runtime and notifying the
+// observer. DML takes the write lock; reads take the read lock.
+func (db *Database) Exec(q *query.Query) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	var (
+		res *Result
+		err error
+	)
+	start := time.Now()
+	switch q.Kind {
+	case query.Insert, query.Update, query.Delete:
+		db.mu.Lock()
+		res, err = db.execDML(q)
+		db.mu.Unlock()
+	default:
+		db.mu.RLock()
+		if q.Join != nil {
+			res, err = db.execJoin(q)
+		} else {
+			res, err = db.execRead(q)
+		}
+		db.mu.RUnlock()
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Duration = time.Since(start)
+	if obs := db.observer(); obs != nil {
+		obs.Observe(q, res.Duration)
+	}
+	return res, nil
+}
+
+func (db *Database) observer() QueryObserver {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.obs
+}
+
+func (db *Database) execDML(q *query.Query) (*Result, error) {
+	rt, err := db.runtime(q.Table)
+	if err != nil {
+		return nil, err
+	}
+	switch q.Kind {
+	case query.Insert:
+		coerced := make([][]value.Value, len(q.Rows))
+		for i, row := range q.Rows {
+			cr, err := rt.entry.Schema.CoerceRow(row)
+			if err != nil {
+				return nil, err
+			}
+			coerced[i] = cr
+		}
+		if err := rt.store.Insert(coerced); err != nil {
+			return nil, err
+		}
+		return &Result{Affected: len(coerced)}, nil
+	case query.Update:
+		n, err := rt.store.Update(q.Pred, q.Set)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Affected: n}, nil
+	case query.Delete:
+		n := rt.store.Delete(q.Pred)
+		return &Result{Affected: n}, nil
+	}
+	return nil, fmt.Errorf("engine: bad DML kind %v", q.Kind)
+}
+
+func (db *Database) execRead(q *query.Query) (*Result, error) {
+	rt, err := db.runtime(q.Table)
+	if err != nil {
+		return nil, err
+	}
+	sch := rt.entry.Schema
+	switch q.Kind {
+	case query.Select:
+		cols := q.Cols
+		if cols == nil {
+			cols = allCols(sch.NumColumns())
+		}
+		for _, c := range cols {
+			if c < 0 || c >= sch.NumColumns() {
+				return nil, fmt.Errorf("engine: select column %d out of range for %q", c, q.Table)
+			}
+		}
+		res := &Result{Cols: make([]string, len(cols))}
+		for i, c := range cols {
+			res.Cols[i] = sch.Columns[c].Name
+		}
+		rt.store.Scan(q.Pred, cols, func(row []value.Value) bool {
+			out := make([]value.Value, len(cols))
+			for i, c := range cols {
+				out[i] = row[c]
+			}
+			res.Rows = append(res.Rows, out)
+			return q.Limit <= 0 || len(res.Rows) < q.Limit
+		})
+		res.Affected = len(res.Rows)
+		return res, nil
+	case query.Aggregate:
+		ar := rt.store.Aggregate(q.Aggs, q.GroupBy, q.Pred)
+		res := &Result{Rows: ar.Rows()}
+		for _, g := range q.GroupBy {
+			res.Cols = append(res.Cols, sch.Columns[g].Name)
+		}
+		for _, s := range q.Aggs {
+			res.Cols = append(res.Cols, specName(sch, s))
+		}
+		res.Affected = len(res.Rows)
+		return res, nil
+	}
+	return nil, fmt.Errorf("engine: bad read kind %v", q.Kind)
+}
+
+func specName(sch *schema.Table, s agg.Spec) string {
+	if s.Col < 0 {
+		return s.Func.String() + "(*)"
+	}
+	return fmt.Sprintf("%s(%s)", s.Func, sch.Columns[s.Col].Name)
+}

@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"hybridstore/internal/agg"
+	"hybridstore/internal/catalog"
+	"hybridstore/internal/expr"
+	"hybridstore/internal/schema"
+	"hybridstore/internal/value"
+)
+
+// horizontalStorage splits a table into a hot partition (rows with
+// SplitCol >= SplitVal — current and newly arriving tuples, typically in
+// the row store for fast inserts and updates) and a cold partition
+// (historic tuples, typically in the column store for fast analysis). New
+// rows are routed by the split predicate; queries run against the relevant
+// partitions and aggregation results are merged — the paper's "union of
+// both partitions" (Figure 2).
+type horizontalStorage struct {
+	sch  *schema.Table
+	spec *catalog.HorizontalSpec
+
+	hot  storage
+	cold storage
+}
+
+func newHorizontalStorage(sch *schema.Table, spec *catalog.HorizontalSpec, hot, cold storage) *horizontalStorage {
+	return &horizontalStorage{sch: sch, spec: spec, hot: hot, cold: cold}
+}
+
+func (h *horizontalStorage) Rows() int { return h.hot.Rows() + h.cold.Rows() }
+
+// isHot routes a row by the split column.
+func (h *horizontalStorage) isHot(row []value.Value) bool {
+	v := row[h.spec.SplitCol]
+	if v.IsNull() {
+		return false
+	}
+	return value.Compare(v, h.spec.SplitVal) >= 0
+}
+
+func (h *horizontalStorage) Insert(rows [][]value.Value) error {
+	var hotRows, coldRows [][]value.Value
+	for _, row := range rows {
+		if err := h.sch.ValidateRow(row); err != nil {
+			return err
+		}
+		if h.isHot(row) {
+			hotRows = append(hotRows, row)
+		} else {
+			coldRows = append(coldRows, row)
+		}
+	}
+	if len(hotRows) > 0 {
+		if err := h.hot.Insert(hotRows); err != nil {
+			return err
+		}
+	}
+	if len(coldRows) > 0 {
+		if err := h.cold.Insert(coldRows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sides returns the partitions a predicate can touch, pruning by the
+// range the predicate imposes on the split column.
+func (h *horizontalStorage) sides(pred expr.Predicate) (useHot, useCold bool) {
+	useHot, useCold = true, true
+	rg, ok := expr.RangeOn(pred, h.spec.SplitCol)
+	if !ok {
+		return
+	}
+	if rg.Hi != nil && value.Compare(*rg.Hi, h.spec.SplitVal) < 0 {
+		useHot = false
+	}
+	if rg.Lo != nil && value.Compare(*rg.Lo, h.spec.SplitVal) >= 0 {
+		useCold = false
+	}
+	return
+}
+
+func (h *horizontalStorage) Scan(pred expr.Predicate, cols []int, fn func(row []value.Value) bool) {
+	useHot, useCold := h.sides(pred)
+	stopped := false
+	wrapped := func(row []value.Value) bool {
+		if !fn(row) {
+			stopped = true
+			return false
+		}
+		return true
+	}
+	if useHot {
+		h.hot.Scan(pred, cols, wrapped)
+	}
+	if useCold && !stopped {
+		h.cold.Scan(pred, cols, wrapped)
+	}
+}
+
+// Aggregate computes partial aggregates per relevant partition and merges
+// them.
+func (h *horizontalStorage) Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate) *agg.Result {
+	useHot, useCold := h.sides(pred)
+	switch {
+	case useHot && !useCold:
+		return h.hot.Aggregate(specs, groupBy, pred)
+	case useCold && !useHot:
+		return h.cold.Aggregate(specs, groupBy, pred)
+	default:
+		res := h.cold.Aggregate(specs, groupBy, pred)
+		res.Merge(h.hot.Aggregate(specs, groupBy, pred))
+		return res
+	}
+}
+
+func (h *horizontalStorage) Update(pred expr.Predicate, set map[int]value.Value) (int, error) {
+	if _, movesSplitCol := set[h.spec.SplitCol]; movesSplitCol {
+		return h.migratingUpdate(pred, set)
+	}
+	useHot, useCold := h.sides(pred)
+	total := 0
+	if useHot {
+		n, err := h.hot.Update(pred, set)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	if useCold {
+		n, err := h.cold.Update(pred, set)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// migratingUpdate handles updates that change the split column: affected
+// rows may have to move between partitions, so they are collected, deleted
+// and re-inserted with the new values through the normal routing.
+func (h *horizontalStorage) migratingUpdate(pred expr.Predicate, set map[int]value.Value) (int, error) {
+	var moved [][]value.Value
+	h.Scan(pred, nil, func(row []value.Value) bool {
+		cp := make([]value.Value, len(row))
+		copy(cp, row)
+		for c, v := range set {
+			cp[c] = v
+		}
+		moved = append(moved, cp)
+		return true
+	})
+	if len(moved) == 0 {
+		return 0, nil
+	}
+	h.hot.Delete(pred)
+	h.cold.Delete(pred)
+	if err := h.Insert(moved); err != nil {
+		return 0, err
+	}
+	return len(moved), nil
+}
+
+func (h *horizontalStorage) Delete(pred expr.Predicate) int {
+	useHot, useCold := h.sides(pred)
+	n := 0
+	if useHot {
+		n += h.hot.Delete(pred)
+	}
+	if useCold {
+		n += h.cold.Delete(pred)
+	}
+	return n
+}
+
+func (h *horizontalStorage) CreateIndex(col int) {
+	h.hot.CreateIndex(col)
+	h.cold.CreateIndex(col)
+}
+
+func (h *horizontalStorage) Compact() {
+	h.hot.Compact()
+	h.cold.Compact()
+}
+
+func (h *horizontalStorage) MemoryBytes() int {
+	return h.hot.MemoryBytes() + h.cold.MemoryBytes()
+}

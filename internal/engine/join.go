@@ -1,0 +1,397 @@
+package engine
+
+import (
+	"fmt"
+
+	"hybridstore/internal/agg"
+	"hybridstore/internal/colstore"
+	"hybridstore/internal/expr"
+	"hybridstore/internal/query"
+	"hybridstore/internal/value"
+)
+
+// execJoin executes an equi-join query (Select or Aggregate with a Join
+// clause) as a hash join. The smaller input (after per-side predicate
+// pushdown, estimated by table cardinality) is built into a hash table;
+// the larger side probes it. Column references in the query use combined
+// indexing: left columns first, then right columns.
+func (db *Database) execJoin(q *query.Query) (*Result, error) {
+	left, err := db.runtime(q.Table)
+	if err != nil {
+		return nil, err
+	}
+	right, err := db.runtime(q.Join.Table)
+	if err != nil {
+		return nil, err
+	}
+	nL := left.entry.Schema.NumColumns()
+	nR := right.entry.Schema.NumColumns()
+	if q.Join.LeftCol < 0 || q.Join.LeftCol >= nL || q.Join.RightCol < 0 || q.Join.RightCol >= nR {
+		return nil, fmt.Errorf("engine: join columns out of range")
+	}
+
+	leftPred, rightPred, postPred := splitJoinPred(q.Pred, nL, nR)
+
+	// Columns each side must materialize.
+	needL, needR := joinNeededCols(q, nL, nR)
+
+	// Pick the build side: the smaller cardinality.
+	buildLeft := left.store.Rows() < right.store.Rows()
+
+	ls := joinSide{rt: left, pred: leftPred, need: needL, joinCol: q.Join.LeftCol, width: nL, offset: 0}
+	rs := joinSide{rt: right, pred: rightPred, need: needR, joinCol: q.Join.RightCol, width: nR, offset: nL}
+	build, probe := rs, ls
+	if buildLeft {
+		build, probe = ls, rs
+	}
+
+	// Build phase: materialize the needed columns of matching build rows.
+	hash := make(map[uint64][]*buildRow)
+	buildNeed := append(append([]int{}, build.need...), build.joinCol)
+	build.rt.store.Scan(build.pred, buildNeed, func(row []value.Value) bool {
+		k := row[build.joinCol]
+		if k.IsNull() {
+			return true
+		}
+		vals := make([]value.Value, build.width)
+		for _, c := range buildNeed {
+			vals[c] = row[c]
+		}
+		h := k.Hash()
+		hash[h] = append(hash[h], &buildRow{key: k, vals: vals})
+		return true
+	})
+
+	// Probe phase.
+	combined := make([]value.Value, nL+nR)
+	var res *Result
+	var aggRes *agg.Result
+	if q.Kind == query.Aggregate {
+		aggRes = agg.NewResult(q.Aggs, q.GroupBy)
+	} else {
+		res = &Result{}
+	}
+	groupKey := make([]value.Value, len(q.GroupBy))
+	outCols := q.Cols
+	if q.Kind == query.Select && outCols == nil {
+		outCols = allCols(nL + nR)
+	}
+
+	// Columnar probe fast path: when the probe side is an unpartitioned
+	// column-store table and the aggregate's grouping lives entirely on
+	// the build side (the star-query shape), the join is probed by
+	// dictionary code — the build side is resolved once per distinct key
+	// and group buckets once per build row, so the per-row work is a code
+	// extraction plus accumulator updates. This is the dictionary-join
+	// advantage real columnar engines have over value-at-a-time probing.
+	if cs, ok := probe.rt.store.(*colStorage); ok &&
+		q.Kind == query.Aggregate && postPred == nil &&
+		groupsOnSide(q.GroupBy, build.offset, build.width) {
+		probeJoinColumnar(cs.t, q, &probe, &build, hash, aggRes)
+	} else {
+		limitHit := false
+		probeNeed := append(append([]int{}, probe.need...), probe.joinCol)
+		probe.rt.store.Scan(probe.pred, probeNeed, func(row []value.Value) bool {
+			k := row[probe.joinCol]
+			if k.IsNull() {
+				return true
+			}
+			matches := hash[k.Hash()]
+			if len(matches) == 0 {
+				return true
+			}
+			// Fill the probe side of the combined row once.
+			for _, c := range probeNeed {
+				combined[probe.offset+c] = row[c]
+			}
+			for _, m := range matches {
+				if !value.Equal(m.key, k) {
+					continue // hash collision
+				}
+				for _, c := range buildNeed {
+					combined[build.offset+c] = m.vals[c]
+				}
+				if postPred != nil && !postPred.Matches(combined) {
+					continue
+				}
+				if q.Kind == query.Aggregate {
+					var g *agg.Group
+					if len(q.GroupBy) > 0 {
+						for i, c := range q.GroupBy {
+							groupKey[i] = combined[c]
+						}
+						g = aggRes.GroupFor(groupKey)
+					} else {
+						g = aggRes.Global()
+					}
+					for i, s := range q.Aggs {
+						if s.Col < 0 {
+							g.Accs[i].AddCount(1)
+						} else {
+							g.Accs[i].Add(combined[s.Col])
+						}
+					}
+				} else {
+					out := make([]value.Value, len(outCols))
+					for i, c := range outCols {
+						out[i] = combined[c]
+					}
+					res.Rows = append(res.Rows, out)
+					if q.Limit > 0 && len(res.Rows) >= q.Limit {
+						limitHit = true
+						return false
+					}
+				}
+			}
+			return !limitHit
+		})
+	}
+
+	// Assemble the result.
+	names := func(c int) string {
+		if c < nL {
+			return q.Table + "." + left.entry.Schema.Columns[c].Name
+		}
+		return q.Join.Table + "." + right.entry.Schema.Columns[c-nL].Name
+	}
+	if q.Kind == query.Aggregate {
+		res = &Result{Rows: aggRes.Rows()}
+		for _, g := range q.GroupBy {
+			res.Cols = append(res.Cols, names(g))
+		}
+		for _, s := range q.Aggs {
+			if s.Col < 0 {
+				res.Cols = append(res.Cols, "COUNT(*)")
+			} else {
+				res.Cols = append(res.Cols, fmt.Sprintf("%s(%s)", s.Func, names(s.Col)))
+			}
+		}
+	} else {
+		for _, c := range outCols {
+			res.Cols = append(res.Cols, names(c))
+		}
+	}
+	res.Affected = len(res.Rows)
+	return res, nil
+}
+
+// joinSide describes one input of a hash join.
+type joinSide struct {
+	rt      *tableRuntime
+	pred    expr.Predicate
+	need    []int
+	joinCol int
+	width   int
+	offset  int // offset of this side's columns in the combined row
+}
+
+// buildRow is one materialized row of the hash join's build side.
+type buildRow struct {
+	key   value.Value
+	vals  []value.Value // full side width (needed cols filled)
+	group *agg.Group    // lazily resolved when grouping is build-side only
+}
+
+// groupsOnSide reports whether every group-by column (combined indexing)
+// falls within [offset, offset+width).
+func groupsOnSide(groupBy []int, offset, width int) bool {
+	for _, c := range groupBy {
+		if c < offset || c >= offset+width {
+			return false
+		}
+	}
+	return true
+}
+
+// probeJoinColumnar probes the hash join by dictionary code: the build
+// side is resolved once per distinct probe-key code and group buckets once
+// per build row, so the per-probe-row work reduces to a code extraction,
+// an array lookup and accumulator updates.
+func probeJoinColumnar(t *colstore.Table, q *query.Query, probe, build *joinSide, hash map[uint64][]*buildRow, aggRes *agg.Result) {
+	keyVals := t.KeyDictValues(probe.joinCol)
+	matches := make([][]*buildRow, len(keyVals))
+	resolved := make([]bool, len(keyVals))
+
+	// Map each aggregate to its source: COUNT(*), a probe-side column
+	// (decoded into extraVals), or a build-side column.
+	type aggSrc struct {
+		countStar  bool
+		probeExtra int // index into extraVals, -1 if build-side
+		buildCol   int // side-local build column, -1 if probe-side
+	}
+	srcs := make([]aggSrc, len(q.Aggs))
+	var extra []int
+	extraIdx := map[int]int{}
+	for i, sp := range q.Aggs {
+		switch {
+		case sp.Col < 0:
+			srcs[i] = aggSrc{countStar: true, probeExtra: -1, buildCol: -1}
+		case sp.Col >= probe.offset && sp.Col < probe.offset+probe.width:
+			local := sp.Col - probe.offset
+			idx, ok := extraIdx[local]
+			if !ok {
+				idx = len(extra)
+				extraIdx[local] = idx
+				extra = append(extra, local)
+			}
+			srcs[i] = aggSrc{probeExtra: idx, buildCol: -1}
+		default:
+			srcs[i] = aggSrc{probeExtra: -1, buildCol: sp.Col - build.offset}
+		}
+	}
+
+	groupKey := make([]value.Value, len(q.GroupBy))
+	resolveGroup := func(m *buildRow) *agg.Group {
+		if len(q.GroupBy) == 0 {
+			return aggRes.Global()
+		}
+		if m.group == nil {
+			for i, c := range q.GroupBy {
+				groupKey[i] = m.vals[c-build.offset]
+			}
+			m.group = aggRes.GroupFor(groupKey)
+		}
+		return m.group
+	}
+
+	t.JoinProbe(probe.joinCol, extra, probe.pred, func(code int64, extraVals []value.Value) bool {
+		if code < 0 {
+			return true // NULL join keys never match
+		}
+		if !resolved[code] {
+			resolved[code] = true
+			k := keyVals[code]
+			for _, m := range hash[k.Hash()] {
+				if value.Equal(m.key, k) {
+					matches[code] = append(matches[code], m)
+				}
+			}
+		}
+		ms := matches[code]
+		if len(ms) == 0 {
+			return true
+		}
+		for _, m := range ms {
+			g := resolveGroup(m)
+			for i := range q.Aggs {
+				switch {
+				case srcs[i].countStar:
+					g.Accs[i].AddCount(1)
+				case srcs[i].probeExtra >= 0:
+					g.Accs[i].Add(extraVals[srcs[i].probeExtra])
+				default:
+					g.Accs[i].Add(m.vals[srcs[i].buildCol])
+				}
+			}
+		}
+		return true
+	})
+}
+
+// splitJoinPred partitions a combined-index predicate into conjuncts that
+// reference only the left side (returned in left indexing), only the right
+// side (remapped to right-local indexing), and the remainder evaluated
+// post-join.
+func splitJoinPred(pred expr.Predicate, nL, nR int) (leftPred, rightPred, postPred expr.Predicate) {
+	if pred == nil {
+		return nil, nil, nil
+	}
+	var lefts, rights, posts []expr.Predicate
+	rightMap := make(map[int]int, nR)
+	for i := 0; i < nR; i++ {
+		rightMap[nL+i] = i
+	}
+	identLeft := make(map[int]int, nL)
+	for i := 0; i < nL; i++ {
+		identLeft[i] = i
+	}
+	for _, c := range expr.Conjuncts(pred) {
+		cols := expr.ColumnSet(c)
+		side := sideOf(cols, nL)
+		switch side {
+		case 0:
+			if p, ok := expr.Remap(c, identLeft); ok {
+				lefts = append(lefts, p)
+				continue
+			}
+			posts = append(posts, c)
+		case 1:
+			if p, ok := expr.Remap(c, rightMap); ok {
+				rights = append(rights, p)
+				continue
+			}
+			posts = append(posts, c)
+		default:
+			posts = append(posts, c)
+		}
+	}
+	mk := func(ps []expr.Predicate) expr.Predicate {
+		switch len(ps) {
+		case 0:
+			return nil
+		case 1:
+			return ps[0]
+		default:
+			return &expr.And{Preds: ps}
+		}
+	}
+	return mk(lefts), mk(rights), mk(posts)
+}
+
+// sideOf returns 0 if all columns are left-side, 1 if all right-side,
+// -1 if mixed or empty.
+func sideOf(cols []int, nL int) int {
+	if len(cols) == 0 {
+		return -1
+	}
+	left, right := false, false
+	for _, c := range cols {
+		if c < nL {
+			left = true
+		} else {
+			right = true
+		}
+	}
+	switch {
+	case left && !right:
+		return 0
+	case right && !left:
+		return 1
+	default:
+		return -1
+	}
+}
+
+// joinNeededCols computes, per side, the columns a join query references
+// (projection, aggregates, group-by, predicate), in side-local indexing.
+func joinNeededCols(q *query.Query, nL, nR int) (needL, needR []int) {
+	set := map[int]struct{}{}
+	add := func(c int) { set[c] = struct{}{} }
+	for _, c := range q.Cols {
+		add(c)
+	}
+	if q.Kind == query.Select && q.Cols == nil {
+		for c := 0; c < nL+nR; c++ {
+			add(c)
+		}
+	}
+	for _, s := range q.Aggs {
+		if s.Col >= 0 {
+			add(s.Col)
+		}
+	}
+	for _, c := range q.GroupBy {
+		add(c)
+	}
+	for _, c := range expr.ColumnSet(q.Pred) {
+		add(c)
+	}
+	for c := range set {
+		if c < nL {
+			needL = append(needL, c)
+		} else {
+			needR = append(needR, c-nL)
+		}
+	}
+	return needL, needR
+}

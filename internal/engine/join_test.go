@@ -1,0 +1,250 @@
+package engine
+
+import (
+	"testing"
+
+	"hybridstore/internal/agg"
+	"hybridstore/internal/catalog"
+	"hybridstore/internal/expr"
+	"hybridstore/internal/query"
+	"hybridstore/internal/schema"
+	"hybridstore/internal/value"
+)
+
+func TestJoinEmptySides(t *testing.T) {
+	db := New()
+	if err := db.CreateTable(salesSchema(), catalog.RowStore); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(dimSchema(), catalog.ColumnStore); err != nil {
+		t.Fatal(err)
+	}
+	q := &query.Query{
+		Kind: query.Aggregate, Table: "sales",
+		Join: &query.Join{Table: "dim", LeftCol: 1, RightCol: 0},
+		Aggs: []agg.Spec{{Func: agg.Count, Col: -1}},
+	}
+	res, err := db.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 0 {
+		t.Errorf("empty join count = %v", res.Rows[0][0])
+	}
+	// One side populated, other empty: still zero matches.
+	rows := [][]value.Value{salesRow(1), salesRow(2)}
+	if _, err := db.Exec(&query.Query{Kind: query.Insert, Table: "sales", Rows: rows}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = db.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 0 {
+		t.Errorf("half-empty join count = %v", res.Rows[0][0])
+	}
+}
+
+func TestJoinNullKeysIgnored(t *testing.T) {
+	db := New()
+	left := schema.MustNew("l", []schema.Column{
+		{Name: "id", Type: value.Bigint},
+		{Name: "k", Type: value.Integer, Nullable: true},
+	}, "id")
+	right := schema.MustNew("r", []schema.Column{
+		{Name: "rk", Type: value.Integer},
+		{Name: "v", Type: value.Double},
+	}, "rk")
+	if err := db.CreateTable(left, catalog.RowStore); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(right, catalog.RowStore); err != nil {
+		t.Fatal(err)
+	}
+	lrows := [][]value.Value{
+		{value.NewBigint(1), value.NewInt(7)},
+		{value.NewBigint(2), value.Null(value.Integer)},
+	}
+	rrows := [][]value.Value{{value.NewInt(7), value.NewDouble(1.5)}}
+	if _, err := db.Exec(&query.Query{Kind: query.Insert, Table: "l", Rows: lrows}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(&query.Query{Kind: query.Insert, Table: "r", Rows: rrows}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec(&query.Query{
+		Kind: query.Select, Table: "l",
+		Join: &query.Join{Table: "r", LeftCol: 1, RightCol: 0},
+		Cols: []int{0, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 1 {
+		t.Errorf("NULL keys must not join: %v", res.Rows)
+	}
+}
+
+func TestJoinBadColumns(t *testing.T) {
+	db := newJoinDB(t, catalog.RowStore, catalog.RowStore, 10)
+	q := &query.Query{
+		Kind: query.Aggregate, Table: "sales",
+		Join: &query.Join{Table: "dim", LeftCol: 99, RightCol: 0},
+		Aggs: []agg.Spec{{Func: agg.Count, Col: -1}},
+	}
+	if _, err := db.Exec(q); err == nil {
+		t.Error("out-of-range join column accepted")
+	}
+	q.Join = &query.Join{Table: "ghost", LeftCol: 1, RightCol: 0}
+	if _, err := db.Exec(q); err == nil {
+		t.Error("unknown join table accepted")
+	}
+}
+
+func TestJoinDuplicateBuildKeys(t *testing.T) {
+	// Multiple dim rows share the same key: each probe row matches all of
+	// them (many-to-many join semantics).
+	db := New()
+	left := schema.MustNew("l", []schema.Column{
+		{Name: "id", Type: value.Bigint},
+		{Name: "k", Type: value.Integer},
+	}, "id")
+	right := schema.MustNew("r", []schema.Column{
+		{Name: "rid", Type: value.Bigint},
+		{Name: "rk", Type: value.Integer},
+	}, "rid")
+	if err := db.CreateTable(left, catalog.ColumnStore); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(right, catalog.RowStore); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(&query.Query{Kind: query.Insert, Table: "l", Rows: [][]value.Value{
+		{value.NewBigint(1), value.NewInt(5)},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(&query.Query{Kind: query.Insert, Table: "r", Rows: [][]value.Value{
+		{value.NewBigint(10), value.NewInt(5)},
+		{value.NewBigint(11), value.NewInt(5)},
+		{value.NewBigint(12), value.NewInt(6)},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec(&query.Query{
+		Kind: query.Aggregate, Table: "l",
+		Join: &query.Join{Table: "r", LeftCol: 1, RightCol: 1},
+		Aggs: []agg.Spec{{Func: agg.Count, Col: -1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 2 {
+		t.Errorf("many-to-many join count = %v, want 2", res.Rows[0][0])
+	}
+}
+
+func TestSplitJoinPred(t *testing.T) {
+	// Combined space: left 0..4, right 5..6.
+	pred := &expr.And{Preds: []expr.Predicate{
+		&expr.Comparison{Col: 2, Op: expr.Gt, Val: value.NewDouble(1)},    // left
+		&expr.Comparison{Col: 6, Op: expr.Eq, Val: value.NewVarchar("x")}, // right
+		&expr.Or{Preds: []expr.Predicate{ // mixed → post
+			&expr.Comparison{Col: 0, Op: expr.Eq, Val: value.NewBigint(1)},
+			&expr.Comparison{Col: 5, Op: expr.Eq, Val: value.NewInt(2)},
+		}},
+	}}
+	l, r, post := splitJoinPred(pred, 5, 2)
+	if l == nil || len(expr.ColumnSet(l)) != 1 || expr.ColumnSet(l)[0] != 2 {
+		t.Errorf("left pred = %v", l)
+	}
+	if r == nil || expr.ColumnSet(r)[0] != 1 { // remapped to right-local
+		t.Errorf("right pred = %v", r)
+	}
+	if post == nil {
+		t.Error("mixed conjunct should be post-filtered")
+	}
+	l, r, post = splitJoinPred(nil, 5, 2)
+	if l != nil || r != nil || post != nil {
+		t.Error("nil pred should split to nils")
+	}
+}
+
+func TestJoinBuildSideSelection(t *testing.T) {
+	// Join works regardless of which side is smaller (build-side swap).
+	for _, factRows := range []int{5, 500} {
+		db := newJoinDB(t, catalog.RowStore, catalog.RowStore, factRows)
+		res, err := db.Exec(&query.Query{
+			Kind: query.Aggregate, Table: "sales",
+			Join: &query.Join{Table: "dim", LeftCol: 1, RightCol: 0},
+			Aggs: []agg.Spec{{Func: agg.Count, Col: -1}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rows[0][0].Int() != int64(factRows) {
+			t.Errorf("factRows=%d: count = %v", factRows, res.Rows[0][0])
+		}
+	}
+}
+
+// The columnar dictionary-probe fast path and the generic probe must agree
+// for every grouping shape (build-side grouping takes the fast path,
+// probe-side grouping falls back).
+func TestColumnarJoinFastPathParity(t *testing.T) {
+	rsdb := newJoinDB(t, catalog.RowStore, catalog.RowStore, 300)
+	csdb := newJoinDB(t, catalog.ColumnStore, catalog.RowStore, 300)
+	queries := []*query.Query{
+		{ // build-side grouping: fast path on the CS database
+			Kind: query.Aggregate, Table: "sales",
+			Join:    &query.Join{Table: "dim", LeftCol: 1, RightCol: 0},
+			Aggs:    []agg.Spec{{Func: agg.Sum, Col: 2}, {Func: agg.Count, Col: -1}},
+			GroupBy: []int{6},
+		},
+		{ // probe-side grouping: generic path
+			Kind: query.Aggregate, Table: "sales",
+			Join:    &query.Join{Table: "dim", LeftCol: 1, RightCol: 0},
+			Aggs:    []agg.Spec{{Func: agg.Sum, Col: 2}},
+			GroupBy: []int{3},
+		},
+		{ // probe-side filter + build-side aggregate source
+			Kind: query.Aggregate, Table: "sales",
+			Join: &query.Join{Table: "dim", LeftCol: 1, RightCol: 0},
+			Aggs: []agg.Spec{{Func: agg.Max, Col: 5}}, // dim.rid (build side)
+			Pred: &expr.Comparison{Col: 2, Op: expr.Lt, Val: value.NewDouble(150)},
+		},
+		{ // ungrouped with aggregate on the join key itself
+			Kind: query.Aggregate, Table: "sales",
+			Join: &query.Join{Table: "dim", LeftCol: 1, RightCol: 0},
+			Aggs: []agg.Spec{{Func: agg.Sum, Col: 1}},
+		},
+	}
+	for qi, q := range queries {
+		rres, err := rsdb.Exec(q)
+		if err != nil {
+			t.Fatalf("query %d rs: %v", qi, err)
+		}
+		cres, err := csdb.Exec(q)
+		if err != nil {
+			t.Fatalf("query %d cs: %v", qi, err)
+		}
+		if len(rres.Rows) != len(cres.Rows) {
+			t.Fatalf("query %d: group counts %d vs %d", qi, len(rres.Rows), len(cres.Rows))
+		}
+		want := map[string][]value.Value{}
+		for _, row := range rres.Rows {
+			want[row[0].String()] = row
+		}
+		for _, row := range cres.Rows {
+			w, ok := want[row[0].String()]
+			if !ok {
+				t.Fatalf("query %d: unexpected group %v", qi, row[0])
+			}
+			for i := range row {
+				if !row[i].IsNull() && row[i].Float() != w[i].Float() {
+					t.Fatalf("query %d group %v col %d: cs=%v rs=%v", qi, row[0], i, row[i], w[i])
+				}
+			}
+		}
+	}
+}

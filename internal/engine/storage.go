@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"hybridstore/internal/agg"
+	"hybridstore/internal/colstore"
+	"hybridstore/internal/expr"
+	"hybridstore/internal/rowstore"
+	"hybridstore/internal/value"
+)
+
+// storage is the uniform interface the engine executes against. All
+// implementations speak full-table-width rows, so unpartitioned tables,
+// vertically split tables and horizontally split tables are
+// interchangeable — the transparency the paper requires of store-aware
+// partitioning ("the query rewriting must be realized automatically and
+// transparently to the user", §4).
+type storage interface {
+	Rows() int
+	Insert(rows [][]value.Value) error
+	Update(pred expr.Predicate, set map[int]value.Value) (int, error)
+	Delete(pred expr.Predicate) int
+	// Scan streams rows matching pred. cols lists the columns the caller
+	// will read (nil = all); implementations may leave other positions
+	// stale. The row slice is scratch — do not retain.
+	Scan(pred expr.Predicate, cols []int, fn func(row []value.Value) bool)
+	Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate) *agg.Result
+	// CreateIndex adds a secondary index where the underlying store
+	// supports one (row stores); otherwise it is a no-op.
+	CreateIndex(col int)
+	// Compact brings the storage to its read-optimized steady state:
+	// column stores merge their delta, row stores reclaim tombstones.
+	Compact()
+	MemoryBytes() int
+}
+
+// rowStorage adapts rowstore.Table to the storage interface.
+type rowStorage struct {
+	t *rowstore.Table
+}
+
+func (s *rowStorage) Rows() int { return s.t.Rows() }
+
+func (s *rowStorage) Insert(rows [][]value.Value) error { return s.t.Insert(rows) }
+
+func (s *rowStorage) Update(pred expr.Predicate, set map[int]value.Value) (int, error) {
+	return s.t.Update(pred, set)
+}
+
+func (s *rowStorage) Delete(pred expr.Predicate) int { return s.t.Delete(pred) }
+
+func (s *rowStorage) Scan(pred expr.Predicate, cols []int, fn func(row []value.Value) bool) {
+	s.t.Scan(pred, func(rid int, row []value.Value) bool { return fn(row) })
+}
+
+func (s *rowStorage) Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate) *agg.Result {
+	return s.t.Aggregate(specs, groupBy, pred)
+}
+
+func (s *rowStorage) CreateIndex(col int) { s.t.CreateIndex(col) }
+
+func (s *rowStorage) Compact() { s.t.Compact() }
+
+func (s *rowStorage) MemoryBytes() int { return s.t.MemoryBytes() }
+
+// colStorage adapts colstore.Table to the storage interface.
+type colStorage struct {
+	t *colstore.Table
+}
+
+func (s *colStorage) Rows() int { return s.t.Rows() }
+
+func (s *colStorage) Insert(rows [][]value.Value) error { return s.t.Insert(rows) }
+
+func (s *colStorage) Update(pred expr.Predicate, set map[int]value.Value) (int, error) {
+	return s.t.Update(pred, set)
+}
+
+func (s *colStorage) Delete(pred expr.Predicate) int { return s.t.Delete(pred) }
+
+func (s *colStorage) Scan(pred expr.Predicate, cols []int, fn func(row []value.Value) bool) {
+	s.t.Scan(pred, cols, func(rid int, row []value.Value) bool { return fn(row) })
+}
+
+func (s *colStorage) Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate) *agg.Result {
+	return s.t.Aggregate(specs, groupBy, pred)
+}
+
+// CreateIndex is a no-op: the column store's sorted dictionaries already
+// provide the implicit index the paper describes.
+func (s *colStorage) CreateIndex(col int) {}
+
+func (s *colStorage) Compact() { s.t.Merge() }
+
+func (s *colStorage) MemoryBytes() int { return s.t.MemoryBytes() }

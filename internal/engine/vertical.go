@@ -1,0 +1,387 @@
+package engine
+
+import (
+	"fmt"
+
+	"hybridstore/internal/agg"
+	"hybridstore/internal/catalog"
+	"hybridstore/internal/colstore"
+	"hybridstore/internal/expr"
+	"hybridstore/internal/rowstore"
+	"hybridstore/internal/schema"
+	"hybridstore/internal/value"
+)
+
+// verticalStorage splits a table's attributes into a row-store partition
+// (OLTP attributes) and a column-store partition (aggregated attributes).
+// Both partitions replicate the primary key; queries spanning both
+// partitions are answered by a primary-key join, exactly the rewrite the
+// paper describes for vertical partitioning (Figure 3).
+type verticalStorage struct {
+	sch  *schema.Table
+	spec *catalog.VerticalSpec
+
+	rowPart *rowstore.Table // projection of spec.RowCols
+	colPart *colstore.Table // projection of spec.ColCols
+
+	rowFwd map[int]int // table column -> rowPart column
+	colFwd map[int]int // table column -> colPart column
+}
+
+// newVerticalStorage builds the two projected partitions.
+func newVerticalStorage(sch *schema.Table, spec *catalog.VerticalSpec) (*verticalStorage, error) {
+	if err := (&catalog.PartitionSpec{Vertical: spec}).Validate(sch); err != nil {
+		return nil, err
+	}
+	rsSchema, err := sch.Project(sch.Name+"$rs", spec.RowCols)
+	if err != nil {
+		return nil, err
+	}
+	csSchema, err := sch.Project(sch.Name+"$cs", spec.ColCols)
+	if err != nil {
+		return nil, err
+	}
+	if len(rsSchema.PrimaryKey) == 0 || len(csSchema.PrimaryKey) == 0 {
+		return nil, fmt.Errorf("engine: vertical partitions of %q must retain the primary key", sch.Name)
+	}
+	v := &verticalStorage{
+		sch:     sch,
+		spec:    spec,
+		rowPart: rowstore.New(rsSchema),
+		colPart: colstore.New(csSchema),
+		rowFwd:  make(map[int]int, len(spec.RowCols)),
+		colFwd:  make(map[int]int, len(spec.ColCols)),
+	}
+	for i, c := range spec.RowCols {
+		v.rowFwd[c] = i
+	}
+	for i, c := range spec.ColCols {
+		v.colFwd[c] = i
+	}
+	return v, nil
+}
+
+func (v *verticalStorage) Rows() int { return v.rowPart.Rows() }
+
+func (v *verticalStorage) Insert(rows [][]value.Value) error {
+	for _, row := range rows {
+		if err := v.sch.ValidateRow(row); err != nil {
+			return err
+		}
+		rrow := make([]value.Value, len(v.spec.RowCols))
+		for i, c := range v.spec.RowCols {
+			rrow[i] = row[c]
+		}
+		crow := make([]value.Value, len(v.spec.ColCols))
+		for i, c := range v.spec.ColCols {
+			crow[i] = row[c]
+		}
+		if err := v.rowPart.Insert([][]value.Value{rrow}); err != nil {
+			return err
+		}
+		if err := v.colPart.Insert([][]value.Value{crow}); err != nil {
+			// Keep partitions consistent: roll the row partition back.
+			pk := v.rowPart.Schema().PKValues(rrow)
+			v.rowPart.Delete(pkPredicate(v.rowPart.Schema().PrimaryKey, pk))
+			return err
+		}
+	}
+	return nil
+}
+
+// pkPredicate builds col=val conjunctions over the given columns.
+func pkPredicate(cols []int, key []value.Value) expr.Predicate {
+	preds := make([]expr.Predicate, len(cols))
+	for i, c := range cols {
+		preds[i] = &expr.Comparison{Col: c, Op: expr.Eq, Val: key[i]}
+	}
+	if len(preds) == 1 {
+		return preds[0]
+	}
+	return &expr.And{Preds: preds}
+}
+
+// coverage reports which partition, if any, contains all the given table
+// columns; -1 = neither.
+const (
+	partRow  = 0
+	partCol  = 1
+	partNone = -1
+)
+
+func (v *verticalStorage) coverage(cols []int) int {
+	inRow, inCol := true, true
+	for _, c := range cols {
+		if _, ok := v.rowFwd[c]; !ok {
+			inRow = false
+		}
+		if _, ok := v.colFwd[c]; !ok {
+			inCol = false
+		}
+	}
+	switch {
+	case inRow:
+		return partRow
+	case inCol:
+		return partCol
+	default:
+		return partNone
+	}
+}
+
+// neededCols unions projection and predicate columns.
+func neededCols(cols []int, pred expr.Predicate) []int {
+	set := map[int]struct{}{}
+	for _, c := range cols {
+		set[c] = struct{}{}
+	}
+	for _, c := range expr.ColumnSet(pred) {
+		set[c] = struct{}{}
+	}
+	out := make([]int, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Scan streams matching rows. When the referenced columns fit a single
+// partition it scans that partition alone; otherwise it reconstructs full
+// tuples by joining the partitions on the primary key (the cost the paper
+// charges queries that span a vertical split).
+func (v *verticalStorage) Scan(pred expr.Predicate, cols []int, fn func(row []value.Value) bool) {
+	if cols == nil {
+		cols = allCols(v.sch.NumColumns())
+	}
+	need := neededCols(cols, pred)
+	scratch := make([]value.Value, v.sch.NumColumns())
+	switch v.coverage(need) {
+	case partRow:
+		rpred, _ := expr.Remap(pred, v.rowFwd)
+		v.rowPart.Scan(rpred, func(rid int, prow []value.Value) bool {
+			for i, c := range v.spec.RowCols {
+				scratch[c] = prow[i]
+			}
+			return fn(scratch)
+		})
+	case partCol:
+		cpred, _ := expr.Remap(pred, v.colFwd)
+		v.colPart.Scan(cpred, nil, func(rid int, prow []value.Value) bool {
+			for i, c := range v.spec.ColCols {
+				scratch[c] = prow[i]
+			}
+			return fn(scratch)
+		})
+	default:
+		v.scanJoined(pred, fn, scratch)
+	}
+}
+
+// scanJoined reconstructs full-width tuples via a PK join: the row
+// partition drives, the column partition is probed per key (tuple
+// reconstruction on the column store side).
+func (v *verticalStorage) scanJoined(pred expr.Predicate, fn func(row []value.Value) bool, scratch []value.Value) {
+	pkRow := v.rowPart.Schema().PrimaryKey
+	key := make([]value.Value, len(pkRow))
+	v.rowPart.Scan(nil, func(rid int, prow []value.Value) bool {
+		for i, c := range v.spec.RowCols {
+			scratch[c] = prow[i]
+		}
+		for i, k := range pkRow {
+			key[i] = prow[k]
+		}
+		crid, ok := v.colPart.LookupPK(key)
+		if !ok {
+			return true // partition inconsistency; skip defensively
+		}
+		crow := v.colPart.Get(crid)
+		for i, c := range v.spec.ColCols {
+			scratch[c] = crow[i]
+		}
+		if pred != nil && !pred.Matches(scratch) {
+			return true
+		}
+		return fn(scratch)
+	})
+}
+
+// Aggregate pushes the aggregation into a single partition when all
+// referenced columns live there (the common case after the advisor's
+// vertical split: keyfigures and group-bys in the column partition);
+// otherwise it accumulates over PK-joined tuples.
+func (v *verticalStorage) Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate) *agg.Result {
+	need := expr.ColumnSet(pred)
+	for _, s := range specs {
+		if s.Col >= 0 {
+			need = append(need, s.Col)
+		}
+	}
+	need = append(need, groupBy...)
+	remapInto := func(fwd map[int]int) ([]agg.Spec, []int, expr.Predicate, bool) {
+		rs := make([]agg.Spec, len(specs))
+		for i, s := range specs {
+			if s.Col < 0 {
+				rs[i] = s
+				continue
+			}
+			n, ok := fwd[s.Col]
+			if !ok {
+				return nil, nil, nil, false
+			}
+			rs[i] = agg.Spec{Func: s.Func, Col: n}
+		}
+		gb := make([]int, len(groupBy))
+		for i, c := range groupBy {
+			n, ok := fwd[c]
+			if !ok {
+				return nil, nil, nil, false
+			}
+			gb[i] = n
+		}
+		p, ok := expr.Remap(pred, fwd)
+		if !ok {
+			return nil, nil, nil, false
+		}
+		return rs, gb, p, true
+	}
+	switch v.coverage(need) {
+	case partCol:
+		if rs, gb, p, ok := remapInto(v.colFwd); ok {
+			return v.colPart.Aggregate(rs, gb, p)
+		}
+	case partRow:
+		if rs, gb, p, ok := remapInto(v.rowFwd); ok {
+			return v.rowPart.Aggregate(rs, gb, p)
+		}
+	}
+	// Spanning aggregate: PK-join scan with generic accumulation.
+	res := agg.NewResult(specs, groupBy)
+	key := make([]value.Value, len(groupBy))
+	cols := append([]int{}, need...)
+	v.Scan(pred, cols, func(row []value.Value) bool {
+		var g *agg.Group
+		if len(groupBy) > 0 {
+			for i, c := range groupBy {
+				key[i] = row[c]
+			}
+			g = res.GroupFor(key)
+		} else {
+			g = res.Global()
+		}
+		for i, s := range specs {
+			if s.Col < 0 {
+				g.Accs[i].AddCount(1)
+			} else {
+				g.Accs[i].Add(row[s.Col])
+			}
+		}
+		return true
+	})
+	return res
+}
+
+// Update routes assignments to the partitions holding the assigned
+// columns. When the predicate is fully contained in one partition and all
+// assignments target that same partition, the update executes there
+// directly (this is the fast path the advisor's vertical split creates for
+// OLTP attributes). Otherwise matching primary keys are collected first
+// and each partition is updated by key.
+func (v *verticalStorage) Update(pred expr.Predicate, set map[int]value.Value) (int, error) {
+	rowSet := map[int]value.Value{}
+	colSet := map[int]value.Value{}
+	for c, val := range set {
+		if c < 0 || c >= v.sch.NumColumns() {
+			return 0, fmt.Errorf("engine: update column %d out of range in %q", c, v.sch.Name)
+		}
+		if n, ok := v.rowFwd[c]; ok {
+			rowSet[n] = val
+		}
+		if n, ok := v.colFwd[c]; ok {
+			colSet[n] = val
+		}
+	}
+	predCols := expr.ColumnSet(pred)
+	// Fast path: everything in the row partition.
+	if v.coverage(predCols) == partRow && len(colSet) == 0 {
+		rpred, _ := expr.Remap(pred, v.rowFwd)
+		return v.rowPart.Update(rpred, rowSet)
+	}
+	// Fast path: everything in the column partition.
+	if v.coverage(predCols) == partCol && len(rowSet) == 0 {
+		cpred, _ := expr.Remap(pred, v.colFwd)
+		return v.colPart.Update(cpred, colSet)
+	}
+	// General path: find matching keys, then update both partitions by key.
+	keys := v.matchingPKs(pred)
+	rowPK := v.rowPart.Schema().PrimaryKey
+	colPK := v.colPart.Schema().PrimaryKey
+	for _, key := range keys {
+		if len(rowSet) > 0 {
+			if _, err := v.rowPart.Update(pkPredicate(rowPK, key), rowSet); err != nil {
+				return 0, err
+			}
+		}
+		if len(colSet) > 0 {
+			if _, err := v.colPart.Update(pkPredicate(colPK, key), colSet); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return len(keys), nil
+}
+
+// matchingPKs returns the primary keys of rows matching pred, scanning the
+// cheapest partition that covers the predicate.
+func (v *verticalStorage) matchingPKs(pred expr.Predicate) [][]value.Value {
+	var keys [][]value.Value
+	predCols := expr.ColumnSet(pred)
+	pkTable := v.sch.PrimaryKey
+	collect := func(row []value.Value) bool {
+		key := make([]value.Value, len(pkTable))
+		for i, k := range pkTable {
+			key[i] = row[k]
+		}
+		keys = append(keys, key)
+		return true
+	}
+	need := append(append([]int{}, predCols...), pkTable...)
+	v.Scan(pred, need, collect)
+	return keys
+}
+
+func (v *verticalStorage) Delete(pred expr.Predicate) int {
+	keys := v.matchingPKs(pred)
+	rowPK := v.rowPart.Schema().PrimaryKey
+	colPK := v.colPart.Schema().PrimaryKey
+	for _, key := range keys {
+		v.rowPart.Delete(pkPredicate(rowPK, key))
+		v.colPart.Delete(pkPredicate(colPK, key))
+	}
+	return len(keys)
+}
+
+// CreateIndex indexes the column in the row partition when it lives there.
+func (v *verticalStorage) CreateIndex(col int) {
+	if n, ok := v.rowFwd[col]; ok {
+		v.rowPart.CreateIndex(n)
+	}
+}
+
+// Compact merges the column partition's delta and reclaims row-partition
+// tombstones.
+func (v *verticalStorage) Compact() {
+	v.rowPart.Compact()
+	v.colPart.Merge()
+}
+
+func (v *verticalStorage) MemoryBytes() int {
+	return v.rowPart.MemoryBytes() + v.colPart.MemoryBytes()
+}
+
+func allCols(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

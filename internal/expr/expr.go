@@ -1,0 +1,407 @@
+// Package expr defines the predicate language used by queries: comparisons
+// of columns against constants combined with AND/OR/NOT, plus BETWEEN and
+// IN. Predicates are kept in this analyzable normal form (rather than an
+// opaque expression tree) so that the storage layers can push them down to
+// dictionary codes and the advisor can extract query characteristics such
+// as selectivity and the set of referenced attributes.
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hybridstore/internal/value"
+)
+
+// CmpOp is a comparison operator.
+type CmpOp uint8
+
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+// String returns the SQL spelling of the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case Eq:
+		return "="
+	case Ne:
+		return "<>"
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	default:
+		return fmt.Sprintf("CmpOp(%d)", uint8(op))
+	}
+}
+
+// Apply evaluates the operator on a comparison result from value.Compare.
+func (op CmpOp) Apply(cmp int) bool {
+	switch op {
+	case Eq:
+		return cmp == 0
+	case Ne:
+		return cmp != 0
+	case Lt:
+		return cmp < 0
+	case Le:
+		return cmp <= 0
+	case Gt:
+		return cmp > 0
+	case Ge:
+		return cmp >= 0
+	default:
+		return false
+	}
+}
+
+// Predicate is a boolean filter over a row. Rows are positional value
+// slices; column references are indexes into the row.
+type Predicate interface {
+	// Matches reports whether the row satisfies the predicate. NULL
+	// comparisons evaluate to false (SQL three-valued logic collapsed).
+	Matches(row []value.Value) bool
+	// Columns appends the referenced column indexes to dst.
+	Columns(dst []int) []int
+	String() string
+}
+
+// True is the always-true predicate (no WHERE clause).
+type True struct{}
+
+func (True) Matches([]value.Value) bool { return true }
+func (True) Columns(dst []int) []int    { return dst }
+func (True) String() string             { return "TRUE" }
+
+// Comparison compares a column against a constant.
+type Comparison struct {
+	Col int
+	Op  CmpOp
+	Val value.Value
+}
+
+func (c *Comparison) Matches(row []value.Value) bool {
+	v := row[c.Col]
+	if v.IsNull() || c.Val.IsNull() {
+		return false
+	}
+	return c.Op.Apply(value.Compare(v, c.Val))
+}
+
+func (c *Comparison) Columns(dst []int) []int { return append(dst, c.Col) }
+
+func (c *Comparison) String() string {
+	return fmt.Sprintf("col%d %s %s", c.Col, c.Op, c.Val)
+}
+
+// Between matches Lo <= col <= Hi (inclusive).
+type Between struct {
+	Col    int
+	Lo, Hi value.Value
+}
+
+func (b *Between) Matches(row []value.Value) bool {
+	v := row[b.Col]
+	if v.IsNull() || b.Lo.IsNull() || b.Hi.IsNull() {
+		return false
+	}
+	return value.Compare(v, b.Lo) >= 0 && value.Compare(v, b.Hi) <= 0
+}
+
+func (b *Between) Columns(dst []int) []int { return append(dst, b.Col) }
+
+func (b *Between) String() string {
+	return fmt.Sprintf("col%d BETWEEN %s AND %s", b.Col, b.Lo, b.Hi)
+}
+
+// In matches col = any of Vals.
+type In struct {
+	Col  int
+	Vals []value.Value
+}
+
+func (in *In) Matches(row []value.Value) bool {
+	v := row[in.Col]
+	if v.IsNull() {
+		return false
+	}
+	for _, w := range in.Vals {
+		if !w.IsNull() && value.Compare(v, w) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (in *In) Columns(dst []int) []int { return append(dst, in.Col) }
+
+func (in *In) String() string {
+	parts := make([]string, len(in.Vals))
+	for i, v := range in.Vals {
+		parts[i] = v.String()
+	}
+	return fmt.Sprintf("col%d IN (%s)", in.Col, strings.Join(parts, ", "))
+}
+
+// And is the conjunction of its sub-predicates; an empty And is true.
+type And struct {
+	Preds []Predicate
+}
+
+func (a *And) Matches(row []value.Value) bool {
+	for _, p := range a.Preds {
+		if !p.Matches(row) {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *And) Columns(dst []int) []int {
+	for _, p := range a.Preds {
+		dst = p.Columns(dst)
+	}
+	return dst
+}
+
+func (a *And) String() string {
+	parts := make([]string, len(a.Preds))
+	for i, p := range a.Preds {
+		parts[i] = p.String()
+	}
+	return "(" + strings.Join(parts, " AND ") + ")"
+}
+
+// Or is the disjunction of its sub-predicates; an empty Or is false.
+type Or struct {
+	Preds []Predicate
+}
+
+func (o *Or) Matches(row []value.Value) bool {
+	for _, p := range o.Preds {
+		if p.Matches(row) {
+			return true
+		}
+	}
+	return false
+}
+
+func (o *Or) Columns(dst []int) []int {
+	for _, p := range o.Preds {
+		dst = p.Columns(dst)
+	}
+	return dst
+}
+
+func (o *Or) String() string {
+	parts := make([]string, len(o.Preds))
+	for i, p := range o.Preds {
+		parts[i] = p.String()
+	}
+	return "(" + strings.Join(parts, " OR ") + ")"
+}
+
+// Not negates a predicate.
+type Not struct {
+	P Predicate
+}
+
+func (n *Not) Matches(row []value.Value) bool { return !n.P.Matches(row) }
+func (n *Not) Columns(dst []int) []int        { return n.P.Columns(dst) }
+func (n *Not) String() string                 { return "NOT " + n.P.String() }
+
+// ColumnSet returns the sorted, de-duplicated set of columns referenced by
+// the predicate.
+func ColumnSet(p Predicate) []int {
+	if p == nil {
+		return nil
+	}
+	cols := p.Columns(nil)
+	if len(cols) == 0 {
+		return nil
+	}
+	sort.Ints(cols)
+	out := cols[:1]
+	for _, c := range cols[1:] {
+		if c != out[len(out)-1] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Conjuncts flattens nested ANDs into a list of conjuncts. Any other
+// predicate is returned as a single conjunct.
+func Conjuncts(p Predicate) []Predicate {
+	if p == nil {
+		return nil
+	}
+	if _, ok := p.(True); ok {
+		return nil
+	}
+	a, ok := p.(*And)
+	if !ok {
+		return []Predicate{p}
+	}
+	var out []Predicate
+	for _, sub := range a.Preds {
+		out = append(out, Conjuncts(sub)...)
+	}
+	return out
+}
+
+// EqualityOn returns the constant the predicate pins column col to, if the
+// predicate implies col = const (as a top-level conjunct).
+func EqualityOn(p Predicate, col int) (value.Value, bool) {
+	for _, c := range Conjuncts(p) {
+		if cmp, ok := c.(*Comparison); ok && cmp.Col == col && cmp.Op == Eq {
+			return cmp.Val, true
+		}
+	}
+	return value.Value{}, false
+}
+
+// PKEquality reports whether the predicate pins every primary-key column to
+// a constant; if so it returns the key values in PK order. This is what the
+// row store uses to answer point queries from its hash index and what the
+// paper's cost model treats as an indexed point access.
+func PKEquality(p Predicate, pk []int) ([]value.Value, bool) {
+	if len(pk) == 0 {
+		return nil, false
+	}
+	key := make([]value.Value, len(pk))
+	for i, col := range pk {
+		v, ok := EqualityOn(p, col)
+		if !ok {
+			return nil, false
+		}
+		key[i] = v
+	}
+	return key, true
+}
+
+// Range describes the interval a predicate restricts a column to. Nil
+// bounds are unbounded; both bounds are inclusive.
+type Range struct {
+	Lo, Hi *value.Value
+}
+
+// RangeOn extracts the tightest [lo, hi] interval the top-level conjuncts
+// impose on column col. The boolean result is false when the predicate does
+// not constrain the column at all. Exclusive bounds are widened to their
+// inclusive neighbours only for integer-like types; otherwise the exclusive
+// bound is kept as-is (a safe over-approximation for routing decisions).
+func RangeOn(p Predicate, col int) (Range, bool) {
+	var r Range
+	found := false
+	setLo := func(v value.Value) {
+		if r.Lo == nil || value.Compare(v, *r.Lo) > 0 {
+			vv := v
+			r.Lo = &vv
+		}
+	}
+	setHi := func(v value.Value) {
+		if r.Hi == nil || value.Compare(v, *r.Hi) < 0 {
+			vv := v
+			r.Hi = &vv
+		}
+	}
+	for _, c := range Conjuncts(p) {
+		switch q := c.(type) {
+		case *Comparison:
+			if q.Col != col || q.Val.IsNull() {
+				continue
+			}
+			switch q.Op {
+			case Eq:
+				setLo(q.Val)
+				setHi(q.Val)
+				found = true
+			case Lt, Le:
+				setHi(q.Val)
+				found = true
+			case Gt, Ge:
+				setLo(q.Val)
+				found = true
+			}
+		case *Between:
+			if q.Col != col {
+				continue
+			}
+			setLo(q.Lo)
+			setHi(q.Hi)
+			found = true
+		}
+	}
+	return r, found
+}
+
+// Remap rewrites the predicate's column references through mapping
+// (old index → new index). It returns false if any referenced column is
+// missing from the mapping; the engine uses this to decide whether a
+// predicate can be pushed into a vertical partition.
+func Remap(p Predicate, mapping map[int]int) (Predicate, bool) {
+	switch q := p.(type) {
+	case nil:
+		return nil, true
+	case True:
+		return q, true
+	case *Comparison:
+		n, ok := mapping[q.Col]
+		if !ok {
+			return nil, false
+		}
+		return &Comparison{Col: n, Op: q.Op, Val: q.Val}, true
+	case *Between:
+		n, ok := mapping[q.Col]
+		if !ok {
+			return nil, false
+		}
+		return &Between{Col: n, Lo: q.Lo, Hi: q.Hi}, true
+	case *In:
+		n, ok := mapping[q.Col]
+		if !ok {
+			return nil, false
+		}
+		return &In{Col: n, Vals: q.Vals}, true
+	case *And:
+		out := &And{Preds: make([]Predicate, len(q.Preds))}
+		for i, sub := range q.Preds {
+			r, ok := Remap(sub, mapping)
+			if !ok {
+				return nil, false
+			}
+			out.Preds[i] = r
+		}
+		return out, true
+	case *Or:
+		out := &Or{Preds: make([]Predicate, len(q.Preds))}
+		for i, sub := range q.Preds {
+			r, ok := Remap(sub, mapping)
+			if !ok {
+				return nil, false
+			}
+			out.Preds[i] = r
+		}
+		return out, true
+	case *Not:
+		r, ok := Remap(q.P, mapping)
+		if !ok {
+			return nil, false
+		}
+		return &Not{P: r}, true
+	default:
+		return nil, false
+	}
+}

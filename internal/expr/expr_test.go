@@ -1,0 +1,339 @@
+package expr
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hybridstore/internal/value"
+)
+
+func row(vals ...int64) []value.Value {
+	out := make([]value.Value, len(vals))
+	for i, v := range vals {
+		out[i] = value.NewInt(v)
+	}
+	return out
+}
+
+func TestCmpOpString(t *testing.T) {
+	want := map[CmpOp]string{Eq: "=", Ne: "<>", Lt: "<", Le: "<=", Gt: ">", Ge: ">="}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%v.String() = %q, want %q", op, op.String(), s)
+		}
+	}
+}
+
+func TestCmpOpApply(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		cmp  int
+		want bool
+	}{
+		{Eq, 0, true}, {Eq, 1, false},
+		{Ne, 0, false}, {Ne, -1, true},
+		{Lt, -1, true}, {Lt, 0, false},
+		{Le, 0, true}, {Le, 1, false},
+		{Gt, 1, true}, {Gt, 0, false},
+		{Ge, 0, true}, {Ge, -1, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Apply(c.cmp); got != c.want {
+			t.Errorf("%v.Apply(%d) = %v", c.op, c.cmp, got)
+		}
+	}
+}
+
+func TestComparison(t *testing.T) {
+	p := &Comparison{Col: 1, Op: Gt, Val: value.NewInt(10)}
+	if !p.Matches(row(0, 11)) {
+		t.Error("11 > 10 should match")
+	}
+	if p.Matches(row(0, 10)) {
+		t.Error("10 > 10 should not match")
+	}
+	if p.Matches([]value.Value{value.NewInt(0), value.Null(value.Integer)}) {
+		t.Error("NULL comparison should be false")
+	}
+	if !strings.Contains(p.String(), ">") {
+		t.Errorf("String: %q", p.String())
+	}
+}
+
+func TestBetween(t *testing.T) {
+	p := &Between{Col: 0, Lo: value.NewInt(5), Hi: value.NewInt(10)}
+	for v, want := range map[int64]bool{4: false, 5: true, 7: true, 10: true, 11: false} {
+		if got := p.Matches(row(v)); got != want {
+			t.Errorf("BETWEEN match(%d) = %v, want %v", v, got, want)
+		}
+	}
+	if p.Matches([]value.Value{value.Null(value.Integer)}) {
+		t.Error("NULL BETWEEN should be false")
+	}
+}
+
+func TestIn(t *testing.T) {
+	p := &In{Col: 0, Vals: []value.Value{value.NewInt(1), value.NewInt(3)}}
+	if !p.Matches(row(3)) || p.Matches(row(2)) {
+		t.Error("IN broken")
+	}
+	if p.Matches([]value.Value{value.Null(value.Integer)}) {
+		t.Error("NULL IN should be false")
+	}
+	if !strings.Contains(p.String(), "IN (1, 3)") {
+		t.Errorf("String: %q", p.String())
+	}
+}
+
+func TestBooleanCombinators(t *testing.T) {
+	a := &Comparison{Col: 0, Op: Ge, Val: value.NewInt(5)}
+	b := &Comparison{Col: 1, Op: Eq, Val: value.NewInt(1)}
+	and := &And{Preds: []Predicate{a, b}}
+	or := &Or{Preds: []Predicate{a, b}}
+	not := &Not{P: a}
+
+	if !and.Matches(row(5, 1)) || and.Matches(row(5, 2)) || and.Matches(row(4, 1)) {
+		t.Error("And broken")
+	}
+	if !or.Matches(row(5, 2)) || !or.Matches(row(0, 1)) || or.Matches(row(0, 0)) {
+		t.Error("Or broken")
+	}
+	if not.Matches(row(5)) || !not.Matches(row(4)) {
+		t.Error("Not broken")
+	}
+	if (&And{}).Matches(row(1)) != true {
+		t.Error("empty And should be true")
+	}
+	if (&Or{}).Matches(row(1)) != false {
+		t.Error("empty Or should be false")
+	}
+	if !(True{}).Matches(nil) {
+		t.Error("True should match")
+	}
+}
+
+func TestColumnSet(t *testing.T) {
+	p := &And{Preds: []Predicate{
+		&Comparison{Col: 3, Op: Eq, Val: value.NewInt(1)},
+		&Or{Preds: []Predicate{
+			&Comparison{Col: 1, Op: Gt, Val: value.NewInt(2)},
+			&Between{Col: 3, Lo: value.NewInt(0), Hi: value.NewInt(9)},
+		}},
+	}}
+	got := ColumnSet(p)
+	if !reflect.DeepEqual(got, []int{1, 3}) {
+		t.Errorf("ColumnSet = %v", got)
+	}
+	if ColumnSet(nil) != nil {
+		t.Error("nil predicate columns")
+	}
+	if ColumnSet(True{}) != nil {
+		t.Error("True has no columns")
+	}
+}
+
+func TestConjuncts(t *testing.T) {
+	a := &Comparison{Col: 0, Op: Eq, Val: value.NewInt(1)}
+	b := &Comparison{Col: 1, Op: Eq, Val: value.NewInt(2)}
+	c := &Comparison{Col: 2, Op: Eq, Val: value.NewInt(3)}
+	nested := &And{Preds: []Predicate{a, &And{Preds: []Predicate{b, c}}}}
+	got := Conjuncts(nested)
+	if len(got) != 3 {
+		t.Errorf("Conjuncts = %d, want 3", len(got))
+	}
+	if got := Conjuncts(a); len(got) != 1 || got[0] != Predicate(a) {
+		t.Error("single conjunct broken")
+	}
+	if Conjuncts(nil) != nil || Conjuncts(True{}) != nil {
+		t.Error("empty conjuncts broken")
+	}
+}
+
+func TestEqualityOnAndPKEquality(t *testing.T) {
+	p := &And{Preds: []Predicate{
+		&Comparison{Col: 0, Op: Eq, Val: value.NewInt(7)},
+		&Comparison{Col: 2, Op: Eq, Val: value.NewInt(9)},
+		&Comparison{Col: 1, Op: Gt, Val: value.NewInt(0)},
+	}}
+	if v, ok := EqualityOn(p, 0); !ok || v.Int() != 7 {
+		t.Errorf("EqualityOn(0) = %v, %v", v, ok)
+	}
+	if _, ok := EqualityOn(p, 1); ok {
+		t.Error("Gt is not equality")
+	}
+	key, ok := PKEquality(p, []int{0, 2})
+	if !ok || key[0].Int() != 7 || key[1].Int() != 9 {
+		t.Errorf("PKEquality = %v, %v", key, ok)
+	}
+	if _, ok := PKEquality(p, []int{0, 1}); ok {
+		t.Error("incomplete PK equality accepted")
+	}
+	if _, ok := PKEquality(p, nil); ok {
+		t.Error("empty PK should not match")
+	}
+}
+
+func TestRangeOn(t *testing.T) {
+	p := &And{Preds: []Predicate{
+		&Comparison{Col: 0, Op: Ge, Val: value.NewInt(10)},
+		&Comparison{Col: 0, Op: Lt, Val: value.NewInt(20)},
+		&Comparison{Col: 1, Op: Eq, Val: value.NewInt(5)},
+	}}
+	r, ok := RangeOn(p, 0)
+	if !ok || r.Lo == nil || r.Hi == nil || r.Lo.Int() != 10 || r.Hi.Int() != 20 {
+		t.Errorf("RangeOn(0) = %+v, %v", r, ok)
+	}
+	r, ok = RangeOn(p, 1)
+	if !ok || r.Lo.Int() != 5 || r.Hi.Int() != 5 {
+		t.Errorf("RangeOn(1) = %+v, %v", r, ok)
+	}
+	if _, ok := RangeOn(p, 2); ok {
+		t.Error("unconstrained column reported a range")
+	}
+	b := &Between{Col: 0, Lo: value.NewInt(1), Hi: value.NewInt(3)}
+	r, ok = RangeOn(b, 0)
+	if !ok || r.Lo.Int() != 1 || r.Hi.Int() != 3 {
+		t.Errorf("RangeOn(between) = %+v", r)
+	}
+}
+
+func TestRemap(t *testing.T) {
+	p := &And{Preds: []Predicate{
+		&Comparison{Col: 2, Op: Eq, Val: value.NewInt(1)},
+		&Not{P: &Between{Col: 4, Lo: value.NewInt(0), Hi: value.NewInt(9)}},
+	}}
+	mapped, ok := Remap(p, map[int]int{2: 0, 4: 1})
+	if !ok {
+		t.Fatal("Remap failed")
+	}
+	if !mapped.Matches(row(1, 100)) {
+		t.Error("remapped predicate should match (1, 100)")
+	}
+	if mapped.Matches(row(1, 5)) {
+		t.Error("remapped predicate should reject (1, 5)")
+	}
+	if _, ok := Remap(p, map[int]int{2: 0}); ok {
+		t.Error("partial mapping should fail")
+	}
+	if m, ok := Remap(True{}, nil); !ok || !m.Matches(nil) {
+		t.Error("True remap broken")
+	}
+	or := &Or{Preds: []Predicate{&In{Col: 1, Vals: []value.Value{value.NewInt(1)}}}}
+	if _, ok := Remap(or, map[int]int{1: 0}); !ok {
+		t.Error("Or/In remap should succeed")
+	}
+}
+
+// Property: And of a predicate with itself is equivalent to the predicate.
+func TestAndIdempotentProperty(t *testing.T) {
+	f := func(threshold, v int64) bool {
+		p := &Comparison{Col: 0, Op: Lt, Val: value.NewInt(threshold)}
+		and := &And{Preds: []Predicate{p, p}}
+		r := row(v)
+		return p.Matches(r) == and.Matches(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Not(Not(p)) is equivalent to p.
+func TestDoubleNegationProperty(t *testing.T) {
+	f := func(threshold, v int64) bool {
+		p := &Comparison{Col: 0, Op: Ge, Val: value.NewInt(threshold)}
+		nn := &Not{P: &Not{P: p}}
+		r := row(v)
+		return p.Matches(r) == nn.Matches(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+type fakeStats struct {
+	rows     int
+	distinct map[int]int
+	min, max map[int]int64
+}
+
+func (f *fakeStats) Rows() int { return f.rows }
+func (f *fakeStats) Distinct(col int) int {
+	return f.distinct[col]
+}
+func (f *fakeStats) MinMax(col int) (value.Value, value.Value, bool) {
+	mn, ok := f.min[col]
+	if !ok {
+		return value.Value{}, value.Value{}, false
+	}
+	return value.NewInt(mn), value.NewInt(f.max[col]), true
+}
+
+func TestEstimateSelectivity(t *testing.T) {
+	st := &fakeStats{
+		rows:     1000,
+		distinct: map[int]int{0: 100, 1: 10},
+		min:      map[int]int64{0: 0, 1: 0},
+		max:      map[int]int64{0: 999, 1: 9},
+	}
+	approx := func(got, want float64) bool {
+		d := got - want
+		return d < 0.02 && d > -0.02
+	}
+	if s := EstimateSelectivity(&Comparison{Col: 0, Op: Eq, Val: value.NewInt(5)}, st); !approx(s, 0.01) {
+		t.Errorf("eq selectivity = %v", s)
+	}
+	if s := EstimateSelectivity(&Comparison{Col: 1, Op: Lt, Val: value.NewInt(3)}, st); !approx(s, 3.0/9) {
+		t.Errorf("lt selectivity = %v", s)
+	}
+	if s := EstimateSelectivity(&Between{Col: 0, Lo: value.NewInt(0), Hi: value.NewInt(499)}, st); !approx(s, 0.5) {
+		t.Errorf("between selectivity = %v", s)
+	}
+	and := &And{Preds: []Predicate{
+		&Comparison{Col: 0, Op: Eq, Val: value.NewInt(5)},
+		&Comparison{Col: 1, Op: Eq, Val: value.NewInt(5)},
+	}}
+	if s := EstimateSelectivity(and, st); !approx(s, 0.001) {
+		t.Errorf("and selectivity = %v", s)
+	}
+	or := &Or{Preds: []Predicate{
+		&Comparison{Col: 1, Op: Eq, Val: value.NewInt(1)},
+		&Comparison{Col: 1, Op: Eq, Val: value.NewInt(2)},
+	}}
+	if s := EstimateSelectivity(or, st); !approx(s, 0.19) {
+		t.Errorf("or selectivity = %v", s)
+	}
+	if s := EstimateSelectivity(&Not{P: &Comparison{Col: 1, Op: Eq, Val: value.NewInt(1)}}, st); !approx(s, 0.9) {
+		t.Errorf("not selectivity = %v", s)
+	}
+	if s := EstimateSelectivity(True{}, st); s != 1 {
+		t.Errorf("true selectivity = %v", s)
+	}
+	if s := EstimateSelectivity(&In{Col: 1, Vals: []value.Value{value.NewInt(1), value.NewInt(2)}}, st); !approx(s, 0.2) {
+		t.Errorf("in selectivity = %v", s)
+	}
+	// Unknown stats fall back to the default.
+	if s := EstimateSelectivity(&Comparison{Col: 9, Op: Eq, Val: value.NewInt(0)}, st); s != 0.1 {
+		t.Errorf("default selectivity = %v", s)
+	}
+	// Range on a column without min/max falls back too.
+	if s := EstimateSelectivity(&Comparison{Col: 9, Op: Lt, Val: value.NewInt(0)}, st); s != 0.1 {
+		t.Errorf("default range selectivity = %v", s)
+	}
+}
+
+func TestEstimateSelectivityClamped(t *testing.T) {
+	st := &fakeStats{rows: 10, distinct: map[int]int{0: 2}, min: map[int]int64{0: 5}, max: map[int]int64{0: 5}}
+	// Degenerate single-value range.
+	if s := EstimateSelectivity(&Comparison{Col: 0, Op: Le, Val: value.NewInt(10)}, st); s != 1 {
+		t.Errorf("degenerate range = %v", s)
+	}
+	if s := EstimateSelectivity(&Comparison{Col: 0, Op: Ge, Val: value.NewInt(10)}, st); s != 0 {
+		t.Errorf("impossible range = %v", s)
+	}
+	in := &In{Col: 0, Vals: []value.Value{value.NewInt(1), value.NewInt(2), value.NewInt(3)}}
+	if s := EstimateSelectivity(in, st); s != 1 {
+		t.Errorf("IN clamp = %v", s)
+	}
+}

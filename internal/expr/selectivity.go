@@ -1,0 +1,133 @@
+package expr
+
+import "hybridstore/internal/value"
+
+// ColumnStats supplies the per-column statistics needed for selectivity
+// estimation. The catalog's table statistics implement it.
+type ColumnStats interface {
+	// Rows returns the table cardinality.
+	Rows() int
+	// Distinct returns the number of distinct values in column col
+	// (0 when unknown).
+	Distinct(col int) int
+	// MinMax returns the value range of column col; ok is false when
+	// unknown or non-numeric.
+	MinMax(col int) (lo, hi value.Value, ok bool)
+}
+
+// defaultSel is the selectivity assumed when statistics give no signal.
+const defaultSel = 0.1
+
+// EstimateSelectivity predicts the fraction of rows matching the predicate
+// using textbook independence assumptions: equality is 1/NDV, ranges are
+// interpolated over [min, max], conjunctions multiply and disjunctions
+// combine by inclusion–exclusion. The estimate is clamped to [0, 1].
+func EstimateSelectivity(p Predicate, st ColumnStats) float64 {
+	return clamp01(estimate(p, st))
+}
+
+func estimate(p Predicate, st ColumnStats) float64 {
+	switch q := p.(type) {
+	case nil, True:
+		return 1
+	case *Comparison:
+		return estimateCmp(q, st)
+	case *Between:
+		return rangeFraction(q.Col, &q.Lo, &q.Hi, st)
+	case *In:
+		d := st.Distinct(q.Col)
+		if d <= 0 {
+			return defaultSel
+		}
+		s := float64(len(q.Vals)) / float64(d)
+		return clamp01(s)
+	case *And:
+		s := 1.0
+		for _, sub := range q.Preds {
+			s *= estimate(sub, st)
+		}
+		return s
+	case *Or:
+		inv := 1.0
+		for _, sub := range q.Preds {
+			inv *= 1 - estimate(sub, st)
+		}
+		return 1 - inv
+	case *Not:
+		return 1 - estimate(q.P, st)
+	default:
+		return defaultSel
+	}
+}
+
+func estimateCmp(c *Comparison, st ColumnStats) float64 {
+	switch c.Op {
+	case Eq:
+		d := st.Distinct(c.Col)
+		if d <= 0 {
+			return defaultSel
+		}
+		return 1 / float64(d)
+	case Ne:
+		d := st.Distinct(c.Col)
+		if d <= 0 {
+			return 1 - defaultSel
+		}
+		return 1 - 1/float64(d)
+	case Lt, Le:
+		return rangeFraction(c.Col, nil, &c.Val, st)
+	case Gt, Ge:
+		return rangeFraction(c.Col, &c.Val, nil, st)
+	default:
+		return defaultSel
+	}
+}
+
+// rangeFraction interpolates the fraction of [min, max] covered by
+// [lo, hi], assuming a uniform distribution.
+func rangeFraction(col int, lo, hi *value.Value, st ColumnStats) float64 {
+	mn, mx, ok := st.MinMax(col)
+	if !ok || mn.IsNull() || mx.IsNull() {
+		return defaultSel
+	}
+	lof, hif := mn.Float(), mx.Float()
+	width := hif - lof
+	if width <= 0 {
+		// Single-valued column: either the bound covers it or not.
+		v := mn.Float()
+		if lo != nil && lo.Float() > v {
+			return 0
+		}
+		if hi != nil && hi.Float() < v {
+			return 0
+		}
+		return 1
+	}
+	a, b := lof, hif
+	if lo != nil {
+		a = lo.Float()
+	}
+	if hi != nil {
+		b = hi.Float()
+	}
+	if a < lof {
+		a = lof
+	}
+	if b > hif {
+		b = hif
+	}
+	if b < a {
+		return 0
+	}
+	return clamp01((b - a) / width)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,345 @@
+// Package stats implements the extended workload statistics of the paper's
+// online mode: per-table query-type counters, per-attribute update and
+// aggregation counters, join counters between table pairs, and the
+// update-locality tracking ("tuples that are frequently updated as a
+// whole") that feeds the horizontal-partitioning heuristic in §3.2/§4.
+package stats
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"hybridstore/internal/expr"
+	"hybridstore/internal/query"
+	"hybridstore/internal/value"
+)
+
+// wideUpdateCols is the threshold above which an update counts as touching
+// a tuple "as a whole" (many attributes assigned or referenced by the
+// predicate).
+const wideUpdateCols = 3
+
+// TableStats accumulates workload statistics for one table.
+type TableStats struct {
+	// Query-type counters.
+	Inserts      int
+	InsertedRows int
+	Updates      int
+	UpdatedCols  int // total assigned columns over all updates
+	Deletes      int
+	PointSelects int
+	RangeSelects int
+	Aggregations int
+	JoinQueries  int
+
+	// Per-attribute counters, sized to the table's column count on first
+	// use.
+	AttrUpdates   []int // column assigned by an UPDATE
+	AttrAggs      []int // column aggregated
+	AttrGroupBys  []int // column grouped by
+	AttrPreds     []int // column referenced by any WHERE predicate
+	AttrOLAPPreds []int // column referenced by an aggregation query's predicate
+
+	// Wide updates: updates addressing many attributes — the signal for a
+	// row-store partition of "tuples frequently updated as a whole".
+	WideUpdates int
+
+	// Update key-range tracking on the table's first PK (or predicate)
+	// column, used to locate the hot tuple region for horizontal
+	// partitioning.
+	UpdateRangeCol   int
+	UpdateRangeSeen  bool
+	UpdateRangeLo    value.Value
+	UpdateRangeHi    value.Value
+	UpdateRangeCount int
+}
+
+func (ts *TableStats) ensureCols(n int) {
+	if len(ts.AttrUpdates) >= n {
+		return
+	}
+	grow := func(s []int) []int {
+		ns := make([]int, n)
+		copy(ns, s)
+		return ns
+	}
+	ts.AttrUpdates = grow(ts.AttrUpdates)
+	ts.AttrAggs = grow(ts.AttrAggs)
+	ts.AttrGroupBys = grow(ts.AttrGroupBys)
+	ts.AttrPreds = grow(ts.AttrPreds)
+	ts.AttrOLAPPreds = grow(ts.AttrOLAPPreds)
+}
+
+// TotalQueries returns all recorded statements against the table.
+func (ts *TableStats) TotalQueries() int {
+	return ts.Inserts + ts.Updates + ts.Deletes + ts.PointSelects + ts.RangeSelects + ts.Aggregations
+}
+
+// InsertFraction returns the fraction of inserts among the table's
+// statements — the paper's first horizontal-partitioning signal.
+func (ts *TableStats) InsertFraction() float64 {
+	tot := ts.TotalQueries()
+	if tot == 0 {
+		return 0
+	}
+	return float64(ts.Inserts) / float64(tot)
+}
+
+// OLTPAttrScore returns, per column, how strongly it is used by OLTP
+// operations (updates, selective predicates) versus OLAP operations
+// (aggregates, group-bys). Positive scores mark OLTP attributes — the
+// vertical-partitioning signal.
+func (ts *TableStats) OLTPAttrScore() []float64 {
+	n := len(ts.AttrUpdates)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		oltp := float64(ts.AttrUpdates[i])
+		olap := float64(ts.AttrAggs[i] + ts.AttrGroupBys[i])
+		out[i] = oltp - olap
+	}
+	return out
+}
+
+// Recorder collects extended workload statistics; it is safe for
+// concurrent use and is attached to the engine as a query observer in
+// online mode.
+type Recorder struct {
+	mu      sync.Mutex
+	tables  map[string]*TableStats
+	joins   map[[2]string]int
+	total   int
+	elapsed time.Duration
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		tables: make(map[string]*TableStats),
+		joins:  make(map[[2]string]int),
+	}
+}
+
+func (r *Recorder) tableLocked(name string) *TableStats {
+	k := strings.ToLower(name)
+	ts, ok := r.tables[k]
+	if !ok {
+		ts = &TableStats{UpdateRangeCol: -1}
+		r.tables[k] = ts
+	}
+	return ts
+}
+
+// Observe records one executed query and its runtime. It implements the
+// engine's QueryObserver interface.
+func (r *Recorder) Observe(q *query.Query, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	r.elapsed += d
+	ts := r.tableLocked(q.Table)
+	switch q.Kind {
+	case query.Insert:
+		ts.Inserts++
+		ts.InsertedRows += len(q.Rows)
+	case query.Update:
+		ts.Updates++
+		ts.UpdatedCols += len(q.Set)
+		maxCol := -1
+		for c := range q.Set {
+			if c > maxCol {
+				maxCol = c
+			}
+		}
+		predCols := expr.ColumnSet(q.Pred)
+		for _, c := range predCols {
+			if c > maxCol {
+				maxCol = c
+			}
+		}
+		ts.ensureCols(maxCol + 1)
+		for c := range q.Set {
+			ts.AttrUpdates[c]++
+		}
+		for _, c := range predCols {
+			ts.AttrPreds[c]++
+		}
+		if len(q.Set)+len(predCols) >= wideUpdateCols {
+			ts.WideUpdates++
+		}
+		r.trackUpdateRange(ts, q)
+	case query.Delete:
+		ts.Deletes++
+		r.bumpPreds(ts, q.Pred)
+	case query.Select:
+		if len(expr.ColumnSet(q.Pred)) > 0 && isPoint(q.Pred) {
+			ts.PointSelects++
+		} else {
+			ts.RangeSelects++
+		}
+		r.bumpPreds(ts, q.Pred)
+		if q.Join != nil {
+			r.recordJoin(q)
+		}
+	case query.Aggregate:
+		ts.Aggregations++
+		maxCol := -1
+		for _, s := range q.Aggs {
+			if s.Col > maxCol {
+				maxCol = s.Col
+			}
+		}
+		for _, c := range q.GroupBy {
+			if c > maxCol {
+				maxCol = c
+			}
+		}
+		predCols := expr.ColumnSet(q.Pred)
+		for _, c := range predCols {
+			if c > maxCol {
+				maxCol = c
+			}
+		}
+		ts.ensureCols(maxCol + 1)
+		for _, s := range q.Aggs {
+			if s.Col >= 0 {
+				ts.AttrAggs[s.Col]++
+			}
+		}
+		for _, c := range q.GroupBy {
+			ts.AttrGroupBys[c]++
+		}
+		for _, c := range predCols {
+			ts.AttrPreds[c]++
+			ts.AttrOLAPPreds[c]++
+		}
+		if q.Join != nil {
+			ts.JoinQueries++
+			r.recordJoin(q)
+		}
+	}
+}
+
+// isPoint treats a predicate as a point lookup when it contains an
+// equality conjunct.
+func isPoint(p expr.Predicate) bool {
+	for _, c := range expr.Conjuncts(p) {
+		if cmp, ok := c.(*expr.Comparison); ok && cmp.Op == expr.Eq {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Recorder) bumpPreds(ts *TableStats, p expr.Predicate) {
+	cols := expr.ColumnSet(p)
+	maxCol := -1
+	for _, c := range cols {
+		if c > maxCol {
+			maxCol = c
+		}
+	}
+	ts.ensureCols(maxCol + 1)
+	for _, c := range cols {
+		ts.AttrPreds[c]++
+	}
+}
+
+// trackUpdateRange widens the observed update key range. The range column
+// is the first predicate column seen carrying a range; once chosen it
+// stays fixed so ranges accumulate consistently.
+func (r *Recorder) trackUpdateRange(ts *TableStats, q *query.Query) {
+	col := ts.UpdateRangeCol
+	if col < 0 {
+		for _, c := range expr.ColumnSet(q.Pred) {
+			if _, ok := expr.RangeOn(q.Pred, c); ok {
+				col = c
+				break
+			}
+		}
+		if col < 0 {
+			return
+		}
+		ts.UpdateRangeCol = col
+	}
+	rg, ok := expr.RangeOn(q.Pred, col)
+	if !ok || rg.Lo == nil || rg.Hi == nil {
+		return
+	}
+	ts.UpdateRangeCount++
+	if !ts.UpdateRangeSeen {
+		ts.UpdateRangeLo, ts.UpdateRangeHi = *rg.Lo, *rg.Hi
+		ts.UpdateRangeSeen = true
+		return
+	}
+	if value.Less(*rg.Lo, ts.UpdateRangeLo) {
+		ts.UpdateRangeLo = *rg.Lo
+	}
+	if value.Less(ts.UpdateRangeHi, *rg.Hi) {
+		ts.UpdateRangeHi = *rg.Hi
+	}
+}
+
+func (r *Recorder) recordJoin(q *query.Query) {
+	a, b := strings.ToLower(q.Table), strings.ToLower(q.Join.Table)
+	if a > b {
+		a, b = b, a
+	}
+	r.joins[[2]string{a, b}]++
+}
+
+// Table returns the recorded statistics for a table (nil if never seen).
+func (r *Recorder) Table(name string) *TableStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tables[strings.ToLower(name)]
+}
+
+// Tables returns the sorted names of observed tables.
+func (r *Recorder) Tables() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.tables))
+	for k := range r.tables {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// JoinCount returns how often the two tables were joined.
+func (r *Recorder) JoinCount(a, b string) int {
+	a, b = strings.ToLower(a), strings.ToLower(b)
+	if a > b {
+		a, b = b, a
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.joins[[2]string{a, b}]
+}
+
+// TotalQueries returns the number of observed queries.
+func (r *Recorder) TotalQueries() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// TotalElapsed returns the accumulated execution time of observed queries.
+func (r *Recorder) TotalElapsed() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.elapsed
+}
+
+// Reset clears all statistics (used when re-evaluation intervals roll
+// over).
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tables = make(map[string]*TableStats)
+	r.joins = make(map[[2]string]int)
+	r.total = 0
+	r.elapsed = 0
+}

@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"testing"
+	"time"
+
+	"hybridstore/internal/agg"
+	"hybridstore/internal/expr"
+	"hybridstore/internal/query"
+	"hybridstore/internal/value"
+)
+
+func TestObserveInsert(t *testing.T) {
+	r := NewRecorder()
+	r.Observe(&query.Query{
+		Kind: query.Insert, Table: "T1",
+		Rows: [][]value.Value{{value.NewInt(1)}, {value.NewInt(2)}},
+	}, time.Millisecond)
+	ts := r.Table("t1")
+	if ts == nil || ts.Inserts != 1 || ts.InsertedRows != 2 {
+		t.Fatalf("insert stats = %+v", ts)
+	}
+	if r.TotalQueries() != 1 || r.TotalElapsed() != time.Millisecond {
+		t.Error("totals wrong")
+	}
+	if ts.InsertFraction() != 1 {
+		t.Errorf("insert fraction = %v", ts.InsertFraction())
+	}
+}
+
+func TestObserveUpdate(t *testing.T) {
+	r := NewRecorder()
+	q := &query.Query{
+		Kind: query.Update, Table: "t",
+		Set:  map[int]value.Value{2: value.NewInt(1), 3: value.NewInt(2)},
+		Pred: &expr.Comparison{Col: 0, Op: expr.Eq, Val: value.NewInt(7)},
+	}
+	r.Observe(q, 0)
+	ts := r.Table("t")
+	if ts.Updates != 1 || ts.UpdatedCols != 2 {
+		t.Errorf("update counters: %+v", ts)
+	}
+	if ts.AttrUpdates[2] != 1 || ts.AttrUpdates[3] != 1 {
+		t.Errorf("attr updates: %v", ts.AttrUpdates)
+	}
+	if ts.AttrPreds[0] != 1 {
+		t.Errorf("attr preds: %v", ts.AttrPreds)
+	}
+	// 2 set cols + 1 pred col = 3 >= threshold: wide update.
+	if ts.WideUpdates != 1 {
+		t.Errorf("wide updates = %d", ts.WideUpdates)
+	}
+}
+
+func TestObserveUpdateRangeTracking(t *testing.T) {
+	r := NewRecorder()
+	mk := func(lo, hi int64) *query.Query {
+		return &query.Query{
+			Kind: query.Update, Table: "t",
+			Set: map[int]value.Value{1: value.NewInt(0)},
+			Pred: &expr.And{Preds: []expr.Predicate{
+				&expr.Comparison{Col: 0, Op: expr.Ge, Val: value.NewBigint(lo)},
+				&expr.Comparison{Col: 0, Op: expr.Le, Val: value.NewBigint(hi)},
+			}},
+		}
+	}
+	r.Observe(mk(900, 950), 0)
+	r.Observe(mk(920, 990), 0)
+	r.Observe(mk(880, 910), 0)
+	ts := r.Table("t")
+	if !ts.UpdateRangeSeen || ts.UpdateRangeCol != 0 {
+		t.Fatalf("range not tracked: %+v", ts)
+	}
+	if ts.UpdateRangeLo.Int() != 880 || ts.UpdateRangeHi.Int() != 990 {
+		t.Errorf("range = [%v, %v]", ts.UpdateRangeLo, ts.UpdateRangeHi)
+	}
+	if ts.UpdateRangeCount != 3 {
+		t.Errorf("range count = %d", ts.UpdateRangeCount)
+	}
+}
+
+func TestObserveSelectPointVsRange(t *testing.T) {
+	r := NewRecorder()
+	r.Observe(&query.Query{
+		Kind: query.Select, Table: "t",
+		Pred: &expr.Comparison{Col: 0, Op: expr.Eq, Val: value.NewInt(1)},
+	}, 0)
+	r.Observe(&query.Query{
+		Kind: query.Select, Table: "t",
+		Pred: &expr.Comparison{Col: 0, Op: expr.Gt, Val: value.NewInt(1)},
+	}, 0)
+	r.Observe(&query.Query{Kind: query.Select, Table: "t"}, 0)
+	ts := r.Table("t")
+	if ts.PointSelects != 1 || ts.RangeSelects != 2 {
+		t.Errorf("point=%d range=%d", ts.PointSelects, ts.RangeSelects)
+	}
+}
+
+func TestObserveAggregate(t *testing.T) {
+	r := NewRecorder()
+	r.Observe(&query.Query{
+		Kind: query.Aggregate, Table: "t",
+		Aggs:    []agg.Spec{{Func: agg.Sum, Col: 4}, {Func: agg.Count, Col: -1}},
+		GroupBy: []int{1},
+		Pred:    &expr.Comparison{Col: 2, Op: expr.Lt, Val: value.NewInt(9)},
+	}, 0)
+	ts := r.Table("t")
+	if ts.Aggregations != 1 {
+		t.Errorf("aggs = %d", ts.Aggregations)
+	}
+	if ts.AttrAggs[4] != 1 || ts.AttrGroupBys[1] != 1 || ts.AttrPreds[2] != 1 {
+		t.Errorf("attr counters: aggs=%v gb=%v preds=%v", ts.AttrAggs, ts.AttrGroupBys, ts.AttrPreds)
+	}
+}
+
+func TestObserveJoins(t *testing.T) {
+	r := NewRecorder()
+	r.Observe(&query.Query{
+		Kind: query.Aggregate, Table: "fact",
+		Aggs: []agg.Spec{{Func: agg.Sum, Col: 0}},
+		Join: &query.Join{Table: "dim"},
+	}, 0)
+	r.Observe(&query.Query{
+		Kind: query.Select, Table: "dim",
+		Join: &query.Join{Table: "fact"},
+	}, 0)
+	if got := r.JoinCount("fact", "dim"); got != 2 {
+		t.Errorf("JoinCount = %d", got)
+	}
+	if got := r.JoinCount("dim", "fact"); got != 2 {
+		t.Errorf("JoinCount symmetric = %d", got)
+	}
+	if r.Table("fact").JoinQueries != 1 {
+		t.Errorf("fact join queries = %d", r.Table("fact").JoinQueries)
+	}
+}
+
+func TestObserveDelete(t *testing.T) {
+	r := NewRecorder()
+	r.Observe(&query.Query{
+		Kind: query.Delete, Table: "t",
+		Pred: &expr.Comparison{Col: 1, Op: expr.Lt, Val: value.NewInt(0)},
+	}, 0)
+	ts := r.Table("t")
+	if ts.Deletes != 1 || ts.AttrPreds[1] != 1 {
+		t.Errorf("delete stats: %+v", ts)
+	}
+}
+
+func TestOLTPAttrScore(t *testing.T) {
+	r := NewRecorder()
+	// Column 1 is updated often; column 2 is aggregated often.
+	for i := 0; i < 10; i++ {
+		r.Observe(&query.Query{
+			Kind: query.Update, Table: "t",
+			Set:  map[int]value.Value{1: value.NewInt(0)},
+			Pred: &expr.Comparison{Col: 0, Op: expr.Eq, Val: value.NewInt(int64(i))},
+		}, 0)
+	}
+	for i := 0; i < 5; i++ {
+		r.Observe(&query.Query{
+			Kind: query.Aggregate, Table: "t",
+			Aggs: []agg.Spec{{Func: agg.Sum, Col: 2}},
+		}, 0)
+	}
+	scores := r.Table("t").OLTPAttrScore()
+	if scores[1] <= 0 {
+		t.Errorf("updated column score = %v", scores[1])
+	}
+	if scores[2] >= 0 {
+		t.Errorf("aggregated column score = %v", scores[2])
+	}
+}
+
+func TestTablesAndReset(t *testing.T) {
+	r := NewRecorder()
+	r.Observe(&query.Query{Kind: query.Select, Table: "b"}, 0)
+	r.Observe(&query.Query{Kind: query.Select, Table: "A"}, 0)
+	names := r.Tables()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Tables = %v", names)
+	}
+	r.Reset()
+	if r.TotalQueries() != 0 || len(r.Tables()) != 0 || r.TotalElapsed() != 0 {
+		t.Error("Reset incomplete")
+	}
+}

@@ -1,0 +1,170 @@
+package tpch
+
+import (
+	"testing"
+
+	"hybridstore/internal/catalog"
+	"hybridstore/internal/engine"
+	"hybridstore/internal/query"
+	"hybridstore/internal/value"
+)
+
+func TestSchemasComplete(t *testing.T) {
+	schemas := Schemas()
+	if len(schemas) != 8 {
+		t.Fatalf("tables = %d", len(schemas))
+	}
+	for _, name := range TableNames {
+		sch, ok := schemas[name]
+		if !ok {
+			t.Fatalf("missing %q", name)
+		}
+		if len(sch.PrimaryKey) == 0 {
+			t.Errorf("%s has no primary key", name)
+		}
+	}
+	if schemas["lineitem"].NumColumns() != 16 {
+		t.Errorf("lineitem columns = %d, want 16", schemas["lineitem"].NumColumns())
+	}
+	if schemas["orders"].NumColumns() != 9 {
+		t.Errorf("orders columns = %d, want 9", schemas["orders"].NumColumns())
+	}
+	if len(schemas["partsupp"].PrimaryKey) != 2 || len(schemas["lineitem"].PrimaryKey) != 2 {
+		t.Error("composite keys missing")
+	}
+}
+
+func TestSizesRatios(t *testing.T) {
+	s := Sizes(1)
+	if s["region"] != 5 || s["nation"] != 25 {
+		t.Errorf("fixed tables: %v", s)
+	}
+	if s["orders"] != 1_500_000 || s["customer"] != 150_000 {
+		t.Errorf("sf1 sizes: %v", s)
+	}
+	if s["orders"]/s["customer"] != 10 {
+		t.Error("orders:customer ratio should be 10:1")
+	}
+	tiny := Sizes(0.001)
+	for _, n := range tiny {
+		if n < 1 {
+			t.Errorf("degenerate size: %v", tiny)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g1 := NewGenerator(0.002, 9)
+	g2 := NewGenerator(0.002, 9)
+	sum := func(g *Generator) float64 {
+		total := 0.0
+		err := g.Generate("orders", func(rows [][]value.Value) error {
+			for _, r := range rows {
+				total += r[3].Double()
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return total
+	}
+	if sum(g1) != sum(g2) {
+		t.Error("generation is not deterministic")
+	}
+}
+
+func TestGenerateUnknownTable(t *testing.T) {
+	g := NewGenerator(0.01, 1)
+	if err := g.Generate("bogus", func([][]value.Value) error { return nil }); err == nil {
+		t.Error("unknown table accepted")
+	}
+}
+
+func loadTiny(t *testing.T, store catalog.StoreKind) (*engine.Database, *Generator) {
+	t.Helper()
+	db := engine.New()
+	g, err := Load(db, 0.002, 3, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, g
+}
+
+func TestLoadAllTables(t *testing.T) {
+	db, g := loadTiny(t, catalog.ColumnStore)
+	for _, name := range TableNames {
+		n, err := db.Rows(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if n == 0 {
+			t.Errorf("%s is empty", name)
+		}
+		if name == "orders" && n != g.Rows("orders") {
+			t.Errorf("orders rows = %d, want %d", n, g.Rows("orders"))
+		}
+	}
+	// lineitem averages ~4 rows per order.
+	li, _ := db.Rows("lineitem")
+	or, _ := db.Rows("orders")
+	ratio := float64(li) / float64(or)
+	if ratio < 2.5 || ratio > 6 {
+		t.Errorf("lineitem/orders ratio = %v", ratio)
+	}
+}
+
+func TestWorkloadShape(t *testing.T) {
+	g := NewGenerator(0.002, 3)
+	w := GenWorkload(g, WorkloadConfig{Queries: 2000, OLAPFraction: 0.01, Seed: 5})
+	if w.Len() != 2000 {
+		t.Fatalf("len = %d", w.Len())
+	}
+	frac := w.OLAPFraction()
+	if frac < 0.008 || frac > 0.012 {
+		t.Errorf("OLAP fraction = %v", frac)
+	}
+	var touched = map[string]bool{}
+	joins := 0
+	for _, q := range w.Queries {
+		touched[q.Table] = true
+		if q.Table == "nation" || q.Table == "region" {
+			if q.Kind == query.Insert || q.Kind == query.Update {
+				t.Error("nation/region must not receive DML (paper §5.3)")
+			}
+		}
+		if q.Join != nil {
+			joins++
+		}
+	}
+	for _, must := range []string{"lineitem", "orders", "customer"} {
+		if !touched[must] {
+			t.Errorf("workload never touches %s", must)
+		}
+	}
+	if joins == 0 {
+		t.Error("workload should contain join queries")
+	}
+}
+
+func TestWorkloadExecutable(t *testing.T) {
+	db, g := loadTiny(t, catalog.RowStore)
+	w := GenWorkload(g, WorkloadConfig{Queries: 300, OLAPFraction: 0.02, Seed: 7})
+	for i, q := range w.Queries {
+		if _, err := db.Exec(q); err != nil {
+			t.Fatalf("query %d (%s): %v", i, q, err)
+		}
+	}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	g := NewGenerator(0.002, 3)
+	a := GenWorkload(g, WorkloadConfig{Queries: 100, OLAPFraction: 0.05, Seed: 11})
+	g2 := NewGenerator(0.002, 3)
+	b := GenWorkload(g2, WorkloadConfig{Queries: 100, OLAPFraction: 0.05, Seed: 11})
+	for i := range a.Queries {
+		if a.Queries[i].String() != b.Queries[i].String() {
+			t.Fatalf("workload differs at %d", i)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+package tpch
+
+import (
+	"math/rand"
+
+	"hybridstore/internal/agg"
+	"hybridstore/internal/expr"
+	"hybridstore/internal/query"
+	"hybridstore/internal/value"
+)
+
+// WorkloadConfig parameterizes the paper's TPC-H mixed workload: 5000
+// queries with a fraction of about 1% OLAP queries (§5.3).
+type WorkloadConfig struct {
+	Queries      int
+	OLAPFraction float64
+	// HotOrderFraction restricts orders/lineitem status updates to the
+	// most recent fraction of order keys — order status transitions have
+	// temporal locality, which is what makes the paper's horizontal
+	// partitioning of lineitem and orders effective. Zero defaults to 0.2.
+	HotOrderFraction float64
+	Seed             int64
+}
+
+// DefaultWorkloadConfig mirrors the paper's setting.
+func DefaultWorkloadConfig() WorkloadConfig {
+	return WorkloadConfig{Queries: 5000, OLAPFraction: 0.01, HotOrderFraction: 0.2, Seed: 1}
+}
+
+// oltpTables are the insert/update targets: "all tables but nation and
+// region", weighted toward the large transactional tables. insertProb is
+// the insert share of each table's DML: line items are append-mostly
+// (each is status-updated at most a few times), master data is
+// update-mostly.
+var oltpTables = []struct {
+	name       string
+	weight     float64
+	insertProb float64
+}{
+	{"lineitem", 0.35, 0.65},
+	{"orders", 0.30, 0.45},
+	{"customer", 0.10, 0.25},
+	{"part", 0.10, 0.25},
+	{"partsupp", 0.08, 0.25},
+	{"supplier", 0.07, 0.25},
+}
+
+// GenWorkload generates the mixed TPC-H workload. Insert statements carry
+// fresh primary keys above the generated data so the workload is
+// executable; updates address existing keys.
+func GenWorkload(g *Generator, cfg WorkloadConfig) *query.Workload {
+	if cfg.Queries <= 0 {
+		cfg.Queries = DefaultWorkloadConfig().Queries
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	schemas := Schemas()
+	col := func(table, name string) int {
+		return schemas[table].ColIndex(name)
+	}
+	w := &query.Workload{}
+	next := map[string]int64{
+		"orders":   int64(g.Rows("orders")) + 1,
+		"lineitem": int64(g.Rows("orders")) + 1_000_000_000,
+		"customer": int64(g.Rows("customer")) + 1,
+		"part":     int64(g.Rows("part")) + 1,
+		"partsupp": int64(g.Rows("part")) + 1,
+		"supplier": int64(g.Rows("supplier")) + 1,
+	}
+
+	olapQuery := func() *query.Query {
+		switch rng.Intn(6) {
+		case 0: // plain lineitem aggregate
+			return &query.Query{
+				Kind: query.Aggregate, Table: "lineitem",
+				Aggs: []agg.Spec{
+					{Func: agg.Sum, Col: col("lineitem", "l_extendedprice")},
+					{Func: agg.Sum, Col: col("lineitem", "l_discount")},
+					{Func: agg.Avg, Col: col("lineitem", "l_quantity")},
+					{Func: agg.Max, Col: col("lineitem", "l_extendedprice")},
+				},
+			}
+		case 1: // grouped lineitem aggregate (Q1: eight aggregates)
+			return &query.Query{
+				Kind: query.Aggregate, Table: "lineitem",
+				Aggs: []agg.Spec{
+					{Func: agg.Sum, Col: col("lineitem", "l_quantity")},
+					{Func: agg.Sum, Col: col("lineitem", "l_extendedprice")},
+					{Func: agg.Sum, Col: col("lineitem", "l_discount")},
+					{Func: agg.Sum, Col: col("lineitem", "l_tax")},
+					{Func: agg.Avg, Col: col("lineitem", "l_quantity")},
+					{Func: agg.Avg, Col: col("lineitem", "l_extendedprice")},
+					{Func: agg.Avg, Col: col("lineitem", "l_discount")},
+					{Func: agg.Count, Col: -1},
+				},
+				GroupBy: []int{col("lineitem", "l_returnflag"), col("lineitem", "l_linestatus")},
+				Pred: &expr.Comparison{
+					Col: col("lineitem", "l_shipdate"), Op: expr.Le,
+					Val: value.NewDate(8035 + rng.Int63n(2406)),
+				},
+			}
+		case 2: // orders aggregate grouped by priority
+			return &query.Query{
+				Kind: query.Aggregate, Table: "orders",
+				Aggs: []agg.Spec{
+					{Func: agg.Sum, Col: col("orders", "o_totalprice")},
+					{Func: agg.Avg, Col: col("orders", "o_totalprice")},
+					{Func: agg.Min, Col: col("orders", "o_orderdate")},
+					{Func: agg.Max, Col: col("orders", "o_orderdate")},
+					{Func: agg.Count, Col: -1},
+				},
+				GroupBy: []int{col("orders", "o_orderpriority")},
+			}
+		case 3: // lineitem ⋈ orders with a date filter (Q3/Q4-like)
+			nL := schemas["lineitem"].NumColumns()
+			return &query.Query{
+				Kind: query.Aggregate, Table: "lineitem",
+				Join: &query.Join{
+					Table:    "orders",
+					LeftCol:  col("lineitem", "l_orderkey"),
+					RightCol: col("orders", "o_orderkey"),
+				},
+				Aggs:    []agg.Spec{{Func: agg.Sum, Col: col("lineitem", "l_extendedprice")}},
+				GroupBy: []int{nL + col("orders", "o_orderpriority")},
+				Pred: &expr.Comparison{
+					Col: col("lineitem", "l_shipdate"), Op: expr.Le,
+					Val: value.NewDate(8035 + 300 + rng.Int63n(900)),
+				},
+			}
+		case 4: // orders ⋈ customer grouped by market segment (Q3-like filter)
+			nL := schemas["orders"].NumColumns()
+			return &query.Query{
+				Kind: query.Aggregate, Table: "orders",
+				Join: &query.Join{
+					Table:    "customer",
+					LeftCol:  col("orders", "o_custkey"),
+					RightCol: col("customer", "c_custkey"),
+				},
+				Aggs:    []agg.Spec{{Func: agg.Sum, Col: col("orders", "o_totalprice")}},
+				GroupBy: []int{nL + col("customer", "c_mktsegment")},
+				Pred: &expr.Comparison{
+					Col: col("orders", "o_orderdate"), Op: expr.Le,
+					Val: value.NewDate(8035 + 300 + rng.Int63n(900)),
+				},
+			}
+		default: // lineitem shipping-mode aggregate
+			return &query.Query{
+				Kind: query.Aggregate, Table: "lineitem",
+				Aggs: []agg.Spec{
+					{Func: agg.Sum, Col: col("lineitem", "l_discount")},
+					{Func: agg.Sum, Col: col("lineitem", "l_extendedprice")},
+					{Func: agg.Avg, Col: col("lineitem", "l_tax")},
+					{Func: agg.Max, Col: col("lineitem", "l_extendedprice")},
+				},
+				GroupBy: []int{col("lineitem", "l_shipmode")},
+			}
+		}
+	}
+
+	hotFrac := cfg.HotOrderFraction
+	if hotFrac <= 0 || hotFrac > 1 {
+		hotFrac = 0.2
+	}
+
+	pickOLTPTable := func() (string, float64) {
+		r := rng.Float64()
+		acc := 0.0
+		for _, t := range oltpTables {
+			acc += t.weight
+			if r < acc {
+				return t.name, t.insertProb
+			}
+		}
+		return "lineitem", 0.65
+	}
+
+	oltpQuery := func() *query.Query {
+		table, insertProb := pickOLTPTable()
+		if rng.Float64() < insertProb {
+			return genInsert(g, rng, table, next)
+		}
+		return genUpdate(g, rng, table, col, hotFrac)
+	}
+
+	olap := 0
+	for i := 0; i < cfg.Queries; i++ {
+		if float64(olap) < cfg.OLAPFraction*float64(i+1) {
+			olap++
+			w.Add(olapQuery())
+			continue
+		}
+		w.Add(oltpQuery())
+	}
+	return w
+}
+
+func genInsert(g *Generator, rng *rand.Rand, table string, next map[string]int64) *query.Query {
+	var row []value.Value
+	switch table {
+	case "orders":
+		row = g.orderRow(rng, next["orders"], g.Rows("customer"))
+		next["orders"]++
+	case "lineitem":
+		row = g.lineitemRow(rng, next["lineitem"], 1)
+		next["lineitem"]++
+	case "customer":
+		k := next["customer"]
+		next["customer"]++
+		row = []value.Value{
+			value.NewBigint(k),
+			value.NewVarchar("Customer#new"),
+			value.NewVarchar("addr-new"),
+			value.NewInt(rng.Int63n(nationRows)),
+			value.NewVarchar("00-000-0000"),
+			value.NewDouble(0),
+			value.NewVarchar(segments[rng.Intn(len(segments))]),
+			comment(rng),
+		}
+	case "part":
+		k := next["part"]
+		next["part"]++
+		row = []value.Value{
+			value.NewBigint(k),
+			value.NewVarchar("part new"),
+			value.NewVarchar("Manufacturer#1"),
+			value.NewVarchar("Brand#11"),
+			value.NewVarchar(types[rng.Intn(len(types))]),
+			value.NewInt(1 + rng.Int63n(50)),
+			value.NewVarchar(containers[rng.Intn(len(containers))]),
+			value.NewDouble(1000),
+			comment(rng),
+		}
+	case "partsupp":
+		k := next["partsupp"]
+		next["partsupp"]++
+		row = []value.Value{
+			value.NewBigint(k),
+			value.NewBigint(1 + rng.Int63n(int64(g.Rows("supplier")))),
+			value.NewInt(1 + rng.Int63n(9999)),
+			value.NewDouble(float64(rng.Intn(100000)) / 100),
+			comment(rng),
+		}
+	case "supplier":
+		k := next["supplier"]
+		next["supplier"]++
+		row = []value.Value{
+			value.NewBigint(k),
+			value.NewVarchar("Supplier#new"),
+			value.NewVarchar("addr-new"),
+			value.NewInt(rng.Int63n(nationRows)),
+			value.NewVarchar("00-000-0000"),
+			value.NewDouble(0),
+			comment(rng),
+		}
+	}
+	return &query.Query{Kind: query.Insert, Table: table, Rows: [][]value.Value{row}}
+}
+
+func genUpdate(g *Generator, rng *rand.Rand, table string, col func(table, name string) int, hotFrac float64) *query.Query {
+	pkEq := func(c int, k int64) expr.Predicate {
+		return &expr.Comparison{Col: c, Op: expr.Eq, Val: value.NewBigint(k)}
+	}
+	// Status updates address recent orders.
+	hotOrderKey := func() int64 {
+		n := int64(g.Rows("orders"))
+		hot := int64(float64(n) * hotFrac)
+		if hot < 1 {
+			hot = 1
+		}
+		return n - hot + 1 + rng.Int63n(hot)
+	}
+	switch table {
+	case "orders":
+		k := hotOrderKey()
+		set := map[int]value.Value{
+			col("orders", "o_orderstatus"): value.NewVarchar(orderStatuses[rng.Intn(len(orderStatuses))]),
+		}
+		if rng.Intn(2) == 0 {
+			set[col("orders", "o_totalprice")] = value.NewDouble(float64(rng.Intn(5000000)) / 100)
+		}
+		return &query.Query{Kind: query.Update, Table: "orders", Set: set,
+			Pred: pkEq(col("orders", "o_orderkey"), k)}
+	case "lineitem":
+		k := hotOrderKey()
+		set := map[int]value.Value{
+			col("lineitem", "l_linestatus"): value.NewVarchar([]string{"F", "O"}[rng.Intn(2)]),
+		}
+		return &query.Query{Kind: query.Update, Table: "lineitem", Set: set,
+			Pred: pkEq(col("lineitem", "l_orderkey"), k)}
+	case "customer":
+		k := 1 + rng.Int63n(int64(g.Rows("customer")))
+		return &query.Query{Kind: query.Update, Table: "customer",
+			Set:  map[int]value.Value{col("customer", "c_acctbal"): value.NewDouble(float64(rng.Intn(100000)) / 100)},
+			Pred: pkEq(col("customer", "c_custkey"), k)}
+	case "part":
+		k := 1 + rng.Int63n(int64(g.Rows("part")))
+		return &query.Query{Kind: query.Update, Table: "part",
+			Set:  map[int]value.Value{col("part", "p_retailprice"): value.NewDouble(900 + float64(rng.Intn(110000))/100)},
+			Pred: pkEq(col("part", "p_partkey"), k)}
+	case "partsupp":
+		k := 1 + rng.Int63n(int64(g.Rows("part")))
+		return &query.Query{Kind: query.Update, Table: "partsupp",
+			Set:  map[int]value.Value{col("partsupp", "ps_availqty"): value.NewInt(1 + rng.Int63n(9999))},
+			Pred: pkEq(col("partsupp", "ps_partkey"), k)}
+	default: // supplier
+		k := 1 + rng.Int63n(int64(g.Rows("supplier")))
+		return &query.Query{Kind: query.Update, Table: "supplier",
+			Set:  map[int]value.Value{col("supplier", "s_acctbal"): value.NewDouble(float64(rng.Intn(100000)) / 100)},
+			Pred: pkEq(col("supplier", "s_suppkey"), k)}
+	}
+}

@@ -1,0 +1,308 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTypeString(t *testing.T) {
+	cases := map[Type]string{
+		Integer: "INTEGER", Bigint: "BIGINT", Double: "DOUBLE",
+		Varchar: "VARCHAR", Date: "DATE",
+	}
+	for typ, want := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", typ, got, want)
+		}
+	}
+	if got := Type(99).String(); got != "Type(99)" {
+		t.Errorf("unknown type string = %q", got)
+	}
+}
+
+func TestParseType(t *testing.T) {
+	for _, typ := range Types {
+		got, err := ParseType(typ.String())
+		if err != nil || got != typ {
+			t.Errorf("ParseType(%q) = %v, %v", typ.String(), got, err)
+		}
+	}
+	aliases := map[string]Type{"INT": Integer, "FLOAT": Double, "STRING": Varchar, "TEXT": Varchar}
+	for s, want := range aliases {
+		got, err := ParseType(s)
+		if err != nil || got != want {
+			t.Errorf("ParseType(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseType("BLOB"); err == nil {
+		t.Error("ParseType(BLOB) should fail")
+	}
+}
+
+func TestNumeric(t *testing.T) {
+	numeric := map[Type]bool{Integer: true, Bigint: true, Double: true, Varchar: false, Date: false}
+	for typ, want := range numeric {
+		if got := typ.Numeric(); got != want {
+			t.Errorf("%v.Numeric() = %v, want %v", typ, got, want)
+		}
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if v := NewInt(42); v.Type() != Integer || v.Int() != 42 || v.IsNull() {
+		t.Errorf("NewInt broken: %+v", v)
+	}
+	if v := NewBigint(-7); v.Type() != Bigint || v.Int() != -7 {
+		t.Errorf("NewBigint broken: %+v", v)
+	}
+	if v := NewDouble(3.25); v.Type() != Double || v.Double() != 3.25 {
+		t.Errorf("NewDouble broken: %+v", v)
+	}
+	if v := NewVarchar("abc"); v.Type() != Varchar || v.Varchar() != "abc" {
+		t.Errorf("NewVarchar broken: %+v", v)
+	}
+	if v := NewDate(100); v.Type() != Date || v.Int() != 100 {
+		t.Errorf("NewDate broken: %+v", v)
+	}
+	if v := Null(Double); !v.IsNull() || v.Type() != Double {
+		t.Errorf("Null broken: %+v", v)
+	}
+}
+
+func TestDateConversions(t *testing.T) {
+	d, err := ParseDate("1970-01-11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Int() != 10 {
+		t.Errorf("1970-01-11 = day %d, want 10", d.Int())
+	}
+	if s := d.String(); s != "1970-01-11" {
+		t.Errorf("String() = %q", s)
+	}
+	if _, err := ParseDate("not-a-date"); err == nil {
+		t.Error("ParseDate should fail on garbage")
+	}
+	ts := time.Date(2012, 8, 27, 15, 4, 5, 0, time.UTC) // VLDB 2012 started Aug 27
+	d2 := DateFromTime(ts)
+	if d2.String() != "2012-08-27" {
+		t.Errorf("DateFromTime = %s", d2.String())
+	}
+}
+
+func TestFloatWidening(t *testing.T) {
+	if f := NewInt(5).Float(); f != 5 {
+		t.Errorf("int Float = %v", f)
+	}
+	if f := NewDouble(2.5).Float(); f != 2.5 {
+		t.Errorf("double Float = %v", f)
+	}
+	if f := Null(Integer).Float(); f != 0 {
+		t.Errorf("null Float = %v", f)
+	}
+	if f := NewVarchar("x").Float(); f != 0 {
+		t.Errorf("varchar Float = %v", f)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{NewInt(7), "7"},
+		{NewBigint(-9), "-9"},
+		{NewDouble(1.5), "1.5"},
+		{NewVarchar("hi"), "hi"},
+		{Null(Varchar), "NULL"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewDouble(1.5), NewDouble(2.5), -1},
+		{NewDouble(2.5), NewDouble(2.5), 0},
+		{NewVarchar("a"), NewVarchar("b"), -1},
+		{NewVarchar("b"), NewVarchar("b"), 0},
+		{Null(Integer), NewInt(-100), -1},
+		{NewInt(-100), Null(Integer), 1},
+		{Null(Integer), Null(Integer), 0},
+		{NewDate(5), NewDate(9), -1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := Less(c.a, c.b); got != (c.want < 0) {
+			t.Errorf("Less(%v,%v) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestCompareTypeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Compare across types should panic")
+		}
+	}()
+	Compare(NewInt(1), NewDouble(1))
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(NewInt(3), NewInt(3)) {
+		t.Error("3 != 3")
+	}
+	if Equal(NewInt(3), NewInt(4)) {
+		t.Error("3 == 4")
+	}
+	if Equal(NewInt(3), NewBigint(3)) {
+		t.Error("types should not mix")
+	}
+	if !Equal(Null(Double), Null(Double)) {
+		t.Error("NULL should equal NULL for Equal")
+	}
+	if Equal(Null(Double), NewDouble(0)) {
+		t.Error("NULL != 0")
+	}
+	if !Equal(NewVarchar("x"), NewVarchar("x")) {
+		t.Error("varchar equality broken")
+	}
+}
+
+func TestHashConsistency(t *testing.T) {
+	pairs := [][2]Value{
+		{NewInt(12345), NewInt(12345)},
+		{NewVarchar("hello"), NewVarchar("hello")},
+		{Null(Date), Null(Date)},
+		{NewDouble(math.Pi), NewDouble(math.Pi)},
+	}
+	for _, p := range pairs {
+		if p[0].Hash() != p[1].Hash() {
+			t.Errorf("equal values hash differently: %v", p[0])
+		}
+	}
+	if NewInt(1).Hash() == NewInt(2).Hash() {
+		t.Error("suspicious: 1 and 2 collide")
+	}
+}
+
+func TestHashRow(t *testing.T) {
+	a := []Value{NewInt(1), NewVarchar("x")}
+	b := []Value{NewInt(1), NewVarchar("x")}
+	c := []Value{NewInt(2), NewVarchar("x")}
+	if HashRow(a) != HashRow(b) {
+		t.Error("equal rows hash differently")
+	}
+	if HashRow(a) == HashRow(c) {
+		t.Error("suspicious row collision")
+	}
+}
+
+func TestKeyUniqueness(t *testing.T) {
+	vals := []Value{
+		NewInt(0), NewInt(1), NewInt(-1), Null(Integer),
+		NewVarchar(""), NewVarchar("a"), NewDouble(0), NewDouble(1),
+	}
+	seen := map[string]Value{}
+	for _, v := range vals {
+		k := v.Key()
+		if prev, ok := seen[k]; ok && !Equal(prev, v) && prev.Type() == v.Type() {
+			t.Errorf("key collision between %v and %v", prev, v)
+		}
+		seen[k] = v
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	v, err := Coerce(NewInt(5), Double)
+	if err != nil || v.Double() != 5 {
+		t.Errorf("int->double: %v, %v", v, err)
+	}
+	v, err = Coerce(NewInt(5), Bigint)
+	if err != nil || v.Int() != 5 || v.Type() != Bigint {
+		t.Errorf("int->bigint: %v, %v", v, err)
+	}
+	v, err = Coerce(NewBigint(5), Integer)
+	if err != nil || v.Int() != 5 || v.Type() != Integer {
+		t.Errorf("bigint->int: %v, %v", v, err)
+	}
+	v, err = Coerce(NewVarchar("2000-01-01"), Date)
+	if err != nil || v.Type() != Date {
+		t.Errorf("varchar->date: %v, %v", v, err)
+	}
+	v, err = Coerce(Null(Integer), Double)
+	if err != nil || !v.IsNull() || v.Type() != Double {
+		t.Errorf("null coercion: %v, %v", v, err)
+	}
+	if _, err := Coerce(NewVarchar("x"), Integer); err == nil {
+		t.Error("varchar->int should fail")
+	}
+	v, err = Coerce(NewInt(42), Varchar)
+	if err != nil || v.Varchar() != "42" {
+		t.Errorf("int->varchar: %v, %v", v, err)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	if NewInt(1).Bytes() != 4 {
+		t.Error("int bytes")
+	}
+	if NewDouble(1).Bytes() != 8 {
+		t.Error("double bytes")
+	}
+	if NewVarchar("abcd").Bytes() != 4 {
+		t.Error("varchar bytes")
+	}
+}
+
+// Property: Compare is antisymmetric and Equal implies Compare==0 for
+// same-typed integer values.
+func TestCompareProperties(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := NewInt(a), NewInt(b)
+		if Compare(va, vb) != -Compare(vb, va) {
+			return false
+		}
+		if Equal(va, vb) != (Compare(va, vb) == 0) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Hash respects Equal for varchar values.
+func TestHashEqualProperty(t *testing.T) {
+	f := func(s string) bool {
+		return NewVarchar(s).Hash() == NewVarchar(s).Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: double round-trips through the bits representation.
+func TestDoubleRoundTrip(t *testing.T) {
+	f := func(x float64) bool {
+		v := NewDouble(x)
+		return v.Double() == x || (math.IsNaN(x) && math.IsNaN(v.Double()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,321 @@
+package workload
+
+import (
+	"math/rand"
+
+	"hybridstore/internal/agg"
+	"hybridstore/internal/expr"
+	"hybridstore/internal/query"
+	"hybridstore/internal/value"
+)
+
+// MixConfig parameterizes a generated OLAP/OLTP workload mix against one
+// table, following the paper's experiment setups.
+type MixConfig struct {
+	// Queries is the total number of statements (the paper uses 500 for
+	// the single-table and partitioning experiments, 5000 for TPC-H).
+	Queries int
+	// OLAPFraction is the fraction of analytical (aggregation) queries;
+	// the paper sweeps it between 0% and 5%.
+	OLAPFraction float64
+	// TableRows is the current table cardinality; update predicates and
+	// insert keys are derived from it.
+	TableRows int
+	// HotDataFraction restricts updates to the most recent fraction of the
+	// key space ("update queries addressing 10% of the data", Figure 8).
+	// Zero means updates address the whole table.
+	HotDataFraction float64
+	// UpdateWeight, InsertWeight and PointSelectWeight split the OLTP part
+	// of the mix. They are normalized; all-zero defaults to 2:1:1.
+	UpdateWeight, InsertWeight, PointSelectWeight float64
+	// WideUpdates makes updates assign several attributes at once
+	// (tuples updated "as a whole", §3.2).
+	WideUpdates bool
+	// UpdateRowsPerQuery makes each update address a contiguous key range
+	// of that many tuples instead of a single key. Range updates are where
+	// the stores differ most: the row store serves them from its ordered
+	// primary-key index and updates in place, while the column store must
+	// migrate the affected tuples through its delta.
+	UpdateRowsPerQuery int
+	// OLTPAttrsOnly restricts update assignments and point-select
+	// predicates to the spec's OLTPAttrs (used by the vertical
+	// partitioning experiments).
+	OLTPAttrsOnly bool
+	// MaxAggs bounds the number of aggregates per OLAP query (default 2).
+	MaxAggs int
+	// NoFilterPreds disables WHERE predicates on OLAP queries (the
+	// vertical-partitioning experiments aggregate and group only).
+	NoFilterPreds bool
+	// GroupByProb is the probability that an OLAP query groups (default
+	// 0.5).
+	GroupByProb float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (c *MixConfig) normalize() {
+	if c.Queries <= 0 {
+		c.Queries = 500
+	}
+	if c.UpdateWeight == 0 && c.InsertWeight == 0 && c.PointSelectWeight == 0 {
+		c.UpdateWeight, c.InsertWeight, c.PointSelectWeight = 2, 1, 1
+	}
+	if c.MaxAggs <= 0 {
+		c.MaxAggs = 2
+	}
+	if c.GroupByProb == 0 {
+		c.GroupByProb = 0.5
+	}
+}
+
+var aggFuncs = []agg.Func{agg.Sum, agg.Avg, agg.Min, agg.Max}
+
+// GenMixed generates a single-table mixed workload over the spec's table.
+// Inserts use fresh keys above TableRows so the workload is executable.
+func GenMixed(spec *TableSpec, cfg MixConfig) *query.Workload {
+	cfg.normalize()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &query.Workload{}
+	nextID := int64(cfg.TableRows)
+	olap := 0
+	// Distribute OLAP queries evenly through the workload (the paper's
+	// mixes interleave query types).
+	for i := 0; i < cfg.Queries; i++ {
+		wantOLAP := float64(olap) < cfg.OLAPFraction*float64(i+1)
+		if wantOLAP {
+			olap++
+			w.Add(genOLAP(spec, rng, cfg))
+			continue
+		}
+		w.Add(genOLTP(spec, rng, cfg, &nextID))
+	}
+	return w
+}
+
+// genOLAP builds an aggregation query: 1..MaxAggs aggregates over random
+// keyfigures, optional grouping, occasional filter predicate.
+func genOLAP(spec *TableSpec, rng *rand.Rand, cfg MixConfig) *query.Query {
+	numAggs := 1 + rng.Intn(cfg.MaxAggs)
+	aggs := make([]agg.Spec, 0, numAggs)
+	for i := 0; i < numAggs; i++ {
+		col := spec.Keyfigures[rng.Intn(len(spec.Keyfigures))]
+		fn := aggFuncs[rng.Intn(len(aggFuncs))]
+		aggs = append(aggs, agg.Spec{Func: fn, Col: col})
+	}
+	q := &query.Query{Kind: query.Aggregate, Table: spec.Schema.Name, Aggs: aggs}
+	if len(spec.GroupBys) > 0 && rng.Float64() < cfg.GroupByProb {
+		q.GroupBy = []int{spec.GroupBys[rng.Intn(len(spec.GroupBys))]}
+	}
+	if !cfg.NoFilterPreds && len(spec.Filters) > 0 && rng.Float64() < 0.3 {
+		col := spec.Filters[rng.Intn(len(spec.Filters))]
+		q.Pred = &expr.Comparison{Col: col, Op: expr.Ge, Val: value.NewInt(rng.Int63n(10))}
+	}
+	return q
+}
+
+// genOLTP builds an insert, update or point select according to the
+// configured weights.
+func genOLTP(spec *TableSpec, rng *rand.Rand, cfg MixConfig, nextID *int64) *query.Query {
+	total := cfg.UpdateWeight + cfg.InsertWeight + cfg.PointSelectWeight
+	r := rng.Float64() * total
+	switch {
+	case r < cfg.UpdateWeight:
+		return genUpdate(spec, rng, cfg)
+	case r < cfg.UpdateWeight+cfg.InsertWeight:
+		q := &query.Query{
+			Kind: query.Insert, Table: spec.Schema.Name,
+			Rows: [][]value.Value{spec.RowGen(rng, *nextID)},
+		}
+		*nextID++
+		return q
+	default:
+		return genPointSelect(spec, rng, cfg)
+	}
+}
+
+// updateTargetID picks the key an update addresses, restricted to the hot
+// tail of the key space when HotDataFraction is set.
+func updateTargetID(rng *rand.Rand, cfg MixConfig) int64 {
+	n := int64(cfg.TableRows)
+	if n <= 0 {
+		return 0
+	}
+	if cfg.HotDataFraction > 0 && cfg.HotDataFraction < 1 {
+		hot := int64(float64(n) * cfg.HotDataFraction)
+		if hot < 1 {
+			hot = 1
+		}
+		return n - hot + rng.Int63n(hot)
+	}
+	return rng.Int63n(n)
+}
+
+func genUpdate(spec *TableSpec, rng *rand.Rand, cfg MixConfig) *query.Query {
+	set := map[int]value.Value{}
+	cols := spec.Keyfigures
+	if cfg.OLTPAttrsOnly && len(spec.OLTPAttrs) > 0 {
+		cols = spec.OLTPAttrs
+	}
+	num := 1
+	if cfg.WideUpdates {
+		num = 2 + rng.Intn(3)
+		if num > len(cols) {
+			num = len(cols)
+		}
+	}
+	for len(set) < num {
+		col := cols[rng.Intn(len(cols))]
+		set[col] = randomValueFor(spec, col, rng)
+	}
+	id := updateTargetID(rng, cfg)
+	var pred expr.Predicate
+	if k := cfg.UpdateRowsPerQuery; k > 1 {
+		lo := id - int64(k) + 1
+		if lo < 0 {
+			lo = 0
+		}
+		pred = &expr.Between{Col: 0, Lo: value.NewBigint(lo), Hi: value.NewBigint(id)}
+	} else {
+		pred = &expr.Comparison{Col: 0, Op: expr.Eq, Val: value.NewBigint(id)}
+	}
+	return &query.Query{
+		Kind: query.Update, Table: spec.Schema.Name,
+		Set:  set,
+		Pred: pred,
+	}
+}
+
+func genPointSelect(spec *TableSpec, rng *rand.Rand, cfg MixConfig) *query.Query {
+	id := updateTargetID(rng, cfg)
+	cols := []int{0}
+	pool := spec.Keyfigures
+	if cfg.OLTPAttrsOnly && len(spec.OLTPAttrs) > 0 {
+		pool = spec.OLTPAttrs
+	}
+	for i := 0; i < 3 && i < len(pool); i++ {
+		cols = append(cols, pool[rng.Intn(len(pool))])
+	}
+	return &query.Query{
+		Kind: query.Select, Table: spec.Schema.Name,
+		Cols: dedupInts(cols),
+		Pred: &expr.Comparison{Col: 0, Op: expr.Eq, Val: value.NewBigint(id)},
+	}
+}
+
+// randomValueFor produces an update value matching the column's type,
+// drawn from the same domain the table generators use — updates that set
+// values already present in a column's dictionary hit the column store's
+// in-place path, those that introduce new values force a tuple migration,
+// mirroring real keyfigure/status updates.
+func randomValueFor(spec *TableSpec, col int, rng *rand.Rand) value.Value {
+	switch spec.Schema.Columns[col].Type {
+	case value.Double:
+		return value.NewDouble(float64(rng.Intn(10000)) / 100)
+	case value.Integer:
+		return value.NewInt(rng.Int63n(1000))
+	case value.Bigint:
+		return value.NewBigint(rng.Int63n(1000000))
+	case value.Varchar:
+		return value.NewVarchar("upd")
+	case value.Date:
+		return value.NewDate(rng.Int63n(3650))
+	default:
+		return value.NewInt(0)
+	}
+}
+
+func dedupInts(xs []int) []int {
+	seen := map[int]struct{}{}
+	out := xs[:0]
+	for _, x := range xs {
+		if _, ok := seen[x]; ok {
+			continue
+		}
+		seen[x] = struct{}{}
+		out = append(out, x)
+	}
+	return out
+}
+
+// JoinMixConfig parameterizes the star-schema workload of the join
+// experiment (§5.3): OLAP queries aggregate fact keyfigures grouped by
+// dimension attributes; the OLTP part updates and inserts fact tuples.
+type JoinMixConfig struct {
+	Queries      int
+	OLAPFraction float64
+	FactRows     int
+	DimRows      int
+	// UpdateRowsPerQuery gives fact updates a contiguous key range (see
+	// MixConfig.UpdateRowsPerQuery).
+	UpdateRowsPerQuery int
+	Seed               int64
+}
+
+// GenJoinMixed generates the star-schema mixed workload.
+func GenJoinMixed(fact, dim *TableSpec, cfg JoinMixConfig) *query.Workload {
+	if cfg.Queries <= 0 {
+		cfg.Queries = 500
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &query.Workload{}
+	nextID := int64(cfg.FactRows)
+	nL := fact.Schema.NumColumns()
+	olap := 0
+	for i := 0; i < cfg.Queries; i++ {
+		wantOLAP := float64(olap) < cfg.OLAPFraction*float64(i+1)
+		if wantOLAP {
+			olap++
+			aggs := []agg.Spec{{
+				Func: aggFuncs[rng.Intn(len(aggFuncs))],
+				Col:  fact.Keyfigures[rng.Intn(len(fact.Keyfigures))],
+			}}
+			q := &query.Query{
+				Kind: query.Aggregate, Table: fact.Schema.Name,
+				Join: &query.Join{Table: dim.Schema.Name, LeftCol: 1, RightCol: 0},
+				Aggs: aggs,
+				// Group by a dimension attribute (combined indexing).
+				GroupBy: []int{nL + dim.GroupBys[rng.Intn(len(dim.GroupBys))]},
+			}
+			// Most analytical join queries also filter on a fact attribute
+			// (the fact table's filter columns exist for exactly this);
+			// predicate push-down onto the probe side is where the column
+			// store's code-level scans pay off.
+			if len(fact.Filters) > 0 && rng.Float64() < 0.7 {
+				col := fact.Filters[rng.Intn(len(fact.Filters))]
+				q.Pred = &expr.Comparison{
+					Col: col, Op: expr.Lt,
+					Val: value.NewInt(100 + rng.Int63n(400)), // selectivity ≈ 0.1–0.5 over card 1000
+				}
+			}
+			w.Add(q)
+			continue
+		}
+		// OLTP: update or insert fact tuples.
+		if rng.Float64() < 0.5 {
+			col := fact.Keyfigures[rng.Intn(len(fact.Keyfigures))]
+			id := rng.Int63n(int64(cfg.FactRows))
+			var pred expr.Predicate
+			if k := cfg.UpdateRowsPerQuery; k > 1 {
+				lo := id - int64(k) + 1
+				if lo < 0 {
+					lo = 0
+				}
+				pred = &expr.Between{Col: 0, Lo: value.NewBigint(lo), Hi: value.NewBigint(id)}
+			} else {
+				pred = &expr.Comparison{Col: 0, Op: expr.Eq, Val: value.NewBigint(id)}
+			}
+			w.Add(&query.Query{
+				Kind: query.Update, Table: fact.Schema.Name,
+				Set:  map[int]value.Value{col: value.NewDouble(float64(rng.Intn(10000)) / 100)},
+				Pred: pred,
+			})
+		} else {
+			w.Add(&query.Query{
+				Kind: query.Insert, Table: fact.Schema.Name,
+				Rows: [][]value.Value{fact.RowGen(rng, nextID)},
+			})
+			nextID++
+		}
+	}
+	return w
+}

@@ -1,0 +1,238 @@
+// Package workload generates the synthetic tables and query mixes of the
+// paper's evaluation (§5): the 30-attribute experiment table (ID,
+// keyfigures, filter and group-by attributes), the star schema for the
+// join experiments, the OLAP-setting and OLTP-setting tables for the
+// vertical-partitioning experiments, and parameterized OLAP/OLTP workload
+// mixes over them.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hybridstore/internal/catalog"
+	"hybridstore/internal/engine"
+	"hybridstore/internal/query"
+	"hybridstore/internal/schema"
+	"hybridstore/internal/value"
+)
+
+// TableSpec describes a generated table: its schema, the roles of its
+// columns and a deterministic row generator.
+type TableSpec struct {
+	Schema *schema.Table
+
+	// Column roles (indexes into the schema).
+	Keyfigures []int // numeric attributes for aggregation
+	GroupBys   []int // low-cardinality attributes for grouping
+	Filters    []int // attributes used in predicates
+	OLTPAttrs  []int // frequently updated status-like attributes
+
+	// RowGen produces the row with primary key id.
+	RowGen func(rng *rand.Rand, id int64) []value.Value
+}
+
+// Load creates the table in db with the given store and fills it with n
+// deterministic rows (ids 0..n-1).
+func (ts *TableSpec) Load(db *engine.Database, store catalog.StoreKind, n int, seed int64) error {
+	return ts.LoadLayout(db, store, nil, n, seed)
+}
+
+// LoadLayout is Load with an explicit partitioning layout.
+func (ts *TableSpec) LoadLayout(db *engine.Database, store catalog.StoreKind, spec *catalog.PartitionSpec, n int, seed int64) error {
+	if err := db.CreateTableWithLayout(ts.Schema, store, spec); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const batch = 4096
+	rows := make([][]value.Value, 0, batch)
+	for id := 0; id < n; id++ {
+		rows = append(rows, ts.RowGen(rng, int64(id)))
+		if len(rows) == batch {
+			if _, err := db.Exec(&query.Query{Kind: query.Insert, Table: ts.Schema.Name, Rows: rows}); err != nil {
+				return err
+			}
+			rows = rows[:0]
+		}
+	}
+	if len(rows) > 0 {
+		if _, err := db.Exec(&query.Query{Kind: query.Insert, Table: ts.Schema.Name, Rows: rows}); err != nil {
+			return err
+		}
+	}
+	// Start from a merged, read-optimized state (as after a bulk load).
+	return db.Compact(ts.Schema.Name)
+}
+
+// StandardTable is the paper's 30-attribute experiment table: an ID plus
+// "several keyfigures, filter attributes, and group-by attributes"
+// (§5.2): here 12 keyfigures, 9 filters and 8 group-by attributes.
+func StandardTable(name string) *TableSpec {
+	cols := []schema.Column{{Name: "id", Type: value.Bigint}}
+	var keyfigures, filters, groupBys []int
+	for i := 0; i < 12; i++ {
+		keyfigures = append(keyfigures, len(cols))
+		typ := value.Double
+		if i%3 == 2 {
+			typ = value.Integer // a third of the keyfigures are integers
+		}
+		cols = append(cols, schema.Column{Name: fmt.Sprintf("k%d", i), Type: typ})
+	}
+	for i := 0; i < 9; i++ {
+		filters = append(filters, len(cols))
+		cols = append(cols, schema.Column{Name: fmt.Sprintf("f%d", i), Type: value.Integer})
+	}
+	for i := 0; i < 8; i++ {
+		groupBys = append(groupBys, len(cols))
+		cols = append(cols, schema.Column{Name: fmt.Sprintf("g%d", i), Type: value.Integer})
+	}
+	sch := schema.MustNew(name, cols, "id")
+	filterCard := []int64{10, 100, 1000, 10, 100, 1000, 10000, 100, 10}
+	groupCard := []int64{10, 20, 50, 100, 10, 25, 40, 80}
+	return &TableSpec{
+		Schema:     sch,
+		Keyfigures: keyfigures,
+		GroupBys:   groupBys,
+		Filters:    filters,
+		OLTPAttrs:  keyfigures[:2], // updates mostly touch the first keyfigures
+		RowGen: func(rng *rand.Rand, id int64) []value.Value {
+			row := make([]value.Value, 0, len(cols))
+			row = append(row, value.NewBigint(id))
+			for i := 0; i < 12; i++ {
+				if i%3 == 2 {
+					row = append(row, value.NewInt(rng.Int63n(10000)))
+				} else {
+					row = append(row, value.NewDouble(float64(rng.Intn(10000))/100))
+				}
+			}
+			for i := 0; i < 9; i++ {
+				row = append(row, value.NewInt(rng.Int63n(filterCard[i])))
+			}
+			for i := 0; i < 8; i++ {
+				row = append(row, value.NewInt(rng.Int63n(groupCard[i])))
+			}
+			return row
+		},
+	}
+}
+
+// FactTable is the star-schema fact table of the join experiment (§5.3):
+// 10 attributes — an ID, the dimension key, 4 keyfigures and 4 filter
+// attributes.
+func FactTable(name string, dimRows int) *TableSpec {
+	cols := []schema.Column{
+		{Name: "id", Type: value.Bigint},
+		{Name: "dimkey", Type: value.Integer},
+	}
+	var keyfigures, filters []int
+	for i := 0; i < 4; i++ {
+		keyfigures = append(keyfigures, len(cols))
+		cols = append(cols, schema.Column{Name: fmt.Sprintf("k%d", i), Type: value.Double})
+	}
+	for i := 0; i < 4; i++ {
+		filters = append(filters, len(cols))
+		cols = append(cols, schema.Column{Name: fmt.Sprintf("f%d", i), Type: value.Integer})
+	}
+	sch := schema.MustNew(name, cols, "id")
+	return &TableSpec{
+		Schema:     sch,
+		Keyfigures: keyfigures,
+		Filters:    filters,
+		GroupBys:   nil, // grouping happens on the dimension attributes
+		OLTPAttrs:  keyfigures[:1],
+		RowGen: func(rng *rand.Rand, id int64) []value.Value {
+			row := make([]value.Value, 0, len(cols))
+			row = append(row, value.NewBigint(id))
+			row = append(row, value.NewInt(rng.Int63n(int64(dimRows))))
+			for i := 0; i < 4; i++ {
+				row = append(row, value.NewDouble(float64(rng.Intn(10000))/100))
+			}
+			for i := 0; i < 4; i++ {
+				row = append(row, value.NewInt(rng.Int63n(1000)))
+			}
+			return row
+		},
+	}
+}
+
+// DimensionTable is the star-schema dimension: 1000 tuples with 6
+// attributes, including the group-by attributes the paper's join OLAP
+// queries use.
+func DimensionTable(name string) *TableSpec {
+	cols := []schema.Column{
+		{Name: "dkey", Type: value.Integer},
+		{Name: "d_g0", Type: value.Integer},
+		{Name: "d_g1", Type: value.Integer},
+		{Name: "d_g2", Type: value.Integer},
+		{Name: "d_name", Type: value.Varchar},
+		{Name: "d_attr", Type: value.Integer},
+	}
+	sch := schema.MustNew(name, cols, "dkey")
+	return &TableSpec{
+		Schema:   sch,
+		GroupBys: []int{1, 2, 3},
+		RowGen: func(rng *rand.Rand, id int64) []value.Value {
+			return []value.Value{
+				value.NewInt(id),
+				value.NewInt(id % 10),
+				value.NewInt(id % 25),
+				value.NewInt(id % 50),
+				value.NewVarchar(fmt.Sprintf("dim-%03d", id%100)),
+				value.NewInt(rng.Int63n(1000)),
+			}
+		},
+	}
+}
+
+// VerticalOLAPTable is the vertical-partitioning OLAP setting (§5.3): 10
+// keyfigures, 8 group-by attributes and only 2 attributes used for
+// selections and updates.
+func VerticalOLAPTable(name string) *TableSpec {
+	return verticalSettingTable(name, 10, 8, 2)
+}
+
+// VerticalOLTPTable is the vertical-partitioning OLTP setting: 18
+// attributes used for selections and updates, 1 keyfigure and 1 group-by
+// attribute.
+func VerticalOLTPTable(name string) *TableSpec {
+	return verticalSettingTable(name, 1, 1, 18)
+}
+
+func verticalSettingTable(name string, nKey, nGroup, nOLTP int) *TableSpec {
+	cols := []schema.Column{{Name: "id", Type: value.Bigint}}
+	var keyfigures, groupBys, oltp []int
+	for i := 0; i < nKey; i++ {
+		keyfigures = append(keyfigures, len(cols))
+		cols = append(cols, schema.Column{Name: fmt.Sprintf("k%d", i), Type: value.Double})
+	}
+	for i := 0; i < nGroup; i++ {
+		groupBys = append(groupBys, len(cols))
+		cols = append(cols, schema.Column{Name: fmt.Sprintf("g%d", i), Type: value.Integer})
+	}
+	for i := 0; i < nOLTP; i++ {
+		oltp = append(oltp, len(cols))
+		cols = append(cols, schema.Column{Name: fmt.Sprintf("s%d", i), Type: value.Integer})
+	}
+	sch := schema.MustNew(name, cols, "id")
+	return &TableSpec{
+		Schema:     sch,
+		Keyfigures: keyfigures,
+		GroupBys:   groupBys,
+		Filters:    oltp,
+		OLTPAttrs:  oltp,
+		RowGen: func(rng *rand.Rand, id int64) []value.Value {
+			row := make([]value.Value, 0, len(cols))
+			row = append(row, value.NewBigint(id))
+			for i := 0; i < nKey; i++ {
+				row = append(row, value.NewDouble(float64(rng.Intn(10000))/100))
+			}
+			for i := 0; i < nGroup; i++ {
+				row = append(row, value.NewInt(rng.Int63n(20)))
+			}
+			for i := 0; i < nOLTP; i++ {
+				row = append(row, value.NewInt(rng.Int63n(1000)))
+			}
+			return row
+		},
+	}
+}

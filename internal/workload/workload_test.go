@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"hybridstore/internal/agg"
+	"hybridstore/internal/catalog"
+	"hybridstore/internal/engine"
+	"hybridstore/internal/expr"
+	"hybridstore/internal/query"
+)
+
+func TestStandardTableSpec(t *testing.T) {
+	spec := StandardTable("exp")
+	if spec.Schema.NumColumns() != 30 {
+		t.Errorf("columns = %d, want 30 (paper's experiment table)", spec.Schema.NumColumns())
+	}
+	if len(spec.Keyfigures) != 12 || len(spec.Filters) != 9 || len(spec.GroupBys) != 8 {
+		t.Errorf("roles: k=%d f=%d g=%d", len(spec.Keyfigures), len(spec.Filters), len(spec.GroupBys))
+	}
+	if len(spec.Schema.PrimaryKey) != 1 || spec.Schema.PrimaryKey[0] != 0 {
+		t.Errorf("pk: %v", spec.Schema.PrimaryKey)
+	}
+}
+
+func TestVerticalSettingSpecs(t *testing.T) {
+	olap := VerticalOLAPTable("volap")
+	if len(olap.Keyfigures) != 10 || len(olap.GroupBys) != 8 || len(olap.OLTPAttrs) != 2 {
+		t.Errorf("OLAP setting roles: %d/%d/%d", len(olap.Keyfigures), len(olap.GroupBys), len(olap.OLTPAttrs))
+	}
+	oltp := VerticalOLTPTable("voltp")
+	if len(oltp.Keyfigures) != 1 || len(oltp.GroupBys) != 1 || len(oltp.OLTPAttrs) != 18 {
+		t.Errorf("OLTP setting roles: %d/%d/%d", len(oltp.Keyfigures), len(oltp.GroupBys), len(oltp.OLTPAttrs))
+	}
+	if olap.Schema.NumColumns() != 21 || oltp.Schema.NumColumns() != 21 {
+		t.Errorf("vertical tables should have 21 columns: %d, %d",
+			olap.Schema.NumColumns(), oltp.Schema.NumColumns())
+	}
+}
+
+func TestLoadDeterministic(t *testing.T) {
+	spec := StandardTable("exp")
+	db1, db2 := engine.New(), engine.New()
+	if err := spec.Load(db1, catalog.ColumnStore, 500, 42); err != nil {
+		t.Fatal(err)
+	}
+	spec2 := StandardTable("exp")
+	if err := spec2.Load(db2, catalog.RowStore, 500, 42); err != nil {
+		t.Fatal(err)
+	}
+	q := &query.Query{
+		Kind: query.Aggregate, Table: "exp",
+		Aggs: []agg.Spec{{Func: agg.Sum, Col: spec.Keyfigures[0]}},
+	}
+	r1, err := db1.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := db2.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stores accumulate in different orders; allow float round-off.
+	a, b := r1.Rows[0][0].Double(), r2.Rows[0][0].Double()
+	if math.Abs(a-b) > 1e-6*(math.Abs(a)+1) {
+		t.Errorf("same seed produced different data: %v vs %v", a, b)
+	}
+	n, _ := db1.Rows("exp")
+	if n != 500 {
+		t.Errorf("rows = %d", n)
+	}
+}
+
+func TestGenMixedFractionAndDeterminism(t *testing.T) {
+	spec := StandardTable("exp")
+	cfg := MixConfig{Queries: 1000, OLAPFraction: 0.05, TableRows: 10000, Seed: 9}
+	w := GenMixed(spec, cfg)
+	if w.Len() != 1000 {
+		t.Fatalf("len = %d", w.Len())
+	}
+	if got := w.OLAPFraction(); math.Abs(got-0.05) > 0.005 {
+		t.Errorf("OLAP fraction = %v", got)
+	}
+	w2 := GenMixed(spec, cfg)
+	for i := range w.Queries {
+		if w.Queries[i].String() != w2.Queries[i].String() {
+			t.Fatalf("non-deterministic at %d:\n%s\n%s", i, w.Queries[i], w2.Queries[i])
+		}
+	}
+}
+
+func TestGenMixedHotData(t *testing.T) {
+	spec := StandardTable("exp")
+	cfg := MixConfig{
+		Queries: 400, OLAPFraction: 0, TableRows: 10000,
+		HotDataFraction: 0.1, Seed: 3,
+		InsertWeight: 0, PointSelectWeight: 0, UpdateWeight: 1,
+	}
+	w := GenMixed(spec, cfg)
+	for _, q := range w.Queries {
+		if q.Kind != query.Update {
+			t.Fatalf("expected only updates, got %v", q.Kind)
+		}
+		// Every update targets an id in the last 10% of the key space.
+		id, ok := expr.EqualityOn(q.Pred, 0)
+		if !ok {
+			t.Fatal("update without PK equality")
+		}
+		if id.Int() < 9000 {
+			t.Fatalf("update id %d outside hot region", id.Int())
+		}
+	}
+}
+
+func TestGenMixedExecutable(t *testing.T) {
+	spec := StandardTable("exp")
+	db := engine.New()
+	if err := spec.Load(db, catalog.ColumnStore, 2000, 1); err != nil {
+		t.Fatal(err)
+	}
+	w := GenMixed(spec, MixConfig{Queries: 200, OLAPFraction: 0.1, TableRows: 2000, Seed: 5, WideUpdates: true})
+	for i, q := range w.Queries {
+		if _, err := db.Exec(q); err != nil {
+			t.Fatalf("query %d (%s): %v", i, q, err)
+		}
+	}
+}
+
+func TestGenMixedOLTPAttrsOnly(t *testing.T) {
+	spec := VerticalOLTPTable("voltp")
+	w := GenMixed(spec, MixConfig{
+		Queries: 100, OLAPFraction: 0, TableRows: 1000, Seed: 2, OLTPAttrsOnly: true,
+	})
+	allowed := map[int]bool{}
+	for _, c := range spec.OLTPAttrs {
+		allowed[c] = true
+	}
+	for _, q := range w.Queries {
+		if q.Kind != query.Update {
+			continue
+		}
+		for c := range q.Set {
+			if !allowed[c] {
+				t.Fatalf("update touches non-OLTP attr %d", c)
+			}
+		}
+	}
+}
+
+func TestGenJoinMixed(t *testing.T) {
+	dim := DimensionTable("dim")
+	fact := FactTable("fact", 1000)
+	cfg := JoinMixConfig{Queries: 400, OLAPFraction: 0.05, FactRows: 5000, DimRows: 1000, Seed: 4}
+	w := GenJoinMixed(fact, dim, cfg)
+	if w.Len() != 400 {
+		t.Fatalf("len = %d", w.Len())
+	}
+	joins := 0
+	for _, q := range w.Queries {
+		if q.Join != nil {
+			joins++
+			if q.Join.Table != "dim" {
+				t.Fatalf("join table = %q", q.Join.Table)
+			}
+			if len(q.GroupBy) != 1 || q.GroupBy[0] < fact.Schema.NumColumns() {
+				t.Fatalf("join group-by should reference the dimension: %v", q.GroupBy)
+			}
+		}
+	}
+	if math.Abs(float64(joins)/400-0.05) > 0.01 {
+		t.Errorf("join OLAP fraction = %v", float64(joins)/400)
+	}
+	// Executable end to end.
+	db := engine.New()
+	if err := fact.Load(db, catalog.ColumnStore, 5000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := dim.Load(db, catalog.RowStore, 1000, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range w.Queries {
+		if _, err := db.Exec(q); err != nil {
+			t.Fatalf("query %d (%s): %v", i, q, err)
+		}
+	}
+}
