@@ -17,4 +17,38 @@
 //
 // The benchmarks in bench_test.go wrap the same experiment harness that
 // cmd/hsbench runs; EXPERIMENTS.md records paper-vs-measured results.
+//
+// # Execution model
+//
+// The column store executes scans and aggregates as a block-based
+// vectorized pipeline rather than row at a time:
+//
+//   - Predicates compile to code ranges on the sorted main dictionaries
+//     and are evaluated by fused decode+test kernels
+//     (compress.RangeMatchWords) that emit uint64 bitset words — 64 rows
+//     per word — directly into a reused match bitset. Conjuncts combine
+//     with word-wide ANDs (most selective first, so later conjuncts skip
+//     decode for already-zero words), and the tombstone mask is itself a
+//     maintained bitset ANDed in word-at-a-time.
+//   - Each main-fragment column keeps per-block (1024-row) zone maps:
+//     min/max dictionary code plus NULL presence. Blocks whose zone
+//     misses the predicate's code range are skipped without decoding;
+//     blocks fully inside it match wholesale as all-ones words. In-place
+//     updates widen zones conservatively; merges rebuild them tight.
+//   - colstore.Table.ScanBatches streams matching rows in 1024-row
+//     batches with the requested columns bulk-decoded column-at-a-time
+//     (compress.Packed.UnpackBlock) into reused buffers. The row-at-a-time
+//     Scan is a thin adapter over it; the engine's vertical-partition
+//     scans and hash-join build sides consume batches directly.
+//   - Grouped aggregation runs on dense per-(group, spec) scalar
+//     accumulators indexed by dictionary codes: SUM accumulates
+//     pre-decoded per-code floats and MIN/MAX track code extrema (sorted
+//     dictionaries make code order value order), so the per-row work is
+//     integer/float scalar ops with no value comparisons. Ungrouped
+//     aggregates count per code and fold one weighted add per distinct
+//     value — the paper's f_compression advantage.
+//   - Horizontally partitioned tables compute partial aggregates for the
+//     hot and cold partitions concurrently on a bounded worker pool and
+//     merge them (the paper's "union of both partitions"), falling back
+//     inline when the pool is saturated.
 package hybridstore

@@ -1,0 +1,3 @@
+module hybridstore
+
+go 1.24

@@ -114,6 +114,29 @@ func (a *Acc) AddWeighted(v value.Value, weight int64) {
 	}
 }
 
+// AddSummary folds a precomputed partial aggregate — the Float-sum, the
+// non-NULL row count and the min/max value of a batch of rows — into the
+// accumulator. Vectorized aggregators accumulate these per dictionary code
+// with integer/float scalar ops and fold once per group, instead of paying
+// a value comparison per row.
+func (a *Acc) AddSummary(sum float64, count int64, min, max value.Value) {
+	if count <= 0 {
+		return
+	}
+	a.sum += sum
+	a.count += count
+	if !a.seen {
+		a.min, a.max, a.seen = min, max, true
+		return
+	}
+	if value.Less(min, a.min) {
+		a.min = min
+	}
+	if value.Less(a.max, max) {
+		a.max = max
+	}
+}
+
 // AddCount increments only the row counter; used for COUNT(*) where no
 // column value is inspected.
 func (a *Acc) AddCount(n int64) {

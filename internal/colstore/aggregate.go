@@ -2,16 +2,18 @@ package colstore
 
 import (
 	"hybridstore/internal/agg"
+	"hybridstore/internal/bitset"
 	"hybridstore/internal/expr"
 	"hybridstore/internal/value"
 )
 
 // Aggregate computes the given aggregates over live rows matching pred,
 // grouped by the groupBy columns. It is the column store's analytical fast
-// path: predicate evaluation happens on dictionary codes (matchBitmap) and
-// ungrouped aggregates use per-code counting — one decode per distinct
-// value instead of one per row — which is how compression speeds up
-// aggregation in the paper's column store (f_compression).
+// path: predicate evaluation happens on dictionary codes (matchBitmap),
+// group and value columns are bulk-decoded block-at-a-time, and ungrouped
+// aggregates use per-code counting — one decode per distinct value instead
+// of one per row — which is how compression speeds up aggregation in the
+// paper's column store (f_compression).
 func (t *Table) Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate) *agg.Result {
 	res := agg.NewResult(specs, groupBy)
 	match := t.matchBitmap(pred) // nil means all live rows
@@ -50,117 +52,257 @@ func (t *Table) pairGroupFeasible(groupBy []int) bool {
 	return prod <= pairGroupDenseLimit
 }
 
-// aggregatePairGroup groups by two low-cardinality columns using a dense
-// bucket array indexed by the combined codes — the typical shape of
-// analytical queries like TPC-H Q1 (GROUP BY l_returnflag, l_linestatus).
-func (t *Table) aggregatePairGroup(res *agg.Result, specs []agg.Spec, groupBy []int, match []bool) {
-	g0, g1 := &t.cols[groupBy[0]], &t.cols[groupBy[1]]
-	// Combined code: local code offset by fragment (delta codes follow
-	// main codes; the extra slot at the end is the NULL key).
-	d0 := g0.mainDict.Len() + g0.deltaDict.Len() + 1
-	d1 := g1.mainDict.Len() + g1.deltaDict.Len() + 1
-	null0, null1 := uint32(d0-1), uint32(d1-1)
-	codeOf := func(c *column, rid int, null uint32) uint32 {
-		if c.isNullAt(rid, t.mainRows) {
-			return null
-		}
-		if rid < t.mainRows {
-			return c.mainCodes.Get(rid)
-		}
-		return uint32(c.mainDict.Len()) + c.deltaCodes[rid-t.mainRows]
-	}
-	buckets := make([][]agg.Acc, d0*d1)
-	for rid := 0; rid < t.totalRows(); rid++ {
-		if !t.participates(match, rid) {
-			continue
-		}
-		key := codeOf(g0, rid, null0)*uint32(d1) + codeOf(g1, rid, null1)
-		b := buckets[key]
-		if b == nil {
-			b = make([]agg.Acc, len(specs))
-			buckets[key] = b
-		}
-		for si, s := range specs {
-			if s.Col < 0 {
-				b[si].AddCount(1)
-				continue
-			}
-			c := &t.cols[s.Col]
-			if c.isNullAt(rid, t.mainRows) {
-				continue
-			}
-			b[si].Add(c.valueAt(rid, t.mainRows))
-		}
-	}
-	valueOf := func(c *column, code, null uint32) value.Value {
-		if code == null {
-			return value.Null(c.typ)
-		}
-		if int(code) < c.mainDict.Len() {
-			return c.mainDict.Value(code)
-		}
-		return c.deltaDict.Value(code - uint32(c.mainDict.Len()))
-	}
-	for key, b := range buckets {
-		if b == nil {
-			continue
-		}
-		k0 := uint32(key) / uint32(d1)
-		k1 := uint32(key) % uint32(d1)
-		grp := res.GroupFor([]value.Value{valueOf(g0, k0, null0), valueOf(g1, k1, null1)})
-		for i := range b {
-			grp.Accs[i].Merge(&b[i])
-		}
-	}
-}
-
-// participates reports whether row slot rid contributes.
-func (t *Table) participates(match []bool, rid int) bool {
+// rowSource returns the bitset the aggregation iterates: the match bitmap,
+// or the tombstone mask when the whole table participates.
+func (t *Table) rowSource(match bitset.Bits) bitset.Bits {
 	if match == nil {
-		return t.valid[rid]
+		return t.liveSet
 	}
-	return match[rid]
+	return match
 }
 
 // countMatches counts contributing rows.
-func (t *Table) countMatches(match []bool) int64 {
+func (t *Table) countMatches(match bitset.Bits) int64 {
 	if match == nil {
 		return int64(t.live)
 	}
-	var n int64
-	for _, m := range match {
-		if m {
-			n++
-		}
-	}
-	return n
+	return int64(match.Count())
 }
 
-func (t *Table) aggregateGlobal(res *agg.Result, specs []agg.Spec, match []bool) {
+// codeAcc accumulates one (group, spec) cell over main-fragment rows:
+// Float-sum plus count, with MIN/MAX tracked as dictionary codes (the
+// sorted main dictionary makes code order value order).
+type codeAcc struct {
+	sum        float64
+	cnt        int64
+	minC, maxC uint32
+}
+
+// denseGroupAgg is the shared engine of the dense grouped fast paths:
+// per-(group, spec) scalar accumulators indexed by a caller-computed dense
+// group code. Per-row work over the main fragment is integer and float
+// scalar ops only — no value comparisons, no per-row decode. Delta rows
+// (unsorted dictionaries, few rows) fall back to value-based accumulators
+// merged at fold time.
+type denseGroupAgg struct {
+	t         *Table
+	specs     []agg.Spec
+	accs      []codeAcc        // gTotal x len(specs)
+	counts    []int64          // participating rows per group (COUNT(*))
+	fvals     [][]float64      // per spec: main dictionary pre-decoded to floats
+	deltaAccs [][]agg.Acc      // per group: value-based delta accumulators
+	colBuf    map[int][]uint32 // per distinct value column: block decode buffer
+}
+
+func (t *Table) newDenseGroupAgg(specs []agg.Spec, gTotal int) *denseGroupAgg {
+	da := &denseGroupAgg{
+		t:      t,
+		specs:  specs,
+		accs:   make([]codeAcc, gTotal*len(specs)),
+		counts: make([]int64, gTotal),
+		fvals:  make([][]float64, len(specs)),
+		colBuf: make(map[int][]uint32),
+	}
+	for i := range da.accs {
+		da.accs[i].minC = ^uint32(0)
+	}
+	for si, s := range specs {
+		if s.Col < 0 {
+			continue
+		}
+		if _, ok := da.colBuf[s.Col]; !ok {
+			da.colBuf[s.Col] = make([]uint32, blockRows)
+		}
+		mv := t.cols[s.Col].mainDict.Values()
+		f := make([]float64, len(mv))
+		for i, v := range mv {
+			f[i] = v.Float()
+		}
+		da.fvals[si] = f
+	}
+	if t.deltaRows > 0 {
+		da.deltaAccs = make([][]agg.Acc, gTotal)
+	}
+	return da
+}
+
+// addBatch folds one scan batch: rids[k] participates in group gidx[k].
+// nm is the count of main-resident rows, mainN the block's main span.
+func (da *denseGroupAgg) addBatch(rids []int32, gidx []uint32, b0, nm, mainN int) {
+	t := da.t
+	nspec := len(da.specs)
+	for k := range rids {
+		da.counts[gidx[k]]++
+	}
+	// Bulk-decode each distinct value column once per block, then
+	// accumulate per spec (repeated columns — SUM(x) + AVG(x) — share
+	// the decode).
+	if nm > 0 {
+		for col, buf := range da.colBuf {
+			t.cols[col].mainCodes.UnpackBlock(b0, buf[:mainN])
+		}
+	}
+	for si := range da.specs {
+		s := &da.specs[si]
+		if s.Col < 0 || nm == 0 {
+			continue
+		}
+		c := &t.cols[s.Col]
+		vcodes := da.colBuf[s.Col]
+		f := da.fvals[si]
+		if c.mainNulls == nil {
+			for k := 0; k < nm; k++ {
+				code := vcodes[int(rids[k])-b0]
+				a := &da.accs[int(gidx[k])*nspec+si]
+				a.sum += f[code]
+				a.cnt++
+				if code < a.minC {
+					a.minC = code
+				}
+				if code > a.maxC {
+					a.maxC = code
+				}
+			}
+		} else {
+			for k := 0; k < nm; k++ {
+				rid := int(rids[k])
+				if c.mainNulls[rid] {
+					continue
+				}
+				code := vcodes[rid-b0]
+				a := &da.accs[int(gidx[k])*nspec+si]
+				a.sum += f[code]
+				a.cnt++
+				if code < a.minC {
+					a.minC = code
+				}
+				if code > a.maxC {
+					a.maxC = code
+				}
+			}
+		}
+	}
+	// Delta rows: value-based accumulation (unsorted dictionary).
+	for k := nm; k < len(rids); k++ {
+		d := int(rids[k]) - t.mainRows
+		b := da.deltaAccs[gidx[k]]
+		if b == nil {
+			b = make([]agg.Acc, nspec)
+			da.deltaAccs[gidx[k]] = b
+		}
+		for si := range da.specs {
+			s := &da.specs[si]
+			if s.Col < 0 {
+				continue
+			}
+			c := &t.cols[s.Col]
+			if c.deltaNulls != nil && c.deltaNulls[d] {
+				continue
+			}
+			b[si].Add(c.deltaDict.Value(c.deltaCodes[d]))
+		}
+	}
+}
+
+// fold materializes every non-empty group into res. groupKey may reuse its
+// returned slice (GroupFor copies).
+func (da *denseGroupAgg) fold(res *agg.Result, groupKey func(g uint32) []value.Value) {
+	t := da.t
+	nspec := len(da.specs)
+	for g := range da.counts {
+		if da.counts[g] == 0 {
+			continue
+		}
+		grp := res.GroupFor(groupKey(uint32(g)))
+		for si := range da.specs {
+			s := &da.specs[si]
+			if s.Col < 0 {
+				grp.Accs[si].AddCount(da.counts[g])
+				continue
+			}
+			if a := &da.accs[g*nspec+si]; a.cnt > 0 {
+				dict := t.cols[s.Col].mainDict
+				grp.Accs[si].AddSummary(a.sum, a.cnt, dict.Value(a.minC), dict.Value(a.maxC))
+			}
+			if da.deltaAccs != nil && da.deltaAccs[g] != nil {
+				grp.Accs[si].Merge(&da.deltaAccs[g][si])
+			}
+		}
+	}
+}
+
+// forBatches iterates the participating rows of match (nil = all live) in
+// blockRows batches, handing each batch's ascending rids plus its
+// main/delta split to fn: nm rids are main-resident, and the block's main
+// span holds mainN rows starting at b0. fn returning false stops the
+// iteration. It is the single block-iteration skeleton under scanBatches,
+// JoinProbe and the grouped aggregates.
+func (t *Table) forBatches(match bitset.Bits, fn func(rids []int32, b0, nm, mainN int) bool) {
+	src := t.rowSource(match)
+	total := t.totalRows()
+	rids := make([]int32, 0, blockRows)
+	for b0 := 0; b0 < total; b0 += blockRows {
+		n := min(blockRows, total-b0)
+		rids = src.AppendSet(rids[:0], b0, b0+n)
+		if len(rids) == 0 {
+			continue
+		}
+		nm, mainN := t.splitBatch(rids, b0, n)
+		if !fn(rids, b0, nm, mainN) {
+			return
+		}
+	}
+}
+
+func (t *Table) aggregateGlobal(res *agg.Result, specs []agg.Spec, match bitset.Bits) {
 	g := res.Global()
+	codes := t.codeBuf()
+	var rids []int32
+	dense := match == nil && t.live == t.totalRows()
 	for si, s := range specs {
 		if s.Col < 0 {
 			g.Accs[si].AddCount(t.countMatches(match))
 			continue
 		}
 		c := &t.cols[s.Col]
-		// Per-code counting over the main fragment.
+		// Per-code counting over the main fragment, block-at-a-time.
 		if t.mainRows > 0 {
 			counts := make([]int64, c.mainDict.Len())
-			if c.mainNulls == nil && match == nil && t.live == t.totalRows() {
-				// Fully dense main fragment: no per-row branches at all
-				// (delta rows, if any, are handled below).
-				c.mainCodes.ForEach(func(i int, code uint32) { counts[code]++ })
+			if dense && c.mainNulls == nil {
+				// Fully dense main fragment: bulk-decode and count with no
+				// per-row branches at all.
+				for b0 := 0; b0 < t.mainRows; b0 += blockRows {
+					n := min(blockRows, t.mainRows-b0)
+					c.mainCodes.UnpackBlock(b0, codes[:n])
+					for _, code := range codes[:n] {
+						counts[code]++
+					}
+				}
 			} else {
-				c.mainCodes.ForEach(func(i int, code uint32) {
-					if !t.participates(match, i) {
-						return
+				src := t.rowSource(match)
+				if rids == nil {
+					rids = make([]int32, 0, blockRows)
+				}
+				nulls := c.mainNulls
+				for b0 := 0; b0 < t.mainRows; b0 += blockRows {
+					n := min(blockRows, t.mainRows-b0)
+					rids = src.AppendSet(rids[:0], b0, b0+n)
+					if len(rids) == 0 {
+						continue
 					}
-					if c.mainNulls != nil && c.mainNulls[i] {
-						return
+					c.mainCodes.UnpackBlock(b0, codes[:n])
+					if nulls == nil {
+						for _, rid := range rids {
+							counts[codes[int(rid)-b0]]++
+						}
+					} else {
+						for _, rid := range rids {
+							if !nulls[rid] {
+								counts[codes[int(rid)-b0]]++
+							}
+						}
 					}
-					counts[code]++
-				})
+				}
 			}
 			for code, cnt := range counts {
 				if cnt > 0 {
@@ -171,14 +313,15 @@ func (t *Table) aggregateGlobal(res *agg.Result, specs []agg.Spec, match []bool)
 		// Per-code counting over the delta fragment.
 		if t.deltaRows > 0 {
 			counts := make([]int64, c.deltaDict.Len())
-			if c.deltaNulls == nil && match == nil && t.live == t.totalRows() {
+			if dense && c.deltaNulls == nil {
 				for _, code := range c.deltaCodes {
 					counts[code]++
 				}
 			} else {
+				src := t.rowSource(match)
 				for d, code := range c.deltaCodes {
 					rid := t.mainRows + d
-					if !t.participates(match, rid) {
+					if !src.Get(rid) {
 						continue
 					}
 					if c.deltaNulls != nil && c.deltaNulls[d] {
@@ -196,112 +339,173 @@ func (t *Table) aggregateGlobal(res *agg.Result, specs []agg.Spec, match []bool)
 	}
 }
 
-// aggregateSingleGroup groups by one column using per-fragment dense
-// bucket arrays indexed by the group column's dictionary codes.
-func (t *Table) aggregateSingleGroup(res *agg.Result, specs []agg.Spec, gcol int, match []bool) {
+// aggregateSingleGroup groups by one column. The group column's combined
+// codes (main, then delta offset by the main dictionary's size, then a
+// NULL slot) index the dense accumulator engine directly.
+func (t *Table) aggregateSingleGroup(res *agg.Result, specs []agg.Spec, gcol int, match bitset.Bits) {
 	gc := &t.cols[gcol]
-	// Pre-decode spec column dictionaries so the per-row work is an
-	// integer code lookup plus an accumulator update.
-	type fragVals struct {
-		main  []value.Value
-		delta []value.Value
-	}
-	specVals := make([]fragVals, len(specs))
-	for si, s := range specs {
-		if s.Col < 0 {
-			continue
-		}
-		c := &t.cols[s.Col]
-		fv := fragVals{
-			main:  c.mainDict.Values(),
-			delta: c.deltaDict.Values(),
-		}
-		specVals[si] = fv
-	}
+	gMain := gc.mainDict.Len()
+	gTotal := gMain + gc.deltaDict.Len() + 1 // +1: NULL group slot
+	gNull := uint32(gTotal - 1)
 
-	// buckets per fragment, indexed by group code; NULL group key gets a
-	// dedicated bucket.
-	mainBuckets := make([][]agg.Acc, gc.mainDict.Len())
-	deltaBuckets := make([][]agg.Acc, gc.deltaDict.Len())
-	var nullBucket []agg.Acc
-
-	add := func(bucket []agg.Acc, rid int) []agg.Acc {
-		if bucket == nil {
-			bucket = make([]agg.Acc, len(specs))
+	da := t.newDenseGroupAgg(specs, gTotal)
+	gcodes := make([]uint32, blockRows)
+	gidx := make([]uint32, blockRows)
+	t.forBatches(match, func(rids []int32, b0, nm, mainN int) bool {
+		if mainN > 0 {
+			gc.mainCodes.UnpackBlock(b0, gcodes[:mainN])
 		}
-		for si, s := range specs {
-			if s.Col < 0 {
-				bucket[si].AddCount(1)
-				continue
+		if gc.mainNulls == nil {
+			for k := 0; k < nm; k++ {
+				gidx[k] = gcodes[int(rids[k])-b0]
 			}
-			c := &t.cols[s.Col]
-			if c.isNullAt(rid, t.mainRows) {
-				continue
-			}
-			if rid < t.mainRows {
-				bucket[si].Add(specVals[si].main[c.mainCodes.Get(rid)])
-			} else {
-				bucket[si].Add(specVals[si].delta[c.deltaCodes[rid-t.mainRows]])
-			}
-		}
-		return bucket
-	}
-
-	for rid := 0; rid < t.totalRows(); rid++ {
-		if !t.participates(match, rid) {
-			continue
-		}
-		if gc.isNullAt(rid, t.mainRows) {
-			nullBucket = add(nullBucket, rid)
-			continue
-		}
-		if rid < t.mainRows {
-			code := gc.mainCodes.Get(rid)
-			mainBuckets[code] = add(mainBuckets[code], rid)
 		} else {
-			code := gc.deltaCodes[rid-t.mainRows]
-			deltaBuckets[code] = add(deltaBuckets[code], rid)
+			for k := 0; k < nm; k++ {
+				rid := int(rids[k])
+				if gc.mainNulls[rid] {
+					gidx[k] = gNull
+				} else {
+					gidx[k] = gcodes[rid-b0]
+				}
+			}
 		}
-	}
+		for k := nm; k < len(rids); k++ {
+			d := int(rids[k]) - t.mainRows
+			if gc.deltaNulls != nil && gc.deltaNulls[d] {
+				gidx[k] = gNull
+			} else {
+				gidx[k] = uint32(gMain) + gc.deltaCodes[d]
+			}
+		}
+		da.addBatch(rids, gidx, b0, nm, mainN)
+		return true
+	})
 
-	fold := func(key value.Value, bucket []agg.Acc) {
-		if bucket == nil {
-			return
+	key := make([]value.Value, 1)
+	da.fold(res, func(g uint32) []value.Value {
+		switch {
+		case g == gNull:
+			key[0] = value.Null(gc.typ)
+		case int(g) < gMain:
+			key[0] = gc.mainDict.Value(g)
+		default:
+			key[0] = gc.deltaDict.Value(g - uint32(gMain))
 		}
-		g := res.GroupFor([]value.Value{key})
-		for i := range bucket {
-			g.Accs[i].Merge(&bucket[i])
+		return key
+	})
+}
+
+// aggregatePairGroup groups by two low-cardinality columns using the dense
+// accumulator engine indexed by the combined codes — the typical shape of
+// analytical queries like TPC-H Q1 (GROUP BY l_returnflag, l_linestatus).
+// Both group columns' codes are bulk-decoded per block.
+func (t *Table) aggregatePairGroup(res *agg.Result, specs []agg.Spec, groupBy []int, match bitset.Bits) {
+	g0, g1 := &t.cols[groupBy[0]], &t.cols[groupBy[1]]
+	// Combined code: local code offset by fragment (delta codes follow
+	// main codes; the extra slot at the end is the NULL key).
+	d0 := g0.mainDict.Len() + g0.deltaDict.Len() + 1
+	d1 := g1.mainDict.Len() + g1.deltaDict.Len() + 1
+	null0, null1 := uint32(d0-1), uint32(d1-1)
+	mainLen0, mainLen1 := uint32(g0.mainDict.Len()), uint32(g1.mainDict.Len())
+
+	da := t.newDenseGroupAgg(specs, d0*d1)
+	codes0 := make([]uint32, blockRows)
+	codes1 := make([]uint32, blockRows)
+	gidx := make([]uint32, blockRows)
+	t.forBatches(match, func(rids []int32, b0, nm, mainN int) bool {
+		if mainN > 0 {
+			g0.mainCodes.UnpackBlock(b0, codes0[:mainN])
+			g1.mainCodes.UnpackBlock(b0, codes1[:mainN])
 		}
+		for k := 0; k < nm; k++ {
+			rid := int(rids[k])
+			k0, k1 := codes0[rid-b0], codes1[rid-b0]
+			if g0.mainNulls != nil && g0.mainNulls[rid] {
+				k0 = null0
+			}
+			if g1.mainNulls != nil && g1.mainNulls[rid] {
+				k1 = null1
+			}
+			gidx[k] = k0*uint32(d1) + k1
+		}
+		for k := nm; k < len(rids); k++ {
+			d := int(rids[k]) - t.mainRows
+			k0, k1 := null0, null1
+			if g0.deltaNulls == nil || !g0.deltaNulls[d] {
+				k0 = mainLen0 + g0.deltaCodes[d]
+			}
+			if g1.deltaNulls == nil || !g1.deltaNulls[d] {
+				k1 = mainLen1 + g1.deltaCodes[d]
+			}
+			gidx[k] = k0*uint32(d1) + k1
+		}
+		da.addBatch(rids, gidx, b0, nm, mainN)
+		return true
+	})
+
+	valueOf := func(c *column, code, null uint32) value.Value {
+		if code == null {
+			return value.Null(c.typ)
+		}
+		if int(code) < c.mainDict.Len() {
+			return c.mainDict.Value(code)
+		}
+		return c.deltaDict.Value(code - uint32(c.mainDict.Len()))
 	}
-	for code, b := range mainBuckets {
-		fold(gc.mainDict.Value(uint32(code)), b)
-	}
-	for code, b := range deltaBuckets {
-		fold(gc.deltaDict.Value(uint32(code)), b)
-	}
-	if nullBucket != nil {
-		fold(value.Null(gc.typ), nullBucket)
-	}
+	key := make([]value.Value, 2)
+	da.fold(res, func(g uint32) []value.Value {
+		key[0] = valueOf(g0, g/uint32(d1), null0)
+		key[1] = valueOf(g1, g%uint32(d1), null1)
+		return key
+	})
 }
 
 // aggregateGeneric handles multi-column group-bys by materializing the key
-// per row.
-func (t *Table) aggregateGeneric(res *agg.Result, specs []agg.Spec, groupBy []int, match []bool) {
-	key := make([]value.Value, len(groupBy))
-	for rid := 0; rid < t.totalRows(); rid++ {
-		if !t.participates(match, rid) {
-			continue
-		}
-		for i, c := range groupBy {
-			key[i] = t.cols[c].valueAt(rid, t.mainRows)
-		}
-		g := res.GroupFor(key)
-		for si, s := range specs {
-			if s.Col < 0 {
-				g.Accs[si].AddCount(1)
-				continue
-			}
-			g.Accs[si].Add(t.cols[s.Col].valueAt(rid, t.mainRows))
+// per row through the batched scan.
+func (t *Table) aggregateGeneric(res *agg.Result, specs []agg.Spec, groupBy []int, match bitset.Bits) {
+	colIdx := make(map[int]int)
+	var cols []int
+	need := func(c int) {
+		if _, ok := colIdx[c]; !ok {
+			colIdx[c] = len(cols)
+			cols = append(cols, c)
 		}
 	}
+	for _, c := range groupBy {
+		need(c)
+	}
+	for _, s := range specs {
+		if s.Col >= 0 {
+			need(s.Col)
+		}
+	}
+	// Positional indices keep the per-row loop free of map lookups.
+	groupPos := make([]int, len(groupBy))
+	for i, c := range groupBy {
+		groupPos[i] = colIdx[c]
+	}
+	specPos := make([]int, len(specs))
+	for si, s := range specs {
+		specPos[si] = -1
+		if s.Col >= 0 {
+			specPos[si] = colIdx[s.Col]
+		}
+	}
+	key := make([]value.Value, len(groupBy))
+	t.scanBatches(match, cols, func(rids []int32, colVals [][]value.Value) bool {
+		for k := range rids {
+			for i, p := range groupPos {
+				key[i] = colVals[p][k]
+			}
+			g := res.GroupFor(key)
+			for si, p := range specPos {
+				if p < 0 {
+					g.Accs[si].AddCount(1)
+				} else {
+					g.Accs[si].Add(colVals[p][k])
+				}
+			}
+		}
+		return true
+	})
 }

@@ -23,6 +23,7 @@ package colstore
 import (
 	"fmt"
 
+	"hybridstore/internal/bitset"
 	"hybridstore/internal/compress"
 	"hybridstore/internal/expr"
 	"hybridstore/internal/schema"
@@ -42,7 +43,8 @@ type column struct {
 
 	mainDict  *compress.Dict
 	mainCodes *compress.Packed
-	mainNulls []bool // nil when no NULLs present in main
+	mainNulls []bool     // nil when no NULLs present in main
+	mainZones []codeZone // per-blockRows code min/max summaries
 
 	deltaDict  *compress.UDict
 	deltaCodes []uint32
@@ -96,7 +98,7 @@ type Table struct {
 
 	mainRows  int
 	deltaRows int
-	valid     []bool // over mainRows+deltaRows
+	liveSet   bitset.Bits // one bit per row slot; 0 = tombstoned
 	live      int
 
 	pkIndex map[uint64][]int32
@@ -107,7 +109,12 @@ type Table struct {
 	AutoMerge      bool
 	merges         int
 
-	matchScratch []bool // reused predicate bitmap (single-writer engine)
+	// Reused scratch buffers (the engine serializes access per table).
+	matchScratch bitset.Bits     // predicate match bitset
+	ridScratch   []int32         // matchingRows output
+	codeScratch  []uint32        // block decode buffer (blockRows codes)
+	batchBufs    [][]value.Value // scanBatches column buffers
+	batchInUse   bool            // guards against re-entrant scanBatches
 }
 
 // New creates an empty column-store table for the schema.
@@ -167,7 +174,7 @@ func (t *Table) materialize(rid int, cols []int, dst []value.Value) {
 }
 
 // Valid reports whether row slot rid is live.
-func (t *Table) Valid(rid int) bool { return t.valid[rid] }
+func (t *Table) Valid(rid int) bool { return t.liveSet.Get(rid) }
 
 func (t *Table) pkHash(row []value.Value) uint64 {
 	return value.HashRow(t.sch.PKValues(row))
@@ -188,7 +195,7 @@ func (t *Table) LookupPK(key []value.Value) (int, bool) {
 		return 0, false
 	}
 	for _, rid := range t.pkIndex[value.HashRow(key)] {
-		if t.valid[rid] && t.pkEqualAt(int(rid), key) {
+		if t.liveSet.Get(int(rid)) && t.pkEqualAt(int(rid), key) {
 			return int(rid), true
 		}
 	}
@@ -225,7 +232,8 @@ func (t *Table) appendRow(row []value.Value) {
 		t.cols[i].appendDelta(row[i])
 	}
 	t.deltaRows++
-	t.valid = append(t.valid, true)
+	t.liveSet = bitset.Grow(t.liveSet, int(rid)+1)
+	t.liveSet.Set(int(rid))
 	t.live++
 	if t.pkIndex != nil {
 		h := t.pkHash(row)
@@ -242,21 +250,14 @@ func (t *Table) Merge() {
 	if t.deltaRows == 0 && t.live == total {
 		return // nothing to merge or compact
 	}
-	liveRids := make([]int32, 0, t.live)
-	for rid := 0; rid < total; rid++ {
-		if t.valid[rid] {
-			liveRids = append(liveRids, int32(rid))
-		}
-	}
+	liveRids := t.liveSet.AppendSet(make([]int32, 0, t.live), 0, total)
 	for i := range t.cols {
 		t.mergeColumn(&t.cols[i], liveRids)
 	}
 	t.mainRows = len(liveRids)
 	t.deltaRows = 0
-	t.valid = make([]bool, t.mainRows)
-	for i := range t.valid {
-		t.valid[i] = true
-	}
+	t.liveSet = bitset.New(t.mainRows)
+	t.liveSet.FillOnes(t.mainRows)
 	t.live = t.mainRows
 	if t.pkIndex != nil {
 		t.pkIndex = make(map[uint64][]int32)
@@ -301,6 +302,7 @@ func (t *Table) mergeColumn(c *column, liveRids []int32) {
 	c.mainDict = dict
 	c.mainCodes = compress.Pack(codes, dict.Len())
 	c.mainNulls = nulls
+	c.mainZones = buildZones(codes, nulls)
 	c.deltaDict = compress.NewUDict()
 	c.deltaCodes = nil
 	c.deltaNulls = nil
@@ -331,7 +333,7 @@ func (t *Table) CompressionRate(col int) float64 {
 	compressed += 4 * len(c.deltaCodes)
 	n := 0
 	for rid := 0; rid < t.totalRows(); rid++ {
-		if !t.valid[rid] {
+		if !t.liveSet.Get(rid) {
 			continue
 		}
 		uncompressed += elem(c.valueAt(rid, t.mainRows))
@@ -447,6 +449,7 @@ func (t *Table) updateRow(rid int, set map[int]value.Value, pkChanged bool) {
 			if rid < t.mainRows {
 				code, _ := c.mainDict.Code(v)
 				c.mainCodes.Set(rid, code)
+				patchZone(c.mainZones, rid, code)
 			} else {
 				d := rid - t.mainRows
 				if v.IsNull() {
@@ -468,14 +471,15 @@ func (t *Table) updateRow(rid int, set map[int]value.Value, pkChanged bool) {
 		for col, v := range set {
 			row[col] = v
 		}
-		t.valid[rid] = false
+		t.liveSet.Clear(rid)
 		t.live--
 		newRid := int32(t.totalRows())
 		for i := range t.cols {
 			t.cols[i].appendDelta(row[i])
 		}
 		t.deltaRows++
-		t.valid = append(t.valid, true)
+		t.liveSet = bitset.Grow(t.liveSet, int(newRid)+1)
+		t.liveSet.Set(int(newRid))
 		t.live++
 		if t.pkIndex != nil {
 			h := t.pkHash(row)
@@ -518,7 +522,7 @@ func (t *Table) Delete(pred expr.Predicate) int {
 			}
 			removeRid(t.pkIndex, value.HashRow(key), rid)
 		}
-		t.valid[rid] = false
+		t.liveSet.Clear(int(rid))
 		t.live--
 	}
 	return len(rids)

@@ -579,3 +579,23 @@ func TestMutationEquivalence(t *testing.T) {
 		t.Fatalf("final sums diverged: cs=%v rs=%v", cres.Rows()[0][0], rres.Rows()[0][0])
 	}
 }
+
+func TestScanEmptyCols(t *testing.T) {
+	tb := loaded(t, 30)
+	tb.Merge()
+	// Empty (non-nil) cols streams rids without materializing values.
+	count := 0
+	tb.Scan(&expr.Comparison{Col: 1, Op: expr.Eq, Val: value.NewInt(2)}, []int{}, func(rid int, row []value.Value) bool {
+		count++
+		return true
+	})
+	if count != 6 {
+		t.Errorf("empty-cols scan matched %d", count)
+	}
+	tb.ScanBatches(nil, []int{}, func(rids []int32, colVals [][]value.Value) bool {
+		if len(colVals) != 0 {
+			t.Errorf("expected no column buffers, got %d", len(colVals))
+		}
+		return true
+	})
+}

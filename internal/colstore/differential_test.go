@@ -1,0 +1,250 @@
+package colstore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hybridstore/internal/agg"
+	"hybridstore/internal/expr"
+	"hybridstore/internal/schema"
+	"hybridstore/internal/value"
+)
+
+// diffTable builds a table exercising every physical state the vectorized
+// pipeline must handle: a merged main fragment with NULLs, a delta tail,
+// tombstones from deletes, and migrated rows from updates. Amounts are
+// integral so float aggregation is order-independent (sums are exact).
+func diffTable(t *testing.T, rng *rand.Rand, n int) *Table {
+	t.Helper()
+	sch := schema.MustNew("diff",
+		[]schema.Column{
+			{Name: "id", Type: value.Bigint},
+			{Name: "grp", Type: value.Integer, Nullable: true},
+			{Name: "amount", Type: value.Double},
+			{Name: "note", Type: value.Varchar, Nullable: true},
+		}, "id")
+	tb := New(sch)
+	tb.AutoMerge = false
+	rows := make([][]value.Value, 0, n)
+	for i := 0; i < n; i++ {
+		grp := value.NewInt(rng.Int63n(16))
+		if rng.Intn(13) == 0 {
+			grp = value.Null(value.Integer)
+		}
+		note := value.NewVarchar(fmt.Sprintf("s%d", rng.Intn(6)))
+		if rng.Intn(9) == 0 {
+			note = value.Null(value.Varchar)
+		}
+		rows = append(rows, []value.Value{
+			value.NewBigint(int64(i)), grp,
+			value.NewDouble(float64(rng.Intn(500))), note,
+		})
+	}
+	if err := tb.Insert(rows); err != nil {
+		t.Fatal(err)
+	}
+	tb.Merge()
+	// Tombstones in main.
+	tb.Delete(&expr.Comparison{Col: 2, Op: expr.Lt, Val: value.NewDouble(20)})
+	// Migrations (new amount values force the migrate path) and in-place
+	// main updates.
+	for i := 0; i < 30; i++ {
+		id := rng.Int63n(int64(n))
+		_, err := tb.Update(
+			&expr.Comparison{Col: 0, Op: expr.Eq, Val: value.NewBigint(id)},
+			map[int]value.Value{2: value.NewDouble(float64(1000 + rng.Intn(100)))})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delta tail (with NULLs) on top.
+	tail := make([][]value.Value, 0, n/10)
+	for i := n; i < n+n/10; i++ {
+		grp := value.NewInt(rng.Int63n(16))
+		if rng.Intn(13) == 0 {
+			grp = value.Null(value.Integer)
+		}
+		tail = append(tail, []value.Value{
+			value.NewBigint(int64(i)), grp,
+			value.NewDouble(float64(rng.Intn(500))), value.NewVarchar("d"),
+		})
+	}
+	if err := tb.Insert(tail); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+// randomPredicate covers both the compiled code-range bitmap path
+// (comparisons, BETWEEN, conjunctions) and the fallback shapes (Ne, NULL
+// constants, OR, IN, NOT).
+func randomPredicate(rng *rand.Rand, n int) expr.Predicate {
+	cmp := func() expr.Predicate {
+		switch rng.Intn(4) {
+		case 0:
+			return &expr.Comparison{Col: 0, Op: expr.CmpOp(rng.Intn(6)), Val: value.NewBigint(rng.Int63n(int64(n)))}
+		case 1:
+			return &expr.Comparison{Col: 1, Op: expr.CmpOp(rng.Intn(6)), Val: value.NewInt(rng.Int63n(16))}
+		case 2:
+			return &expr.Comparison{Col: 2, Op: expr.CmpOp(rng.Intn(6)), Val: value.NewDouble(float64(rng.Intn(1100)))}
+		default:
+			return &expr.Comparison{Col: 3, Op: expr.CmpOp(rng.Intn(6)), Val: value.NewVarchar(fmt.Sprintf("s%d", rng.Intn(6)))}
+		}
+	}
+	switch rng.Intn(8) {
+	case 0:
+		return nil
+	case 1:
+		return cmp()
+	case 2:
+		lo := rng.Int63n(int64(n))
+		return &expr.Between{Col: 0, Lo: value.NewBigint(lo), Hi: value.NewBigint(lo + rng.Int63n(int64(n)))}
+	case 3:
+		return &expr.And{Preds: []expr.Predicate{cmp(), cmp()}}
+	case 4:
+		return &expr.Or{Preds: []expr.Predicate{cmp(), cmp()}}
+	case 5:
+		return &expr.Not{P: cmp()}
+	case 6:
+		// NULL constant: matches nothing, exercises the fallback guard.
+		return &expr.Comparison{Col: 1, Op: expr.Eq, Val: value.Null(value.Integer)}
+	default:
+		return &expr.In{Col: 3, Vals: []value.Value{
+			value.NewVarchar("s1"), value.NewVarchar("s4"), value.NewVarchar("d"),
+		}}
+	}
+}
+
+// oracleRows is the naive row-materializing oracle: reconstruct every live
+// tuple and evaluate the predicate on values.
+func oracleRows(tb *Table, pred expr.Predicate) []int32 {
+	var out []int32
+	for rid := 0; rid < tb.totalRows(); rid++ {
+		if !tb.Valid(rid) {
+			continue
+		}
+		if pred == nil || pred.Matches(tb.Get(rid)) {
+			out = append(out, int32(rid))
+		}
+	}
+	return out
+}
+
+// TestDifferentialScan asserts that the vectorized bitmap pipeline
+// (matchingRows, ScanBatches, Scan) yields exactly the oracle's row sets
+// and values for randomized predicates.
+func TestDifferentialScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(20120825))
+	tb := diffTable(t, rng, 5000)
+	cols := []int{0, 1, 2, 3}
+	for trial := 0; trial < 300; trial++ {
+		pred := randomPredicate(rng, 5000)
+		want := oracleRows(tb, pred)
+
+		got := append([]int32(nil), tb.matchingRows(pred)...)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (%v): matchingRows %d rows, oracle %d", trial, pred, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (%v): rid[%d] = %d, oracle %d", trial, pred, i, got[i], want[i])
+			}
+		}
+
+		// Batched values must equal full tuple reconstruction.
+		i := 0
+		tb.ScanBatches(pred, cols, func(rids []int32, colVals [][]value.Value) bool {
+			for k, rid := range rids {
+				if i >= len(want) || rid != want[i] {
+					t.Fatalf("trial %d: batch rid %d out of order at %d", trial, rid, i)
+				}
+				row := tb.Get(int(rid))
+				for j, c := range cols {
+					if !value.Equal(colVals[j][k], row[c]) {
+						t.Fatalf("trial %d rid %d col %d: batch %v, oracle %v",
+							trial, rid, c, colVals[j][k], row[c])
+					}
+				}
+				i++
+			}
+			return true
+		})
+		if i != len(want) {
+			t.Fatalf("trial %d: ScanBatches visited %d of %d rows", trial, i, len(want))
+		}
+	}
+}
+
+// TestDifferentialAggregate asserts grouped and global aggregates computed
+// by the vectorized paths are identical to per-row oracle accumulation
+// over the oracle's row set.
+func TestDifferentialAggregate(t *testing.T) {
+	rng := rand.New(rand.NewSource(51212))
+	tb := diffTable(t, rng, 5000)
+	specs := []agg.Spec{
+		{Func: agg.Sum, Col: 2},
+		{Func: agg.Count, Col: -1},
+		{Func: agg.Min, Col: 2},
+		{Func: agg.Max, Col: 2},
+		{Func: agg.Count, Col: 1},
+	}
+	groupings := [][]int{nil, {1}, {1, 3}, {1, 2, 3}}
+	for trial := 0; trial < 120; trial++ {
+		pred := randomPredicate(rng, 5000)
+		groupBy := groupings[trial%len(groupings)]
+
+		// Oracle: per-row accumulation over reconstructed tuples.
+		want := agg.NewResult(specs, groupBy)
+		key := make([]value.Value, len(groupBy))
+		for _, rid := range oracleRows(tb, pred) {
+			row := tb.Get(int(rid))
+			var g *agg.Group
+			if len(groupBy) > 0 {
+				for i, c := range groupBy {
+					key[i] = row[c]
+				}
+				g = want.GroupFor(key)
+			} else {
+				g = want.Global()
+			}
+			for si, s := range specs {
+				if s.Col < 0 {
+					g.Accs[si].AddCount(1)
+				} else {
+					g.Accs[si].Add(row[s.Col])
+				}
+			}
+		}
+
+		got := tb.Aggregate(specs, groupBy, pred)
+		if got.NumGroups() != want.NumGroups() {
+			t.Fatalf("trial %d (%v, group %v): %d groups, oracle %d",
+				trial, pred, groupBy, got.NumGroups(), want.NumGroups())
+		}
+		index := map[string][]value.Value{}
+		for _, row := range want.Rows() {
+			k := ""
+			for i := 0; i < len(groupBy); i++ {
+				k += row[i].Key() + "\x1f"
+			}
+			index[k] = row
+		}
+		for _, row := range got.Rows() {
+			k := ""
+			for i := 0; i < len(groupBy); i++ {
+				k += row[i].Key() + "\x1f"
+			}
+			wrow, ok := index[k]
+			if !ok {
+				t.Fatalf("trial %d: group %v missing in oracle", trial, row[:len(groupBy)])
+			}
+			for i := range row {
+				if !value.Equal(row[i], wrow[i]) {
+					t.Fatalf("trial %d (%v, group %v) col %d: vectorized %v, oracle %v",
+						trial, pred, groupBy, i, row[i], wrow[i])
+				}
+			}
+		}
+	}
+}

@@ -22,33 +22,55 @@ func (t *Table) KeyDictValues(col int) []value.Value {
 // column values). Key codes live in the combined space of KeyDictValues;
 // NULL keys yield code -1. extraVals is reused between calls — the
 // callback must not retain it. Returning false stops the scan.
+//
+// The probe is vectorized: the match bitmap is computed once, key codes
+// are bulk-decoded per block and the extra columns are gathered
+// column-at-a-time, so the per-row work is an array read plus the
+// callback.
 func (t *Table) JoinProbe(keyCol int, extra []int, pred expr.Predicate, fn func(keyCode int64, extraVals []value.Value) bool) {
+	if t.totalRows() == 0 {
+		return
+	}
 	match := t.matchBitmap(pred)
 	kc := &t.cols[keyCol]
+	mainRows := t.mainRows
 	mainLen := int64(kc.mainDict.Len())
+	keyCodes := t.codeBuf()
+	gatherCodes := make([]uint32, blockRows)
 	extraVals := make([]value.Value, len(extra))
-	for rid := 0; rid < t.totalRows(); rid++ {
-		if match == nil {
-			if !t.valid[rid] {
-				continue
+	extraBufs, pooled := t.acquireBatchBufs(len(extra))
+	defer t.releaseBatchBufs(pooled)
+	t.forBatches(match, func(rids []int32, b0, nm, mainN int) bool {
+		if nm > 0 {
+			kc.mainCodes.UnpackBlock(b0, keyCodes[:mainN])
+		}
+		for j, c := range extra {
+			t.gatherColumn(&t.cols[c], rids, b0, nm, mainN, gatherCodes, extraBufs[j][:len(rids)])
+		}
+		for k, rid32 := range rids {
+			rid := int(rid32)
+			var code int64
+			if rid < mainRows {
+				if kc.mainNulls != nil && kc.mainNulls[rid] {
+					code = -1
+				} else {
+					code = int64(keyCodes[rid-b0])
+				}
+			} else {
+				d := rid - mainRows
+				if kc.deltaNulls != nil && kc.deltaNulls[d] {
+					code = -1
+				} else {
+					code = mainLen + int64(kc.deltaCodes[d])
+				}
 			}
-		} else if !match[rid] {
-			continue
+			for j := range extra {
+				extraVals[j] = extraBufs[j][k]
+			}
+			if !fn(code, extraVals) {
+				return false
+			}
 		}
-		var code int64
-		switch {
-		case kc.isNullAt(rid, t.mainRows):
-			code = -1
-		case rid < t.mainRows:
-			code = int64(kc.mainCodes.Get(rid))
-		default:
-			code = mainLen + int64(kc.deltaCodes[rid-t.mainRows])
-		}
-		for i, c := range extra {
-			extraVals[i] = t.cols[c].valueAt(rid, t.mainRows)
-		}
-		if !fn(code, extraVals) {
-			return
-		}
-	}
+		return true
+	})
 }

@@ -1,6 +1,9 @@
 package colstore
 
 import (
+	"sort"
+
+	"hybridstore/internal/bitset"
 	"hybridstore/internal/compress"
 	"hybridstore/internal/expr"
 	"hybridstore/internal/value"
@@ -101,105 +104,376 @@ func (t *Table) compileBetween(q *expr.Between) (colMatcher, bool) {
 	return m, true
 }
 
-// matchBitmap evaluates pred over all row slots, returning a per-slot match
-// bitmap that already excludes tombstoned rows. A nil return means "all
-// live rows match". Compiled matchers are evaluated with dense per-column
-// loops over the code vectors — the column store's sequential predicate
-// scan.
-func (t *Table) matchBitmap(pred expr.Predicate) []bool {
+// matchBitmap evaluates pred over all row slots, returning a per-slot
+// match bitset that already excludes tombstoned rows. A nil return means
+// "all live rows match". Compiled matchers are evaluated block-at-a-time
+// over bulk-decoded code buffers with zone-map skipping; conjuncts and the
+// tombstone mask combine with word-wide ANDs.
+func (t *Table) matchBitmap(pred expr.Predicate) bitset.Bits {
 	if matchers, ok := t.compileMatchers(pred); ok {
 		if len(matchers) == 0 {
 			return nil
 		}
-		match := t.scratchBitmap()
+		// Evaluate the most selective conjunct first: later conjuncts skip
+		// decode for words that are already zero.
+		sort.Slice(matchers, func(i, j int) bool {
+			return t.matcherSelectivity(&matchers[i]) < t.matcherSelectivity(&matchers[j])
+		})
+		match := t.scratchBits()
 		t.fillMatcher(&matchers[0], match, true)
 		for i := 1; i < len(matchers); i++ {
 			t.fillMatcher(&matchers[i], match, false)
 		}
 		if t.live != t.totalRows() {
-			for rid := range match {
-				if !t.valid[rid] {
-					match[rid] = false
-				}
-			}
+			match.And(t.liveSet[:len(match)])
 		}
 		return match
 	}
-	// Fallback: materialize the referenced columns row by row.
-	cols := expr.ColumnSet(pred)
-	scratch := make([]value.Value, len(t.cols))
-	match := t.scratchBitmap()
-	for rid := range match {
-		if !t.valid[rid] {
-			match[rid] = false
+	return t.fallbackBitmap(pred)
+}
+
+// matcherSelectivity estimates the fraction of main-fragment rows a
+// matcher keeps (code-range width over dictionary size) to order
+// conjuncts cheapest-result-first.
+func (t *Table) matcherSelectivity(m *colMatcher) float64 {
+	d := t.cols[m.col].mainDict.Len()
+	if d == 0 || m.mainHi <= m.mainLo {
+		return 0
+	}
+	return float64(m.mainHi-m.mainLo) / float64(d)
+}
+
+// scratchBits returns the per-table reusable match bitset sized to the
+// current row slots. Every code path that uses it overwrites every word,
+// so no zeroing is needed. The engine serializes access per table.
+func (t *Table) scratchBits() bitset.Bits {
+	w := bitset.Words(t.totalRows())
+	if cap(t.matchScratch) < w {
+		t.matchScratch = make(bitset.Bits, w+64)
+	}
+	return t.matchScratch[:w]
+}
+
+// codeBuf returns the per-table reusable block decode buffer.
+func (t *Table) codeBuf() []uint32 {
+	if t.codeScratch == nil {
+		t.codeScratch = make([]uint32, blockRows)
+	}
+	return t.codeScratch
+}
+
+// fillMatcher evaluates one compiled matcher into the match bitset. The
+// main fragment is processed in blockRows-sized blocks: the block's zone
+// map first decides whether it can match at all (skip: zero words) or must
+// match entirely (accept: all-ones words, no decode); only ambiguous
+// blocks are bulk-decoded and tested, accumulating 64 rows per bitset
+// word. With first=true the bitset is initialized, otherwise each block's
+// words are ANDed in — and blocks whose words are already zero are skipped
+// before any decode.
+func (t *Table) fillMatcher(m *colMatcher, match bitset.Bits, first bool) {
+	c := &t.cols[m.col]
+	lo, hi := m.mainLo, m.mainHi
+	if hi < lo {
+		hi = lo // empty code range (e.g. inverted BETWEEN bounds)
+	}
+	mainRows := t.mainRows
+	var blockWords [blockRows / 64]uint64
+	for b0 := 0; b0 < mainRows; b0 += blockRows {
+		n := min(blockRows, mainRows-b0)
+		w0 := b0 >> 6
+		z := c.mainZones[b0/blockRows]
+		if hi == lo || !z.overlaps(lo, hi) {
+			// No code in the block can match: the block's bits become 0.
+			// The final word may be shared with the first delta rows; when
+			// ANDing, those bits were already written and must survive
+			// (with first=true they are rewritten afterwards).
+			for w, end := w0, (b0+n)>>6; w < end; w++ {
+				match[w] = 0
+			}
+			if rem := uint(n) & 63; rem != 0 {
+				if first {
+					match[(b0+n)>>6] = 0
+				} else {
+					match[(b0+n)>>6] &= ^uint64(0) << rem
+				}
+			}
 			continue
 		}
-		t.materialize(rid, cols, scratch)
-		match[rid] = pred.Matches(scratch)
+		if !z.hasNull && z.within(lo, hi) {
+			// Every row in the block matches: ANDing is a no-op,
+			// initializing is a word fill.
+			if first {
+				full := n >> 6
+				for w := 0; w < full; w++ {
+					match[w0+w] = ^uint64(0)
+				}
+				if rem := uint(n) & 63; rem != 0 {
+					match[w0+full] = 1<<rem - 1
+				}
+			}
+			continue
+		}
+		// Ambiguous block: fused decode+test kernels write bitset words
+		// straight into the match bitmap. The AND kernel skips decode for
+		// words an earlier conjunct already zeroed and preserves the final
+		// word's delta bits above the block.
+		if nulls := c.mainNulls; nulls == nil {
+			if first {
+				c.mainCodes.RangeMatchWords(b0, n, lo, hi, match[w0:])
+			} else {
+				c.mainCodes.RangeMatchWordsAnd(b0, n, lo, hi, match[w0:])
+			}
+			continue
+		}
+		// Nullable column: mask NULL rows out of a block buffer first.
+		bw := blockWords[:(n+63)>>6]
+		c.mainCodes.RangeMatchWords(b0, n, lo, hi, bw)
+		nulls := c.mainNulls
+		for i := 0; i < n; i++ {
+			if nulls[b0+i] {
+				bw[i>>6] &^= 1 << (uint(i) & 63)
+			}
+		}
+		full := n >> 6
+		if first {
+			for w := 0; w < full; w++ {
+				match[w0+w] = bw[w]
+			}
+			if uint(n)&63 != 0 {
+				match[w0+full] = bw[full]
+			}
+		} else {
+			for w := 0; w < full; w++ {
+				match[w0+w] &= bw[w]
+			}
+			if rem := uint(n) & 63; rem != 0 {
+				// Preserve the shared word's delta bits above the block.
+				match[w0+full] &= bw[full] | ^uint64(0)<<rem
+			}
+		}
+	}
+	// Delta fragment (small, append-only): per-row over the plain code
+	// slice and the matcher's per-code table.
+	if first {
+		for w := (mainRows + 63) >> 6; w < len(match); w++ {
+			match[w] = 0
+		}
+		for d, code := range c.deltaCodes {
+			if m.deltaMatch[code] && (c.deltaNulls == nil || !c.deltaNulls[d]) {
+				match.Set(mainRows + d)
+			}
+		}
+		return
+	}
+	for d, code := range c.deltaCodes {
+		rid := mainRows + d
+		if !match.Get(rid) {
+			continue
+		}
+		if !m.deltaMatch[code] || (c.deltaNulls != nil && c.deltaNulls[d]) {
+			match.Clear(rid)
+		}
+	}
+}
+
+// fallbackBitmap evaluates an arbitrary predicate by materializing the
+// referenced columns. Each needed column's main-fragment codes are
+// bulk-decoded once per block, then the predicate runs per live row over
+// the assembled scratch row.
+func (t *Table) fallbackBitmap(pred expr.Predicate) bitset.Bits {
+	cols := expr.ColumnSet(pred)
+	match := t.scratchBits()
+	match.Zero()
+	scratch := make([]value.Value, len(t.cols))
+	blockCodes := make([][]uint32, len(cols))
+	for j := range blockCodes {
+		blockCodes[j] = make([]uint32, blockRows)
+	}
+	total := t.totalRows()
+	mainRows := t.mainRows
+	live := t.liveSet
+	for b0 := 0; b0 < total; b0 += blockRows {
+		n := min(blockRows, total-b0)
+		if !live.AnyRange(b0, b0+n) {
+			continue
+		}
+		mainN := 0
+		if b0 < mainRows {
+			mainN = min(n, mainRows-b0)
+		}
+		for j, cidx := range cols {
+			if mainN > 0 {
+				t.cols[cidx].mainCodes.UnpackBlock(b0, blockCodes[j][:mainN])
+			}
+		}
+		for i := 0; i < n; i++ {
+			rid := b0 + i
+			if !live.Get(rid) {
+				continue
+			}
+			for j, cidx := range cols {
+				c := &t.cols[cidx]
+				if i < mainN {
+					if c.mainNulls != nil && c.mainNulls[rid] {
+						scratch[cidx] = value.Null(c.typ)
+					} else {
+						scratch[cidx] = c.mainDict.Value(blockCodes[j][i])
+					}
+				} else {
+					d := rid - mainRows
+					if c.deltaNulls != nil && c.deltaNulls[d] {
+						scratch[cidx] = value.Null(c.typ)
+					} else {
+						scratch[cidx] = c.deltaDict.Value(c.deltaCodes[d])
+					}
+				}
+			}
+			if pred.Matches(scratch) {
+				match.Set(rid)
+			}
+		}
 	}
 	return match
 }
 
-// scratchBitmap returns a per-table reusable bitmap sized to the current
-// row slots. Every code path that uses it overwrites every slot, so no
-// zeroing is needed. The engine serializes access per table.
-func (t *Table) scratchBitmap() []bool {
-	if cap(t.matchScratch) < t.totalRows() {
-		t.matchScratch = make([]bool, t.totalRows()+4096)
+// allColumns returns [0, len(t.cols)).
+func (t *Table) allColumns() []int {
+	cols := make([]int, len(t.cols))
+	for i := range cols {
+		cols[i] = i
 	}
-	return t.matchScratch[:t.totalRows()]
+	return cols
 }
 
-// fillMatcher evaluates one compiled matcher column-at-a-time. With
-// first=true it initializes the bitmap, otherwise it ANDs into it.
-func (t *Table) fillMatcher(m *colMatcher, match []bool, first bool) {
-	c := &t.cols[m.col]
-	lo, hi := m.mainLo, m.mainHi
-	if first {
-		if c.mainNulls == nil {
-			c.mainCodes.RangeMatch(lo, hi, match)
-		} else {
-			nulls := c.mainNulls
-			c.mainCodes.ForEach(func(i int, code uint32) {
-				match[i] = !nulls[i] && code >= lo && code < hi
-			})
-		}
-		for d, code := range c.deltaCodes {
-			ok := m.deltaMatch[code]
-			if c.deltaNulls != nil && c.deltaNulls[d] {
-				ok = false
-			}
-			match[t.mainRows+d] = ok
-		}
+// ScanBatches is the vectorized scan: matching live rows are streamed to
+// fn in batches of up to blockRows, with the requested columns decoded
+// column-at-a-time into reused column buffers. rids holds the batch's
+// global row ids in ascending order; colVals[j][k] is the value of column
+// cols[j] at row rids[k]. Both slices are reused between batches — fn must
+// not retain them. Returning false stops the scan. nil cols requests every
+// column.
+func (t *Table) ScanBatches(pred expr.Predicate, cols []int, fn func(rids []int32, colVals [][]value.Value) bool) {
+	if cols == nil {
+		cols = t.allColumns()
+	}
+	t.scanBatches(t.matchBitmap(pred), cols, fn)
+}
+
+// scanBatches streams batches for an already-computed match bitset
+// (nil = all live rows). The column buffers are pooled on the table
+// (single-writer engine); a re-entrant call — a batch callback scanning
+// the same table again — falls back to fresh buffers.
+func (t *Table) scanBatches(match bitset.Bits, cols []int, fn func(rids []int32, colVals [][]value.Value) bool) {
+	total := t.totalRows()
+	if total == 0 {
 		return
 	}
-	if c.mainNulls == nil {
-		c.mainCodes.RangeMatchAnd(lo, hi, match)
-	} else {
-		nulls := c.mainNulls
-		c.mainCodes.ForEach(func(i int, code uint32) {
-			if match[i] {
-				match[i] = !nulls[i] && code >= lo && code < hi
-			}
-		})
+	bufs, pooled := t.acquireBatchBufs(len(cols))
+	defer t.releaseBatchBufs(pooled)
+	views := make([][]value.Value, len(cols))
+	codes := t.codeBuf()
+	t.forBatches(match, func(rids []int32, b0, nm, mainN int) bool {
+		for j, cidx := range cols {
+			views[j] = bufs[j][:len(rids)]
+			t.gatherColumn(&t.cols[cidx], rids, b0, nm, mainN, codes, views[j])
+		}
+		return fn(rids, views)
+	})
+}
+
+// acquireBatchBufs hands out the pooled column buffers (ncols of them),
+// allocating fresh ones when the pool is already checked out by an outer
+// scan. pooled reports whether the pool must be released afterwards.
+func (t *Table) acquireBatchBufs(ncols int) (bufs [][]value.Value, pooled bool) {
+	if t.batchInUse {
+		bufs = make([][]value.Value, ncols)
+		for j := range bufs {
+			bufs[j] = make([]value.Value, blockRows)
+		}
+		return bufs, false
 	}
-	for d, code := range c.deltaCodes {
-		rid := t.mainRows + d
-		if !match[rid] {
-			continue
+	for len(t.batchBufs) < ncols {
+		t.batchBufs = append(t.batchBufs, make([]value.Value, blockRows))
+	}
+	t.batchInUse = true
+	return t.batchBufs[:ncols], true
+}
+
+func (t *Table) releaseBatchBufs(pooled bool) {
+	if pooled {
+		t.batchInUse = false
+	}
+}
+
+// splitBatch returns the number nm of main-resident rids (ascending order
+// puts them first) and the row count mainN of the block's main-fragment
+// span starting at b0.
+func (t *Table) splitBatch(rids []int32, b0, n int) (nm, mainN int) {
+	mainRows := t.mainRows
+	nm = len(rids)
+	if b0+n > mainRows {
+		nm = 0
+		for nm < len(rids) && int(rids[nm]) < mainRows {
+			nm++
 		}
-		ok := m.deltaMatch[code]
+	}
+	if nm > 0 {
+		mainN = min(n, mainRows-b0)
+	}
+	return nm, mainN
+}
+
+// gatherColumn fills dst[k] with column c's value at rids[k]. All rids lie
+// in the block [b0, b0+mainN+...) and are ascending; nm and mainN come
+// from splitBatch. When the batch covers enough of the block's
+// main-fragment span, the span's codes are bulk-decoded once and gathered
+// by offset; sparse batches extract codes individually.
+func (t *Table) gatherColumn(c *column, rids []int32, b0, nm, mainN int, codes []uint32, dst []value.Value) {
+	mainRows := t.mainRows
+	if nm > 0 {
+		blockN := mainN
+		if nm*4 >= blockN {
+			c.mainCodes.UnpackBlock(b0, codes[:blockN])
+			if c.mainNulls == nil {
+				for k := 0; k < nm; k++ {
+					dst[k] = c.mainDict.Value(codes[int(rids[k])-b0])
+				}
+			} else {
+				for k := 0; k < nm; k++ {
+					rid := int(rids[k])
+					if c.mainNulls[rid] {
+						dst[k] = value.Null(c.typ)
+					} else {
+						dst[k] = c.mainDict.Value(codes[rid-b0])
+					}
+				}
+			}
+		} else {
+			for k := 0; k < nm; k++ {
+				rid := int(rids[k])
+				if c.mainNulls != nil && c.mainNulls[rid] {
+					dst[k] = value.Null(c.typ)
+				} else {
+					dst[k] = c.mainDict.Value(c.mainCodes.Get(rid))
+				}
+			}
+		}
+	}
+	for k := nm; k < len(rids); k++ {
+		d := int(rids[k]) - mainRows
 		if c.deltaNulls != nil && c.deltaNulls[d] {
-			ok = false
+			dst[k] = value.Null(c.typ)
+		} else {
+			dst[k] = c.deltaDict.Value(c.deltaCodes[d])
 		}
-		match[rid] = ok
 	}
 }
 
 // Scan calls fn for each live row matching pred with the requested columns
 // materialized into a reused scratch row (full table width; unrequested
 // entries are stale). fn must not retain the slice. A nil cols materializes
-// every column.
+// every column. It is a thin row-at-a-time adapter over ScanBatches, kept
+// for callers that want tuple streaming.
 //
 // Unlike the row store, point predicates get no index shortcut: the
 // column store locates rows by evaluating the predicate over the code
@@ -211,41 +485,40 @@ func (t *Table) fillMatcher(m *colMatcher, match []bool, first bool) {
 // duplicate test.)
 func (t *Table) Scan(pred expr.Predicate, cols []int, fn func(rid int, row []value.Value) bool) {
 	if cols == nil {
-		cols = make([]int, len(t.cols))
-		for i := range cols {
-			cols[i] = i
-		}
+		cols = t.allColumns()
 	}
 	scratch := make([]value.Value, len(t.cols))
-	match := t.matchBitmap(pred)
-	for rid := 0; rid < t.totalRows(); rid++ {
-		if match == nil {
-			if !t.valid[rid] {
-				continue
+	t.ScanBatches(pred, cols, func(rids []int32, colVals [][]value.Value) bool {
+		for k, rid := range rids {
+			for j, c := range cols {
+				scratch[c] = colVals[j][k]
 			}
-		} else if !match[rid] {
-			continue
+			if !fn(int(rid), scratch) {
+				return false
+			}
 		}
-		t.materialize(rid, cols, scratch)
-		if !fn(rid, scratch) {
-			return
-		}
-	}
+		return true
+	})
 }
 
 // matchingRows returns the global row ids of live rows matching pred,
-// without materializing any values (code-vector scan; see Scan).
+// without materializing any values (code-vector scan; see Scan). The
+// result is pre-sized from the bitmap's popcount and backed by a reused
+// per-table buffer; callers (Update/Delete) consume it before issuing the
+// next query against this table.
 func (t *Table) matchingRows(pred expr.Predicate) []int32 {
 	match := t.matchBitmap(pred)
-	var out []int32
-	for rid := 0; rid < t.totalRows(); rid++ {
-		if match == nil {
-			if t.valid[rid] {
-				out = append(out, int32(rid))
-			}
-		} else if match[rid] {
-			out = append(out, int32(rid))
-		}
+	src := match
+	want := t.live
+	if src == nil {
+		src = t.liveSet
+	} else {
+		want = match.Count()
 	}
+	if cap(t.ridScratch) < want {
+		t.ridScratch = make([]int32, 0, want+want/4+64)
+	}
+	out := src.AppendSet(t.ridScratch[:0], 0, t.totalRows())
+	t.ridScratch = out[:0]
 	return out
 }

@@ -128,18 +128,12 @@ func TestPackRoundTrip(t *testing.T) {
 				t.Fatalf("distinct=%d Get(%d) = %d, want %d", distinct, i, got, c)
 			}
 		}
-		i := 0
-		p.ForEach(func(idx int, code uint32) {
-			if idx != i {
-				t.Fatalf("ForEach index %d, want %d", idx, i)
-			}
+		dst := make([]uint32, n)
+		p.UnpackBlock(0, dst)
+		for idx, code := range dst {
 			if code != codes[idx] {
-				t.Fatalf("ForEach code %d at %d, want %d", code, idx, codes[idx])
+				t.Fatalf("UnpackBlock code %d at %d, want %d", code, idx, codes[idx])
 			}
-			i++
-		})
-		if i != n {
-			t.Fatalf("ForEach visited %d of %d", i, n)
 		}
 	}
 }
@@ -152,10 +146,12 @@ func TestPackWidthZero(t *testing.T) {
 	if p.Get(2) != 0 {
 		t.Error("width-0 Get should be 0")
 	}
-	count := 0
-	p.ForEach(func(int, uint32) { count++ })
-	if count != 3 {
-		t.Errorf("ForEach on width-0 visited %d", count)
+	dst := []uint32{7, 7, 7}
+	p.UnpackBlock(0, dst)
+	for i, c := range dst {
+		if c != 0 {
+			t.Errorf("width-0 UnpackBlock[%d] = %d", i, c)
+		}
 	}
 }
 
@@ -238,5 +234,32 @@ func TestColumnRateMonotonic(t *testing.T) {
 			t.Errorf("rate increased with distinct: d=%d r=%v prev=%v", d, r, prev)
 		}
 		prev = r
+	}
+}
+
+func TestUnpackBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, distinct := range []int{1, 2, 3, 31, 100, 4096, 1 << 17} {
+		n := 1500
+		codes := make([]uint32, n)
+		for i := range codes {
+			codes[i] = uint32(rng.Intn(distinct))
+		}
+		p := Pack(codes, distinct)
+		dst := make([]uint32, n)
+		for i := range dst {
+			dst[i] = ^uint32(0) // must be overwritten
+		}
+		// Arbitrary block boundaries, including word-straddling starts.
+		for _, blk := range [][2]int{{0, 64}, {1, 63}, {63, 130}, {500, 1000}, {0, n}, {n - 1, 1}, {n, 0}} {
+			start, ln := blk[0], blk[1]
+			p.UnpackBlock(start, dst[:ln])
+			for i := 0; i < ln; i++ {
+				if dst[i] != codes[start+i] {
+					t.Fatalf("distinct=%d UnpackBlock(%d)[%d] = %d, want %d",
+						distinct, start, i, dst[i], codes[start+i])
+				}
+			}
+		}
 	}
 }

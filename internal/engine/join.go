@@ -46,21 +46,43 @@ func (db *Database) execJoin(q *query.Query) (*Result, error) {
 	}
 
 	// Build phase: materialize the needed columns of matching build rows.
+	// A column-store build side feeds the hash table through the
+	// vectorized batch scan — columns arrive column-at-a-time without the
+	// full-width scratch copy per row.
 	hash := make(map[uint64][]*buildRow)
 	buildNeed := append(append([]int{}, build.need...), build.joinCol)
-	build.rt.store.Scan(build.pred, buildNeed, func(row []value.Value) bool {
-		k := row[build.joinCol]
-		if k.IsNull() {
+	if bs, ok := build.rt.store.(batchScanner); ok {
+		keyIdx := len(buildNeed) - 1 // joinCol is last in buildNeed
+		bs.ScanBatches(build.pred, buildNeed, func(rids []int32, colVals [][]value.Value) bool {
+			for k := range rids {
+				key := colVals[keyIdx][k]
+				if key.IsNull() {
+					continue
+				}
+				vals := make([]value.Value, build.width)
+				for j, c := range buildNeed {
+					vals[c] = colVals[j][k]
+				}
+				h := key.Hash()
+				hash[h] = append(hash[h], &buildRow{key: key, vals: vals})
+			}
 			return true
-		}
-		vals := make([]value.Value, build.width)
-		for _, c := range buildNeed {
-			vals[c] = row[c]
-		}
-		h := k.Hash()
-		hash[h] = append(hash[h], &buildRow{key: k, vals: vals})
-		return true
-	})
+		})
+	} else {
+		build.rt.store.Scan(build.pred, buildNeed, func(row []value.Value) bool {
+			k := row[build.joinCol]
+			if k.IsNull() {
+				return true
+			}
+			vals := make([]value.Value, build.width)
+			for _, c := range buildNeed {
+				vals[c] = row[c]
+			}
+			h := k.Hash()
+			hash[h] = append(hash[h], &buildRow{key: k, vals: vals})
+			return true
+		})
+	}
 
 	// Probe phase.
 	combined := make([]value.Value, nL+nR)

@@ -81,6 +81,21 @@ func (s *colStorage) Scan(pred expr.Predicate, cols []int, fn func(row []value.V
 	s.t.Scan(pred, cols, func(rid int, row []value.Value) bool { return fn(row) })
 }
 
+// ScanBatches exposes the column store's vectorized batch scan (for an
+// unpartitioned table, storage columns are table columns). Callers that
+// consume columns directly avoid the per-row full-width scratch copy the
+// row-at-a-time Scan adapter pays.
+func (s *colStorage) ScanBatches(pred expr.Predicate, cols []int, fn func(rids []int32, colVals [][]value.Value) bool) {
+	s.t.ScanBatches(pred, cols, fn)
+}
+
+// batchScanner is implemented by storages that expose the column store's
+// vectorized batch scan; the engine's hot paths (join build sides,
+// vertical-partition scans) type-assert against it.
+type batchScanner interface {
+	ScanBatches(pred expr.Predicate, cols []int, fn func(rids []int32, colVals [][]value.Value) bool)
+}
+
 func (s *colStorage) Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate) *agg.Result {
 	return s.t.Aggregate(specs, groupBy, pred)
 }

@@ -165,12 +165,24 @@ func (v *verticalStorage) Scan(pred expr.Predicate, cols []int, fn func(row []va
 			return fn(scratch)
 		})
 	case partCol:
+		// Vectorized path: batch-scan only the needed columns of the
+		// column partition instead of materializing every partition
+		// column row-at-a-time.
 		cpred, _ := expr.Remap(pred, v.colFwd)
-		v.colPart.Scan(cpred, nil, func(rid int, prow []value.Value) bool {
-			for i, c := range v.spec.ColCols {
-				scratch[c] = prow[i]
+		localCols := make([]int, len(need))
+		for i, c := range need {
+			localCols[i] = v.colFwd[c]
+		}
+		v.colPart.ScanBatches(cpred, localCols, func(rids []int32, colVals [][]value.Value) bool {
+			for k := range rids {
+				for j, c := range need {
+					scratch[c] = colVals[j][k]
+				}
+				if !fn(scratch) {
+					return false
+				}
 			}
-			return fn(scratch)
+			return true
 		})
 	default:
 		v.scanJoined(pred, fn, scratch)
