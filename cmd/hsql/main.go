@@ -2,20 +2,25 @@
 // It supports the engine's SQL dialect (CREATE TABLE, SELECT with
 // aggregates and joins, INSERT, UPDATE, DELETE) plus shell commands:
 //
-//	\store <table> row|column     move a table between stores
+//	\store <table> row|column     move a table between stores (blocking)
+//	\stats                        show the live rolling workload window
 //	\stats <table>                collect and show table statistics
 //	\tables                       list tables with store and row count
-//	\advise                       recommend a layout for the session's queries
-//	\apply                        apply the last recommendation
+//	\advise                       recommend a layout for the observed workload
+//	\apply                        apply the last recommendation (blocking)
+//	\migrate                      apply it as a background migration
 //	\quit
 //
 // Every query prints its result and engine-measured execution time; the
-// session's statements feed the online-mode monitor, so \advise reflects
-// the workload actually executed.
+// session's statements feed the live workload monitor, so \advise and
+// \migrate reflect the workload actually executed. With -auto the
+// advisory loop runs in the background and migrates stores on its own
+// once the predicted improvement clears -hysteresis.
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"strings"
@@ -24,16 +29,41 @@ import (
 	"hybridstore/internal/catalog"
 	"hybridstore/internal/costmodel"
 	"hybridstore/internal/engine"
+	"hybridstore/internal/migrate"
+	"hybridstore/internal/monitor"
 	"hybridstore/internal/schema"
 	"hybridstore/internal/sql"
-	"hybridstore/internal/value"
 )
 
+// session bundles the engine with its online-advisory stack.
+type session struct {
+	db      *engine.Database
+	mon     *monitor.Monitor
+	mgr     *migrate.Manager
+	lastRec *advisor.Recommendation
+}
+
 func main() {
+	auto := flag.Duration("auto", 0, "auto-advise interval (0 disables, e.g. 30s)")
+	hysteresis := flag.Float64("hysteresis", -1, "min relative improvement before auto-migrating (-1 = default)")
+	flag.Parse()
+
 	db := engine.New()
 	adv := advisor.New(costmodel.DefaultModel())
-	monitor := advisor.NewMonitor(db, adv)
-	var lastRec *advisor.Recommendation
+	mon := monitor.New(db, monitor.DefaultConfig())
+	s := &session{
+		db:  db,
+		mon: mon,
+		mgr: migrate.NewManager(db, adv, mon, migrate.DefaultConfig()),
+	}
+	if *auto > 0 {
+		if err := s.mgr.AutoAdvise(*auto, *hysteresis); err != nil {
+			fmt.Println("error:", err)
+			os.Exit(1)
+		}
+		defer s.mgr.Stop()
+		fmt.Printf("auto-advise every %v\n", *auto)
+	}
 
 	resolver := func(name string) *schema.Table {
 		if e := db.Catalog().Table(name); e != nil {
@@ -42,7 +72,7 @@ func main() {
 		return nil
 	}
 
-	fmt.Println("hybrid-store SQL shell — \\quit to exit, \\tables, \\advise, \\store <t> row|column")
+	fmt.Println("hybrid-store SQL shell — \\quit to exit, \\tables, \\stats, \\advise, \\migrate, \\store <t> row|column")
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -58,7 +88,7 @@ func main() {
 		line := scanner.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
-			if !command(db, monitor, &lastRec, trimmed) {
+			if !s.command(trimmed) {
 				return
 			}
 			prompt()
@@ -123,7 +153,8 @@ func printResult(res *engine.Result) {
 }
 
 // command handles backslash commands; it returns false on \quit.
-func command(db *engine.Database, monitor *advisor.Monitor, lastRec **advisor.Recommendation, line string) bool {
+func (s *session) command(line string) bool {
+	db := s.db
 	fields := strings.Fields(line)
 	switch fields[0] {
 	case "\\quit", "\\q":
@@ -135,6 +166,9 @@ func command(db *engine.Database, monitor *advisor.Monitor, lastRec **advisor.Re
 			fmt.Printf("  %-20s %-12s %10d rows", name, e.Store, n)
 			if e.Partitioning != nil {
 				fmt.Printf("  %s", e.Partitioning)
+			}
+			if db.Migrating(name) {
+				fmt.Print("  (migrating)")
 			}
 			fmt.Println()
 		}
@@ -153,8 +187,16 @@ func command(db *engine.Database, monitor *advisor.Monitor, lastRec **advisor.Re
 		}
 		fmt.Printf("moved %s to the %s store\n", fields[1], store)
 	case "\\stats":
+		if len(fields) == 1 {
+			snap := s.mon.Snapshot()
+			fmt.Printf("observed %d queries (%d in window)\n", snap.Seen, snap.WindowSeen)
+			for _, tw := range snap.Tables {
+				fmt.Println(" ", tw)
+			}
+			break
+		}
 		if len(fields) != 2 {
-			fmt.Println("usage: \\stats <table>")
+			fmt.Println("usage: \\stats [table]")
 			break
 		}
 		st, err := db.CollectStats(fields[1])
@@ -169,31 +211,48 @@ func command(db *engine.Database, monitor *advisor.Monitor, lastRec **advisor.Re
 				c.Name, c.Type, st.Distinct(i), st.CompressionOf(i))
 		}
 	case "\\advise":
-		rec, err := monitor.Reevaluate()
+		rec, err := s.mgr.Advise()
 		if err != nil {
 			fmt.Println("error:", err)
 			break
 		}
-		*lastRec = rec
+		s.lastRec = rec
 		fmt.Printf("estimated runtimes: RS-only %.2fms, CS-only %.2fms, table-level %.2fms, partitioned %.2fms\n",
 			rec.RowOnlyCost/1e6, rec.ColumnOnlyCost/1e6, rec.TableLevelCost/1e6, rec.PartitionedCost/1e6)
 		for _, ddl := range rec.DDL {
 			fmt.Println(" ", ddl)
 		}
 	case "\\apply":
-		if *lastRec == nil {
+		if s.lastRec == nil {
 			fmt.Println("no recommendation yet — run \\advise first")
 			break
 		}
-		if err := monitor.Apply(*lastRec); err != nil {
+		moved, err := s.mgr.Migrate(s.lastRec)
+		if err != nil {
 			fmt.Println("error:", err)
 			break
 		}
-		fmt.Println("layout applied")
+		fmt.Printf("layout applied (%d tables moved)\n", len(moved))
+	case "\\migrate":
+		if s.lastRec == nil {
+			fmt.Println("no recommendation yet — run \\advise first")
+			break
+		}
+		rec := s.lastRec
+		go func() {
+			moved, err := s.mgr.Migrate(rec)
+			switch {
+			case err != nil:
+				fmt.Printf("\nmigration error: %v\nhsql> ", err)
+			case len(moved) > 0:
+				fmt.Printf("\nbackground migration done: %s\nhsql> ", strings.Join(moved, ", "))
+			default:
+				fmt.Print("\nbackground migration: layout already in place, nothing moved\nhsql> ")
+			}
+		}()
+		fmt.Println("background migration started — \\tables shows progress")
 	default:
 		fmt.Println("unknown command:", fields[0])
 	}
 	return true
 }
-
-var _ = value.Value{} // value types surface in printed results

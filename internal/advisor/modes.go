@@ -2,7 +2,6 @@ package advisor
 
 import (
 	"fmt"
-	"strings"
 	"sync"
 	"time"
 
@@ -36,6 +35,12 @@ func (a *Advisor) RecommendOffline(in OfflineInput) *Recommendation {
 // queries as the representative workload, and re-evaluates the storage
 // layout in certain intervals, optionally applying beneficial adaptations
 // automatically.
+//
+// Monitor applies layouts through the blocking SetLayout path. The newer
+// online subsystem — internal/monitor's rolling-window recorder, the
+// RecommendSnapshot entry point and internal/migrate's background
+// non-blocking migrations with hysteresis — supersedes it for live
+// deployments; Monitor remains for simple embedded use.
 type Monitor struct {
 	db      *engine.Database
 	advisor *Advisor
@@ -155,7 +160,7 @@ func (m *Monitor) Apply(rec *Recommendation) error {
 		if spec != nil {
 			target = catalog.Partitioned
 		}
-		if entry.Store == target && specEqual(entry.Partitioning, spec) {
+		if entry.Store == target && entry.Partitioning.Equal(spec) {
 			continue
 		}
 		if err := m.db.SetLayout(t, store, spec); err != nil {
@@ -175,12 +180,4 @@ func (m *Monitor) Recalibrate(cfg costmodel.CalibrationConfig) error {
 	}
 	m.advisor.Model = model
 	return nil
-}
-
-// specEqual compares partition specs structurally.
-func specEqual(a, b *catalog.PartitionSpec) bool {
-	if a == nil || b == nil {
-		return a == b
-	}
-	return strings.EqualFold(a.String(), b.String())
 }

@@ -133,6 +133,15 @@ func containsInt(xs []int, x int) bool {
 	return false
 }
 
+// Equal compares two specs structurally (nil-safe). Specs are immutable
+// once built, so rendered-string equality is exact.
+func (p *PartitionSpec) Equal(o *PartitionSpec) bool {
+	if p == nil || o == nil {
+		return p == o
+	}
+	return p.String() == o.String()
+}
+
 // String renders the spec for display in recommendations.
 func (p *PartitionSpec) String() string {
 	if p == nil {
@@ -198,11 +207,47 @@ func (c *Catalog) Add(entry *TableEntry) error {
 	return nil
 }
 
-// Table returns the entry for name, or nil.
+// Table returns a snapshot of the entry for name, or nil. The snapshot
+// is a shallow copy taken under the catalog lock: the pointed-to Schema,
+// Partitioning spec and Stats are immutable once published (writers
+// replace them wholesale via SetPlacement/SetStats), so callers may read
+// the snapshot freely while the canonical entry keeps changing — the
+// online monitor and advisor read entries concurrently with migrations.
 func (c *Catalog) Table(name string) *TableEntry {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.tables[key(name)]
+	e, ok := c.tables[key(name)]
+	if !ok {
+		return nil
+	}
+	cp := *e
+	return &cp
+}
+
+// SetStats publishes refreshed table statistics.
+func (c *Catalog) SetStats(name string, st *TableStats) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.tables[key(name)]
+	if !ok {
+		return false
+	}
+	e.Stats = st
+	return true
+}
+
+// AddIndex records a secondary-index declaration (idempotent).
+func (c *Catalog) AddIndex(name string, col int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.tables[key(name)]
+	if !ok {
+		return false
+	}
+	if !containsInt(e.Indexes, col) {
+		e.Indexes = append(e.Indexes, col)
+	}
+	return true
 }
 
 // Remove drops a table from the catalog.

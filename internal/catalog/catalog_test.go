@@ -32,7 +32,7 @@ func TestCatalogAddLookupRemove(t *testing.T) {
 	if err := c.Add(e); err == nil {
 		t.Error("duplicate add accepted")
 	}
-	if got := c.Table("SALES"); got != e {
+	if got := c.Table("SALES"); got == nil || got.Schema != e.Schema || got.Store != e.Store {
 		t.Error("case-insensitive lookup failed")
 	}
 	if c.Table("nope") != nil {

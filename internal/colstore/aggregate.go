@@ -16,16 +16,18 @@ import (
 // paper's column store (f_compression).
 func (t *Table) Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate) *agg.Result {
 	res := agg.NewResult(specs, groupBy)
-	match := t.matchBitmap(pred) // nil means all live rows
+	s := t.acquireScratch()
+	defer t.releaseScratch(s)
+	match := t.matchBitmap(pred, s) // nil means all live rows
 	switch {
 	case len(groupBy) == 0:
-		t.aggregateGlobal(res, specs, match)
+		t.aggregateGlobal(res, specs, match, s)
 	case len(groupBy) == 1:
 		t.aggregateSingleGroup(res, specs, groupBy[0], match)
 	case len(groupBy) == 2 && t.pairGroupFeasible(groupBy):
 		t.aggregatePairGroup(res, specs, groupBy, match)
 	default:
-		t.aggregateGeneric(res, specs, groupBy, match)
+		t.aggregateGeneric(res, specs, groupBy, match, s)
 	}
 	return res
 }
@@ -254,9 +256,9 @@ func (t *Table) forBatches(match bitset.Bits, fn func(rids []int32, b0, nm, main
 	}
 }
 
-func (t *Table) aggregateGlobal(res *agg.Result, specs []agg.Spec, match bitset.Bits) {
+func (t *Table) aggregateGlobal(res *agg.Result, specs []agg.Spec, match bitset.Bits, s *scanScratch) {
 	g := res.Global()
-	codes := t.codeBuf()
+	codes := s.codeBuf()
 	var rids []int32
 	dense := match == nil && t.live == t.totalRows()
 	for si, s := range specs {
@@ -462,7 +464,7 @@ func (t *Table) aggregatePairGroup(res *agg.Result, specs []agg.Spec, groupBy []
 
 // aggregateGeneric handles multi-column group-bys by materializing the key
 // per row through the batched scan.
-func (t *Table) aggregateGeneric(res *agg.Result, specs []agg.Spec, groupBy []int, match bitset.Bits) {
+func (t *Table) aggregateGeneric(res *agg.Result, specs []agg.Spec, groupBy []int, match bitset.Bits, sc *scanScratch) {
 	colIdx := make(map[int]int)
 	var cols []int
 	need := func(c int) {
@@ -492,7 +494,7 @@ func (t *Table) aggregateGeneric(res *agg.Result, specs []agg.Spec, groupBy []in
 		}
 	}
 	key := make([]value.Value, len(groupBy))
-	t.scanBatches(match, cols, func(rids []int32, colVals [][]value.Value) bool {
+	t.scanBatches(match, cols, sc, func(rids []int32, colVals [][]value.Value) bool {
 		for k := range rids {
 			for i, p := range groupPos {
 				key[i] = colVals[p][k]

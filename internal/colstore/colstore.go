@@ -22,6 +22,7 @@ package colstore
 
 import (
 	"fmt"
+	"sync"
 
 	"hybridstore/internal/bitset"
 	"hybridstore/internal/compress"
@@ -109,12 +110,12 @@ type Table struct {
 	AutoMerge      bool
 	merges         int
 
-	// Reused scratch buffers (the engine serializes access per table).
-	matchScratch bitset.Bits     // predicate match bitset
-	ridScratch   []int32         // matchingRows output
-	codeScratch  []uint32        // block decode buffer (blockRows codes)
-	batchBufs    [][]value.Value // scanBatches column buffers
-	batchInUse   bool            // guards against re-entrant scanBatches
+	// Pooled scan scratches: the engine allows concurrent readers (and
+	// re-entrant scans from batch callbacks), so every scan-shaped
+	// operation checks a private scratch out of this free list instead
+	// of sharing per-table buffers.
+	scratchMu   sync.Mutex
+	scratchPool []*scanScratch
 }
 
 // New creates an empty column-store table for the schema.

@@ -78,9 +78,11 @@ func BenchmarkMatchBitmap(b *testing.B) {
 		&expr.Comparison{Col: 1, Op: expr.Ge, Val: value.NewInt(32)},
 	}}
 	b.SetBytes(int64(tb.totalRows()))
+	s := tb.acquireScratch()
+	defer tb.releaseScratch(s)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		benchSink = tb.matchBitmap(pred)
+		benchSink = tb.matchBitmap(pred, s)
 	}
 }
 

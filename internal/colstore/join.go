@@ -31,15 +31,16 @@ func (t *Table) JoinProbe(keyCol int, extra []int, pred expr.Predicate, fn func(
 	if t.totalRows() == 0 {
 		return
 	}
-	match := t.matchBitmap(pred)
+	s := t.acquireScratch()
+	defer t.releaseScratch(s)
+	match := t.matchBitmap(pred, s)
 	kc := &t.cols[keyCol]
 	mainRows := t.mainRows
 	mainLen := int64(kc.mainDict.Len())
-	keyCodes := t.codeBuf()
+	keyCodes := s.codeBuf()
 	gatherCodes := make([]uint32, blockRows)
 	extraVals := make([]value.Value, len(extra))
-	extraBufs, pooled := t.acquireBatchBufs(len(extra))
-	defer t.releaseBatchBufs(pooled)
+	extraBufs := s.colBufs(len(extra))
 	t.forBatches(match, func(rids []int32, b0, nm, mainN int) bool {
 		if nm > 0 {
 			kc.mainCodes.UnpackBlock(b0, keyCodes[:mainN])

@@ -108,8 +108,9 @@ func (t *Table) compileBetween(q *expr.Between) (colMatcher, bool) {
 // match bitset that already excludes tombstoned rows. A nil return means
 // "all live rows match". Compiled matchers are evaluated block-at-a-time
 // over bulk-decoded code buffers with zone-map skipping; conjuncts and the
-// tombstone mask combine with word-wide ANDs.
-func (t *Table) matchBitmap(pred expr.Predicate) bitset.Bits {
+// tombstone mask combine with word-wide ANDs. The returned bitset is
+// backed by s and stays valid until s is released.
+func (t *Table) matchBitmap(pred expr.Predicate, s *scanScratch) bitset.Bits {
 	if matchers, ok := t.compileMatchers(pred); ok {
 		if len(matchers) == 0 {
 			return nil
@@ -119,7 +120,7 @@ func (t *Table) matchBitmap(pred expr.Predicate) bitset.Bits {
 		sort.Slice(matchers, func(i, j int) bool {
 			return t.matcherSelectivity(&matchers[i]) < t.matcherSelectivity(&matchers[j])
 		})
-		match := t.scratchBits()
+		match := s.bits(t.totalRows())
 		t.fillMatcher(&matchers[0], match, true)
 		for i := 1; i < len(matchers); i++ {
 			t.fillMatcher(&matchers[i], match, false)
@@ -129,7 +130,7 @@ func (t *Table) matchBitmap(pred expr.Predicate) bitset.Bits {
 		}
 		return match
 	}
-	return t.fallbackBitmap(pred)
+	return t.fallbackBitmap(pred, s)
 }
 
 // matcherSelectivity estimates the fraction of main-fragment rows a
@@ -143,23 +144,64 @@ func (t *Table) matcherSelectivity(m *colMatcher) float64 {
 	return float64(m.mainHi-m.mainLo) / float64(d)
 }
 
-// scratchBits returns the per-table reusable match bitset sized to the
-// current row slots. Every code path that uses it overwrites every word,
-// so no zeroing is needed. The engine serializes access per table.
-func (t *Table) scratchBits() bitset.Bits {
-	w := bitset.Words(t.totalRows())
-	if cap(t.matchScratch) < w {
-		t.matchScratch = make(bitset.Bits, w+64)
-	}
-	return t.matchScratch[:w]
+// scanScratch bundles the reusable buffers of one in-flight scan,
+// aggregate or join probe: the predicate match bitset, the block decode
+// buffer, and the batch column buffers. Scratches are pooled per table
+// behind a mutex, so concurrent readers — the engine executes reads
+// under a shared lock — and re-entrant scans from batch callbacks each
+// work on private buffers.
+type scanScratch struct {
+	match bitset.Bits
+	codes []uint32
+	bufs  [][]value.Value
 }
 
-// codeBuf returns the per-table reusable block decode buffer.
-func (t *Table) codeBuf() []uint32 {
-	if t.codeScratch == nil {
-		t.codeScratch = make([]uint32, blockRows)
+// acquireScratch checks a scratch out of the table's pool (allocating a
+// fresh one when the pool is empty). Callers must releaseScratch it.
+func (t *Table) acquireScratch() *scanScratch {
+	t.scratchMu.Lock()
+	if n := len(t.scratchPool); n > 0 {
+		s := t.scratchPool[n-1]
+		t.scratchPool = t.scratchPool[:n-1]
+		t.scratchMu.Unlock()
+		return s
 	}
-	return t.codeScratch
+	t.scratchMu.Unlock()
+	return &scanScratch{}
+}
+
+func (t *Table) releaseScratch(s *scanScratch) {
+	t.scratchMu.Lock()
+	if len(t.scratchPool) < 16 {
+		t.scratchPool = append(t.scratchPool, s)
+	}
+	t.scratchMu.Unlock()
+}
+
+// bits returns the scratch's match bitset sized to rows slots. Every code
+// path that uses it overwrites every word, so no zeroing is needed.
+func (s *scanScratch) bits(rows int) bitset.Bits {
+	w := bitset.Words(rows)
+	if cap(s.match) < w {
+		s.match = make(bitset.Bits, w+64)
+	}
+	return s.match[:w]
+}
+
+// codeBuf returns the scratch's block decode buffer.
+func (s *scanScratch) codeBuf() []uint32 {
+	if s.codes == nil {
+		s.codes = make([]uint32, blockRows)
+	}
+	return s.codes
+}
+
+// colBufs returns ncols batch column buffers.
+func (s *scanScratch) colBufs(ncols int) [][]value.Value {
+	for len(s.bufs) < ncols {
+		s.bufs = append(s.bufs, make([]value.Value, blockRows))
+	}
+	return s.bufs[:ncols]
 }
 
 // fillMatcher evaluates one compiled matcher into the match bitset. The
@@ -280,9 +322,9 @@ func (t *Table) fillMatcher(m *colMatcher, match bitset.Bits, first bool) {
 // referenced columns. Each needed column's main-fragment codes are
 // bulk-decoded once per block, then the predicate runs per live row over
 // the assembled scratch row.
-func (t *Table) fallbackBitmap(pred expr.Predicate) bitset.Bits {
+func (t *Table) fallbackBitmap(pred expr.Predicate, s *scanScratch) bitset.Bits {
 	cols := expr.ColumnSet(pred)
-	match := t.scratchBits()
+	match := s.bits(t.totalRows())
 	match.Zero()
 	scratch := make([]value.Value, len(t.cols))
 	blockCodes := make([][]uint32, len(cols))
@@ -356,22 +398,21 @@ func (t *Table) ScanBatches(pred expr.Predicate, cols []int, fn func(rids []int3
 	if cols == nil {
 		cols = t.allColumns()
 	}
-	t.scanBatches(t.matchBitmap(pred), cols, fn)
+	s := t.acquireScratch()
+	defer t.releaseScratch(s)
+	t.scanBatches(t.matchBitmap(pred, s), cols, s, fn)
 }
 
 // scanBatches streams batches for an already-computed match bitset
-// (nil = all live rows). The column buffers are pooled on the table
-// (single-writer engine); a re-entrant call — a batch callback scanning
-// the same table again — falls back to fresh buffers.
-func (t *Table) scanBatches(match bitset.Bits, cols []int, fn func(rids []int32, colVals [][]value.Value) bool) {
+// (nil = all live rows) using the scratch that backs it.
+func (t *Table) scanBatches(match bitset.Bits, cols []int, s *scanScratch, fn func(rids []int32, colVals [][]value.Value) bool) {
 	total := t.totalRows()
 	if total == 0 {
 		return
 	}
-	bufs, pooled := t.acquireBatchBufs(len(cols))
-	defer t.releaseBatchBufs(pooled)
+	bufs := s.colBufs(len(cols))
 	views := make([][]value.Value, len(cols))
-	codes := t.codeBuf()
+	codes := s.codeBuf()
 	t.forBatches(match, func(rids []int32, b0, nm, mainN int) bool {
 		for j, cidx := range cols {
 			views[j] = bufs[j][:len(rids)]
@@ -379,30 +420,6 @@ func (t *Table) scanBatches(match bitset.Bits, cols []int, fn func(rids []int32,
 		}
 		return fn(rids, views)
 	})
-}
-
-// acquireBatchBufs hands out the pooled column buffers (ncols of them),
-// allocating fresh ones when the pool is already checked out by an outer
-// scan. pooled reports whether the pool must be released afterwards.
-func (t *Table) acquireBatchBufs(ncols int) (bufs [][]value.Value, pooled bool) {
-	if t.batchInUse {
-		bufs = make([][]value.Value, ncols)
-		for j := range bufs {
-			bufs[j] = make([]value.Value, blockRows)
-		}
-		return bufs, false
-	}
-	for len(t.batchBufs) < ncols {
-		t.batchBufs = append(t.batchBufs, make([]value.Value, blockRows))
-	}
-	t.batchInUse = true
-	return t.batchBufs[:ncols], true
-}
-
-func (t *Table) releaseBatchBufs(pooled bool) {
-	if pooled {
-		t.batchInUse = false
-	}
 }
 
 // splitBatch returns the number nm of main-resident rids (ascending order
@@ -503,11 +520,13 @@ func (t *Table) Scan(pred expr.Predicate, cols []int, fn func(rid int, row []val
 
 // matchingRows returns the global row ids of live rows matching pred,
 // without materializing any values (code-vector scan; see Scan). The
-// result is pre-sized from the bitmap's popcount and backed by a reused
-// per-table buffer; callers (Update/Delete) consume it before issuing the
-// next query against this table.
+// result is pre-sized from the bitmap's popcount and freshly allocated —
+// callers (Update/Delete) run exclusively and mutate the table while
+// consuming it, so it must not alias pooled scan scratch.
 func (t *Table) matchingRows(pred expr.Predicate) []int32 {
-	match := t.matchBitmap(pred)
+	s := t.acquireScratch()
+	defer t.releaseScratch(s)
+	match := t.matchBitmap(pred, s)
 	src := match
 	want := t.live
 	if src == nil {
@@ -515,10 +534,5 @@ func (t *Table) matchingRows(pred expr.Predicate) []int32 {
 	} else {
 		want = match.Count()
 	}
-	if cap(t.ridScratch) < want {
-		t.ridScratch = make([]int32, 0, want+want/4+64)
-	}
-	out := src.AppendSet(t.ridScratch[:0], 0, t.totalRows())
-	t.ridScratch = out[:0]
-	return out
+	return src.AppendSet(make([]int32, 0, want+1), 0, t.totalRows())
 }

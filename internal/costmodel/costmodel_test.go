@@ -413,6 +413,9 @@ func TestCalibrateSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("calibration is slow")
 	}
+	if raceEnabled {
+		t.Skip("race-detector instrumentation distorts the timed store asymmetries")
+	}
 	m, err := Calibrate(CalibrationConfig{RefRows: 8000, Reps: 1, Seed: 7})
 	if err != nil {
 		t.Fatal(err)

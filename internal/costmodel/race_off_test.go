@@ -1,0 +1,5 @@
+//go:build !race
+
+package costmodel
+
+const raceEnabled = false

@@ -36,10 +36,14 @@ type Result struct {
 	Duration time.Duration
 }
 
-// tableRuntime pairs a catalog entry with its physical storage.
+// tableRuntime pairs a catalog entry with its physical storage. While a
+// background migration is in flight, tail buffers every DML applied to
+// store so the migrator can replay it onto the new storage before the
+// atomic swap.
 type tableRuntime struct {
 	entry *catalog.TableEntry
 	store storage
+	tail  *migrationTail
 }
 
 // Database is an in-memory hybrid-store database instance.
@@ -171,10 +175,20 @@ func (db *Database) Rows(name string) (int, error) {
 	return rt.store.Rows(), nil
 }
 
+// ErrIndexNotMaterialized reports that an index declaration could not be
+// materialized under the table's current layout (column stores rely on
+// their sorted dictionaries instead). The declaration is still recorded
+// in the catalog — it materializes when the table (re)gains row-store
+// storage — but callers and the advisor cost model can now distinguish
+// this from an actual secondary index instead of a silent no-op.
+var ErrIndexNotMaterialized = fmt.Errorf("engine: index not materialized under current layout")
+
 // CreateIndex declares a secondary index on a column; it is materialized
 // wherever the table's current layout has row-store storage and recorded
 // in the catalog so the cost model sees it (f_selectivity depends on index
-// availability for the row store).
+// availability for the row store). When the current layout cannot
+// materialize the index the declaration is still recorded, but the call
+// returns an error wrapping ErrIndexNotMaterialized.
 func (db *Database) CreateIndex(name string, col int) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -185,14 +199,32 @@ func (db *Database) CreateIndex(name string, col int) error {
 	if col < 0 || col >= rt.entry.Schema.NumColumns() {
 		return fmt.Errorf("engine: index column %d out of range for %q", col, name)
 	}
-	rt.store.CreateIndex(col)
-	for _, c := range rt.entry.Indexes {
-		if c == col {
-			return nil
-		}
+	supported := rt.store.SupportsIndex(col)
+	if supported {
+		rt.store.CreateIndex(col)
 	}
-	rt.entry.Indexes = append(rt.entry.Indexes, col)
+	// The declaration is recorded through the catalog so the append
+	// synchronizes with concurrent catalog snapshot readers.
+	db.cat.AddIndex(name, col)
+	if !supported {
+		return fmt.Errorf("%w: column %d of %q", ErrIndexNotMaterialized, col, name)
+	}
 	return nil
+}
+
+// SupportsIndex reports whether a secondary index on col would be
+// materialized under the table's current layout.
+func (db *Database) SupportsIndex(name string, col int) (bool, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rt, err := db.runtime(name)
+	if err != nil {
+		return false, err
+	}
+	if col < 0 || col >= rt.entry.Schema.NumColumns() {
+		return false, fmt.Errorf("engine: index column %d out of range for %q", col, name)
+	}
+	return rt.store.SupportsIndex(col), nil
 }
 
 // layoutBatch is the row-buffer size used when rebuilding layouts.
@@ -209,6 +241,9 @@ func (db *Database) SetLayout(name string, store catalog.StoreKind, spec *catalo
 	rt, err := db.runtime(name)
 	if err != nil {
 		return err
+	}
+	if rt.tail != nil {
+		return fmt.Errorf("engine: %q has a migration in flight", name)
 	}
 	if spec != nil {
 		store = catalog.Partitioned
@@ -270,6 +305,19 @@ func (db *Database) Compact(name string) error {
 	return nil
 }
 
+// DeltaRows reports how many rows sit in the table's write-optimized
+// delta fragments; the migration scheduler triggers Compact when this
+// crosses its threshold.
+func (db *Database) DeltaRows(name string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rt, err := db.runtime(name)
+	if err != nil {
+		return 0, err
+	}
+	return rt.store.DeltaRows(), nil
+}
+
 // CollectStats refreshes the catalog statistics of a table from its data.
 func (db *Database) CollectStats(name string) (*catalog.TableStats, error) {
 	db.mu.RLock()
@@ -288,7 +336,7 @@ func (db *Database) CollectStats(name string) (*catalog.TableStats, error) {
 		return true
 	})
 	st := sc.Finish()
-	rt.entry.Stats = st
+	db.cat.SetStats(name, st)
 	return st, nil
 }
 
@@ -362,15 +410,18 @@ func (db *Database) execDML(q *query.Query) (*Result, error) {
 		if err := rt.store.Insert(coerced); err != nil {
 			return nil, err
 		}
+		rt.recordTail(dmlOp{kind: query.Insert, rows: coerced})
 		return &Result{Affected: len(coerced)}, nil
 	case query.Update:
 		n, err := rt.store.Update(q.Pred, q.Set)
 		if err != nil {
 			return nil, err
 		}
+		rt.recordTail(dmlOp{kind: query.Update, pred: q.Pred, set: q.Set})
 		return &Result{Affected: n}, nil
 	case query.Delete:
 		n := rt.store.Delete(q.Pred)
+		rt.recordTail(dmlOp{kind: query.Delete, pred: q.Pred})
 		return &Result{Affected: n}, nil
 	}
 	return nil, fmt.Errorf("engine: bad DML kind %v", q.Kind)

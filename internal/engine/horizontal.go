@@ -221,6 +221,14 @@ func (h *horizontalStorage) CreateIndex(col int) {
 	h.cold.CreateIndex(col)
 }
 
+func (h *horizontalStorage) SupportsIndex(col int) bool {
+	return h.hot.SupportsIndex(col) || h.cold.SupportsIndex(col)
+}
+
+func (h *horizontalStorage) DeltaRows() int {
+	return h.hot.DeltaRows() + h.cold.DeltaRows()
+}
+
 func (h *horizontalStorage) Compact() {
 	h.hot.Compact()
 	h.cold.Compact()

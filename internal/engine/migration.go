@@ -1,0 +1,236 @@
+package engine
+
+import (
+	"fmt"
+
+	"hybridstore/internal/catalog"
+	"hybridstore/internal/expr"
+	"hybridstore/internal/query"
+	"hybridstore/internal/value"
+)
+
+// dmlOp is one buffered write recorded while a background migration is in
+// flight. Insert rows are deep-copied at record time so later in-place
+// mutations of store-internal buffers cannot alias the tail; predicates
+// are immutable expression trees and are shared.
+type dmlOp struct {
+	kind query.Kind
+	rows [][]value.Value
+	pred expr.Predicate
+	set  map[int]value.Value
+}
+
+// migrationTail buffers the DML applied to a table's live storage while a
+// migration builds the replacement storage off to the side. Appends happen
+// under the database write lock (execDML holds it); the migrator reads the
+// slice under the read lock, so no separate mutex is needed — DML cannot
+// interleave with a reader holding db.mu.RLock.
+type migrationTail struct {
+	ops []dmlOp
+}
+
+// recordTail buffers a DML op when a migration is in flight. Callers hold
+// the database write lock.
+func (rt *tableRuntime) recordTail(op dmlOp) {
+	if rt.tail == nil {
+		return
+	}
+	if op.kind == query.Insert {
+		rows := make([][]value.Value, len(op.rows))
+		for i, r := range op.rows {
+			cp := make([]value.Value, len(r))
+			copy(cp, r)
+			rows[i] = cp
+		}
+		op.rows = rows
+	}
+	if op.set != nil {
+		set := make(map[int]value.Value, len(op.set))
+		for c, v := range op.set {
+			set[c] = v
+		}
+		op.set = set
+	}
+	rt.tail.ops = append(rt.tail.ops, op)
+}
+
+// replayOps applies buffered DML to the target storage in original order.
+// The target starts from the exact source state at the snapshot mark and
+// ops are replayed in sequence, so each op executes against the same state
+// it originally saw — no idempotency tricks are needed.
+func replayOps(st storage, ops []dmlOp) error {
+	for _, op := range ops {
+		switch op.kind {
+		case query.Insert:
+			if err := st.Insert(op.rows); err != nil {
+				return err
+			}
+		case query.Update:
+			if _, err := st.Update(op.pred, op.set); err != nil {
+				return err
+			}
+		case query.Delete:
+			st.Delete(op.pred)
+		}
+	}
+	return nil
+}
+
+// Migration-pacing knobs: the catch-up loop hands off to the final locked
+// drain once the pending tail is small (the remaining replay under the
+// write lock is then bounded) or after enough rounds under sustained
+// write pressure.
+const (
+	migrateFinalDrainMax = 1024
+	migrateMaxCatchup    = 8
+)
+
+// Migrating reports whether a background migration is in flight for the
+// table.
+func (db *Database) Migrating(name string) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rt, err := db.runtime(name)
+	return err == nil && rt.tail != nil
+}
+
+// MigrateLayout moves a table to a new placement like SetLayout, but
+// without blocking queries for the duration of the move: the target
+// storage is built off to the side from a consistent snapshot while reads
+// and writes keep hitting the old storage, DML executed meanwhile is
+// buffered in a tail and replayed onto the target, and the storage handle
+// is swapped atomically under the write lock once the tail has drained.
+// The call itself blocks until the migration completes (run it on a
+// background goroutine — internal/migrate does); concurrent queries
+// observe either the old or the new storage, never a partial state.
+//
+// Phases and their locking:
+//
+//  1. install the tail (brief write lock) — from here on every DML is
+//     buffered alongside its normal execution;
+//  2. snapshot the source (read lock: concurrent reads proceed, writers
+//     queue only for the duration of the raw row copy);
+//  3. build the target from the snapshot and materialize declared
+//     indexes (no lock — this dictionary-encoding-heavy phase is why the
+//     blocking SetLayout is unsuitable online);
+//  4. catch up: repeatedly replay newly buffered ops (tail reads under
+//     the read lock, replay unlocked);
+//  5. cut over (brief write lock): replay the remaining tail, swap the
+//     storage handle, update the catalog.
+func (db *Database) MigrateLayout(name string, store catalog.StoreKind, spec *catalog.PartitionSpec) error {
+	// Phase 1: resolve the table, build the empty target, install the tail.
+	db.mu.Lock()
+	rt, err := db.runtime(name)
+	if err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	if rt.tail != nil {
+		db.mu.Unlock()
+		return fmt.Errorf("engine: %q already has a migration in flight", name)
+	}
+	if spec != nil {
+		store = catalog.Partitioned
+	}
+	target, err := buildStorage(rt.entry.Schema, store, spec)
+	if err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	tail := &migrationTail{}
+	rt.tail = tail
+	db.mu.Unlock()
+
+	abort := func(cause error) error {
+		db.mu.Lock()
+		if cur, err := db.runtime(name); err == nil && cur.tail == tail {
+			cur.tail = nil
+		}
+		db.mu.Unlock()
+		return cause
+	}
+
+	// Phase 2: snapshot under the read lock. DML needs the write lock, so
+	// the tail cannot grow while we scan: every op before mark is fully
+	// reflected in the snapshot, every op at or after mark is not at all.
+	db.mu.RLock()
+	mark := len(tail.ops)
+	width := rt.entry.Schema.NumColumns()
+	var snapshot [][]value.Value
+	rt.store.Scan(nil, nil, func(row []value.Value) bool {
+		cp := make([]value.Value, width)
+		copy(cp, row)
+		snapshot = append(snapshot, cp)
+		return true
+	})
+	indexes := append([]int(nil), rt.entry.Indexes...)
+	db.mu.RUnlock()
+
+	// Phase 3: build the target off to the side.
+	for off := 0; off < len(snapshot); off += layoutBatch {
+		end := off + layoutBatch
+		if end > len(snapshot) {
+			end = len(snapshot)
+		}
+		if err := target.Insert(snapshot[off:end]); err != nil {
+			return abort(fmt.Errorf("engine: migrating %q: %w", name, err))
+		}
+	}
+	snapshot = nil
+	for _, c := range indexes {
+		target.CreateIndex(c)
+	}
+
+	// Phase 4: catch up on buffered writes without blocking new ones.
+	applied := mark
+	for round := 0; round < migrateMaxCatchup; round++ {
+		db.mu.RLock()
+		pending := append([]dmlOp(nil), tail.ops[applied:]...)
+		db.mu.RUnlock()
+		if len(pending) <= migrateFinalDrainMax {
+			break
+		}
+		if err := replayOps(target, pending); err != nil {
+			return abort(fmt.Errorf("engine: migrating %q: %w", name, err))
+		}
+		applied += len(pending)
+	}
+
+	// Phase 5: final drain and atomic cutover.
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	cur, err := db.runtime(name)
+	if err != nil || cur.tail != tail {
+		// The table was dropped (or the migration superseded) meanwhile.
+		if err == nil {
+			err = fmt.Errorf("engine: migration of %q superseded", name)
+		}
+		return err
+	}
+	if err := replayOps(target, tail.ops[applied:]); err != nil {
+		cur.tail = nil
+		return fmt.Errorf("engine: migrating %q: %w", name, err)
+	}
+	// Indexes declared after the off-lock materialization pass.
+	for _, c := range cur.entry.Indexes {
+		if !containsCol(indexes, c) {
+			target.CreateIndex(c)
+		}
+	}
+	if err := db.cat.SetPlacement(name, store, spec); err != nil {
+		cur.tail = nil
+		return err
+	}
+	cur.store = target
+	cur.tail = nil
+	return nil
+}
+
+func containsCol(cols []int, c int) bool {
+	for _, x := range cols {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}

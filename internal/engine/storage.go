@@ -25,11 +25,22 @@ type storage interface {
 	Scan(pred expr.Predicate, cols []int, fn func(row []value.Value) bool)
 	Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate) *agg.Result
 	// CreateIndex adds a secondary index where the underlying store
-	// supports one (row stores); otherwise it is a no-op.
+	// supports one (row stores); otherwise it is a no-op. Callers that
+	// need to distinguish must consult SupportsIndex first.
 	CreateIndex(col int)
+	// SupportsIndex reports whether CreateIndex(col) would materialize a
+	// secondary index under the current layout. Column stores answer
+	// false (their sorted dictionaries are the implicit index the paper
+	// describes); partitioned layouts answer true when at least one
+	// partition holding the column is row-oriented.
+	SupportsIndex(col int) bool
 	// Compact brings the storage to its read-optimized steady state:
 	// column stores merge their delta, row stores reclaim tombstones.
 	Compact()
+	// DeltaRows reports the rows sitting in write-optimized delta
+	// fragments (column stores); the migration scheduler triggers
+	// Compact when it crosses a threshold.
+	DeltaRows() int
 	MemoryBytes() int
 }
 
@@ -57,6 +68,10 @@ func (s *rowStorage) Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predic
 }
 
 func (s *rowStorage) CreateIndex(col int) { s.t.CreateIndex(col) }
+
+func (s *rowStorage) SupportsIndex(col int) bool { return true }
+
+func (s *rowStorage) DeltaRows() int { return 0 }
 
 func (s *rowStorage) Compact() { s.t.Compact() }
 
@@ -101,8 +116,13 @@ func (s *colStorage) Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predic
 }
 
 // CreateIndex is a no-op: the column store's sorted dictionaries already
-// provide the implicit index the paper describes.
+// provide the implicit index the paper describes. SupportsIndex lets
+// callers detect this instead of assuming an index was materialized.
 func (s *colStorage) CreateIndex(col int) {}
+
+func (s *colStorage) SupportsIndex(col int) bool { return false }
+
+func (s *colStorage) DeltaRows() int { return s.t.DeltaRows() }
 
 func (s *colStorage) Compact() { s.t.Merge() }
 

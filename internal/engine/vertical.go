@@ -379,6 +379,15 @@ func (v *verticalStorage) CreateIndex(col int) {
 	}
 }
 
+// SupportsIndex reports whether the column lives in the row partition,
+// where a secondary index can be materialized.
+func (v *verticalStorage) SupportsIndex(col int) bool {
+	_, ok := v.rowFwd[col]
+	return ok
+}
+
+func (v *verticalStorage) DeltaRows() int { return v.colPart.DeltaRows() }
+
 // Compact merges the column partition's delta and reclaims row-partition
 // tombstones.
 func (v *verticalStorage) Compact() {

@@ -1,0 +1,319 @@
+// Package migrate turns live advisor recommendations into background
+// store migrations: a Manager periodically snapshots the workload
+// monitor, asks the advisor for a layout, and — when the predicted
+// improvement clears a hysteresis threshold — executes the row↔column
+// moves through the engine's non-blocking migration path
+// (engine.MigrateLayout: build aside, replay the buffered write tail,
+// swap atomically). It also watches column-store delta fragments and
+// triggers Compact when they grow past a threshold, so merged
+// read-optimized fragments keep the cost model's assumptions true under
+// sustained writes.
+//
+// Hysteresis has two parts, both needed to keep a stable mix from
+// oscillating between layouts: a minimum relative improvement of the
+// recommended layout over the cost of staying put, and a per-table
+// cooldown between migrations.
+package migrate
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hybridstore/internal/advisor"
+	"hybridstore/internal/catalog"
+	"hybridstore/internal/engine"
+	"hybridstore/internal/monitor"
+)
+
+// Config tunes the manager.
+type Config struct {
+	// Hysteresis is the default minimum relative predicted improvement
+	// (e.g. 0.1 = the recommended layout must be ≥10% cheaper than
+	// staying put) before a migration is executed. AutoAdvise takes an
+	// explicit override.
+	Hysteresis float64
+	// Cooldown is the minimum time between migrations of one table.
+	Cooldown time.Duration
+	// MinWindowQueries gates automatic evaluation until the rolling
+	// window has seen at least this many queries.
+	MinWindowQueries int
+	// CompactDeltaRows triggers Compact on a table whose write-optimized
+	// delta fragments exceed this many rows (0 disables the watcher).
+	CompactDeltaRows int
+}
+
+// DefaultConfig returns the standard thresholds.
+func DefaultConfig() Config {
+	return Config{
+		Hysteresis:       0.1,
+		Cooldown:         30 * time.Second,
+		MinWindowQueries: 100,
+		CompactDeltaRows: 50000,
+	}
+}
+
+// Event records one manager action for auditing (\migrate log in hsql).
+type Event struct {
+	Time   time.Time
+	Table  string
+	Action string // "migrate", "compact", "skip"
+	Detail string
+}
+
+// Manager schedules background migrations from live recommendations.
+type Manager struct {
+	db  *engine.Database
+	adv *advisor.Advisor
+	mon *monitor.Monitor
+	cfg Config
+
+	mu       sync.Mutex
+	lastMove map[string]time.Time
+	lastRec  *advisor.Recommendation
+	events   []Event
+	running  bool
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+	now      func() time.Time // test hook
+}
+
+// NewManager wires the manager to a database, advisor and monitor.
+func NewManager(db *engine.Database, adv *advisor.Advisor, mon *monitor.Monitor, cfg Config) *Manager {
+	if cfg.Hysteresis < 0 {
+		cfg.Hysteresis = 0
+	}
+	return &Manager{
+		db: db, adv: adv, mon: mon, cfg: cfg,
+		lastMove: map[string]time.Time{},
+		now:      time.Now,
+	}
+}
+
+func (m *Manager) record(table, action, detail string) {
+	m.mu.Lock()
+	m.events = append(m.events, Event{Time: m.now(), Table: table, Action: action, Detail: detail})
+	if len(m.events) > 256 {
+		m.events = m.events[len(m.events)-256:]
+	}
+	m.mu.Unlock()
+}
+
+// Events returns a copy of the recent action log.
+func (m *Manager) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Event(nil), m.events...)
+}
+
+// LastRecommendation returns the most recent recommendation (nil before
+// the first Advise).
+func (m *Manager) LastRecommendation() *advisor.Recommendation {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastRec
+}
+
+// Advise snapshots the rolling workload window, refreshes the catalog
+// statistics of the observed tables and computes a recommendation.
+func (m *Manager) Advise() (*advisor.Recommendation, error) {
+	rec, _, err := m.advise()
+	return rec, err
+}
+
+func (m *Manager) advise() (*advisor.Recommendation, *monitor.Snapshot, error) {
+	snap := m.mon.Snapshot()
+	if snap.Queries.Len() == 0 {
+		return nil, nil, fmt.Errorf("migrate: no observed workload yet")
+	}
+	for _, tw := range snap.Tables {
+		// Skip the full-scan refresh when the existing catalog statistics
+		// are still close to the live row count — AutoAdvise ticks on
+		// stable tables would otherwise rescan everything every interval.
+		if e := m.db.Catalog().Table(tw.Name); e != nil && e.Stats != nil {
+			n := e.Stats.NumRows
+			if n > 0 && tw.Rows >= n-n/10 && tw.Rows <= n+n/10 {
+				continue
+			}
+		}
+		if _, err := m.db.CollectStats(tw.Name); err != nil {
+			// A table may have been dropped while still in the window;
+			// confine the failure to it instead of wedging the cycle.
+			m.record(tw.Name, "skip", "stats: "+err.Error())
+			continue
+		}
+	}
+	rec, err := m.adv.RecommendSnapshot(snap, m.db.Catalog(), nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.mu.Lock()
+	m.lastRec = rec
+	m.mu.Unlock()
+	return rec, snap, nil
+}
+
+// pendingMoves lists the tables whose recommended placement differs from
+// the catalog's current one.
+func (m *Manager) pendingMoves(rec *advisor.Recommendation) []string {
+	var out []string
+	for t, store := range rec.Layout.Stores {
+		e := m.db.Catalog().Table(t)
+		if e == nil {
+			continue
+		}
+		spec := rec.Layout.SpecFor(t)
+		target := store
+		if spec != nil {
+			target = catalog.Partitioned
+		}
+		if e.Store != target || !e.Partitioning.Equal(spec) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Migrate executes a recommendation's layout changes through the
+// engine's background migration path. It blocks until the moves complete
+// (callers wanting a fire-and-forget apply run it on a goroutine) and
+// returns the tables actually migrated. An explicit Migrate bypasses the
+// per-table cooldown — that throttle exists for the automatic loop, not
+// for an administrator applying a recommendation by hand.
+func (m *Manager) Migrate(rec *advisor.Recommendation) ([]string, error) {
+	return m.migrate(rec, false)
+}
+
+func (m *Manager) migrate(rec *advisor.Recommendation, honorCooldown bool) ([]string, error) {
+	if rec == nil {
+		return nil, fmt.Errorf("migrate: nil recommendation")
+	}
+	var moved []string
+	for _, t := range m.pendingMoves(rec) {
+		m.mu.Lock()
+		last, seen := m.lastMove[t]
+		now := m.now()
+		m.mu.Unlock()
+		if honorCooldown && seen && m.cfg.Cooldown > 0 && now.Sub(last) < m.cfg.Cooldown {
+			m.record(t, "skip", "cooldown")
+			continue
+		}
+		store := rec.Layout.Stores.StoreOf(t)
+		spec := rec.Layout.SpecFor(t)
+		if err := m.db.MigrateLayout(t, store, spec); err != nil {
+			m.record(t, "skip", err.Error())
+			return moved, fmt.Errorf("migrate: %s: %w", t, err)
+		}
+		m.mu.Lock()
+		m.lastMove[t] = m.now()
+		m.mu.Unlock()
+		target := store.String()
+		if spec != nil {
+			target = spec.String()
+		}
+		m.record(t, "migrate", "-> "+target)
+		moved = append(moved, t)
+	}
+	return moved, nil
+}
+
+// Evaluate runs one advisory cycle: snapshot, recommend, and migrate when
+// the hysteresis test passes. It returns the migrated tables (nil when
+// the recommendation was not worth applying). A negative hysteresis uses
+// the config default.
+func (m *Manager) Evaluate(hysteresis float64) ([]string, error) {
+	if hysteresis < 0 {
+		hysteresis = m.cfg.Hysteresis
+	}
+	rec, snap, err := m.advise()
+	if err != nil {
+		return nil, err
+	}
+	if len(m.pendingMoves(rec)) == 0 {
+		return nil, nil
+	}
+	// Hysteresis: the recommended layout must beat the cost of staying
+	// put by the required margin, otherwise a near-tie would oscillate
+	// the table back and forth as the sampled mix wobbles.
+	current := advisor.CurrentLayout(snap, m.db.Catalog())
+	info := advisor.InfoFromCatalog(m.db.Catalog())
+	stayCost := m.adv.EstimateLayout(snap.Queries, info, current)
+	if stayCost > 0 && rec.PartitionedCost >= stayCost*(1-hysteresis) {
+		m.record("", "skip", fmt.Sprintf("improvement %.1f%% below hysteresis %.1f%%",
+			(1-rec.PartitionedCost/stayCost)*100, hysteresis*100))
+		return nil, nil
+	}
+	return m.migrate(rec, true)
+}
+
+// CompactCheck triggers Compact on every table whose delta fragments
+// exceed the configured threshold, returning the compacted tables.
+func (m *Manager) CompactCheck() []string {
+	if m.cfg.CompactDeltaRows <= 0 {
+		return nil
+	}
+	var compacted []string
+	for _, name := range m.db.Catalog().Names() {
+		delta, err := m.db.DeltaRows(name)
+		if err != nil || delta < m.cfg.CompactDeltaRows {
+			continue
+		}
+		if err := m.db.Compact(name); err == nil {
+			m.record(name, "compact", fmt.Sprintf("delta=%d rows", delta))
+			compacted = append(compacted, name)
+		}
+	}
+	return compacted
+}
+
+// AutoAdvise starts the background advisory loop: every interval it runs
+// a compaction check and — once the rolling window holds enough queries —
+// an Evaluate with the given hysteresis (negative = config default).
+// It returns an error if the loop is already running; Stop ends it.
+func (m *Manager) AutoAdvise(interval time.Duration, hysteresis float64) error {
+	if interval <= 0 {
+		return fmt.Errorf("migrate: non-positive auto-advise interval %v", interval)
+	}
+	m.mu.Lock()
+	if m.running {
+		m.mu.Unlock()
+		return fmt.Errorf("migrate: auto-advise already running")
+	}
+	m.running = true
+	m.stopCh = make(chan struct{})
+	stop := m.stopCh
+	m.mu.Unlock()
+
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				m.CompactCheck()
+				if m.mon.Seen() < m.cfg.MinWindowQueries {
+					continue
+				}
+				m.Evaluate(hysteresis) //nolint:errcheck // advisory loop: failures surface via Events
+			}
+		}
+	}()
+	return nil
+}
+
+// Stop ends the AutoAdvise loop and waits for it to finish.
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	if !m.running {
+		m.mu.Unlock()
+		return
+	}
+	m.running = false
+	close(m.stopCh)
+	m.mu.Unlock()
+	m.wg.Wait()
+}

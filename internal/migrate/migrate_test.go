@@ -1,0 +1,308 @@
+package migrate
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hybridstore/internal/advisor"
+	"hybridstore/internal/catalog"
+	"hybridstore/internal/costmodel"
+	"hybridstore/internal/engine"
+	"hybridstore/internal/monitor"
+	"hybridstore/internal/query"
+	"hybridstore/internal/workload"
+)
+
+const tableRows = 20000
+
+// newStack builds an engine with the standard experiment table in the
+// given store, a monitor with a short rolling window, and a manager with
+// test-friendly thresholds.
+func newStack(t *testing.T, store catalog.StoreKind, cfg Config) (*engine.Database, *monitor.Monitor, *Manager, *workload.TableSpec) {
+	t.Helper()
+	db := engine.New()
+	spec := workload.StandardTable("exp")
+	if err := spec.Load(db, store, tableRows, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Compact("exp"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CollectStats("exp"); err != nil {
+		t.Fatal(err)
+	}
+	mon := monitor.New(db, monitor.Config{Epochs: 3, RotateEvery: 200, SampleCap: 256})
+	mgr := NewManager(db, advisor.New(costmodel.DefaultModel()), mon, cfg)
+	return db, mon, mgr, spec
+}
+
+// exec runs every workload query through the engine so the monitor
+// observes it.
+func exec(t *testing.T, db *engine.Database, w *query.Workload) {
+	t.Helper()
+	for _, q := range w.Queries {
+		if _, err := db.Exec(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// The mixes deliberately generate no inserts: the generator derives
+// insert keys from TableRows, so two generated workloads would collide
+// on primary keys (insert traffic is covered by the engine stress test
+// and TestCompactCheck).
+func oltpMix(queries int, seed int64) *query.Workload {
+	return workload.GenMixed(workload.StandardTable("exp"), workload.MixConfig{
+		Queries: queries, OLAPFraction: 0, TableRows: tableRows, Seed: seed,
+		UpdateWeight: 1, PointSelectWeight: 1,
+	})
+}
+
+func olapMix(queries int, seed int64) *query.Workload {
+	return workload.GenMixed(workload.StandardTable("exp"), workload.MixConfig{
+		Queries: queries, OLAPFraction: 0.5, TableRows: tableRows, Seed: seed,
+		UpdateWeight: 1, PointSelectWeight: 1,
+	})
+}
+
+func migrateEvents(m *Manager) int {
+	n := 0
+	for _, e := range m.Events() {
+		if e.Action == "migrate" {
+			n++
+		}
+	}
+	return n
+}
+
+// TestShiftTriggersBackgroundMigration is the acceptance scenario: a
+// table serving OLAP-heavy traffic in the column store sees its mix shift
+// to OLTP-heavy; the evaluation cycle recommends the row store and
+// executes the column->row migration in the background while concurrent
+// queries keep running and stay correct.
+func TestShiftTriggersBackgroundMigration(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cooldown = 0
+	cfg.MinWindowQueries = 0
+	db, _, mgr, _ := newStack(t, catalog.ColumnStore, cfg)
+
+	// Phase 1: OLAP-heavy — the advisor keeps the column store.
+	exec(t, db, olapMix(400, 11))
+	moved, err := mgr.Evaluate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moved) != 0 {
+		t.Fatalf("OLAP-heavy phase should not move the table, moved %v", moved)
+	}
+	if e := db.Catalog().Table("exp"); e.Store != catalog.ColumnStore {
+		t.Fatalf("store after OLAP phase: %v", e.Store)
+	}
+
+	// Phase 2: the mix shifts to OLTP-heavy; the rolling window ages the
+	// OLAP phase out entirely (3 epochs x 200 queries).
+	exec(t, db, oltpMix(700, 13))
+
+	// Concurrent read traffic during the evaluation + background move.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var reads atomic.Int64
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			w := oltpMix(200, int64(100+r))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := w.Queries[i%len(w.Queries)]
+				if q.Kind != query.Select {
+					continue
+				}
+				if _, err := db.Exec(q); err != nil {
+					t.Error(err)
+					return
+				}
+				reads.Add(1)
+			}
+		}(r)
+	}
+	moved, err = mgr.Evaluate(0)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moved) != 1 || moved[0] != "exp" {
+		t.Fatalf("OLTP shift should migrate exp, moved %v", moved)
+	}
+	e := db.Catalog().Table("exp")
+	if e.Store == catalog.ColumnStore {
+		t.Fatalf("store after OLTP shift is still the plain column store")
+	}
+	if reads.Load() == 0 {
+		t.Error("no concurrent reads executed during the migration")
+	}
+	// No rows lost across the background move (inserts added some).
+	n, err := db.Rows("exp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < tableRows {
+		t.Errorf("rows after migration = %d, want >= %d", n, tableRows)
+	}
+
+	// Stability: the same OLTP mix keeps flowing; further evaluations must
+	// not oscillate the table back.
+	before := migrateEvents(mgr)
+	for round := 0; round < 3; round++ {
+		exec(t, db, oltpMix(200, int64(40+round)))
+		if _, err := mgr.Evaluate(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := migrateEvents(mgr); after != before {
+		t.Errorf("stable mix caused %d extra migrations", after-before)
+	}
+}
+
+// TestHysteresisBlocksMarginalMoves: with a near-total hysteresis
+// requirement, even a clearly beneficial move is suppressed — the gate
+// that keeps borderline mixes from flapping.
+func TestHysteresisBlocksMarginalMoves(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cooldown = 0
+	cfg.MinWindowQueries = 0
+	db, _, mgr, _ := newStack(t, catalog.ColumnStore, cfg)
+	exec(t, db, oltpMix(700, 21))
+	moved, err := mgr.Evaluate(0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moved) != 0 {
+		t.Fatalf("hysteresis 99.9%% should block the move, moved %v", moved)
+	}
+	if e := db.Catalog().Table("exp"); e.Store != catalog.ColumnStore {
+		t.Errorf("store changed despite hysteresis: %v", e.Store)
+	}
+	skips := 0
+	for _, ev := range mgr.Events() {
+		if ev.Action == "skip" {
+			skips++
+		}
+	}
+	if skips == 0 {
+		t.Error("hysteresis skip not recorded in the event log")
+	}
+}
+
+// TestCooldownThrottlesRepeatMoves: a table cannot be migrated twice
+// within the cooldown window even when recommendations keep differing.
+func TestCooldownThrottlesRepeatMoves(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cooldown = time.Hour
+	cfg.MinWindowQueries = 0
+	db, _, mgr, _ := newStack(t, catalog.ColumnStore, cfg)
+	base := time.Unix(1000000, 0)
+	mgr.now = func() time.Time { return base }
+
+	exec(t, db, oltpMix(700, 31))
+	moved, err := mgr.Evaluate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moved) != 1 {
+		t.Fatalf("first evaluation should move, got %v", moved)
+	}
+	// Force a differing recommendation by shifting back to OLAP: within
+	// the cooldown the move must be skipped.
+	exec(t, db, olapMix(700, 32))
+	moved, err = mgr.Evaluate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moved) != 0 {
+		t.Fatalf("cooldown should block the second move, got %v", moved)
+	}
+	// An explicit (administrator) Migrate bypasses the automatic
+	// cooldown...
+	moved, err = mgr.Migrate(mgr.LastRecommendation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moved) != 1 {
+		t.Fatalf("manual Migrate should bypass the cooldown, got %v", moved)
+	}
+	// ...and moving back is again subject to it for the automatic path.
+	exec(t, db, oltpMix(700, 33))
+	if moved, err = mgr.Evaluate(0); err != nil || len(moved) != 0 {
+		t.Fatalf("cooldown should still block the auto path, got %v err %v", moved, err)
+	}
+	// After the cooldown expires the move is allowed again.
+	mgr.now = func() time.Time { return base.Add(2 * time.Hour) }
+	moved, err = mgr.Evaluate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moved) != 1 {
+		t.Fatalf("post-cooldown evaluation should move, got %v", moved)
+	}
+}
+
+// TestCompactCheck: the delta watcher merges a column store whose
+// write-optimized fragment crossed the threshold.
+func TestCompactCheck(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CompactDeltaRows = 100
+	db, _, mgr, spec := newStack(t, catalog.ColumnStore, cfg)
+	// Push fresh inserts into the delta without triggering auto-merge.
+	w := workload.GenMixed(spec, workload.MixConfig{
+		Queries: 200, OLAPFraction: 0, TableRows: tableRows, Seed: 5,
+		InsertWeight: 1,
+	})
+	exec(t, db, w)
+	delta, err := db.DeltaRows("exp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta < cfg.CompactDeltaRows {
+		t.Skipf("delta %d below threshold (auto-merge interfered)", delta)
+	}
+	compacted := mgr.CompactCheck()
+	if len(compacted) != 1 || compacted[0] != "exp" {
+		t.Fatalf("compacted %v", compacted)
+	}
+	if delta, _ = db.DeltaRows("exp"); delta != 0 {
+		t.Errorf("delta after compact = %d", delta)
+	}
+}
+
+// TestAutoAdvise drives the full background loop: traffic shifts, the
+// loop notices and migrates on its own.
+func TestAutoAdvise(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cooldown = 0
+	cfg.MinWindowQueries = 100
+	db, _, mgr, _ := newStack(t, catalog.ColumnStore, cfg)
+	if err := mgr.AutoAdvise(5*time.Millisecond, 0); err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Stop()
+	if err := mgr.AutoAdvise(5*time.Millisecond, 0); err == nil {
+		t.Error("double AutoAdvise accepted")
+	}
+	exec(t, db, oltpMix(700, 41))
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if e := db.Catalog().Table("exp"); e.Store != catalog.ColumnStore {
+			return // the loop migrated the table
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("auto-advise loop never migrated the table")
+}

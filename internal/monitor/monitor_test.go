@@ -1,0 +1,207 @@
+package monitor
+
+import (
+	"sync"
+	"testing"
+
+	"hybridstore/internal/agg"
+	"hybridstore/internal/catalog"
+	"hybridstore/internal/engine"
+	"hybridstore/internal/expr"
+	"hybridstore/internal/query"
+	"hybridstore/internal/schema"
+	"hybridstore/internal/value"
+)
+
+func testSchema() *schema.Table {
+	return schema.MustNew("t", []schema.Column{
+		{Name: "id", Type: value.Bigint},
+		{Name: "grp", Type: value.Integer},
+		{Name: "amount", Type: value.Double},
+	}, "id")
+}
+
+func testDB(t *testing.T, store catalog.StoreKind, n int) *engine.Database {
+	t.Helper()
+	db := engine.New()
+	if err := db.CreateTable(testSchema(), store); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]value.Value, 0, n)
+	for i := 0; i < n; i++ {
+		rows = append(rows, []value.Value{
+			value.NewBigint(int64(i)), value.NewInt(int64(i % 7)), value.NewDouble(float64(i)),
+		})
+	}
+	if n > 0 {
+		if _, err := db.Exec(&query.Query{Kind: query.Insert, Table: "t", Rows: rows}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func aggQuery() *query.Query {
+	return &query.Query{Kind: query.Aggregate, Table: "t",
+		Aggs: []agg.Spec{{Func: agg.Sum, Col: 2}}, GroupBy: []int{1}}
+}
+
+func pointSelect(id int64) *query.Query {
+	return &query.Query{Kind: query.Select, Table: "t",
+		Pred: &expr.Comparison{Col: 0, Op: expr.Eq, Val: value.NewBigint(id)}}
+}
+
+func TestSnapshotFeatures(t *testing.T) {
+	db := testDB(t, catalog.ColumnStore, 100)
+	if _, err := db.CollectStats("t"); err != nil {
+		t.Fatal(err)
+	}
+	m := New(db, Config{Epochs: 4, RotateEvery: 0, SampleCap: 64})
+	for i := 0; i < 10; i++ {
+		if _, err := db.Exec(aggQuery()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := db.Exec(pointSelect(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := m.Snapshot()
+	if snap.Seen != 40 || snap.WindowSeen != 40 {
+		t.Fatalf("seen=%d window=%d, want 40/40", snap.Seen, snap.WindowSeen)
+	}
+	if snap.Queries.Len() != 40 {
+		t.Errorf("sample size %d", snap.Queries.Len())
+	}
+	tw, ok := snap.Table("t")
+	if !ok {
+		t.Fatal("table window missing")
+	}
+	if tw.Ops.Aggregations != 10 || tw.Ops.PointSelects != 30 {
+		t.Errorf("op mix: aggs=%d points=%d", tw.Ops.Aggregations, tw.Ops.PointSelects)
+	}
+	if want := 10.0 / 40; tw.OLAPFraction != want {
+		t.Errorf("OLAP fraction %v, want %v", tw.OLAPFraction, want)
+	}
+	if tw.Rows != 100 {
+		t.Errorf("live rows %d", tw.Rows)
+	}
+	if tw.AvgSelectivity <= 0 || tw.AvgSelectivity > 0.5 {
+		t.Errorf("point-select mean selectivity %v out of range", tw.AvgSelectivity)
+	}
+	// Touched columns: id (point preds), grp (group by), amount (agg).
+	if len(tw.TouchedCols) != 3 {
+		t.Errorf("touched cols %v", tw.TouchedCols)
+	}
+	// The column store keeps the fresh inserts in its delta fragment.
+	if tw.DeltaRows == 0 {
+		t.Error("expected delta rows in the window")
+	}
+}
+
+// TestRollingWindowAgesOutOldMix is the core rolling property: after the
+// mix shifts, enough rotations remove the old phase from the window.
+func TestRollingWindowAgesOutOldMix(t *testing.T) {
+	db := testDB(t, catalog.ColumnStore, 50)
+	m := New(db, Config{Epochs: 3, RotateEvery: 10, SampleCap: 32})
+	for i := 0; i < 30; i++ { // three full OLAP epochs
+		if _, err := db.Exec(aggQuery()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if snap := m.Snapshot(); snap.Tables[0].OLAPFraction < 0.5 {
+		t.Fatalf("window should be OLAP-heavy, got %v", snap.Tables[0].OLAPFraction)
+	}
+	for i := 0; i < 30; i++ { // three full OLTP epochs push the OLAP ones out
+		if _, err := db.Exec(pointSelect(int64(i % 50))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := m.Snapshot()
+	tw, _ := snap.Table("t")
+	if tw.Ops.Aggregations != 0 {
+		t.Errorf("OLAP phase should have aged out, still %d aggs in window", tw.Ops.Aggregations)
+	}
+	if snap.Seen != 60 {
+		t.Errorf("lifetime seen %d", snap.Seen)
+	}
+	if snap.WindowSeen >= 60 {
+		t.Errorf("window seen %d should be bounded by the ring", snap.WindowSeen)
+	}
+}
+
+func TestPerPartitionAttribution(t *testing.T) {
+	db := engine.New()
+	spec := &catalog.PartitionSpec{Horizontal: &catalog.HorizontalSpec{
+		SplitCol: 0, SplitVal: value.NewBigint(50),
+		HotStore: catalog.RowStore, ColdStore: catalog.ColumnStore,
+	}}
+	if err := db.CreateTableWithLayout(testSchema(), catalog.RowStore, spec); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]value.Value, 0, 100)
+	for i := 0; i < 100; i++ {
+		rows = append(rows, []value.Value{
+			value.NewBigint(int64(i)), value.NewInt(0), value.NewDouble(1),
+		})
+	}
+	m := New(db, Config{Epochs: 2, SampleCap: 16})
+	if _, err := db.Exec(&query.Query{Kind: query.Insert, Table: "t", Rows: rows}); err != nil {
+		t.Fatal(err)
+	}
+	// Hot-only point select (key above split), cold-only (below), and an
+	// unconstrained aggregate touching both.
+	if _, err := db.Exec(pointSelect(80)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(pointSelect(10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(aggQuery()); err != nil {
+		t.Fatal(err)
+	}
+	tw, ok := m.Snapshot().Table("t")
+	if !ok || tw.Partitions == nil {
+		t.Fatal("partition window missing")
+	}
+	p := tw.Partitions
+	// The bulk insert spans both sides; the point selects split 1/1; the
+	// aggregate hits both.
+	if p.HotOps != 1 || p.ColdOps != 1 || p.BothOps != 2 {
+		t.Errorf("hot/cold/both = %d/%d/%d, want 1/1/2", p.HotOps, p.ColdOps, p.BothOps)
+	}
+}
+
+// TestConcurrentObserveAndSnapshot exercises the monitor under parallel
+// query traffic and snapshotting (run with -race).
+func TestConcurrentObserveAndSnapshot(t *testing.T) {
+	db := testDB(t, catalog.ColumnStore, 200)
+	m := New(db, Config{Epochs: 3, RotateEvery: 50, SampleCap: 32})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if g%2 == 0 {
+					db.Exec(aggQuery()) //nolint:errcheck
+				} else {
+					db.Exec(pointSelect(int64(i % 200))) //nolint:errcheck
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 20; i++ {
+		_ = m.Snapshot()
+	}
+	wg.Wait()
+	if got := m.Seen(); got != 400 {
+		t.Errorf("seen %d, want 400", got)
+	}
+	snap := m.Snapshot()
+	tw, ok := snap.Table("t")
+	if !ok || tw.Ops.TotalQueries() == 0 {
+		t.Fatal("window empty after concurrent traffic")
+	}
+}

@@ -56,6 +56,77 @@ type TableStats struct {
 	UpdateRangeCount int
 }
 
+// Clone deep-copies the statistics so callers can read them without
+// synchronizing against a live recorder.
+func (ts *TableStats) Clone() *TableStats {
+	if ts == nil {
+		return nil
+	}
+	cp := *ts
+	dup := func(s []int) []int {
+		if s == nil {
+			return nil
+		}
+		ns := make([]int, len(s))
+		copy(ns, s)
+		return ns
+	}
+	cp.AttrUpdates = dup(ts.AttrUpdates)
+	cp.AttrAggs = dup(ts.AttrAggs)
+	cp.AttrGroupBys = dup(ts.AttrGroupBys)
+	cp.AttrPreds = dup(ts.AttrPreds)
+	cp.AttrOLAPPreds = dup(ts.AttrOLAPPreds)
+	return &cp
+}
+
+// Merge folds another table's statistics into ts (used when rolling
+// epoch buckets are combined into a window snapshot).
+func (ts *TableStats) Merge(o *TableStats) {
+	if o == nil {
+		return
+	}
+	ts.Inserts += o.Inserts
+	ts.InsertedRows += o.InsertedRows
+	ts.Updates += o.Updates
+	ts.UpdatedCols += o.UpdatedCols
+	ts.Deletes += o.Deletes
+	ts.PointSelects += o.PointSelects
+	ts.RangeSelects += o.RangeSelects
+	ts.Aggregations += o.Aggregations
+	ts.JoinQueries += o.JoinQueries
+	ts.WideUpdates += o.WideUpdates
+	ts.ensureCols(len(o.AttrUpdates))
+	addInto := func(dst, src []int) {
+		for i, v := range src {
+			dst[i] += v
+		}
+	}
+	addInto(ts.AttrUpdates, o.AttrUpdates)
+	addInto(ts.AttrAggs, o.AttrAggs)
+	addInto(ts.AttrGroupBys, o.AttrGroupBys)
+	addInto(ts.AttrPreds, o.AttrPreds)
+	addInto(ts.AttrOLAPPreds, o.AttrOLAPPreds)
+	// Update-range tracking merges only when both sides watched the same
+	// column (or ts never chose one).
+	if o.UpdateRangeSeen {
+		switch {
+		case !ts.UpdateRangeSeen && (ts.UpdateRangeCol < 0 || ts.UpdateRangeCol == o.UpdateRangeCol):
+			ts.UpdateRangeCol = o.UpdateRangeCol
+			ts.UpdateRangeSeen = true
+			ts.UpdateRangeLo, ts.UpdateRangeHi = o.UpdateRangeLo, o.UpdateRangeHi
+			ts.UpdateRangeCount += o.UpdateRangeCount
+		case ts.UpdateRangeSeen && ts.UpdateRangeCol == o.UpdateRangeCol:
+			if value.Less(o.UpdateRangeLo, ts.UpdateRangeLo) {
+				ts.UpdateRangeLo = o.UpdateRangeLo
+			}
+			if value.Less(ts.UpdateRangeHi, o.UpdateRangeHi) {
+				ts.UpdateRangeHi = o.UpdateRangeHi
+			}
+			ts.UpdateRangeCount += o.UpdateRangeCount
+		}
+	}
+}
+
 func (ts *TableStats) ensureCols(n int) {
 	if len(ts.AttrUpdates) >= n {
 		return
@@ -289,11 +360,48 @@ func (r *Recorder) recordJoin(q *query.Query) {
 	r.joins[[2]string{a, b}]++
 }
 
-// Table returns the recorded statistics for a table (nil if never seen).
+// Table returns a snapshot of the recorded statistics for a table (nil
+// if never seen). The snapshot is a deep copy, so callers may read it
+// freely while concurrent Observe calls keep mutating the live counters
+// — returning the live pointer would race under the online monitor.
 func (r *Recorder) Table(name string) *TableStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.tables[strings.ToLower(name)]
+	return r.tables[strings.ToLower(name)].Clone()
+}
+
+// Merge folds another recorder's statistics into r. The other recorder
+// is locked while it is read, so both sides may be live.
+func (r *Recorder) Merge(o *Recorder) {
+	if o == nil || o == r {
+		return
+	}
+	o.mu.Lock()
+	tables := make(map[string]*TableStats, len(o.tables))
+	for k, ts := range o.tables {
+		tables[k] = ts.Clone()
+	}
+	joins := make(map[[2]string]int, len(o.joins))
+	for k, n := range o.joins {
+		joins[k] = n
+	}
+	total, elapsed := o.total, o.elapsed
+	o.mu.Unlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, ts := range tables {
+		if mine, ok := r.tables[k]; ok {
+			mine.Merge(ts)
+		} else {
+			r.tables[k] = ts
+		}
+	}
+	for k, n := range joins {
+		r.joins[k] += n
+	}
+	r.total += total
+	r.elapsed += elapsed
 }
 
 // Tables returns the sorted names of observed tables.

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -183,5 +184,97 @@ func TestTablesAndReset(t *testing.T) {
 	r.Reset()
 	if r.TotalQueries() != 0 || len(r.Tables()) != 0 || r.TotalElapsed() != 0 {
 		t.Error("Reset incomplete")
+	}
+}
+
+// TestConcurrentObserveAndRead exercises the recorder the way the live
+// monitor does — parallel Observe calls racing snapshot reads and merges
+// (run with -race): Table returns deep copies, so readers never see the
+// live counters mid-update.
+func TestConcurrentObserveAndRead(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Observe(&query.Query{
+					Kind: query.Update, Table: "t",
+					Pred: &expr.Comparison{Col: 0, Op: expr.Eq, Val: value.NewInt(int64(i))},
+					Set:  map[int]value.Value{1: value.NewInt(int64(g))},
+				}, time.Microsecond)
+				r.Observe(&query.Query{
+					Kind: query.Aggregate, Table: "t",
+					Aggs: []agg.Spec{{Func: agg.Sum, Col: 2}},
+				}, time.Microsecond)
+			}
+		}(g)
+	}
+	merged := NewRecorder()
+	for i := 0; i < 50; i++ {
+		if ts := r.Table("t"); ts != nil {
+			_ = ts.TotalQueries()
+			_ = ts.OLTPAttrScore()
+		}
+		merged.Merge(r)
+		_ = r.Tables()
+		_ = r.TotalQueries()
+	}
+	wg.Wait()
+	ts := r.Table("t")
+	if ts == nil || ts.Updates != 2000 || ts.Aggregations != 2000 {
+		t.Fatalf("final counts: %+v", ts)
+	}
+	if r.TotalQueries() != 4000 {
+		t.Errorf("total = %d", r.TotalQueries())
+	}
+}
+
+func TestTableReturnsSnapshot(t *testing.T) {
+	r := NewRecorder()
+	r.Observe(&query.Query{
+		Kind: query.Update, Table: "t",
+		Pred: &expr.Comparison{Col: 0, Op: expr.Eq, Val: value.NewInt(1)},
+		Set:  map[int]value.Value{1: value.NewInt(9)},
+	}, 0)
+	snap := r.Table("t")
+	snap.Updates = 99
+	snap.AttrUpdates[1] = 99
+	if ts := r.Table("t"); ts.Updates != 1 || ts.AttrUpdates[1] != 1 {
+		t.Error("Table must return a deep copy, not the live record")
+	}
+}
+
+func TestRecorderMerge(t *testing.T) {
+	mk := func(n int) *Recorder {
+		r := NewRecorder()
+		for i := 0; i < n; i++ {
+			r.Observe(&query.Query{
+				Kind: query.Update, Table: "t",
+				Pred: &expr.Between{Col: 0, Lo: value.NewInt(int64(10 * i)), Hi: value.NewInt(int64(10*i + 5))},
+				Set:  map[int]value.Value{1: value.NewInt(1)},
+			}, time.Millisecond)
+		}
+		return r
+	}
+	a, b := mk(3), mk(2)
+	b.Observe(&query.Query{Kind: query.Select, Table: "u"}, time.Millisecond)
+	a.Merge(b)
+	ts := a.Table("t")
+	if ts.Updates != 5 {
+		t.Errorf("merged updates = %d", ts.Updates)
+	}
+	if !ts.UpdateRangeSeen || ts.UpdateRangeCount != 5 {
+		t.Errorf("merged range tracking: seen=%v count=%d", ts.UpdateRangeSeen, ts.UpdateRangeCount)
+	}
+	if hi := ts.UpdateRangeHi.Int(); hi != 25 {
+		t.Errorf("merged range hi = %d", hi)
+	}
+	if a.Table("u") == nil || a.TotalQueries() != 6 {
+		t.Errorf("merge missed table u (total %d)", a.TotalQueries())
+	}
+	if a.TotalElapsed() != 6*time.Millisecond {
+		t.Errorf("merged elapsed = %v", a.TotalElapsed())
 	}
 }
