@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	hsbench [-exp fig7a] [-scale 1.0] [-seed 2012] [-reps 3] [-calib 20000]
+//	hsbench [-exp fig7a] [-scale 1.0] [-seed 2012] [-reps 3] [-calib 20000] [-data dir]
 //
 // With -exp all (the default) every experiment runs in order, sharing one
 // calibrated cost model.
@@ -27,6 +27,7 @@ func main() {
 		seed  = flag.Int64("seed", 2012, "random seed for data and workload generation")
 		reps  = flag.Int("reps", 3, "repetitions per direct measurement (median reported)")
 		calib = flag.Int("calib", 50000, "calibration reference table size")
+		data  = flag.String("data", "", "directory for the durability experiment's data dirs (default: system temp)")
 		list  = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -43,6 +44,7 @@ func main() {
 		Seed:      *seed,
 		Reps:      *reps,
 		CalibRows: *calib,
+		DataDir:   *data,
 		Out:       os.Stdout,
 	}
 

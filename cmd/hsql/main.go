@@ -9,7 +9,12 @@
 //	\advise                       recommend a layout for the observed workload
 //	\apply                        apply the last recommendation (blocking)
 //	\migrate                      apply it as a background migration
+//	\checkpoint                   snapshot durable state and truncate the WAL
 //	\quit
+//
+// With -data <dir> the session is durable: every statement is logged to
+// a write-ahead log before it is acknowledged, and restarting hsql with
+// the same -data recovers the database (tables, layouts, indexes, data).
 //
 // Every query prints its result and engine-measured execution time; the
 // session's statements feed the live workload monitor, so \advise and
@@ -46,9 +51,27 @@ type session struct {
 func main() {
 	auto := flag.Duration("auto", 0, "auto-advise interval (0 disables, e.g. 30s)")
 	hysteresis := flag.Float64("hysteresis", -1, "min relative improvement before auto-migrating (-1 = default)")
+	dataDir := flag.String("data", "", "data directory for durable mode (WAL + snapshots; empty = in-memory)")
+	groupCommit := flag.Int("group-commit", 0, "max WAL records per fsync batch (0 = default)")
 	flag.Parse()
 
-	db := engine.New()
+	var db *engine.Database
+	if *dataDir != "" {
+		var err error
+		db, err = engine.OpenOptions(*dataDir, engine.Options{GroupCommit: *groupCommit})
+		if err != nil {
+			fmt.Println("error:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := db.Close(); err != nil {
+				fmt.Println("close error:", err)
+			}
+		}()
+		fmt.Printf("durable mode: %s (%d tables recovered)\n", *dataDir, len(db.Catalog().Names()))
+	} else {
+		db = engine.New()
+	}
 	adv := advisor.New(costmodel.DefaultModel())
 	mon := monitor.New(db, monitor.DefaultConfig())
 	s := &session{
@@ -186,6 +209,12 @@ func (s *session) command(line string) bool {
 			break
 		}
 		fmt.Printf("moved %s to the %s store\n", fields[1], store)
+	case "\\checkpoint":
+		if err := db.Checkpoint(); err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Println("checkpoint written; WAL truncated")
 	case "\\stats":
 		if len(fields) == 1 {
 			snap := s.mon.Snapshot()

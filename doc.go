@@ -86,4 +86,47 @@
 // window, \advise recommends from it, \migrate applies the
 // recommendation as a background migration, and the -auto flag starts
 // the self-driving advisory loop.
+//
+// # Durability & recovery
+//
+// engine.Open(dir) runs the engine durably; engine.New() stays purely
+// in-memory. A durable data directory holds two files:
+//
+//   - wal.log — an append-only write-ahead log of CRC32C-checked frames,
+//     each carrying one logical record (CREATE/DROP TABLE, CREATE INDEX,
+//     SET LAYOUT, INSERT with coerced rows, UPDATE, DELETE) plus a
+//     monotonically increasing sequence number. Every statement is
+//     enqueued under the engine's write lock (so log order equals apply
+//     order) and acknowledged only after its frame is written and
+//     fsynced. Commits are grouped: the first waiter becomes the flush
+//     leader and syncs every pending frame (up to Options.GroupCommit,
+//     default 256) in one batch, so concurrent writers share fsyncs.
+//   - snapshot — the catalog plus every table's storage payload,
+//     written by Checkpoint as snapshot.tmp → fsync → rename → directory
+//     fsync, then the WAL is truncated. Serialization is fragment-
+//     preserving: the column store records its main and delta fragments
+//     separately (reload rebuilds the sorted-dictionary main and leaves
+//     the delta unmerged, preserving merge debt), and partitioned
+//     layouts serialize each partition recursively. The snapshot is
+//     stamped with the WAL sequence it covers, so a crash between the
+//     rename and the truncate cannot double-apply the stale tail.
+//
+// Recovery invariants: Open restores the snapshot, replays intact WAL
+// frames in sequence order through the same replayOps machinery
+// migration tails use, stops cleanly at the first torn or corrupt frame
+// (a partial frame is by construction an unacknowledged statement), and
+// truncates the file back to the last valid frame before appending.
+// Acknowledged statements are exactly the recovered ones. A background
+// MigrateLayout logs a single SET LAYOUT record only after its atomic
+// cutover; a crash mid-migration therefore leaves no trace of it, and
+// the table recovers in its pre-migration layout with all acknowledged
+// DML applied — the in-flight migration aborts cleanly. After replay,
+// Open folds the tail into a fresh checkpoint so the next start needs
+// no replay. Checkpoint cadence is explicit (Checkpoint/Close, or the
+// hsql \checkpoint command); the WAL grows unbounded between
+// checkpoints by design.
+//
+// cmd/hsql -data <dir> runs a durable shell; cmd/hsbench -exp
+// durability measures the insert-throughput cost of durability across
+// group-commit batch sizes against the in-memory engine.
 package hybridstore

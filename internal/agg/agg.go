@@ -138,34 +138,64 @@ func (a *Acc) AddSummary(sum float64, count int64, min, max value.Value) {
 }
 
 // AddCount increments only the row counter; used for COUNT(*) where no
-// column value is inspected.
+// column value is inspected. It deliberately does not mark min/max as
+// seen: a count-only accumulator holds zero-valued min/max, and marking
+// them valid would let Merge propagate that garbage into a real
+// accumulator.
 func (a *Acc) AddCount(n int64) {
 	a.count += n
-	a.seen = true
 }
 
 // Merge folds another accumulator into a. Used when combining partial
-// results from horizontal partitions.
+// results from horizontal partitions. Counts and sums always combine;
+// min/max transfer only when b actually observed values, so a COUNT(*)
+// partial from an empty or count-only partition neither loses its count
+// nor injects zero-valued extrema.
 func (a *Acc) Merge(b *Acc) {
+	a.sum += b.sum
+	a.count += b.count
 	if !b.seen {
 		return
 	}
-	a.sum += b.sum
-	a.count += b.count
 	if !a.seen {
 		a.min, a.max, a.seen = b.min, b.max, true
 		return
 	}
-	if !b.min.IsNull() && (a.min.IsNull() || value.Less(b.min, a.min)) {
+	if value.Less(b.min, a.min) {
 		a.min = b.min
 	}
-	if !b.max.IsNull() && (a.max.IsNull() || value.Less(a.max, b.max)) {
+	if value.Less(a.max, b.max) {
 		a.max = b.max
 	}
 }
 
 // Count returns the number of accumulated (non-NULL) values.
 func (a *Acc) Count() int64 { return a.count }
+
+// OutputType returns the result type of the function applied to a
+// column of type colType: COUNT yields BIGINT, SUM and AVG widen to
+// DOUBLE, and MIN/MAX preserve the column's own type.
+func (f Func) OutputType(colType value.Type) value.Type {
+	switch f {
+	case Count:
+		return value.Bigint
+	case Min, Max:
+		return colType
+	default:
+		return value.Double
+	}
+}
+
+// FinalTyped computes the aggregate value for the requested function
+// with a known output type: an empty MIN/MAX yields a NULL of the
+// column's type (a VARCHAR column's empty MIN is a VARCHAR NULL), where
+// the untyped Final can only guess Double.
+func (a *Acc) FinalTyped(f Func, typ value.Type) value.Value {
+	if (f == Min || f == Max) && !a.seen {
+		return value.Null(typ)
+	}
+	return a.Final(f)
+}
 
 // Final computes the aggregate value for the requested function.
 func (a *Acc) Final(f Func) value.Value {
@@ -211,7 +241,26 @@ type Result struct {
 	GroupCols []int
 	Groups    []*Group
 
+	// Types holds the output type of each spec (see Func.OutputType).
+	// When set — the stores set it from their schemas — empty-group
+	// MIN/MAX produce correctly typed NULLs; when nil, Rows falls back
+	// to the untyped Final.
+	Types []value.Type
+
 	index map[string]int
+}
+
+// SetOutputTypes records each spec's result type given the source
+// table's column types (COUNT(*) specs need no column).
+func (r *Result) SetOutputTypes(colTypes []value.Type) {
+	r.Types = make([]value.Type, len(r.Specs))
+	for i, s := range r.Specs {
+		ct := value.Double
+		if s.Col >= 0 && s.Col < len(colTypes) {
+			ct = colTypes[s.Col]
+		}
+		r.Types[i] = s.Func.OutputType(ct)
+	}
 }
 
 // NewResult allocates an empty result for the given aggregates and
@@ -260,6 +309,9 @@ func (r *Result) Merge(other *Result) {
 	if other == nil {
 		return
 	}
+	if r.Types == nil {
+		r.Types = other.Types
+	}
 	if len(r.GroupCols) == 0 {
 		for i := range r.Global().Accs {
 			r.Global().Accs[i].Merge(&other.Global().Accs[i])
@@ -285,7 +337,11 @@ func (r *Result) Rows() [][]value.Value {
 		row := make([]value.Value, 0, len(g.Key)+len(r.Specs))
 		row = append(row, g.Key...)
 		for i, s := range r.Specs {
-			row = append(row, g.Accs[i].Final(s.Func))
+			if r.Types != nil {
+				row = append(row, g.Accs[i].FinalTyped(s.Func, r.Types[i]))
+			} else {
+				row = append(row, g.Accs[i].Final(s.Func))
+			}
 		}
 		out = append(out, row)
 	}

@@ -263,3 +263,110 @@ func TestMergeEquivalenceProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestAddCountDoesNotPoisonMinMax(t *testing.T) {
+	// A count-only accumulator (a COUNT(*) partial from one partition)
+	// must contribute its count on merge without injecting its
+	// zero-valued min/max — the old code marked it "seen" and could
+	// propagate an Integer 0 into a Bigint accumulator.
+	var countOnly Acc
+	countOnly.AddCount(5)
+	var real Acc
+	real.Add(value.NewBigint(10))
+	real.Merge(&countOnly)
+	if got := real.Final(Count).Int(); got != 6 {
+		t.Errorf("merged count = %d, want 6", got)
+	}
+	if got := real.Final(Min); got.Type() != value.Bigint || got.Int() != 10 {
+		t.Errorf("merged min = %v (%s), want BIGINT 10", got, got.Type())
+	}
+	if got := real.Final(Max); got.Type() != value.Bigint || got.Int() != 10 {
+		t.Errorf("merged max = %v (%s), want BIGINT 10", got, got.Type())
+	}
+	// The other direction: merging real values into a count-only
+	// accumulator adopts them.
+	var target Acc
+	target.AddCount(3)
+	target.Merge(&real)
+	if got := target.Final(Count).Int(); got != 9 {
+		t.Errorf("count-only target count = %d, want 9", got)
+	}
+	if got := target.Final(Min); got.Type() != value.Bigint || got.Int() != 10 {
+		t.Errorf("count-only target min = %v, want 10", got)
+	}
+	// Merging two count-only accumulators still sums counts (the old
+	// early-return on !b.seen was saved only by AddCount lying about
+	// seen).
+	var a, b Acc
+	a.AddCount(2)
+	b.AddCount(3)
+	a.Merge(&b)
+	if got := a.Final(Count).Int(); got != 5 {
+		t.Errorf("count-only merge = %d, want 5", got)
+	}
+}
+
+func TestFinalTypedEmptyMinMax(t *testing.T) {
+	var a Acc
+	for _, tc := range []struct {
+		f   Func
+		typ value.Type
+	}{
+		{Min, value.Varchar}, {Max, value.Varchar},
+		{Min, value.Bigint}, {Max, value.Date},
+	} {
+		got := a.FinalTyped(tc.f, tc.typ)
+		if !got.IsNull() || got.Type() != tc.typ {
+			t.Errorf("empty %v as %s = %v (%s)", tc.f, tc.typ, got, got.Type())
+		}
+	}
+	// Non-empty accumulators ignore the hint and return the real value.
+	a.Add(value.NewVarchar("x"))
+	if got := a.FinalTyped(Min, value.Varchar); got.IsNull() || got.Varchar() != "x" {
+		t.Errorf("non-empty FinalTyped = %v", got)
+	}
+}
+
+func TestOutputType(t *testing.T) {
+	if got := Count.OutputType(value.Varchar); got != value.Bigint {
+		t.Errorf("COUNT output = %s", got)
+	}
+	if got := Sum.OutputType(value.Integer); got != value.Double {
+		t.Errorf("SUM output = %s", got)
+	}
+	if got := Avg.OutputType(value.Bigint); got != value.Double {
+		t.Errorf("AVG output = %s", got)
+	}
+	if got := Min.OutputType(value.Varchar); got != value.Varchar {
+		t.Errorf("MIN output = %s", got)
+	}
+	if got := Max.OutputType(value.Date); got != value.Date {
+		t.Errorf("MAX output = %s", got)
+	}
+}
+
+func TestResultTypedEmptyRows(t *testing.T) {
+	specs := []Spec{{Func: Count, Col: -1}, {Func: Min, Col: 1}, {Func: Max, Col: 0}}
+	r := NewResult(specs, nil)
+	r.SetOutputTypes([]value.Type{value.Bigint, value.Varchar})
+	rows := r.Rows()
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	row := rows[0]
+	if row[0].Type() != value.Bigint || row[0].Int() != 0 {
+		t.Errorf("COUNT(*) over empty = %v (%s)", row[0], row[0].Type())
+	}
+	if !row[1].IsNull() || row[1].Type() != value.Varchar {
+		t.Errorf("MIN(varchar) over empty = %v (%s)", row[1], row[1].Type())
+	}
+	if !row[2].IsNull() || row[2].Type() != value.Bigint {
+		t.Errorf("MAX(bigint) over empty = %v (%s)", row[2], row[2].Type())
+	}
+	// Merge propagates types into an untyped result.
+	other := NewResult(specs, nil)
+	other.Merge(r)
+	if len(other.Types) != len(specs) {
+		t.Error("Merge did not propagate output types")
+	}
+}

@@ -40,6 +40,10 @@ type Config struct {
 	CalibRows int
 	// Out receives the printed experiment table (default os.Stdout).
 	Out io.Writer
+	// DataDir is where the durability experiment places its temporary
+	// data directories (default: the system temp dir). Point it at the
+	// filesystem whose fsync behavior you want to measure.
+	DataDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -173,6 +177,7 @@ func Experiments() []Experiment {
 		{"fig9b", "Vertical partitioning, OLTP setting (Figure 9b)", Fig9b},
 		{"fig10", "TPC-H combination and comparison (Figure 10)", Fig10},
 		{"ablation", "Design-choice ablations (DESIGN.md)", Ablations},
+		{"durability", "Durable-mode insert throughput (WAL group commit)", Durability},
 	}
 }
 

@@ -53,7 +53,7 @@ func TestLookupAndUnknown(t *testing.T) {
 }
 
 func TestExperimentRegistryComplete(t *testing.T) {
-	want := []string{"fig6a", "fig6b", "fig7a", "fig7b", "fig8", "fig9a", "fig9b", "fig10", "ablation"}
+	want := []string{"fig6a", "fig6b", "fig7a", "fig7b", "fig8", "fig9a", "fig9b", "fig10", "ablation", "durability"}
 	have := Experiments()
 	if len(have) != len(want) {
 		t.Fatalf("experiments = %d, want %d", len(have), len(want))

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"hybridstore/internal/catalog"
+	"hybridstore/internal/engine"
+	"hybridstore/internal/query"
+	"hybridstore/internal/schema"
+	"hybridstore/internal/value"
+	"hybridstore/internal/wal"
+)
+
+// durabilityRowBatch is the rows-per-INSERT-statement the durability
+// experiment uses: one WAL record (and one group-commit slot) per
+// statement, matching how bulk loaders drive the engine.
+const durabilityRowBatch = 512
+
+func durabilitySchema() *schema.Table {
+	return schema.MustNew("dinsert", []schema.Column{
+		{Name: "id", Type: value.Bigint},
+		{Name: "grp", Type: value.Integer},
+		{Name: "amount", Type: value.Double},
+		{Name: "note", Type: value.Varchar},
+	}, "id")
+}
+
+func durabilityRow(id int64) []value.Value {
+	return []value.Value{
+		value.NewBigint(id),
+		value.NewInt(id % 97),
+		value.NewDouble(float64(id) * 0.5),
+		value.NewVarchar(fmt.Sprintf("n%02d", id%50)),
+	}
+}
+
+// durabilityInsert drives writers concurrent inserters, each loading its
+// own id range in durabilityRowBatch-row statements, and returns the
+// aggregate rows/second.
+func durabilityInsert(db *engine.Database, writers, totalRows int) (float64, error) {
+	perWriter := totalRows / writers
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := int64(w * perWriter)
+			for off := 0; off < perWriter; off += durabilityRowBatch {
+				n := durabilityRowBatch
+				if off+n > perWriter {
+					n = perWriter - off
+				}
+				rows := make([][]value.Value, n)
+				for i := 0; i < n; i++ {
+					rows[i] = durabilityRow(base + int64(off+i))
+				}
+				if _, err := db.Exec(&query.Query{Kind: query.Insert, Table: "dinsert", Rows: rows}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return 0, err
+	}
+	return float64(writers*perWriter) / time.Since(start).Seconds(), nil
+}
+
+// Durability measures the cost of crash safety: insert throughput of
+// the WAL-backed engine against the in-memory engine, across writer
+// counts and group-commit batch sizes. The group-commit knob is what
+// the experiment sweeps — batch 1 pays one fsync per statement, the
+// default batch lets concurrent writers share syncs.
+func Durability(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	totalRows := cfg.scaled(40_000)
+	res := &Result{
+		Columns: []string{"mode", "writers", "group-commit", "rows/s", "vs in-memory"},
+		Notes: []string{
+			fmt.Sprintf("%d rows per run, %d-row insert statements; ratio is in-memory-rows/s ÷ mode-rows/s", totalRows, durabilityRowBatch),
+			"acceptance: durable throughput within 2x of in-memory at the default group-commit batch",
+		},
+	}
+
+	type setting struct {
+		name    string
+		writers int
+		durable bool
+		opts    engine.Options
+	}
+	settings := []setting{
+		{"in-memory", 1, false, engine.Options{}},
+		{"durable", 1, true, engine.Options{}},
+		{"in-memory", 4, false, engine.Options{}},
+		{"durable batch=1", 4, true, engine.Options{GroupCommit: 1}},
+		{"durable batch=16", 4, true, engine.Options{GroupCommit: 16}},
+		{fmt.Sprintf("durable batch=%d (default)", wal.DefaultMaxBatch), 4, true, engine.Options{}},
+	}
+
+	baseline := map[int]float64{} // writers -> in-memory rows/s
+	for _, s := range settings {
+		var db *engine.Database
+		var err error
+		if s.durable {
+			dir, derr := os.MkdirTemp(cfg.DataDir, "hsbench-durable-*")
+			if derr != nil {
+				return nil, derr
+			}
+			defer os.RemoveAll(dir)
+			db, err = engine.OpenOptions(dir, s.opts)
+		} else {
+			db = engine.New()
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := db.CreateTable(durabilitySchema(), catalog.RowStore); err != nil {
+			return nil, err
+		}
+		rps, err := durabilityInsert(db, s.writers, totalRows)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.Close(); err != nil {
+			return nil, err
+		}
+		batch := "-"
+		if s.durable {
+			b := s.opts.GroupCommit
+			if b == 0 {
+				b = wal.DefaultMaxBatch
+			}
+			batch = fmt.Sprintf("%d", b)
+		}
+		ratio := "1.00"
+		if !s.durable {
+			baseline[s.writers] = rps
+		} else if base := baseline[s.writers]; base > 0 {
+			ratio = fmt.Sprintf("%.2f", base/rps)
+		}
+		res.AddRow(
+			[]string{s.name, fmt.Sprintf("%d", s.writers), batch, fmt.Sprintf("%.0f", rps), ratio},
+			map[string]float64{"rows/s": rps},
+		)
+	}
+	return res, nil
+}

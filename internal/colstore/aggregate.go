@@ -16,6 +16,7 @@ import (
 // paper's column store (f_compression).
 func (t *Table) Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate) *agg.Result {
 	res := agg.NewResult(specs, groupBy)
+	res.SetOutputTypes(t.sch.ColTypes())
 	s := t.acquireScratch()
 	defer t.releaseScratch(s)
 	match := t.matchBitmap(pred, s) // nil means all live rows

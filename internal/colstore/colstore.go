@@ -205,8 +205,10 @@ func (t *Table) LookupPK(key []value.Value) (int, bool) {
 
 // Insert appends rows to the delta fragment, checking schema validity and
 // primary-key uniqueness, and triggers a merge when the delta outgrows the
-// threshold.
+// threshold. The whole batch is validated (including duplicates within
+// the batch) before anything is appended, so a failing INSERT is atomic.
 func (t *Table) Insert(rows [][]value.Value) error {
+	var batchKeys map[string]struct{}
 	for _, row := range rows {
 		if err := t.sch.ValidateRow(row); err != nil {
 			return err
@@ -216,7 +218,17 @@ func (t *Table) Insert(rows [][]value.Value) error {
 			if _, dup := t.LookupPK(key); dup {
 				return fmt.Errorf("colstore: duplicate primary key %v in table %q", key, t.sch.Name)
 			}
+			if batchKeys == nil {
+				batchKeys = make(map[string]struct{}, len(rows))
+			}
+			ks := value.TupleKey(key)
+			if _, dup := batchKeys[ks]; dup {
+				return fmt.Errorf("colstore: duplicate primary key %v within insert batch in table %q", key, t.sch.Name)
+			}
+			batchKeys[ks] = struct{}{}
 		}
+	}
+	for _, row := range rows {
 		t.appendRow(row)
 	}
 	if t.AutoMerge && t.totalRows() > minMergeRows &&
@@ -307,6 +319,44 @@ func (t *Table) mergeColumn(c *column, liveRids []int32) {
 	c.deltaDict = compress.NewUDict()
 	c.deltaCodes = nil
 	c.deltaNulls = nil
+}
+
+// FragmentRows streams every live row in row-id order, reporting for
+// each whether it lives in the read-optimized main fragment or the
+// write-optimized delta. Snapshotting uses it to serialize the table
+// fragment-by-fragment so a reload preserves the main/delta split. The
+// row slice is freshly allocated per call and may be retained.
+func (t *Table) FragmentRows(fn func(row []value.Value, inMain bool) bool) {
+	for rid := 0; rid < t.totalRows(); rid++ {
+		if !t.liveSet.Get(rid) {
+			continue
+		}
+		if !fn(t.Get(rid), rid < t.mainRows) {
+			return
+		}
+	}
+}
+
+// Load builds a table from snapshot fragments: main rows are bulk-loaded
+// and merged into a sorted-dictionary main fragment, delta rows are
+// appended unmerged — so a snapshot-restored table has the same
+// main/delta split (and therefore the same merge debt) as the table the
+// snapshot captured.
+func Load(sch *schema.Table, main, delta [][]value.Value) (*Table, error) {
+	t := New(sch)
+	t.AutoMerge = false
+	if err := t.Insert(main); err != nil {
+		return nil, fmt.Errorf("colstore: load main fragment: %w", err)
+	}
+	t.Merge()
+	if len(main) > 0 {
+		t.merges = 0 // the load-time merge is not workload merge activity
+	}
+	if err := t.Insert(delta); err != nil {
+		return nil, fmt.Errorf("colstore: load delta fragment: %w", err)
+	}
+	t.AutoMerge = true
+	return t, nil
 }
 
 // DistinctCount returns the (approximate) number of distinct values in
@@ -408,6 +458,31 @@ func (t *Table) Update(pred expr.Predicate, set map[int]value.Value) (int, error
 	for _, k := range t.sch.PrimaryKey {
 		if _, ok := set[k]; ok {
 			pkChanged = true
+		}
+	}
+	// Validate PK-changing updates before mutating: a new key colliding
+	// with another live row — or with another new key of the same
+	// statement — would corrupt pkIndex and break LookupPK, so the
+	// statement fails atomically instead.
+	if pkChanged && t.pkIndex != nil {
+		newKeys := make(map[string]struct{}, len(rids))
+		for _, rid := range rids {
+			key := make([]value.Value, len(t.sch.PrimaryKey))
+			for i, k := range t.sch.PrimaryKey {
+				if v, ok := set[k]; ok {
+					key[i] = v
+				} else {
+					key[i] = t.cols[k].valueAt(int(rid), t.mainRows)
+				}
+			}
+			ks := value.TupleKey(key)
+			if _, dup := newKeys[ks]; dup {
+				return 0, fmt.Errorf("colstore: update would assign duplicate primary key %v to multiple rows in %q", key, t.sch.Name)
+			}
+			newKeys[ks] = struct{}{}
+			if orid, ok := t.LookupPK(key); ok && int32(orid) != rid {
+				return 0, fmt.Errorf("colstore: update would duplicate primary key %v in table %q", key, t.sch.Name)
+			}
 		}
 	}
 	for _, rid := range rids {

@@ -599,3 +599,119 @@ func TestScanEmptyCols(t *testing.T) {
 		return true
 	})
 }
+
+func TestUpdatePKDuplicateRejected(t *testing.T) {
+	for _, merged := range []bool{false, true} {
+		name := "delta"
+		if merged {
+			name = "main"
+		}
+		t.Run(name, func(t *testing.T) {
+			tb := loaded(t, 10)
+			if merged {
+				tb.Merge()
+			}
+			n, err := tb.Update(&expr.Comparison{Col: 0, Op: expr.Eq, Val: value.NewBigint(3)},
+				map[int]value.Value{0: value.NewBigint(5), 2: value.NewDouble(999)})
+			if err == nil {
+				t.Fatalf("duplicate-PK update succeeded (%d rows)", n)
+			}
+			if tb.Rows() != 10 {
+				t.Fatalf("rows = %d, want 10", tb.Rows())
+			}
+			rid, ok := tb.LookupPK([]value.Value{value.NewBigint(3)})
+			if !ok {
+				t.Fatal("row 3 lost after failed update")
+			}
+			if got := tb.Get(rid)[2].Double(); got != 3 {
+				t.Fatalf("failed update mutated amount: %v (atomicity broken)", got)
+			}
+			if _, ok := tb.LookupPK([]value.Value{value.NewBigint(5)}); !ok {
+				t.Fatal("row 5 lost after failed update")
+			}
+			// Intra-statement duplicate: one constant key, several rows.
+			if _, err := tb.Update(&expr.Comparison{Col: 1, Op: expr.Eq, Val: value.NewInt(1)},
+				map[int]value.Value{0: value.NewBigint(500)}); err == nil {
+				t.Fatal("multi-row constant-PK update succeeded")
+			}
+			if _, ok := tb.LookupPK([]value.Value{value.NewBigint(500)}); ok {
+				t.Fatal("partial application of rejected update")
+			}
+			// Clean PK change maintains the index in both fragments.
+			if n, err := tb.Update(&expr.Comparison{Col: 0, Op: expr.Eq, Val: value.NewBigint(3)},
+				map[int]value.Value{0: value.NewBigint(300)}); err != nil || n != 1 {
+				t.Fatalf("clean PK update: n=%d err=%v", n, err)
+			}
+			if _, ok := tb.LookupPK([]value.Value{value.NewBigint(3)}); ok {
+				t.Fatal("old key still resolves")
+			}
+			if _, ok := tb.LookupPK([]value.Value{value.NewBigint(300)}); !ok {
+				t.Fatal("new key does not resolve")
+			}
+		})
+	}
+}
+
+func TestFragmentRowsAndLoad(t *testing.T) {
+	tb := loaded(t, 30)
+	tb.Merge()
+	if err := tb.Insert([][]value.Value{
+		mkRow(100, 1, 100, "d1"), mkRow(101, 2, 101, "d2"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tb.Delete(&expr.Comparison{Col: 0, Op: expr.Eq, Val: value.NewBigint(4)})
+
+	var main, delta [][]value.Value
+	tb.FragmentRows(func(row []value.Value, inMain bool) bool {
+		if inMain {
+			main = append(main, row)
+		} else {
+			delta = append(delta, row)
+		}
+		return true
+	})
+	if len(main) != 29 || len(delta) != 2 {
+		t.Fatalf("fragments: main %d delta %d, want 29/2", len(main), len(delta))
+	}
+
+	re, err := Load(testSchema(), main, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Rows() != 31 || re.DeltaRows() != 2 {
+		t.Fatalf("loaded rows=%d delta=%d, want 31/2", re.Rows(), re.DeltaRows())
+	}
+	if re.Merges() != 0 {
+		t.Fatalf("load counted %d workload merges", re.Merges())
+	}
+	for _, id := range []int64{0, 3, 5, 29, 100, 101} {
+		if _, ok := re.LookupPK([]value.Value{value.NewBigint(id)}); !ok {
+			t.Fatalf("key %d missing after load", id)
+		}
+	}
+	if _, ok := re.LookupPK([]value.Value{value.NewBigint(4)}); ok {
+		t.Fatal("deleted key resurrected by load")
+	}
+}
+
+func TestInsertBatchAtomic(t *testing.T) {
+	tb := loaded(t, 5)
+	err := tb.Insert([][]value.Value{mkRow(100, 0, 1, "x"), mkRow(3, 0, 1, "y")})
+	if err == nil {
+		t.Fatal("colliding batch accepted")
+	}
+	if tb.Rows() != 5 {
+		t.Fatalf("rows = %d after failed batch, want 5", tb.Rows())
+	}
+	if _, ok := tb.LookupPK([]value.Value{value.NewBigint(100)}); ok {
+		t.Fatal("prefix of failed batch retained")
+	}
+	err = tb.Insert([][]value.Value{mkRow(200, 0, 1, "x"), mkRow(200, 0, 2, "y")})
+	if err == nil {
+		t.Fatal("intra-batch duplicate accepted")
+	}
+	if tb.Rows() != 5 {
+		t.Fatalf("rows = %d after intra-dup batch, want 5", tb.Rows())
+	}
+}

@@ -8,6 +8,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -20,6 +21,7 @@ import (
 	"hybridstore/internal/rowstore"
 	"hybridstore/internal/schema"
 	"hybridstore/internal/value"
+	"hybridstore/internal/wal"
 )
 
 // QueryObserver receives every executed query with its measured runtime.
@@ -46,12 +48,19 @@ type tableRuntime struct {
 	tail  *migrationTail
 }
 
-// Database is an in-memory hybrid-store database instance.
+// Database is a hybrid-store database instance. New creates a purely
+// in-memory database; Open creates a durable one backed by a write-ahead
+// log and snapshot checkpoints in a data directory.
 type Database struct {
 	mu     sync.RWMutex
 	cat    *catalog.Catalog
 	tables map[string]*tableRuntime
 	obs    QueryObserver
+
+	// Durability state; nil/empty for in-memory databases. log is set
+	// once by Open before the database is shared and never reassigned.
+	dir string
+	log *wal.Log
 }
 
 // New creates an empty database.
@@ -123,6 +132,18 @@ func (db *Database) CreateTable(sch *schema.Table, store catalog.StoreKind) erro
 func (db *Database) CreateTableWithLayout(sch *schema.Table, store catalog.StoreKind, spec *catalog.PartitionSpec) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.createTableLocked(sch, store, spec); err != nil {
+		return err
+	}
+	return db.logRecord(&wal.Record{
+		Kind: wal.RecCreateTable, Table: sch.Name,
+		Schema: sch, Store: store, Spec: spec,
+	})
+}
+
+// createTableLocked is the un-logged core of CreateTableWithLayout;
+// callers hold the write lock.
+func (db *Database) createTableLocked(sch *schema.Table, store catalog.StoreKind, spec *catalog.PartitionSpec) error {
 	k := tableKey(sch.Name)
 	if _, dup := db.tables[k]; dup {
 		return fmt.Errorf("engine: table %q already exists", sch.Name)
@@ -146,6 +167,14 @@ func (db *Database) CreateTableWithLayout(sch *schema.Table, store catalog.Store
 func (db *Database) DropTable(name string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.dropTableLocked(name); err != nil {
+		return err
+	}
+	return db.logRecord(&wal.Record{Kind: wal.RecDropTable, Table: name})
+}
+
+// dropTableLocked is the un-logged core of DropTable.
+func (db *Database) dropTableLocked(name string) error {
 	k := tableKey(name)
 	if _, ok := db.tables[k]; !ok {
 		return fmt.Errorf("engine: unknown table %q", name)
@@ -192,6 +221,20 @@ var ErrIndexNotMaterialized = fmt.Errorf("engine: index not materialized under c
 func (db *Database) CreateIndex(name string, col int) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	err := db.createIndexLocked(name, col)
+	if err != nil && !errors.Is(err, ErrIndexNotMaterialized) {
+		return err
+	}
+	// The declaration was recorded (even when not materialized), so it
+	// must be logged: on recovery the catalog must show it again.
+	if lerr := db.logRecord(&wal.Record{Kind: wal.RecCreateIndex, Table: name, Col: col}); lerr != nil {
+		return lerr
+	}
+	return err
+}
+
+// createIndexLocked is the un-logged core of CreateIndex.
+func (db *Database) createIndexLocked(name string, col int) error {
 	rt, err := db.runtime(name)
 	if err != nil {
 		return err
@@ -238,6 +281,17 @@ const layoutBatch = 4096
 func (db *Database) SetLayout(name string, store catalog.StoreKind, spec *catalog.PartitionSpec) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.setLayoutLocked(name, store, spec); err != nil {
+		return err
+	}
+	if spec != nil {
+		store = catalog.Partitioned
+	}
+	return db.logRecord(&wal.Record{Kind: wal.RecSetLayout, Table: name, Store: store, Spec: spec})
+}
+
+// setLayoutLocked is the un-logged core of SetLayout.
+func (db *Database) setLayoutLocked(name string, store catalog.StoreKind, spec *catalog.PartitionSpec) error {
 	rt, err := db.runtime(name)
 	if err != nil {
 		return err
@@ -364,9 +418,19 @@ func (db *Database) Exec(q *query.Query) (*Result, error) {
 	start := time.Now()
 	switch q.Kind {
 	case query.Insert, query.Update, query.Delete:
+		var seq uint64
 		db.mu.Lock()
-		res, err = db.execDML(q)
+		res, seq, err = db.execDML(q)
 		db.mu.Unlock()
+		// Group commit: the record was enqueued in apply order under the
+		// write lock; the durability wait happens outside it, so
+		// concurrent writers share one fsync (the WAL's group-commit
+		// batching) and readers are never blocked on disk.
+		if err == nil && seq != 0 {
+			if werr := db.log.WaitDurable(seq); werr != nil {
+				err = fmt.Errorf("engine: %s applied but not durable: %w", q.Kind, werr)
+			}
+		}
 	default:
 		db.mu.RLock()
 		if q.Join != nil {
@@ -392,10 +456,14 @@ func (db *Database) observer() QueryObserver {
 	return db.obs
 }
 
-func (db *Database) execDML(q *query.Query) (*Result, error) {
+// execDML applies one DML statement under the write lock. When the
+// database is durable the statement is enqueued to the WAL in apply
+// order and the returned sequence number must be waited on (outside the
+// lock) before acknowledging.
+func (db *Database) execDML(q *query.Query) (*Result, uint64, error) {
 	rt, err := db.runtime(q.Table)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	switch q.Kind {
 	case query.Insert:
@@ -403,28 +471,62 @@ func (db *Database) execDML(q *query.Query) (*Result, error) {
 		for i, row := range q.Rows {
 			cr, err := rt.entry.Schema.CoerceRow(row)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			coerced[i] = cr
 		}
 		if err := rt.store.Insert(coerced); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		rt.recordTail(dmlOp{kind: query.Insert, rows: coerced})
-		return &Result{Affected: len(coerced)}, nil
+		seq, err := db.enqueueDML(&wal.Record{
+			Kind: wal.RecInsert, Table: q.Table,
+			Width: rt.entry.Schema.NumColumns(), Rows: coerced,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		return &Result{Affected: len(coerced)}, seq, nil
 	case query.Update:
 		n, err := rt.store.Update(q.Pred, q.Set)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		rt.recordTail(dmlOp{kind: query.Update, pred: q.Pred, set: q.Set})
-		return &Result{Affected: n}, nil
+		seq, err := db.enqueueDML(&wal.Record{Kind: wal.RecUpdate, Table: q.Table, Pred: q.Pred, Set: q.Set})
+		if err != nil {
+			return nil, 0, err
+		}
+		return &Result{Affected: n}, seq, nil
 	case query.Delete:
 		n := rt.store.Delete(q.Pred)
 		rt.recordTail(dmlOp{kind: query.Delete, pred: q.Pred})
-		return &Result{Affected: n}, nil
+		seq, err := db.enqueueDML(&wal.Record{Kind: wal.RecDelete, Table: q.Table, Pred: q.Pred})
+		if err != nil {
+			return nil, 0, err
+		}
+		return &Result{Affected: n}, seq, nil
 	}
-	return nil, fmt.Errorf("engine: bad DML kind %v", q.Kind)
+	return nil, 0, fmt.Errorf("engine: bad DML kind %v", q.Kind)
+}
+
+// enqueueDML hands a DML record to the WAL while the caller holds the
+// write lock (so WAL order equals apply order) and returns the sequence
+// number to wait on; 0 means the database is in-memory.
+func (db *Database) enqueueDML(rec *wal.Record) (uint64, error) {
+	if db.log == nil {
+		return 0, nil
+	}
+	return db.log.Enqueue(rec)
+}
+
+// logRecord appends a record and waits for durability; used by the DDL
+// paths, which hold the write lock for the (rare) sync.
+func (db *Database) logRecord(rec *wal.Record) error {
+	if db.log == nil {
+		return nil
+	}
+	return db.log.Append(rec)
 }
 
 func (db *Database) execRead(q *query.Query) (*Result, error) {

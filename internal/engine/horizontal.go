@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -9,6 +10,7 @@ import (
 	"hybridstore/internal/expr"
 	"hybridstore/internal/schema"
 	"hybridstore/internal/value"
+	"hybridstore/internal/wal"
 )
 
 // scanWorkers bounds the goroutines the engine fans out across horizontal
@@ -74,11 +76,22 @@ func (h *horizontalStorage) isHot(row []value.Value) bool {
 }
 
 func (h *horizontalStorage) Insert(rows [][]value.Value) error {
-	var hotRows, coldRows [][]value.Value
+	// Validate the whole batch before touching either partition —
+	// schema, duplicates within the batch (across both sides, which the
+	// per-partition stores cannot see), and each row's key against BOTH
+	// partitions (uniqueness is a table invariant, not a per-side one) —
+	// so a failing INSERT never leaves the hot side mutated while the
+	// cold side rejects, and no cross-partition duplicate can form.
 	for _, row := range rows {
 		if err := h.sch.ValidateRow(row); err != nil {
 			return err
 		}
+	}
+	if err := checkInsertPKs(h.sch, rows, h.HasPK); err != nil {
+		return err
+	}
+	var hotRows, coldRows [][]value.Value
+	for _, row := range rows {
 		if h.isHot(row) {
 			hotRows = append(hotRows, row)
 		} else {
@@ -96,6 +109,18 @@ func (h *horizontalStorage) Insert(rows [][]value.Value) error {
 		}
 	}
 	return nil
+}
+
+// HasPK reports whether either partition holds a live row with the
+// given primary-key values.
+func (h *horizontalStorage) HasPK(key []value.Value) bool {
+	if lp, ok := h.hot.(pkLookuper); ok && lp.HasPK(key) {
+		return true
+	}
+	if lp, ok := h.cold.(pkLookuper); ok && lp.HasPK(key) {
+		return true
+	}
+	return false
 }
 
 // sides returns the partitions a predicate can touch, pruning by the
@@ -160,6 +185,9 @@ func (h *horizontalStorage) Update(pred expr.Predicate, set map[int]value.Value)
 	if _, movesSplitCol := set[h.spec.SplitCol]; movesSplitCol {
 		return h.migratingUpdate(pred, set)
 	}
+	if err := h.validatePKUpdate(pred, set); err != nil {
+		return 0, err
+	}
 	useHot, useCold := h.sides(pred)
 	total := 0
 	if useHot {
@@ -179,12 +207,73 @@ func (h *horizontalStorage) Update(pred expr.Predicate, set map[int]value.Value)
 	return total, nil
 }
 
+// validatePKUpdate pre-validates a PK-changing update across both
+// partitions: the per-partition stores each re-check their own rows, but
+// only a whole-table pass catches a collision sitting in the cold side
+// after the hot side has already been updated, or two matched rows on
+// different sides converging on one new key. Updates here never change
+// the split column (those route to migratingUpdate), so each row's new
+// key stays on the row's own side.
+func (h *horizontalStorage) validatePKUpdate(pred expr.Predicate, set map[int]value.Value) error {
+	if len(h.sch.PrimaryKey) == 0 {
+		return nil
+	}
+	changed := false
+	for _, k := range h.sch.PrimaryKey {
+		if _, ok := set[k]; ok {
+			changed = true
+		}
+	}
+	if !changed {
+		return nil
+	}
+	seen := make(map[string]struct{})
+	var conflict error
+	h.Scan(pred, nil, func(row []value.Value) bool {
+		newKey := make([]value.Value, len(h.sch.PrimaryKey))
+		same := true
+		for i, k := range h.sch.PrimaryKey {
+			if v, ok := set[k]; ok {
+				newKey[i] = v
+				if !value.Equal(v, row[k]) {
+					same = false
+				}
+			} else {
+				newKey[i] = row[k]
+			}
+		}
+		ks := value.TupleKey(newKey)
+		if _, dup := seen[ks]; dup {
+			conflict = fmt.Errorf("engine: update would assign duplicate primary key %v to multiple rows in %q", newKey, h.sch.Name)
+			return false
+		}
+		seen[ks] = struct{}{}
+		if same {
+			return true // the row keeps its own key
+		}
+		// Check BOTH partitions: the colliding row may live on the
+		// other side, which the per-partition store check cannot see.
+		if h.HasPK(newKey) {
+			conflict = fmt.Errorf("engine: update would duplicate primary key %v in table %q", newKey, h.sch.Name)
+			return false
+		}
+		return true
+	})
+	return conflict
+}
+
 // migratingUpdate handles updates that change the split column: affected
 // rows may have to move between partitions, so they are collected, deleted
-// and re-inserted with the new values through the normal routing.
+// and re-inserted with the new values through the normal routing. The
+// originals are kept until the re-insert succeeds: on failure every row
+// that made it in is removed and the originals are restored, so a failing
+// statement can no longer drop rows on the floor.
 func (h *horizontalStorage) migratingUpdate(pred expr.Predicate, set map[int]value.Value) (int, error) {
-	var moved [][]value.Value
+	var originals, moved [][]value.Value
 	h.Scan(pred, nil, func(row []value.Value) bool {
+		orig := make([]value.Value, len(row))
+		copy(orig, row)
+		originals = append(originals, orig)
 		cp := make([]value.Value, len(row))
 		copy(cp, row)
 		for c, v := range set {
@@ -196,9 +285,24 @@ func (h *horizontalStorage) migratingUpdate(pred expr.Predicate, set map[int]val
 	if len(moved) == 0 {
 		return 0, nil
 	}
+	// Validate before touching anything: schema violations (the common
+	// failure) then reject without mutating.
+	for _, row := range moved {
+		if err := h.sch.ValidateRow(row); err != nil {
+			return 0, err
+		}
+	}
 	h.hot.Delete(pred)
 	h.cold.Delete(pred)
 	if err := h.Insert(moved); err != nil {
+		// Insert pre-validates the whole batch (schema, intra-batch
+		// duplicates and per-side key collisions) before inserting
+		// anything, so a failure means neither partition was touched:
+		// restoring the originals returns the table to its exact
+		// pre-statement state.
+		if rerr := h.Insert(originals); rerr != nil {
+			return 0, fmt.Errorf("engine: migrating update failed (%w) and restore failed: %v", err, rerr)
+		}
 		return 0, err
 	}
 	return len(moved), nil
@@ -236,4 +340,16 @@ func (h *horizontalStorage) Compact() {
 
 func (h *horizontalStorage) MemoryBytes() int {
 	return h.hot.MemoryBytes() + h.cold.MemoryBytes()
+}
+
+func (h *horizontalStorage) persist(enc *wal.Encoder) {
+	h.hot.persist(enc)
+	h.cold.persist(enc)
+}
+
+func (h *horizontalStorage) restore(dec *wal.Decoder) error {
+	if err := h.hot.restore(dec); err != nil {
+		return err
+	}
+	return h.cold.restore(dec)
 }

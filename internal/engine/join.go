@@ -90,6 +90,8 @@ func (db *Database) execJoin(q *query.Query) (*Result, error) {
 	var aggRes *agg.Result
 	if q.Kind == query.Aggregate {
 		aggRes = agg.NewResult(q.Aggs, q.GroupBy)
+		// Combined-row indexing: left column types first, then right.
+		aggRes.SetOutputTypes(append(left.entry.Schema.ColTypes(), right.entry.Schema.ColTypes()...))
 	} else {
 		res = &Result{}
 	}

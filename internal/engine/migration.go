@@ -7,6 +7,7 @@ import (
 	"hybridstore/internal/expr"
 	"hybridstore/internal/query"
 	"hybridstore/internal/value"
+	"hybridstore/internal/wal"
 )
 
 // dmlOp is one buffered write recorded while a background migration is in
@@ -223,7 +224,11 @@ func (db *Database) MigrateLayout(name string, store catalog.StoreKind, spec *ca
 	}
 	cur.store = target
 	cur.tail = nil
-	return nil
+	// A migration becomes durable only here, as a single layout-change
+	// record logged after the swap: a crash at any earlier point leaves
+	// no trace of it in the WAL, so recovery replays the buffered DML
+	// against the old layout — the in-flight migration aborts cleanly.
+	return db.logRecord(&wal.Record{Kind: wal.RecSetLayout, Table: name, Store: store, Spec: spec})
 }
 
 func containsCol(cols []int, c int) bool {

@@ -1,0 +1,318 @@
+// Durability: snapshot checkpoints plus write-ahead logging. A durable
+// database directory holds two files:
+//
+//   - snapshot — the catalog and every table's storage payload
+//     (fragment-preserving: the column store's main/delta split survives
+//     a round trip), stamped with the WAL sequence number the snapshot
+//     covers;
+//   - wal.log — the ordered log of every DDL/DML statement (and every
+//     completed migration swap) acknowledged since that snapshot.
+//
+// Open loads the snapshot, replays the WAL tail through the same
+// replayOps machinery migrations use, then folds the tail into a fresh
+// snapshot and truncates the log. Checkpoints write snapshot.tmp,
+// fsync, rename, fsync the directory, and only then truncate the WAL;
+// because frames carry sequence numbers and the snapshot records its
+// cut, a crash between the rename and the truncate cannot double-apply
+// the stale tail.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"hybridstore/internal/catalog"
+	"hybridstore/internal/query"
+	"hybridstore/internal/wal"
+)
+
+const (
+	snapshotFile    = "snapshot"
+	walFile         = "wal.log"
+	snapshotMagic   = "HSSNAP"
+	snapshotVersion = 1
+)
+
+// Options tunes a durable database.
+type Options struct {
+	// GroupCommit caps the WAL records merged into one fsync batch
+	// (0 = wal.DefaultMaxBatch). It is the insert-throughput knob:
+	// concurrent writers share one fsync per batch.
+	GroupCommit int
+	// NoSync skips fsyncs on WAL flushes. Only for tests and bulk loads
+	// that checkpoint afterwards; a crash can lose acknowledged writes.
+	NoSync bool
+}
+
+// Open loads (or initializes) a durable database in dir: the latest
+// snapshot is restored, the WAL tail is replayed on top of it, any
+// migration that was in flight at the crash is absent (its swap was
+// never logged, so the tables come back in their pre-migration layout
+// with all replayed DML applied), and the replayed tail is folded into
+// a fresh checkpoint. Every subsequent DDL/DML statement is logged and
+// group-committed before it is acknowledged.
+func Open(dir string) (*Database, error) { return OpenOptions(dir, Options{}) }
+
+// OpenOptions is Open with explicit tuning.
+func OpenOptions(dir string, opts Options) (*Database, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("engine: empty data directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("engine: create data directory: %w", err)
+	}
+	db := New()
+	db.dir = dir
+
+	// 1. Latest snapshot, if any.
+	startSeq := uint64(1)
+	snapPath := filepath.Join(dir, snapshotFile)
+	if data, err := os.ReadFile(snapPath); err == nil {
+		s, lerr := db.loadSnapshot(data)
+		if lerr != nil {
+			return nil, fmt.Errorf("engine: load snapshot %s: %w", snapPath, lerr)
+		}
+		startSeq = s
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+
+	// 2. Replay the WAL tail. Frames below startSeq are already folded
+	// into the snapshot (a crash can leave them behind when it lands
+	// between the snapshot rename and the log truncate) and are skipped.
+	walPath := filepath.Join(dir, walFile)
+	info, err := wal.Recover(walPath, func(seq uint64, rec *wal.Record) error {
+		if seq < startSeq {
+			return nil
+		}
+		return db.applyRecord(rec)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("engine: replay %s: %w", walPath, err)
+	}
+
+	// 3. Open the log for appending, truncating any torn tail.
+	nextSeq := startSeq
+	if info.MaxSeq+1 > nextSeq {
+		nextSeq = info.MaxSeq + 1
+	}
+	log, err := wal.Open(walPath, nextSeq, info.ValidLen, wal.Options{
+		MaxBatch: opts.GroupCommit, NoSync: opts.NoSync,
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.log = log
+
+	// 4. Fold a non-empty tail into a fresh snapshot so the next open
+	// starts from the snapshot alone.
+	if info.Records > 0 {
+		if err := db.Checkpoint(); err != nil {
+			log.Close()
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// Durable reports whether the database is backed by a data directory.
+func (db *Database) Durable() bool { return db.log != nil }
+
+// applyRecord replays one WAL record during recovery. DML goes through
+// the same replayOps machinery that migration tail replay uses; DDL
+// goes through the un-logged cores of the public methods. The caller is
+// the only goroutine touching the database.
+func (db *Database) applyRecord(rec *wal.Record) error {
+	switch rec.Kind {
+	case wal.RecCreateTable:
+		return db.createTableLocked(rec.Schema, rec.Store, rec.Spec)
+	case wal.RecDropTable:
+		return db.dropTableLocked(rec.Table)
+	case wal.RecCreateIndex:
+		err := db.createIndexLocked(rec.Table, rec.Col)
+		if errors.Is(err, ErrIndexNotMaterialized) {
+			// The declaration is recorded; it materializes when the
+			// table regains row storage, exactly as it did originally.
+			return nil
+		}
+		return err
+	case wal.RecSetLayout:
+		return db.setLayoutLocked(rec.Table, rec.Store, rec.Spec)
+	case wal.RecInsert, wal.RecUpdate, wal.RecDelete:
+		rt, err := db.runtime(rec.Table)
+		if err != nil {
+			return err
+		}
+		op := dmlOp{rows: rec.Rows, pred: rec.Pred, set: rec.Set}
+		switch rec.Kind {
+		case wal.RecInsert:
+			op.kind = query.Insert
+		case wal.RecUpdate:
+			op.kind = query.Update
+		default:
+			op.kind = query.Delete
+		}
+		return replayOps(rt.store, []dmlOp{op})
+	default:
+		return fmt.Errorf("engine: unknown WAL record kind %v", rec.Kind)
+	}
+}
+
+// Checkpoint serializes the catalog and every table's storage to the
+// snapshot file and truncates the WAL. Durable databases call it
+// explicitly (or via Close); recovery calls it to fold a replayed tail.
+func (db *Database) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.checkpointLocked()
+}
+
+func (db *Database) checkpointLocked() error {
+	if db.log == nil {
+		return fmt.Errorf("engine: database is not durable (create it with engine.Open)")
+	}
+	// Everything acknowledged must be on disk in the log before the
+	// snapshot claims to supersede it.
+	if err := db.log.Sync(); err != nil {
+		return err
+	}
+	tmp := filepath.Join(db.dir, snapshotFile+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("engine: checkpoint: %w", err)
+	}
+	// Encode and flush one section at a time: peak memory is bounded by
+	// the largest table's payload, not the whole database.
+	enc := wal.NewEncoder()
+	flush := func() error {
+		_, werr := f.Write(enc.Bytes())
+		enc.Reset()
+		return werr
+	}
+	names := make([]string, 0, len(db.tables))
+	for k := range db.tables {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	enc.String(snapshotMagic)
+	enc.Uvarint(snapshotVersion)
+	enc.Uvarint(db.log.NextSeq())
+	enc.Uvarint(uint64(len(names)))
+	writeErr := flush()
+	for _, k := range names {
+		if writeErr != nil {
+			break
+		}
+		rt := db.tables[k]
+		e := rt.entry
+		enc.Schema(e.Schema)
+		enc.Byte(byte(e.Store))
+		enc.Spec(e.Partitioning)
+		enc.Ints(e.Indexes)
+		rt.store.persist(enc)
+		writeErr = flush()
+	}
+	if writeErr != nil {
+		f.Close()
+		return fmt.Errorf("engine: checkpoint write: %w", writeErr)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("engine: checkpoint sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("engine: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(db.dir, snapshotFile)); err != nil {
+		return fmt.Errorf("engine: checkpoint rename: %w", err)
+	}
+	if err := syncDir(db.dir); err != nil {
+		return fmt.Errorf("engine: checkpoint dir sync: %w", err)
+	}
+	// Safe only now: the renamed snapshot covers every logged record.
+	return db.log.Reset()
+}
+
+// Close checkpoints a durable database and closes its WAL. Closing an
+// in-memory database is a no-op.
+func (db *Database) Close() error {
+	if db.log == nil {
+		return nil
+	}
+	cpErr := db.Checkpoint()
+	clErr := db.log.Close()
+	if cpErr != nil {
+		return cpErr
+	}
+	return clErr
+}
+
+// Crash closes the WAL file WITHOUT checkpointing or flushing, leaving
+// the data directory exactly as a process kill would: the snapshot of
+// the last checkpoint plus the log of everything acknowledged since —
+// enqueued-but-unacknowledged records are dropped, not quietly made
+// durable. It exists for crash-recovery tests and fault-injection
+// drills; production code wants Close.
+func (db *Database) Crash() error {
+	if db.log == nil {
+		return nil
+	}
+	return db.log.Abort()
+}
+
+// loadSnapshot restores database state from snapshot bytes and returns
+// the WAL sequence number the snapshot covers up to.
+func (db *Database) loadSnapshot(data []byte) (uint64, error) {
+	dec := wal.NewDecoder(data)
+	if magic := dec.String(); magic != snapshotMagic {
+		return 0, fmt.Errorf("engine: bad snapshot magic %q", magic)
+	}
+	if v := dec.Uvarint(); dec.Err() == nil && v != snapshotVersion {
+		return 0, fmt.Errorf("engine: unsupported snapshot version %d", v)
+	}
+	startSeq := dec.Uvarint()
+	n := dec.Uvarint()
+	if err := dec.Err(); err != nil {
+		return 0, err
+	}
+	for i := uint64(0); i < n; i++ {
+		sch := dec.Schema()
+		store := catalog.StoreKind(dec.Byte())
+		spec := dec.Spec()
+		indexes := dec.Ints()
+		if err := dec.Err(); err != nil {
+			return 0, err
+		}
+		if err := db.createTableLocked(sch, store, spec); err != nil {
+			return 0, err
+		}
+		rt, err := db.runtime(sch.Name)
+		if err != nil {
+			return 0, err
+		}
+		if err := rt.store.restore(dec); err != nil {
+			return 0, fmt.Errorf("engine: restore table %q: %w", sch.Name, err)
+		}
+		for _, c := range indexes {
+			if rt.store.SupportsIndex(c) {
+				rt.store.CreateIndex(c)
+			}
+			db.cat.AddIndex(sch.Name, c)
+		}
+	}
+	return startSeq, dec.Err()
+}
+
+// syncDir fsyncs a directory so a just-renamed file inside it survives
+// a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

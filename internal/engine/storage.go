@@ -1,11 +1,15 @@
 package engine
 
 import (
+	"fmt"
+
 	"hybridstore/internal/agg"
 	"hybridstore/internal/colstore"
 	"hybridstore/internal/expr"
 	"hybridstore/internal/rowstore"
+	"hybridstore/internal/schema"
 	"hybridstore/internal/value"
+	"hybridstore/internal/wal"
 )
 
 // storage is the uniform interface the engine executes against. All
@@ -42,6 +46,115 @@ type storage interface {
 	// Compact when it crosses a threshold.
 	DeltaRows() int
 	MemoryBytes() int
+	// persist serializes the storage payload into a snapshot encoder,
+	// fragment-preserving where the layout has fragments (the column
+	// store's main/delta split survives a round trip). restore loads a
+	// payload written by persist into this freshly built, empty storage
+	// of the same layout.
+	persist(enc *wal.Encoder)
+	restore(dec *wal.Decoder) error
+}
+
+// pkLookuper is implemented by storages that can answer primary-key
+// point lookups. Partitioned layouts use it to pre-validate inserts and
+// PK-changing updates across their partitions, so a multi-partition
+// statement fails atomically instead of mutating one partition before
+// the other rejects.
+type pkLookuper interface {
+	// HasPK reports whether a live row with the given primary-key
+	// values (in table PK order) exists.
+	HasPK(key []value.Value) bool
+}
+
+// checkInsertPKs validates an insert batch against the table-wide
+// primary-key invariant before any partition is mutated: no key may
+// already be live anywhere in the table (hasPK must answer for the
+// whole table, not one partition) and no key may appear twice within
+// the batch. Partitioned layouts call it so a failing INSERT is atomic
+// and cannot create cross-partition duplicates.
+func checkInsertPKs(sch *schema.Table, rows [][]value.Value, hasPK func([]value.Value) bool) error {
+	if len(sch.PrimaryKey) == 0 {
+		return nil
+	}
+	batchKeys := make(map[string]struct{}, len(rows))
+	for _, row := range rows {
+		key := sch.PKValues(row)
+		ks := value.TupleKey(key)
+		if _, dup := batchKeys[ks]; dup {
+			return fmt.Errorf("engine: duplicate primary key %v within insert batch in table %q", key, sch.Name)
+		}
+		batchKeys[ks] = struct{}{}
+		if hasPK(key) {
+			return fmt.Errorf("engine: duplicate primary key %v in table %q", key, sch.Name)
+		}
+	}
+	return nil
+}
+
+// persistRowTable streams a row-store table as a count-prefixed row
+// section (tombstones are compacted away by construction of Scan).
+func persistRowTable(enc *wal.Encoder, t *rowstore.Table) {
+	enc.Uvarint(uint64(t.Rows()))
+	t.Scan(nil, func(rid int, row []value.Value) bool {
+		enc.Row(row)
+		return true
+	})
+}
+
+// restoreRowTable reads a section written by persistRowTable.
+func restoreRowTable(dec *wal.Decoder, sch *schema.Table) (*rowstore.Table, error) {
+	rows, err := decodeRowSection(dec, sch.NumColumns())
+	if err != nil {
+		return nil, err
+	}
+	return rowstore.Load(sch, rows)
+}
+
+func decodeRowSection(dec *wal.Decoder, width int) ([][]value.Value, error) {
+	n := dec.Uvarint()
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	rows := make([][]value.Value, 0, n)
+	for i := uint64(0); i < n; i++ {
+		row := dec.Row(width)
+		if row == nil {
+			break
+		}
+		rows = append(rows, row)
+	}
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// persistColTable writes a column-store table as two count-prefixed row
+// sections, main fragment first, so Load reconstructs the same
+// main/delta split.
+func persistColTable(enc *wal.Encoder, t *colstore.Table) {
+	var main, delta [][]value.Value
+	t.FragmentRows(func(row []value.Value, inMain bool) bool {
+		if inMain {
+			main = append(main, row)
+		} else {
+			delta = append(delta, row)
+		}
+		return true
+	})
+	enc.Rows(main)
+	enc.Rows(delta)
+}
+
+// restoreColTable reads a section pair written by persistColTable.
+func restoreColTable(dec *wal.Decoder, sch *schema.Table) (*colstore.Table, error) {
+	width := sch.NumColumns()
+	main := dec.Rows(width)
+	delta := dec.Rows(width)
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	return colstore.Load(sch, main, delta)
 }
 
 // rowStorage adapts rowstore.Table to the storage interface.
@@ -76,6 +189,22 @@ func (s *rowStorage) DeltaRows() int { return 0 }
 func (s *rowStorage) Compact() { s.t.Compact() }
 
 func (s *rowStorage) MemoryBytes() int { return s.t.MemoryBytes() }
+
+func (s *rowStorage) HasPK(key []value.Value) bool {
+	_, ok := s.t.LookupPK(key)
+	return ok
+}
+
+func (s *rowStorage) persist(enc *wal.Encoder) { persistRowTable(enc, s.t) }
+
+func (s *rowStorage) restore(dec *wal.Decoder) error {
+	t, err := restoreRowTable(dec, s.t.Schema())
+	if err != nil {
+		return err
+	}
+	s.t = t
+	return nil
+}
 
 // colStorage adapts colstore.Table to the storage interface.
 type colStorage struct {
@@ -127,3 +256,19 @@ func (s *colStorage) DeltaRows() int { return s.t.DeltaRows() }
 func (s *colStorage) Compact() { s.t.Merge() }
 
 func (s *colStorage) MemoryBytes() int { return s.t.MemoryBytes() }
+
+func (s *colStorage) HasPK(key []value.Value) bool {
+	_, ok := s.t.LookupPK(key)
+	return ok
+}
+
+func (s *colStorage) persist(enc *wal.Encoder) { persistColTable(enc, s.t) }
+
+func (s *colStorage) restore(dec *wal.Decoder) error {
+	t, err := restoreColTable(dec, s.t.Schema())
+	if err != nil {
+		return err
+	}
+	s.t = t
+	return nil
+}

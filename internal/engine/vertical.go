@@ -10,6 +10,7 @@ import (
 	"hybridstore/internal/rowstore"
 	"hybridstore/internal/schema"
 	"hybridstore/internal/value"
+	"hybridstore/internal/wal"
 )
 
 // verticalStorage splits a table's attributes into a row-store partition
@@ -64,10 +65,19 @@ func newVerticalStorage(sch *schema.Table, spec *catalog.VerticalSpec) (*vertica
 func (v *verticalStorage) Rows() int { return v.rowPart.Rows() }
 
 func (v *verticalStorage) Insert(rows [][]value.Value) error {
+	// Validate the whole batch — schema, existing-key collisions (the
+	// row partition is authoritative for the PK) and duplicates within
+	// the batch — before touching either partition, so a failing INSERT
+	// is atomic.
 	for _, row := range rows {
 		if err := v.sch.ValidateRow(row); err != nil {
 			return err
 		}
+	}
+	if err := checkInsertPKs(v.sch, rows, v.HasPK); err != nil {
+		return err
+	}
+	for _, row := range rows {
 		rrow := make([]value.Value, len(v.spec.RowCols))
 		for i, c := range v.spec.RowCols {
 			rrow[i] = row[c]
@@ -268,6 +278,7 @@ func (v *verticalStorage) Aggregate(specs []agg.Spec, groupBy []int, pred expr.P
 	}
 	// Spanning aggregate: PK-join scan with generic accumulation.
 	res := agg.NewResult(specs, groupBy)
+	res.SetOutputTypes(v.sch.ColTypes())
 	key := make([]value.Value, len(groupBy))
 	cols := append([]int{}, need...)
 	v.Scan(pred, cols, func(row []value.Value) bool {
@@ -325,6 +336,44 @@ func (v *verticalStorage) Update(pred expr.Predicate, set map[int]value.Value) (
 	}
 	// General path: find matching keys, then update both partitions by key.
 	keys := v.matchingPKs(pred)
+	// A PK-changing update is applied key by key below, so collisions
+	// must be rejected up front — both against rows outside the matched
+	// set and between the new keys of this statement — or a mid-loop
+	// failure would leave the partitions partially updated.
+	pkAssigned := false
+	for _, k := range v.sch.PrimaryKey {
+		if _, ok := set[k]; ok {
+			pkAssigned = true
+		}
+	}
+	if pkAssigned {
+		seen := make(map[string]struct{}, len(keys))
+		for _, key := range keys {
+			newKey := make([]value.Value, len(key))
+			unchanged := true
+			for i, k := range v.sch.PrimaryKey {
+				if nv, ok := set[k]; ok {
+					newKey[i] = nv
+					if !value.Equal(nv, key[i]) {
+						unchanged = false
+					}
+				} else {
+					newKey[i] = key[i]
+				}
+			}
+			ks := value.TupleKey(newKey)
+			if _, dup := seen[ks]; dup {
+				return 0, fmt.Errorf("engine: update would assign duplicate primary key %v to multiple rows in %q", newKey, v.sch.Name)
+			}
+			seen[ks] = struct{}{}
+			if unchanged {
+				continue // the row keeps its own key
+			}
+			if _, exists := v.rowPart.LookupPK(newKey); exists {
+				return 0, fmt.Errorf("engine: update would duplicate primary key %v in table %q", newKey, v.sch.Name)
+			}
+		}
+	}
 	rowPK := v.rowPart.Schema().PrimaryKey
 	colPK := v.colPart.Schema().PrimaryKey
 	for _, key := range keys {
@@ -372,6 +421,14 @@ func (v *verticalStorage) Delete(pred expr.Predicate) int {
 	return len(keys)
 }
 
+// HasPK reports whether a live row carries the given primary-key values
+// (the row partition is authoritative; keys are in table PK order,
+// which projection preserves).
+func (v *verticalStorage) HasPK(key []value.Value) bool {
+	_, ok := v.rowPart.LookupPK(key)
+	return ok
+}
+
 // CreateIndex indexes the column in the row partition when it lives there.
 func (v *verticalStorage) CreateIndex(col int) {
 	if n, ok := v.rowFwd[col]; ok {
@@ -397,6 +454,24 @@ func (v *verticalStorage) Compact() {
 
 func (v *verticalStorage) MemoryBytes() int {
 	return v.rowPart.MemoryBytes() + v.colPart.MemoryBytes()
+}
+
+func (v *verticalStorage) persist(enc *wal.Encoder) {
+	persistRowTable(enc, v.rowPart)
+	persistColTable(enc, v.colPart)
+}
+
+func (v *verticalStorage) restore(dec *wal.Decoder) error {
+	rp, err := restoreRowTable(dec, v.rowPart.Schema())
+	if err != nil {
+		return err
+	}
+	cp, err := restoreColTable(dec, v.colPart.Schema())
+	if err != nil {
+		return err
+	}
+	v.rowPart, v.colPart = rp, cp
+	return nil
 }
 
 func allCols(n int) []int {

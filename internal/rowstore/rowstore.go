@@ -50,6 +50,17 @@ func New(sch *schema.Table) *Table {
 	return t
 }
 
+// Load builds a table from snapshotted rows, rebuilding the arena and
+// all primary-key index structures. Tombstones are not part of a
+// snapshot, so the loaded table starts compacted.
+func Load(sch *schema.Table, rows [][]value.Value) (*Table, error) {
+	t := New(sch)
+	if err := t.Insert(rows); err != nil {
+		return nil, fmt.Errorf("rowstore: load: %w", err)
+	}
+	return t, nil
+}
+
 // Schema returns the table schema.
 func (t *Table) Schema() *schema.Table { return t.sch }
 
@@ -101,8 +112,12 @@ func (t *Table) LookupPK(key []value.Value) (int, bool) {
 // Insert appends rows to the table. Each row is validated against the
 // schema and, if the table has a primary key, checked for uniqueness — the
 // growing-table verification cost the paper models with f_#rows for insert
-// queries. On error, rows inserted earlier in the same call remain.
+// queries. The whole batch is validated (including duplicates within the
+// batch) before anything is appended, so a failing INSERT is atomic: a
+// durable engine that logs only acknowledged statements can replay to
+// exactly the same state.
 func (t *Table) Insert(rows [][]value.Value) error {
+	var batchKeys map[string]struct{}
 	for _, row := range rows {
 		if err := t.sch.ValidateRow(row); err != nil {
 			return err
@@ -112,7 +127,17 @@ func (t *Table) Insert(rows [][]value.Value) error {
 			if _, dup := t.LookupPK(key); dup {
 				return fmt.Errorf("rowstore: duplicate primary key %v in table %q", key, t.sch.Name)
 			}
+			if batchKeys == nil {
+				batchKeys = make(map[string]struct{}, len(rows))
+			}
+			ks := value.TupleKey(key)
+			if _, dup := batchKeys[ks]; dup {
+				return fmt.Errorf("rowstore: duplicate primary key %v within insert batch in table %q", key, t.sch.Name)
+			}
+			batchKeys[ks] = struct{}{}
 		}
+	}
+	for _, row := range rows {
 		rid := int32(t.capacityRows())
 		t.data = append(t.data, row...)
 		t.valid = append(t.valid, true)
@@ -227,6 +252,7 @@ func (t *Table) Scan(pred expr.Predicate, fn func(rid int, row []value.Value) bo
 // the paper's Figure 1 illustrates for aggregation on a row store.
 func (t *Table) Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate) *agg.Result {
 	res := agg.NewResult(specs, groupBy)
+	res.SetOutputTypes(t.sch.ColTypes())
 	key := make([]value.Value, len(groupBy))
 	t.Scan(pred, func(rid int, row []value.Value) bool {
 		var g *agg.Group
@@ -277,6 +303,33 @@ func (t *Table) Update(pred expr.Predicate, set map[int]value.Value) (int, error
 		touched = append(touched, int32(rid))
 		return true
 	})
+	// An update that changes the primary key must not create duplicates:
+	// validate every new key — against the pre-statement table state and
+	// against the other new keys of the same statement — before mutating
+	// anything, so a violating UPDATE fails atomically instead of
+	// corrupting pkIndex.
+	if pkChanged && t.pkIndex != nil {
+		newKeys := make(map[string]struct{}, len(touched))
+		for _, rid := range touched {
+			row := t.Row(int(rid))
+			key := make([]value.Value, len(t.sch.PrimaryKey))
+			for i, k := range t.sch.PrimaryKey {
+				if v, ok := set[k]; ok {
+					key[i] = v
+				} else {
+					key[i] = row[k]
+				}
+			}
+			ks := value.TupleKey(key)
+			if _, dup := newKeys[ks]; dup {
+				return 0, fmt.Errorf("rowstore: update would assign duplicate primary key %v to multiple rows in %q", key, t.sch.Name)
+			}
+			newKeys[ks] = struct{}{}
+			if orid, ok := t.LookupPK(key); ok && int32(orid) != rid {
+				return 0, fmt.Errorf("rowstore: update would duplicate primary key %v in table %q", key, t.sch.Name)
+			}
+		}
+	}
 	for _, rid := range touched {
 		row := t.Row(int(rid))
 		if pkChanged && t.pkIndex != nil {

@@ -370,3 +370,100 @@ func TestInsertLookupProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestUpdatePKDuplicateRejected(t *testing.T) {
+	tb := loaded(t, 10)
+	// New key collides with an existing row: the statement must fail
+	// atomically — no row mutated, both index entries intact.
+	n, err := tb.Update(&expr.Comparison{Col: 0, Op: expr.Eq, Val: value.NewBigint(3)},
+		map[int]value.Value{0: value.NewBigint(5), 2: value.NewDouble(999)})
+	if err == nil {
+		t.Fatalf("duplicate-PK update succeeded (%d rows)", n)
+	}
+	if tb.Rows() != 10 {
+		t.Fatalf("rows = %d, want 10", tb.Rows())
+	}
+	rid, ok := tb.LookupPK([]value.Value{value.NewBigint(3)})
+	if !ok {
+		t.Fatal("row 3 lost after failed update")
+	}
+	if got := tb.Row(rid)[2].Double(); got != 3 {
+		t.Fatalf("failed update mutated amount: %v (atomicity broken)", got)
+	}
+	if _, ok := tb.LookupPK([]value.Value{value.NewBigint(5)}); !ok {
+		t.Fatal("row 5 lost after failed update")
+	}
+	// Assigning one constant key to several rows is an intra-statement
+	// duplicate even when no existing row carries the key.
+	if _, err := tb.Update(&expr.Comparison{Col: 1, Op: expr.Eq, Val: value.NewInt(1)},
+		map[int]value.Value{0: value.NewBigint(500)}); err == nil {
+		t.Fatal("multi-row constant-PK update succeeded")
+	}
+	if _, ok := tb.LookupPK([]value.Value{value.NewBigint(500)}); ok {
+		t.Fatal("partial application of rejected update")
+	}
+	// A clean PK change still works and maintains the index.
+	if n, err := tb.Update(&expr.Comparison{Col: 0, Op: expr.Eq, Val: value.NewBigint(3)},
+		map[int]value.Value{0: value.NewBigint(300)}); err != nil || n != 1 {
+		t.Fatalf("clean PK update: n=%d err=%v", n, err)
+	}
+	if _, ok := tb.LookupPK([]value.Value{value.NewBigint(3)}); ok {
+		t.Fatal("old key still resolves")
+	}
+	if _, ok := tb.LookupPK([]value.Value{value.NewBigint(300)}); !ok {
+		t.Fatal("new key does not resolve")
+	}
+	// Updating a row's PK to its own value is not a collision.
+	if n, err := tb.Update(&expr.Comparison{Col: 0, Op: expr.Eq, Val: value.NewBigint(7)},
+		map[int]value.Value{0: value.NewBigint(7), 2: value.NewDouble(70)}); err != nil || n != 1 {
+		t.Fatalf("self-assignment: n=%d err=%v", n, err)
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	tb := loaded(t, 20)
+	tb.Delete(&expr.Comparison{Col: 0, Op: expr.Lt, Val: value.NewBigint(5)})
+	var rows [][]value.Value
+	tb.Scan(nil, func(rid int, row []value.Value) bool {
+		cp := make([]value.Value, len(row))
+		copy(cp, row)
+		rows = append(rows, cp)
+		return true
+	})
+	re, err := Load(testSchema(t), rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Rows() != 15 {
+		t.Fatalf("loaded %d rows, want 15", re.Rows())
+	}
+	for i := int64(5); i < 20; i++ {
+		if _, ok := re.LookupPK([]value.Value{value.NewBigint(i)}); !ok {
+			t.Fatalf("key %d missing after load", i)
+		}
+	}
+}
+
+func TestInsertBatchAtomic(t *testing.T) {
+	tb := loaded(t, 5)
+	// Batch whose last row collides with an existing key: nothing from
+	// the batch may remain.
+	err := tb.Insert([][]value.Value{mkRow(100, 0, 1, "x"), mkRow(3, 0, 1, "y")})
+	if err == nil {
+		t.Fatal("colliding batch accepted")
+	}
+	if tb.Rows() != 5 {
+		t.Fatalf("rows = %d after failed batch, want 5", tb.Rows())
+	}
+	if _, ok := tb.LookupPK([]value.Value{value.NewBigint(100)}); ok {
+		t.Fatal("prefix of failed batch retained")
+	}
+	// Batch with an internal duplicate.
+	err = tb.Insert([][]value.Value{mkRow(200, 0, 1, "x"), mkRow(200, 0, 2, "y")})
+	if err == nil {
+		t.Fatal("intra-batch duplicate accepted")
+	}
+	if tb.Rows() != 5 {
+		t.Fatalf("rows = %d after intra-dup batch, want 5", tb.Rows())
+	}
+}

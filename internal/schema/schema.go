@@ -90,6 +90,15 @@ func (t *Table) ColIndex(name string) int {
 	return -1
 }
 
+// ColTypes returns the column types in order.
+func (t *Table) ColTypes() []value.Type {
+	types := make([]value.Type, len(t.Columns))
+	for i, c := range t.Columns {
+		types[i] = c.Type
+	}
+	return types
+}
+
 // ColNames returns the column names in order.
 func (t *Table) ColNames() []string {
 	names := make([]string, len(t.Columns))

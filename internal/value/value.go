@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -295,6 +296,21 @@ func (v Value) Key() string {
 		b[1+i] = byte(n >> (8 * i))
 	}
 	return string(b[:])
+}
+
+// TupleKey returns a collision-free comparable key for a tuple of
+// values (e.g. a composite primary key): each component's Key is
+// length-prefixed, so component boundaries stay unambiguous even when a
+// VARCHAR contains a would-be separator byte.
+func TupleKey(vals []Value) string {
+	var b strings.Builder
+	for _, v := range vals {
+		k := v.Key()
+		b.WriteString(strconv.Itoa(len(k)))
+		b.WriteByte(':')
+		b.WriteString(k)
+	}
+	return b.String()
 }
 
 // Coerce converts v to type t where a lossless or standard SQL conversion

@@ -1,0 +1,507 @@
+// Binary encoding shared by WAL records and engine snapshots. The format
+// is a flat byte stream of uvarint-framed primitives: no reflection, no
+// per-field tags, so encoding a DML record costs little more than copying
+// its payload. Decoders carry a sticky error — callers chain reads and
+// check Err once — because a torn WAL tail must surface as a clean "stop
+// here", not a panic.
+
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"hybridstore/internal/catalog"
+	"hybridstore/internal/expr"
+	"hybridstore/internal/schema"
+	"hybridstore/internal/value"
+)
+
+// Encoder appends primitives to a growing byte buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Bytes returns the encoded buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Reset clears the buffer for reuse, keeping its capacity. Snapshot
+// writers encode and flush one table at a time so peak memory is
+// bounded by the largest table, not the whole database.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Len returns the current encoded length.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Byte appends a single byte.
+func (e *Encoder) Byte(b byte) { e.buf = append(e.buf, b) }
+
+// Uvarint appends an unsigned varint.
+func (e *Encoder) Uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+// Varint appends a signed varint (zig-zag).
+func (e *Encoder) Varint(v int64) {
+	e.buf = binary.AppendVarint(e.buf, v)
+}
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Ints appends a length-prefixed []int.
+func (e *Encoder) Ints(xs []int) {
+	e.Uvarint(uint64(len(xs)))
+	for _, x := range xs {
+		e.Varint(int64(x))
+	}
+}
+
+// Value appends a typed scalar. Layout: one tag byte (type, with the high
+// bit marking NULL), then the payload — nothing for NULL, a
+// length-prefixed string for VARCHAR, raw IEEE-754 bits for DOUBLE, and a
+// signed varint for the integer-backed types.
+func (e *Encoder) Value(v value.Value) {
+	tag := byte(v.Type())
+	if v.IsNull() {
+		e.Byte(tag | 0x80)
+		return
+	}
+	e.Byte(tag)
+	switch v.Type() {
+	case value.Varchar:
+		e.String(v.Varchar())
+	case value.Double:
+		e.Uvarint(math.Float64bits(v.Double()))
+	default:
+		e.Varint(v.Int())
+	}
+}
+
+// Row appends the values of a row (arity is framed by the caller).
+func (e *Encoder) Row(row []value.Value) {
+	for _, v := range row {
+		e.Value(v)
+	}
+}
+
+// Rows appends a length-prefixed batch of rows of the given width.
+func (e *Encoder) Rows(rows [][]value.Value) {
+	e.Uvarint(uint64(len(rows)))
+	for _, r := range rows {
+		e.Row(r)
+	}
+}
+
+// Schema appends a table schema: name, columns and primary key.
+func (e *Encoder) Schema(sch *schema.Table) {
+	e.String(sch.Name)
+	e.Uvarint(uint64(len(sch.Columns)))
+	for _, c := range sch.Columns {
+		e.String(c.Name)
+		e.Byte(byte(c.Type))
+		if c.Nullable {
+			e.Byte(1)
+		} else {
+			e.Byte(0)
+		}
+	}
+	e.Ints(sch.PrimaryKey)
+}
+
+// Spec appends an optional partitioning annotation. A leading flags byte
+// records which halves are present.
+func (e *Encoder) Spec(spec *catalog.PartitionSpec) {
+	if spec == nil {
+		e.Byte(0)
+		return
+	}
+	var flags byte
+	if spec.Horizontal != nil {
+		flags |= 1
+	}
+	if spec.Vertical != nil {
+		flags |= 2
+	}
+	e.Byte(flags)
+	if h := spec.Horizontal; h != nil {
+		e.Varint(int64(h.SplitCol))
+		e.Value(h.SplitVal)
+		e.Byte(byte(h.HotStore))
+		e.Byte(byte(h.ColdStore))
+	}
+	if v := spec.Vertical; v != nil {
+		e.Ints(v.RowCols)
+		e.Ints(v.ColCols)
+	}
+}
+
+// Predicate appends a predicate tree. Tag 0 is the nil predicate.
+func (e *Encoder) Predicate(p expr.Predicate) {
+	switch q := p.(type) {
+	case nil:
+		e.Byte(0)
+	case expr.True:
+		e.Byte(1)
+	case *expr.Comparison:
+		e.Byte(2)
+		e.Varint(int64(q.Col))
+		e.Byte(byte(q.Op))
+		e.Value(q.Val)
+	case *expr.Between:
+		e.Byte(3)
+		e.Varint(int64(q.Col))
+		e.Value(q.Lo)
+		e.Value(q.Hi)
+	case *expr.In:
+		e.Byte(4)
+		e.Varint(int64(q.Col))
+		e.Uvarint(uint64(len(q.Vals)))
+		for _, v := range q.Vals {
+			e.Value(v)
+		}
+	case *expr.And:
+		e.Byte(5)
+		e.Uvarint(uint64(len(q.Preds)))
+		for _, sub := range q.Preds {
+			e.Predicate(sub)
+		}
+	case *expr.Or:
+		e.Byte(6)
+		e.Uvarint(uint64(len(q.Preds)))
+		for _, sub := range q.Preds {
+			e.Predicate(sub)
+		}
+	case *expr.Not:
+		e.Byte(7)
+		e.Predicate(q.P)
+	default:
+		// Unknown node types cannot round-trip; encode as True so the
+		// frame stays well-formed and flag it loudly at decode time via
+		// a reserved tag instead of silently matching everything.
+		e.Byte(255)
+	}
+}
+
+// Set appends an update assignment map in sorted column order (sorted so
+// encoding is deterministic and test-comparable).
+func (e *Encoder) Set(set map[int]value.Value) {
+	cols := make([]int, 0, len(set))
+	for c := range set {
+		cols = append(cols, c)
+	}
+	for i := 1; i < len(cols); i++ {
+		for j := i; j > 0 && cols[j] < cols[j-1]; j-- {
+			cols[j], cols[j-1] = cols[j-1], cols[j]
+		}
+	}
+	e.Uvarint(uint64(len(cols)))
+	for _, c := range cols {
+		e.Varint(int64(c))
+		e.Value(set[c])
+	}
+}
+
+// Decoder reads primitives from a byte buffer with a sticky error: after
+// the first failure every subsequent read returns a zero value, and Err
+// reports the cause.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps a buffer.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Err returns the first decoding error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Byte reads one byte.
+func (d *Decoder) Byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.fail("wal: truncated buffer (byte at %d)", d.off)
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+// Uvarint reads an unsigned varint.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("wal: bad uvarint at %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Varint reads a signed varint.
+func (d *Decoder) Varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("wal: bad varint at %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Int reads a varint-encoded int.
+func (d *Decoder) Int() int { return int(d.Varint()) }
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.Uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(d.Remaining()) < n {
+		d.fail("wal: truncated string (%d of %d bytes)", d.Remaining(), n)
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// Ints reads a length-prefixed []int.
+func (d *Decoder) Ints() []int {
+	n := d.Uvarint()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if n > uint64(d.Remaining()) { // each element takes >= 1 byte
+		d.fail("wal: implausible int-slice length %d", n)
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = d.Int()
+	}
+	return out
+}
+
+// Value reads a typed scalar.
+func (d *Decoder) Value() value.Value {
+	tag := d.Byte()
+	if d.err != nil {
+		return value.Value{}
+	}
+	typ := value.Type(tag &^ 0x80)
+	if tag&0x80 != 0 {
+		return value.Null(typ)
+	}
+	switch typ {
+	case value.Integer:
+		return value.NewInt(d.Varint())
+	case value.Bigint:
+		return value.NewBigint(d.Varint())
+	case value.Double:
+		return value.NewDouble(math.Float64frombits(d.Uvarint()))
+	case value.Varchar:
+		return value.NewVarchar(d.String())
+	case value.Date:
+		return value.NewDate(d.Varint())
+	default:
+		d.fail("wal: unknown value type tag %d", tag)
+		return value.Value{}
+	}
+}
+
+// Row reads width values.
+func (d *Decoder) Row(width int) []value.Value {
+	row := make([]value.Value, width)
+	for i := range row {
+		row[i] = d.Value()
+	}
+	if d.err != nil {
+		return nil
+	}
+	return row
+}
+
+// Rows reads a length-prefixed batch of rows of the given width.
+func (d *Decoder) Rows(width int) [][]value.Value {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(d.Remaining()) { // each row takes >= width >= 1 bytes
+		d.fail("wal: implausible row count %d", n)
+		return nil
+	}
+	rows := make([][]value.Value, 0, n)
+	for i := uint64(0); i < n; i++ {
+		rows = append(rows, d.Row(width))
+	}
+	if d.err != nil {
+		return nil
+	}
+	return rows
+}
+
+// Schema reads a table schema.
+func (d *Decoder) Schema() *schema.Table {
+	name := d.String()
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n == 0 || n > uint64(d.Remaining()) {
+		d.fail("wal: implausible column count %d", n)
+		return nil
+	}
+	cols := make([]schema.Column, n)
+	for i := range cols {
+		cols[i].Name = d.String()
+		cols[i].Type = value.Type(d.Byte())
+		cols[i].Nullable = d.Byte() != 0
+	}
+	pk := d.Ints()
+	if d.err != nil {
+		return nil
+	}
+	pkNames := make([]string, len(pk))
+	for i, k := range pk {
+		if k < 0 || k >= len(cols) {
+			d.fail("wal: primary-key column %d out of range", k)
+			return nil
+		}
+		pkNames[i] = cols[k].Name
+	}
+	sch, err := schema.New(name, cols, pkNames...)
+	if err != nil {
+		d.fail("wal: bad schema: %v", err)
+		return nil
+	}
+	return sch
+}
+
+// Spec reads an optional partitioning annotation.
+func (d *Decoder) Spec() *catalog.PartitionSpec {
+	flags := d.Byte()
+	if d.err != nil || flags == 0 {
+		return nil
+	}
+	spec := &catalog.PartitionSpec{}
+	if flags&1 != 0 {
+		h := &catalog.HorizontalSpec{}
+		h.SplitCol = d.Int()
+		h.SplitVal = d.Value()
+		h.HotStore = catalog.StoreKind(d.Byte())
+		h.ColdStore = catalog.StoreKind(d.Byte())
+		spec.Horizontal = h
+	}
+	if flags&2 != 0 {
+		spec.Vertical = &catalog.VerticalSpec{RowCols: d.Ints(), ColCols: d.Ints()}
+	}
+	if d.err != nil {
+		return nil
+	}
+	return spec
+}
+
+// Predicate reads a predicate tree.
+func (d *Decoder) Predicate() expr.Predicate {
+	tag := d.Byte()
+	if d.err != nil {
+		return nil
+	}
+	switch tag {
+	case 0:
+		return nil
+	case 1:
+		return expr.True{}
+	case 2:
+		c := &expr.Comparison{Col: d.Int()}
+		c.Op = expr.CmpOp(d.Byte())
+		c.Val = d.Value()
+		return c
+	case 3:
+		b := &expr.Between{Col: d.Int()}
+		b.Lo = d.Value()
+		b.Hi = d.Value()
+		return b
+	case 4:
+		in := &expr.In{Col: d.Int()}
+		n := d.Uvarint()
+		if d.err != nil || n > uint64(d.Remaining()) {
+			d.fail("wal: implausible IN list length %d", n)
+			return nil
+		}
+		in.Vals = make([]value.Value, n)
+		for i := range in.Vals {
+			in.Vals[i] = d.Value()
+		}
+		return in
+	case 5, 6:
+		n := d.Uvarint()
+		if d.err != nil || n > uint64(d.Remaining()) {
+			d.fail("wal: implausible predicate arity %d", n)
+			return nil
+		}
+		preds := make([]expr.Predicate, n)
+		for i := range preds {
+			preds[i] = d.Predicate()
+		}
+		if tag == 5 {
+			return &expr.And{Preds: preds}
+		}
+		return &expr.Or{Preds: preds}
+	case 7:
+		return &expr.Not{P: d.Predicate()}
+	default:
+		d.fail("wal: unknown predicate tag %d", tag)
+		return nil
+	}
+}
+
+// Set reads an update assignment map.
+func (d *Decoder) Set() map[int]value.Value {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(d.Remaining()) {
+		d.fail("wal: implausible set size %d", n)
+		return nil
+	}
+	set := make(map[int]value.Value, n)
+	for i := uint64(0); i < n; i++ {
+		c := d.Int()
+		set[c] = d.Value()
+	}
+	if d.err != nil {
+		return nil
+	}
+	return set
+}

@@ -1,0 +1,135 @@
+package wal
+
+import (
+	"fmt"
+
+	"hybridstore/internal/catalog"
+	"hybridstore/internal/expr"
+	"hybridstore/internal/schema"
+	"hybridstore/internal/value"
+)
+
+// RecordKind identifies a logical log record.
+type RecordKind uint8
+
+const (
+	// RecCreateTable registers a table (schema, store, partitioning).
+	RecCreateTable RecordKind = iota + 1
+	// RecDropTable removes a table.
+	RecDropTable
+	// RecCreateIndex declares a secondary index on a column.
+	RecCreateIndex
+	// RecSetLayout moves a table to a new placement. Completed
+	// MigrateLayout swaps log this record too: a migration is durable
+	// only once its swap record is on disk, so a crash mid-migration
+	// replays as if the migration never started.
+	RecSetLayout
+	// RecInsert appends rows (already coerced to the schema's types).
+	RecInsert
+	// RecUpdate assigns values to rows matching a predicate.
+	RecUpdate
+	// RecDelete removes rows matching a predicate.
+	RecDelete
+)
+
+// String names the record kind.
+func (k RecordKind) String() string {
+	switch k {
+	case RecCreateTable:
+		return "CREATE-TABLE"
+	case RecDropTable:
+		return "DROP-TABLE"
+	case RecCreateIndex:
+		return "CREATE-INDEX"
+	case RecSetLayout:
+		return "SET-LAYOUT"
+	case RecInsert:
+		return "INSERT"
+	case RecUpdate:
+		return "UPDATE"
+	case RecDelete:
+		return "DELETE"
+	default:
+		return fmt.Sprintf("RecordKind(%d)", uint8(k))
+	}
+}
+
+// Record is one logical WAL entry. Only the fields relevant to Kind are
+// populated; the encoding writes exactly those.
+type Record struct {
+	Kind  RecordKind
+	Table string
+
+	// DDL payload.
+	Schema *schema.Table          // RecCreateTable
+	Store  catalog.StoreKind      // RecCreateTable, RecSetLayout
+	Spec   *catalog.PartitionSpec // RecCreateTable, RecSetLayout
+	Col    int                    // RecCreateIndex
+
+	// DML payload. Width is the table arity, needed to frame Rows.
+	Width int
+	Rows  [][]value.Value     // RecInsert
+	Pred  expr.Predicate      // RecUpdate, RecDelete
+	Set   map[int]value.Value // RecUpdate
+}
+
+// encode appends the record payload to the encoder.
+func (r *Record) encode(e *Encoder) {
+	e.Byte(byte(r.Kind))
+	e.String(r.Table)
+	switch r.Kind {
+	case RecCreateTable:
+		e.Schema(r.Schema)
+		e.Byte(byte(r.Store))
+		e.Spec(r.Spec)
+	case RecDropTable:
+		// Table name only.
+	case RecCreateIndex:
+		e.Varint(int64(r.Col))
+	case RecSetLayout:
+		e.Byte(byte(r.Store))
+		e.Spec(r.Spec)
+	case RecInsert:
+		e.Varint(int64(r.Width))
+		e.Rows(r.Rows)
+	case RecUpdate:
+		e.Predicate(r.Pred)
+		e.Set(r.Set)
+	case RecDelete:
+		e.Predicate(r.Pred)
+	}
+}
+
+// decodeRecord reads one record payload.
+func decodeRecord(d *Decoder) (*Record, error) {
+	r := &Record{Kind: RecordKind(d.Byte()), Table: d.String()}
+	switch r.Kind {
+	case RecCreateTable:
+		r.Schema = d.Schema()
+		r.Store = catalog.StoreKind(d.Byte())
+		r.Spec = d.Spec()
+	case RecDropTable:
+	case RecCreateIndex:
+		r.Col = d.Int()
+	case RecSetLayout:
+		r.Store = catalog.StoreKind(d.Byte())
+		r.Spec = d.Spec()
+	case RecInsert:
+		r.Width = d.Int()
+		if d.Err() == nil && (r.Width <= 0 || r.Width > d.Remaining()+1) {
+			return nil, fmt.Errorf("wal: implausible insert width %d", r.Width)
+		}
+		r.Rows = d.Rows(r.Width)
+	case RecUpdate:
+		r.Pred = d.Predicate()
+		r.Set = d.Set()
+	case RecDelete:
+		r.Pred = d.Predicate()
+	default:
+		return nil, fmt.Errorf("wal: unknown record kind %d", r.Kind)
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
