@@ -16,6 +16,10 @@
 // a write-ahead log before it is acknowledged, and restarting hsql with
 // the same -data recovers the database (tables, layouts, indexes, data).
 //
+// With -connect <host:port> hsql is a remote shell instead: statements
+// go to a running hsqld over the wire protocol and execute server-side
+// (only \quit and \ping work among the shell commands).
+//
 // Every query prints its result and engine-measured execution time; the
 // session's statements feed the live workload monitor, so \advise and
 // \migrate reflect the workload actually executed. With -auto the
@@ -25,13 +29,16 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"hybridstore/internal/advisor"
 	"hybridstore/internal/catalog"
+	"hybridstore/internal/client"
 	"hybridstore/internal/costmodel"
 	"hybridstore/internal/engine"
 	"hybridstore/internal/migrate"
@@ -53,7 +60,13 @@ func main() {
 	hysteresis := flag.Float64("hysteresis", -1, "min relative improvement before auto-migrating (-1 = default)")
 	dataDir := flag.String("data", "", "data directory for durable mode (WAL + snapshots; empty = in-memory)")
 	groupCommit := flag.Int("group-commit", 0, "max WAL records per fsync batch (0 = default)")
+	connect := flag.String("connect", "", "connect to a running hsqld at host:port instead of embedding the engine")
 	flag.Parse()
+
+	if *connect != "" {
+		remoteShell(*connect)
+		return
+	}
 
 	var db *engine.Database
 	if *dataDir != "" {
@@ -125,6 +138,70 @@ func main() {
 		}
 		for _, stmtText := range sql.SplitStatements(buf.String()) {
 			execute(db, resolver, stmtText)
+		}
+		buf.Reset()
+		prompt()
+	}
+}
+
+// remoteShell is the -connect mode: statements are sent verbatim to an
+// hsqld server over the Go driver (parsing, execution and the workload
+// monitor all run server-side), results print exactly like local mode.
+func remoteShell(addr string) {
+	conn, err := client.Dial(addr, client.Options{Name: "hsql"})
+	if err != nil {
+		fmt.Println("error:", err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+	fmt.Printf("connected to %s — \\quit to exit, \\ping to probe\n", addr)
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("hsql> ")
+		} else {
+			fmt.Print("  ... ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			switch strings.Fields(trimmed)[0] {
+			case "\\quit", "\\q":
+				return
+			case "\\ping":
+				start := time.Now()
+				if err := conn.Ping(context.Background()); err != nil {
+					fmt.Println("error:", err)
+				} else {
+					fmt.Printf("pong (%v)\n", time.Since(start))
+				}
+			default:
+				fmt.Println("unknown remote command (only \\quit and \\ping work over -connect):", trimmed)
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if !strings.Contains(line, ";") {
+			prompt()
+			continue
+		}
+		for _, stmtText := range sql.SplitStatements(buf.String()) {
+			res, err := conn.Exec(context.Background(), stmtText)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			printResult(&engine.Result{
+				Cols: res.Cols, Rows: res.Rows,
+				Affected: res.Affected, Duration: res.Duration,
+			})
 		}
 		buf.Reset()
 		prompt()
@@ -221,6 +298,9 @@ func (s *session) command(line string) bool {
 			fmt.Printf("observed %d queries (%d in window)\n", snap.Seen, snap.WindowSeen)
 			for _, tw := range snap.Tables {
 				fmt.Println(" ", tw)
+			}
+			for _, sw := range snap.Sessions {
+				fmt.Println("  session", sw)
 			}
 			break
 		}

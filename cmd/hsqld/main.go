@@ -1,0 +1,104 @@
+// Command hsqld is the hybrid-store network daemon: it serves one
+// engine over TCP using the internal/wire protocol, with sessions,
+// prepared statements, admission control and graceful drain.
+//
+// Usage:
+//
+//	hsqld -listen :7878 -data /var/lib/hsql [-auto 30s] [-max-sessions 128]
+//
+// With -data the engine is durable: statements are write-ahead logged
+// before acknowledgment and a restart (even after kill -9) recovers
+// every acknowledged write. With -auto the online advisor watches the
+// live workload — attributed per client session — and migrates table
+// layouts in the background.
+//
+// SIGINT/SIGTERM drain gracefully: accepted requests finish, sessions
+// close, and the engine checkpoints before the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hybridstore/internal/advisor"
+	"hybridstore/internal/costmodel"
+	"hybridstore/internal/engine"
+	"hybridstore/internal/migrate"
+	"hybridstore/internal/monitor"
+	"hybridstore/internal/server"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", ":7878", "TCP listen address")
+		dataDir     = flag.String("data", "", "data directory for durable mode (WAL + snapshots; empty = in-memory)")
+		groupCommit = flag.Int("group-commit", 0, "max WAL records per fsync batch (0 = default)")
+		auto        = flag.Duration("auto", 0, "auto-advise interval for background layout migration (0 disables)")
+		hysteresis  = flag.Float64("hysteresis", -1, "min relative improvement before auto-migrating (-1 = default)")
+		maxSessions = flag.Int("max-sessions", 0, "max concurrent client sessions (0 = default 128)")
+		workers     = flag.Int("workers", 0, "max concurrently executing statements (0 = GOMAXPROCS)")
+		queueDepth  = flag.Int("queue-depth", 0, "pipelined requests buffered per session (0 = default 32)")
+		maxFrame    = flag.Int("max-frame", 0, "max request/response frame bytes (0 = default 8 MiB)")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-drain budget on shutdown")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "hsqld: ", log.LstdFlags)
+
+	var db *engine.Database
+	var err error
+	if *dataDir != "" {
+		db, err = engine.OpenOptions(*dataDir, engine.Options{GroupCommit: *groupCommit})
+		if err != nil {
+			logger.Fatalf("open %s: %v", *dataDir, err)
+		}
+		logger.Printf("durable mode: %s (%d tables recovered)", *dataDir, len(db.Catalog().Names()))
+	} else {
+		db = engine.New()
+		logger.Printf("in-memory mode (no -data): a restart loses all data")
+	}
+
+	mon := monitor.New(db, monitor.DefaultConfig())
+	mgr := migrate.NewManager(db, advisor.New(costmodel.DefaultModel()), mon, migrate.DefaultConfig())
+	if *auto > 0 {
+		if err := mgr.AutoAdvise(*auto, *hysteresis); err != nil {
+			logger.Fatalf("auto-advise: %v", err)
+		}
+		logger.Printf("auto-advise every %v", *auto)
+	}
+
+	srv, err := server.Serve(db, *listen, server.Config{
+		MaxSessions: *maxSessions,
+		Workers:     *workers,
+		QueueDepth:  *queueDepth,
+		MaxFrame:    *maxFrame,
+		Logf:        logger.Printf,
+	})
+	if err != nil {
+		logger.Fatalf("%v", err)
+	}
+	logger.Printf("listening on %s", srv.Addr())
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	sig := <-sigCh
+	logger.Printf("%v: draining (budget %v)...", sig, *drain)
+	if *auto > 0 {
+		mgr.Stop()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("shutdown: %v", err)
+		os.Exit(1)
+	}
+	hits, misses := srv.StmtCacheStats()
+	logger.Printf("stopped cleanly (stmt cache: %d hits, %d misses)", hits, misses)
+	fmt.Println("bye")
+}

@@ -12,8 +12,11 @@
 //
 //   - cmd/advisor — offline storage advisor over SQL schema+workload files
 //   - cmd/hsbench — regenerates every figure of the paper's evaluation
-//   - cmd/hsql — interactive SQL shell for the hybrid engine
-//   - examples/ — quickstart, mixed-workload, partitioning and TPC-H demos
+//   - cmd/hsql — interactive SQL shell for the hybrid engine (local or
+//     remote via -connect)
+//   - cmd/hsqld — the network daemon serving the engine over TCP
+//   - examples/ — quickstart, mixed-workload, partitioning, TPC-H and
+//     network-service demos
 //
 // The benchmarks in bench_test.go wrap the same experiment harness that
 // cmd/hsbench runs; EXPERIMENTS.md records paper-vs-measured results.
@@ -129,4 +132,56 @@
 // cmd/hsql -data <dir> runs a durable shell; cmd/hsbench -exp
 // durability measures the insert-throughput cost of durability across
 // group-commit batch sizes against the in-memory engine.
+//
+// # Network service
+//
+// cmd/hsqld serves one engine over TCP; internal/client is the Go
+// driver and cmd/hsql -connect the remote shell. The stack is a
+// vertical slice through internal/wire (protocol), internal/server
+// (sessions and execution) and context plumbing down to the storage
+// scan loops.
+//
+// Frame format (internal/wire): a frame is [uint32 LE payload length]
+// [payload]; the payload's first byte is the message type and the rest
+// is encoded with the internal/wal codec — values, rows and schemas
+// share one binary encoding across the log, the snapshot and the wire.
+// Requests: Hello (client name, protocol version, optional per-statement
+// timeout), Exec (SQL text + '?' parameters), Prepare, StmtExec,
+// StmtClose, Ping, Cancel, Quit. Responses: Welcome, OK, Rows,
+// Prepared, Error (with a code: SQL, shutdown, cancelled, protocol,
+// too-busy), Pong. Each request gets exactly one response, in request
+// order — ordering is the correlation mechanism, which makes client
+// pipelining free. Oversized frames are rejected before allocation and
+// truncated frames surface as clean errors (fuzzed in internal/wire).
+//
+// Session lifecycle (internal/server): a connection becomes a session
+// with a reader goroutine (decodes frames into a bounded queue,
+// intercepts out-of-band Cancel frames) and an executor goroutine
+// (serves the queue in order). Prepared statements are tokenized once
+// into a server-wide statement cache keyed by text — sessions hold
+// handles into it — and re-bound against the live catalog per
+// execution, so they survive schema and layout migrations. Every
+// statement runs under a per-session context; cancel frames and
+// statement deadlines abort in-flight scans and aggregates at the
+// engine's next batch boundary (~1024 rows) via engine.ExecContext.
+// The workload monitor attributes statements per session
+// (engine.WithSession → monitor Snapshot.Sessions), so the advisor
+// sees the real multi-tenant mix.
+//
+// Admission control: concurrent sessions are capped (excess connections
+// are refused with a too-busy error frame), statement execution passes
+// through a bounded worker pool, and a session whose pipeline queue
+// fills stops being read — backpressure reaches the client through the
+// TCP window instead of accumulating goroutines. Shutdown drains
+// gracefully: the listener closes, accepted requests finish (in-flight
+// statements are hard-cancelled only past the drain deadline), then the
+// engine closes — checkpointing durable state — so kill -9 after a
+// drained shutdown, or even instead of one, never loses an acknowledged
+// write. Statements racing the close fail with engine.ErrClosed.
+//
+// cmd/hsbench -exp concurrent-clients sweeps concurrent writer and
+// analytical reader sessions over TCP, reports p50/p99 latency and
+// aggregate throughput per client count, and differential-checks the
+// final table against a single-session oracle replay (zero lost, zero
+// duplicated writes).
 package hybridstore

@@ -178,6 +178,7 @@ func Experiments() []Experiment {
 		{"fig10", "TPC-H combination and comparison (Figure 10)", Fig10},
 		{"ablation", "Design-choice ablations (DESIGN.md)", Ablations},
 		{"durability", "Durable-mode insert throughput (WAL group commit)", Durability},
+		{"concurrent-clients", "Concurrent network clients: mixed DML + analytics over TCP", ConcurrentClients},
 	}
 }
 

@@ -53,7 +53,7 @@ func TestLookupAndUnknown(t *testing.T) {
 }
 
 func TestExperimentRegistryComplete(t *testing.T) {
-	want := []string{"fig6a", "fig6b", "fig7a", "fig7b", "fig8", "fig9a", "fig9b", "fig10", "ablation", "durability"}
+	want := []string{"fig6a", "fig6b", "fig7a", "fig7b", "fig8", "fig9a", "fig9b", "fig10", "ablation", "durability", "concurrent-clients"}
 	have := Experiments()
 	if len(have) != len(want) {
 		t.Fatalf("experiments = %d, want %d", len(have), len(want))
@@ -169,5 +169,35 @@ func TestAblationsQuick(t *testing.T) {
 	}
 	if res.Series["delta_speedup"][0] <= 1 {
 		t.Errorf("delta should speed up loads: %v", res.Series["delta_speedup"])
+	}
+}
+
+func TestConcurrentClientsQuick(t *testing.T) {
+	res, err := Run("concurrent-clients", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sweep must include a point with >= 8 concurrent sessions.
+	max := 0.0
+	for _, c := range res.Series["clients"] {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 8 {
+		t.Fatalf("sweep peaked at %.0f sessions, acceptance needs >= 8", max)
+	}
+	// The differential oracle check must have passed.
+	found := false
+	for _, n := range res.Notes {
+		if strings.Contains(n, "differential check") {
+			found = true
+			if !strings.Contains(n, "PASS") {
+				t.Fatalf("differential check note: %s", n)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no differential check note")
 	}
 }

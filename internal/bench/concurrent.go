@@ -1,0 +1,357 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"hybridstore/internal/catalog"
+	"hybridstore/internal/client"
+	"hybridstore/internal/engine"
+	"hybridstore/internal/expr"
+	"hybridstore/internal/query"
+	"hybridstore/internal/schema"
+	"hybridstore/internal/server"
+	"hybridstore/internal/value"
+)
+
+func concurrentSchema() *schema.Table {
+	return schema.MustNew("nett", []schema.Column{
+		{Name: "id", Type: value.Bigint},
+		{Name: "grp", Type: value.Integer},
+		{Name: "amount", Type: value.Double},
+		{Name: "note", Type: value.Varchar},
+	}, "id")
+}
+
+// ackedWrite is one acknowledged DML statement of one writer, replayed
+// into the single-session oracle for the differential check.
+type ackedWrite struct {
+	insert bool
+	id     int64
+	grp    int64
+	amount float64
+	note   string
+}
+
+// percentile returns the p-th percentile (0..100) of sorted durations.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func latMS(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// ConcurrentClients is the network-service experiment: an in-process
+// hsqld serves one engine over TCP; N writer sessions sustain single-row
+// DML (prepared INSERTs with a 1-in-4 UPDATE mix) while M analytical
+// reader sessions run grouped aggregates, per client count. Reported
+// per sweep point: p50/p99 statement latency per class and aggregate
+// throughput. After the sweep the table is differential-checked against
+// a single-session oracle that replays exactly the acknowledged writes
+// (zero lost, zero duplicated), and a cancellation probe verifies an
+// in-flight analytical scan aborts at a batch boundary.
+func ConcurrentClients(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	opsPerWriter := cfg.scaled(600)
+	opsPerReader := cfg.scaled(150)
+
+	db := engine.New()
+	if err := db.CreateTable(concurrentSchema(), catalog.RowStore); err != nil {
+		return nil, err
+	}
+	srv, err := server.Serve(db, "127.0.0.1:0", server.Config{MaxSessions: 64})
+	if err != nil {
+		return nil, err
+	}
+	addr := srv.Addr().String()
+	ctx := context.Background()
+
+	res := &Result{
+		Columns: []string{"clients", "writers", "readers", "write p50", "write p99", "read p50", "read p99", "ops/s"},
+		Notes: []string{
+			fmt.Sprintf("%d DML ops per writer (1 update per 4 inserts), %d aggregates per reader, over TCP", opsPerWriter, opsPerReader),
+			"acceptance: >= 8 concurrent sessions with zero lost or duplicated writes (differential oracle check below)",
+		},
+	}
+
+	var oracleOps [][]ackedWrite
+	nextBase := int64(0)
+
+	for _, clients := range []int{2, 4, 8, 16} {
+		writers := clients / 2
+		readers := clients - writers
+		var (
+			mu        sync.Mutex
+			writeLats []time.Duration
+			readLats  []time.Duration
+			firstErr  error
+			totalOps  int
+		)
+		fail := func(err error) {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < writers; w++ {
+			base := nextBase
+			nextBase += int64(opsPerWriter) + 1
+			wg.Add(1)
+			go func(w int, base int64) {
+				defer wg.Done()
+				c, err := client.Dial(addr, client.Options{Name: fmt.Sprintf("w%d", w)})
+				if err != nil {
+					fail(err)
+					return
+				}
+				defer c.Close()
+				ins, err := c.Prepare(ctx, "INSERT INTO nett VALUES (?, ?, ?, ?)")
+				if err != nil {
+					fail(err)
+					return
+				}
+				upd, err := c.Prepare(ctx, "UPDATE nett SET amount = ? WHERE id = ?")
+				if err != nil {
+					fail(err)
+					return
+				}
+				var lats []time.Duration
+				var acked []ackedWrite
+				inserted := int64(0)
+				for i := 0; i < opsPerWriter; i++ {
+					t0 := time.Now()
+					if i%5 == 4 && inserted > 0 {
+						target := base + (int64(i) % inserted)
+						na := float64(i) * 1.25
+						if _, err := upd.Exec(ctx, value.NewDouble(na), value.NewBigint(target)); err != nil {
+							fail(fmt.Errorf("writer %d update: %w", w, err))
+							return
+						}
+						acked = append(acked, ackedWrite{id: target, amount: na})
+					} else {
+						id := base + inserted
+						grp := int64(id % 13)
+						amount := float64(i)
+						note := fmt.Sprintf("w%d-%d", w, i)
+						if _, err := ins.Exec(ctx, value.NewBigint(id), value.NewBigint(grp),
+							value.NewDouble(amount), value.NewVarchar(note)); err != nil {
+							fail(fmt.Errorf("writer %d insert: %w", w, err))
+							return
+						}
+						acked = append(acked, ackedWrite{insert: true, id: id, grp: grp, amount: amount, note: note})
+						inserted++
+					}
+					lats = append(lats, time.Since(t0))
+				}
+				mu.Lock()
+				writeLats = append(writeLats, lats...)
+				oracleOps = append(oracleOps, acked)
+				totalOps += len(lats)
+				mu.Unlock()
+			}(w, base)
+		}
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				c, err := client.Dial(addr, client.Options{Name: fmt.Sprintf("r%d", r)})
+				if err != nil {
+					fail(err)
+					return
+				}
+				defer c.Close()
+				agg, err := c.Prepare(ctx, "SELECT grp, COUNT(*), SUM(amount), MAX(amount) FROM nett WHERE grp >= ? GROUP BY grp ORDER BY grp")
+				if err != nil {
+					fail(err)
+					return
+				}
+				var lats []time.Duration
+				for i := 0; i < opsPerReader; i++ {
+					t0 := time.Now()
+					if _, err := agg.Exec(ctx, value.NewBigint(int64(i%4))); err != nil {
+						fail(fmt.Errorf("reader %d: %w", r, err))
+						return
+					}
+					lats = append(lats, time.Since(t0))
+				}
+				mu.Lock()
+				readLats = append(readLats, lats...)
+				totalOps += len(lats)
+				mu.Unlock()
+			}(r)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			srv.Shutdown(ctx)
+			return nil, firstErr
+		}
+		elapsed := time.Since(start)
+		sort.Slice(writeLats, func(i, j int) bool { return writeLats[i] < writeLats[j] })
+		sort.Slice(readLats, func(i, j int) bool { return readLats[i] < readLats[j] })
+		tput := float64(totalOps) / elapsed.Seconds()
+		res.AddRow([]string{
+			fmt.Sprintf("%d", clients), fmt.Sprintf("%d", writers), fmt.Sprintf("%d", readers),
+			fmt.Sprintf("%.2fms", latMS(percentile(writeLats, 50))),
+			fmt.Sprintf("%.2fms", latMS(percentile(writeLats, 99))),
+			fmt.Sprintf("%.2fms", latMS(percentile(readLats, 50))),
+			fmt.Sprintf("%.2fms", latMS(percentile(readLats, 99))),
+			fmt.Sprintf("%.0f", tput),
+		}, map[string]float64{
+			"clients": float64(clients), "ops/s": tput,
+			"write p99": latMS(percentile(writeLats, 99)),
+			"read p99":  latMS(percentile(readLats, 99)),
+		})
+	}
+
+	// Differential check: replay every acknowledged write into a fresh
+	// single-session oracle and compare full ordered contents.
+	lost, err := concurrentDifferential(db, oracleOps)
+	if err != nil {
+		srv.Shutdown(ctx)
+		return nil, err
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf("differential check vs single-session oracle: %s", lost))
+
+	// Cancellation probe: abort an in-flight analytical scan over a
+	// table big enough that the scan is genuinely in flight when the
+	// cancel frame lands.
+	note, err := cancelProbe(db, addr, cfg.scaled(2_400_000))
+	if err != nil {
+		srv.Shutdown(ctx)
+		return nil, err
+	}
+	res.Notes = append(res.Notes, note)
+
+	sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// concurrentDifferential replays acked writes into an oracle and diffs.
+func concurrentDifferential(db *engine.Database, oracleOps [][]ackedWrite) (string, error) {
+	oracle := engine.New()
+	if err := oracle.CreateTable(concurrentSchema(), catalog.RowStore); err != nil {
+		return "", err
+	}
+	replayed := 0
+	for _, ops := range oracleOps {
+		for _, op := range ops {
+			var err error
+			if op.insert {
+				_, err = oracle.Exec(&query.Query{Kind: query.Insert, Table: "nett", Rows: [][]value.Value{{
+					value.NewBigint(op.id), value.NewInt(op.grp), value.NewDouble(op.amount), value.NewVarchar(op.note),
+				}}})
+			} else {
+				_, err = oracle.Exec(&query.Query{Kind: query.Update, Table: "nett",
+					Set:  map[int]value.Value{2: value.NewDouble(op.amount)},
+					Pred: &expr.Comparison{Col: 0, Op: expr.Eq, Val: value.NewBigint(op.id)},
+				})
+			}
+			if err != nil {
+				return "", fmt.Errorf("oracle replay: %w", err)
+			}
+			replayed++
+		}
+	}
+	dump := func(d *engine.Database) (*engine.Result, error) {
+		return d.Exec(&query.Query{Kind: query.Select, Table: "nett", OrderBy: []query.Order{{Col: 0}}})
+	}
+	got, err := dump(db)
+	if err != nil {
+		return "", err
+	}
+	want, err := dump(oracle)
+	if err != nil {
+		return "", err
+	}
+	if len(got.Rows) != len(want.Rows) {
+		return "", fmt.Errorf("differential check FAILED: server has %d rows, oracle %d (lost or duplicated writes)",
+			len(got.Rows), len(want.Rows))
+	}
+	for i := range got.Rows {
+		for j := range got.Rows[i] {
+			if !value.Equal(got.Rows[i][j], want.Rows[i][j]) {
+				return "", fmt.Errorf("differential check FAILED: row %d col %d: server %v, oracle %v",
+					i, j, got.Rows[i][j], want.Rows[i][j])
+			}
+		}
+	}
+	return fmt.Sprintf("PASS (%d acked writes replayed, %d rows identical)", replayed, len(got.Rows)), nil
+}
+
+// cancelProbe measures how fast a cancelled context aborts an in-flight
+// analytical scan over the wire. The probe table is bulk-loaded
+// engine-side so the scan takes long enough for the cancel to land
+// mid-flight even on slow schedulers.
+func cancelProbe(db *engine.Database, addr string, rows int) (string, error) {
+	sch := schema.MustNew("nettbig", []schema.Column{
+		{Name: "id", Type: value.Bigint},
+		{Name: "grp", Type: value.Integer},
+		{Name: "amount", Type: value.Double},
+	}, "id")
+	if err := db.CreateTable(sch, catalog.RowStore); err != nil {
+		return "", err
+	}
+	batch := make([][]value.Value, 0, 8192)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		_, err := db.Exec(&query.Query{Kind: query.Insert, Table: "nettbig", Rows: batch})
+		batch = batch[:0]
+		return err
+	}
+	for i := 0; i < rows; i++ {
+		batch = append(batch, []value.Value{
+			value.NewBigint(int64(i)), value.NewInt(int64(i % 29)), value.NewDouble(float64(i)),
+		})
+		if len(batch) == cap(batch) {
+			if err := flush(); err != nil {
+				return "", err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return "", err
+	}
+
+	c, err := client.Dial(addr, client.Options{Name: "cancel-probe"})
+	if err != nil {
+		return "", err
+	}
+	defer c.Close()
+	ctx := context.Background()
+	const aggSQL = "SELECT grp, COUNT(*), SUM(amount), MIN(amount), MAX(amount) FROM nettbig WHERE amount >= 0 GROUP BY grp"
+	t0 := time.Now()
+	if _, err := c.Query(ctx, aggSQL); err != nil {
+		return "", err
+	}
+	full := time.Since(t0)
+	cctx, cancel := context.WithCancel(ctx)
+	go func() {
+		time.Sleep(full / 4)
+		cancel()
+	}()
+	t0 = time.Now()
+	_, err = c.Query(cctx, aggSQL)
+	aborted := time.Since(t0)
+	if err == nil {
+		return fmt.Sprintf("cancellation probe: scan finished in %v before the cancel landed (full scan %v)", aborted, full), nil
+	}
+	if !client.IsCancelled(err) {
+		return "", fmt.Errorf("cancellation probe: unexpected error %w", err)
+	}
+	return fmt.Sprintf("cancellation probe: in-flight scan aborted after %v (full scan %v)", aborted, full), nil
+}

@@ -1,0 +1,456 @@
+// Package client is the Go driver for the hsqld network service. A Conn
+// is a single wire-protocol connection that is safe for concurrent use:
+// requests from multiple goroutines are written in one order, responses
+// arrive in the same order, and callers waiting on a response are
+// matched by position — which is also what makes pipelining free: a
+// goroutine's request goes on the wire immediately, without waiting for
+// earlier responses.
+//
+// Cancelling a call's context sends an out-of-band Cancel frame; the
+// server aborts the session's in-flight statement at the engine's next
+// batch boundary and the call returns the server's cancellation error.
+// A Conn that loses its connection reconnects automatically on the next
+// call, and prepared statements re-prepare themselves transparently
+// after a reconnect (handles are per-connection on the server).
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybridstore/internal/value"
+	"hybridstore/internal/wire"
+)
+
+// Options tunes a connection.
+type Options struct {
+	// Name labels the session in the server's workload monitor.
+	Name string
+	// StatementTimeout asks the server to deadline each statement.
+	StatementTimeout time.Duration
+	// MaxFrame caps response frames the client accepts (0 = wire
+	// default).
+	MaxFrame int
+	// DialTimeout bounds connection establishment (0 = 5s).
+	DialTimeout time.Duration
+	// NoReconnect disables automatic redial after a broken connection.
+	NoReconnect bool
+	// MaxPipeline bounds requests in flight on the connection; a call
+	// arriving with the pipeline full fails fast with a "pipeline
+	// full" error rather than blocking (blocking would have to hold
+	// the write lock across the wait). 0 = 256.
+	MaxPipeline int
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = wire.DefaultMaxFrame
+	}
+	if o.MaxPipeline <= 0 {
+		o.MaxPipeline = 256
+	}
+	return o
+}
+
+// Error is a server-reported failure.
+type Error struct {
+	Code byte
+	Msg  string
+}
+
+func (e *Error) Error() string { return e.Msg }
+
+// Cancelled reports whether the error is the server's statement
+// cancellation (cancel frame or statement deadline).
+func (e *Error) Cancelled() bool { return e.Code == wire.CodeCancelled }
+
+// IsCancelled reports whether err is a server-side statement
+// cancellation.
+func IsCancelled(err error) bool {
+	var se *Error
+	return errors.As(err, &se) && se.Cancelled()
+}
+
+// Result is one statement's outcome.
+type Result struct {
+	Cols     []string
+	Rows     [][]value.Value
+	Affected int
+	// Duration is the server-measured execution time.
+	Duration time.Duration
+}
+
+// call is one in-flight request awaiting its positional response. seq
+// is the request's position on its connection: the call is at the head
+// of the pipeline — i.e. the one the server is answering next — exactly
+// when the connection's response counter equals seq.
+type call struct {
+	seq  uint64
+	rs   *wire.Response
+	err  error
+	done chan struct{}
+}
+
+// Conn is a driver connection. Zero value is not usable; Dial creates
+// one.
+type Conn struct {
+	addr string
+	opts Options
+
+	mu      sync.Mutex
+	c       net.Conn
+	epoch   uint64 // bumped per (re)connect; stale Stmt handles detect it
+	pending chan *call
+	closed  bool
+
+	// sent counts requests written on the current connection (guarded
+	// by mu); recv counts responses matched by its reader. A call's
+	// seq == recv means it is the head of the pipeline — the statement
+	// the server is executing (or about to) — which is the only call a
+	// session-level Cancel frame can safely target.
+	sent uint64
+	recv atomic.Uint64
+}
+
+// Dial connects to an hsqld server.
+func Dial(addr string, opts Options) (*Conn, error) {
+	c := &Conn{addr: addr, opts: opts.withDefaults()}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.connectLocked(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// connectLocked (re)establishes the connection and performs the hello
+// handshake synchronously before the response reader starts.
+func (c *Conn) connectLocked() error {
+	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("client: dial %s: %w", c.addr, err)
+	}
+	hello := &wire.Request{
+		Type: wire.MsgHello, ClientName: c.opts.Name,
+		Version: wire.ProtocolVersion, Timeout: c.opts.StatementTimeout,
+	}
+	conn.SetDeadline(time.Now().Add(c.opts.DialTimeout))
+	if err := wire.WriteRequest(conn, hello); err != nil {
+		conn.Close()
+		return fmt.Errorf("client: hello: %w", err)
+	}
+	rs, err := wire.ReadResponse(conn, c.opts.MaxFrame)
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("client: hello: %w", err)
+	}
+	if rs.Type == wire.MsgError {
+		conn.Close()
+		return &Error{Code: rs.Code, Msg: rs.Err}
+	}
+	if rs.Type != wire.MsgWelcome {
+		conn.Close()
+		return fmt.Errorf("client: unexpected hello response type 0x%02x", rs.Type)
+	}
+	conn.SetDeadline(time.Time{})
+	c.c = conn
+	c.epoch++
+	c.sent = 0
+	c.recv.Store(0)
+	c.pending = make(chan *call, c.opts.MaxPipeline)
+	go c.readLoop(conn, c.pending)
+	return nil
+}
+
+// readLoop matches response frames to pending calls by position. On any
+// read error every in-flight call fails and the connection is marked
+// dead (the next request redials).
+func (c *Conn) readLoop(conn net.Conn, pending chan *call) {
+	var rerr error
+	for {
+		rs, err := wire.ReadResponse(conn, c.opts.MaxFrame)
+		if err != nil {
+			rerr = err
+			break
+		}
+		select {
+		case cl := <-pending:
+			cl.rs = rs
+			c.recv.Add(1)
+			close(cl.done)
+		default:
+			rerr = fmt.Errorf("client: unsolicited response type 0x%02x", rs.Type)
+		}
+		if rerr != nil {
+			break
+		}
+	}
+	c.mu.Lock()
+	if c.c == conn {
+		c.c = nil // next call redials
+	}
+	c.mu.Unlock()
+	conn.Close()
+	for {
+		select {
+		case cl := <-pending:
+			cl.err = fmt.Errorf("client: connection lost: %w", rerr)
+			close(cl.done)
+		default:
+			return
+		}
+	}
+}
+
+// roundTrip writes one request and waits for its positional response.
+func (c *Conn) roundTrip(ctx context.Context, rq *wire.Request) (*wire.Response, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("client: connection closed")
+	}
+	if c.c == nil {
+		if c.opts.NoReconnect {
+			c.mu.Unlock()
+			return nil, errors.New("client: connection lost")
+		}
+		if err := c.connectLocked(); err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+	}
+	conn := c.c
+	cl := &call{seq: c.sent, done: make(chan struct{})}
+	select {
+	case c.pending <- cl:
+	default:
+		c.mu.Unlock()
+		return nil, fmt.Errorf("client: pipeline full (%d requests in flight)", c.opts.MaxPipeline)
+	}
+	c.sent++
+	err := wire.WriteRequest(conn, rq)
+	c.mu.Unlock()
+	if err != nil {
+		// The reader will fail the call when the broken conn surfaces;
+		// wait for it so the pending queue stays positionally aligned.
+		<-cl.done
+		if cl.err != nil {
+			return nil, cl.err
+		}
+		return nil, err
+	}
+
+	select {
+	case <-cl.done:
+	case <-ctx.Done():
+		// A Cancel frame aborts whatever the session is currently
+		// executing, so it may only be sent once THIS call is at the
+		// head of the pipeline — cancelling earlier would abort some
+		// other goroutine's statement. Wait for headship (or the
+		// response), fire the cancel, then wait for the response so
+		// positional matching stays aligned. If the response beats the
+		// cancel it is returned faithfully: a write that was applied
+		// must not be reported as cancelled. The residual race — the
+		// server finishing this statement just as the cancel lands,
+		// aborting the session's next one — is inherent to
+		// session-level cancellation.
+		for {
+			if c.recv.Load() == cl.seq {
+				c.cancel(conn)
+				break
+			}
+			stillWaiting := false
+			select {
+			case <-cl.done:
+			case <-time.After(time.Millisecond):
+				stillWaiting = true
+			}
+			if !stillWaiting {
+				break
+			}
+		}
+		<-cl.done
+	}
+	if cl.err != nil {
+		return nil, cl.err
+	}
+	if cl.rs.Type == wire.MsgError {
+		return nil, &Error{Code: cl.rs.Code, Msg: cl.rs.Err}
+	}
+	return cl.rs, nil
+}
+
+// cancel sends an out-of-band cancel frame on conn (best effort).
+func (c *Conn) cancel(conn net.Conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.c == conn {
+		_ = wire.WriteRequest(conn, &wire.Request{Type: wire.MsgCancel})
+	}
+}
+
+func toResult(rs *wire.Response) *Result {
+	return &Result{
+		Cols: rs.Cols, Rows: rs.Rows,
+		Affected: rs.Affected, Duration: rs.Duration,
+	}
+}
+
+// Exec parses and executes one statement server-side, binding params to
+// its '?' placeholders.
+func (c *Conn) Exec(ctx context.Context, sqlText string, params ...value.Value) (*Result, error) {
+	rs, err := c.roundTrip(ctx, &wire.Request{Type: wire.MsgExec, SQL: sqlText, Params: params})
+	if err != nil {
+		return nil, err
+	}
+	return toResult(rs), nil
+}
+
+// Query is Exec for statements expected to return rows.
+func (c *Conn) Query(ctx context.Context, sqlText string, params ...value.Value) (*Result, error) {
+	return c.Exec(ctx, sqlText, params...)
+}
+
+// Ping round-trips a liveness probe.
+func (c *Conn) Ping(ctx context.Context) error {
+	_, err := c.roundTrip(ctx, &wire.Request{Type: wire.MsgPing})
+	return err
+}
+
+// Stmt is a prepared statement. It survives reconnects: the handle is
+// re-prepared transparently when the connection epoch changes.
+type Stmt struct {
+	c    *Conn
+	text string
+
+	mu       sync.Mutex
+	id       uint64
+	nparams  int
+	epoch    uint64
+	prepared bool
+}
+
+// Prepare registers a statement template server-side and returns its
+// handle.
+func (c *Conn) Prepare(ctx context.Context, sqlText string) (*Stmt, error) {
+	st := &Stmt{c: c, text: sqlText}
+	if err := st.ensure(ctx); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// ensure (re)prepares the statement if the connection was rebuilt since
+// the handle was issued.
+func (st *Stmt) ensure(ctx context.Context) error {
+	st.c.mu.Lock()
+	epoch := st.c.epoch
+	dead := st.c.c == nil
+	st.c.mu.Unlock()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.prepared && !dead && st.epoch == epoch {
+		return nil
+	}
+	rs, err := st.c.roundTrip(ctx, &wire.Request{Type: wire.MsgPrepare, SQL: st.text})
+	if err != nil {
+		return err
+	}
+	st.c.mu.Lock()
+	st.epoch = st.c.epoch
+	st.c.mu.Unlock()
+	st.id = rs.Stmt
+	st.nparams = rs.NumParams
+	st.prepared = true
+	return nil
+}
+
+// NumParams returns the number of '?' placeholders.
+func (st *Stmt) NumParams() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.nparams
+}
+
+// Exec executes the prepared statement with the given parameters.
+//
+// Exactly one transparent retry happens, and only on the server's
+// CodeUnknownStmt error — the case where another goroutine's reconnect
+// invalidated the handle and the server provably did not execute the
+// statement. Every other error — including connection loss and generic
+// protocol errors — is NOT retried: the server may have applied the
+// statement before the failure surfaced, so retrying could double-apply
+// a write; the caller must treat such an error as "unacknowledged",
+// exactly like an engine error.
+func (st *Stmt) Exec(ctx context.Context, params ...value.Value) (*Result, error) {
+	if err := st.ensure(ctx); err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	id := st.id
+	st.mu.Unlock()
+	rs, err := st.c.roundTrip(ctx, &wire.Request{Type: wire.MsgStmtExec, Stmt: id, Params: params})
+	if err != nil {
+		var se *Error
+		if !errors.As(err, &se) || se.Code != wire.CodeUnknownStmt {
+			return nil, err
+		}
+		st.mu.Lock()
+		st.prepared = false // force a fresh handle
+		st.mu.Unlock()
+		if err := st.ensure(ctx); err != nil {
+			return nil, err
+		}
+		st.mu.Lock()
+		id = st.id
+		st.mu.Unlock()
+		rs, err = st.c.roundTrip(ctx, &wire.Request{Type: wire.MsgStmtExec, Stmt: id, Params: params})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return toResult(rs), nil
+}
+
+// Query is Exec for statements expected to return rows.
+func (st *Stmt) Query(ctx context.Context, params ...value.Value) (*Result, error) {
+	return st.Exec(ctx, params...)
+}
+
+// Close releases the server-side handle (best effort).
+func (st *Stmt) Close(ctx context.Context) error {
+	st.mu.Lock()
+	prepared, id := st.prepared, st.id
+	st.prepared = false
+	st.mu.Unlock()
+	if !prepared {
+		return nil
+	}
+	_, err := st.c.roundTrip(ctx, &wire.Request{Type: wire.MsgStmtClose, Stmt: id})
+	return err
+}
+
+// Close sends Quit and closes the connection. Subsequent calls fail.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.c != nil {
+		_ = wire.WriteRequest(c.c, &wire.Request{Type: wire.MsgQuit})
+		err := c.c.Close()
+		c.c = nil
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"hybridstore/internal/value"
+	"hybridstore/internal/wire"
+)
+
+// fakeServer accepts one connection and serves scripted responses: it
+// answers Hello with Welcome and every other request via respond.
+func fakeServer(t *testing.T, respond func(rq *wire.Request) *wire.Response) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				for {
+					rq, err := wire.ReadRequest(conn, 0)
+					if err != nil {
+						return
+					}
+					var rs *wire.Response
+					if rq.Type == wire.MsgHello {
+						rs = &wire.Response{Type: wire.MsgWelcome, Session: 1}
+					} else if rq.Type == wire.MsgQuit {
+						return
+					} else {
+						rs = respond(rq)
+						if rs == nil {
+							continue // out-of-band (cancel)
+						}
+					}
+					if err := wire.WriteResponse(conn, rs); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestClientRoundTripAndErrorMapping(t *testing.T) {
+	addr := fakeServer(t, func(rq *wire.Request) *wire.Response {
+		switch rq.Type {
+		case wire.MsgPing:
+			return &wire.Response{Type: wire.MsgPong}
+		case wire.MsgExec:
+			if rq.SQL == "boom" {
+				return &wire.Response{Type: wire.MsgError, Code: wire.CodeSQL, Err: "sql: boom"}
+			}
+			if rq.SQL == "slow" {
+				return &wire.Response{Type: wire.MsgError, Code: wire.CodeCancelled, Err: "cancelled"}
+			}
+			return &wire.Response{Type: wire.MsgRows, Affected: 1,
+				Cols: []string{"x"}, Rows: [][]value.Value{{value.NewInt(7)}}}
+		default:
+			return &wire.Response{Type: wire.MsgOK}
+		}
+	})
+	c, err := Dial(addr, Options{Name: "unit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if err := c.Ping(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query(ctx, "ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 7 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	_, err = c.Exec(ctx, "boom")
+	var se *Error
+	if !errors.As(err, &se) || se.Code != wire.CodeSQL || IsCancelled(err) {
+		t.Fatalf("sql error mapping: %v", err)
+	}
+	_, err = c.Exec(ctx, "slow")
+	if !IsCancelled(err) {
+		t.Fatalf("cancellation mapping: %v", err)
+	}
+}
+
+func TestClientPipelineOrdering(t *testing.T) {
+	// Responses echo the request's parameter so ordering mismatches are
+	// visible.
+	addr := fakeServer(t, func(rq *wire.Request) *wire.Response {
+		return &wire.Response{Type: wire.MsgRows, Cols: []string{"p"},
+			Rows: [][]value.Value{{rq.Params[0]}}}
+	})
+	c, err := Dial(addr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 100; i++ {
+				want := int64(g*1000 + i)
+				res, err := c.Exec(ctx, "echo", value.NewBigint(want))
+				if err != nil {
+					done <- err
+					return
+				}
+				if got := res.Rows[0][0].Int(); got != want {
+					done <- errors.New("response matched to the wrong request")
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestClientConnectionLostSurfaces(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		// Welcome, then die mid-conversation.
+		rq, _ := wire.ReadRequest(conn, 0)
+		if rq != nil && rq.Type == wire.MsgHello {
+			wire.WriteResponse(conn, &wire.Response{Type: wire.MsgWelcome, Session: 1})
+		}
+		wire.ReadRequest(conn, 0) // swallow the next request...
+		conn.Close()              // ...and cut the connection
+	}()
+	c, err := Dial(ln.Addr().String(), Options{NoReconnect: true, DialTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := c.Exec(ctx, "anything"); err == nil {
+		t.Fatal("lost connection did not surface")
+	}
+	// With NoReconnect the next call fails fast instead of redialing.
+	if _, err := c.Exec(ctx, "anything"); err == nil {
+		t.Fatal("NoReconnect redialed anyway")
+	}
+}

@@ -15,6 +15,15 @@ import (
 // of one per row — which is how compression speeds up aggregation in the
 // paper's column store (f_compression).
 func (t *Table) Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate) *agg.Result {
+	return t.AggregateStop(specs, groupBy, pred, nil)
+}
+
+// AggregateStop is Aggregate with a cooperative cancellation hook: stop
+// (when non-nil) is polled once per blockRows-sized block, and a true
+// return abandons the aggregation, yielding a partial result the caller
+// must discard. This is the "batch boundary" the engine's context
+// cancellation rides on.
+func (t *Table) AggregateStop(specs []agg.Spec, groupBy []int, pred expr.Predicate, stop func() bool) *agg.Result {
 	res := agg.NewResult(specs, groupBy)
 	res.SetOutputTypes(t.sch.ColTypes())
 	s := t.acquireScratch()
@@ -22,13 +31,13 @@ func (t *Table) Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate) 
 	match := t.matchBitmap(pred, s) // nil means all live rows
 	switch {
 	case len(groupBy) == 0:
-		t.aggregateGlobal(res, specs, match, s)
+		t.aggregateGlobal(res, specs, match, s, stop)
 	case len(groupBy) == 1:
-		t.aggregateSingleGroup(res, specs, groupBy[0], match)
+		t.aggregateSingleGroup(res, specs, groupBy[0], match, stop)
 	case len(groupBy) == 2 && t.pairGroupFeasible(groupBy):
-		t.aggregatePairGroup(res, specs, groupBy, match)
+		t.aggregatePairGroup(res, specs, groupBy, match, stop)
 	default:
-		t.aggregateGeneric(res, specs, groupBy, match, s)
+		t.aggregateGeneric(res, specs, groupBy, match, s, stop)
 	}
 	return res
 }
@@ -257,7 +266,7 @@ func (t *Table) forBatches(match bitset.Bits, fn func(rids []int32, b0, nm, main
 	}
 }
 
-func (t *Table) aggregateGlobal(res *agg.Result, specs []agg.Spec, match bitset.Bits, s *scanScratch) {
+func (t *Table) aggregateGlobal(res *agg.Result, specs []agg.Spec, match bitset.Bits, s *scanScratch, stop func() bool) {
 	g := res.Global()
 	codes := s.codeBuf()
 	var rids []int32
@@ -275,6 +284,9 @@ func (t *Table) aggregateGlobal(res *agg.Result, specs []agg.Spec, match bitset.
 				// Fully dense main fragment: bulk-decode and count with no
 				// per-row branches at all.
 				for b0 := 0; b0 < t.mainRows; b0 += blockRows {
+					if stop != nil && stop() {
+						return
+					}
 					n := min(blockRows, t.mainRows-b0)
 					c.mainCodes.UnpackBlock(b0, codes[:n])
 					for _, code := range codes[:n] {
@@ -288,6 +300,9 @@ func (t *Table) aggregateGlobal(res *agg.Result, specs []agg.Spec, match bitset.
 				}
 				nulls := c.mainNulls
 				for b0 := 0; b0 < t.mainRows; b0 += blockRows {
+					if stop != nil && stop() {
+						return
+					}
 					n := min(blockRows, t.mainRows-b0)
 					rids = src.AppendSet(rids[:0], b0, b0+n)
 					if len(rids) == 0 {
@@ -345,7 +360,7 @@ func (t *Table) aggregateGlobal(res *agg.Result, specs []agg.Spec, match bitset.
 // aggregateSingleGroup groups by one column. The group column's combined
 // codes (main, then delta offset by the main dictionary's size, then a
 // NULL slot) index the dense accumulator engine directly.
-func (t *Table) aggregateSingleGroup(res *agg.Result, specs []agg.Spec, gcol int, match bitset.Bits) {
+func (t *Table) aggregateSingleGroup(res *agg.Result, specs []agg.Spec, gcol int, match bitset.Bits, stop func() bool) {
 	gc := &t.cols[gcol]
 	gMain := gc.mainDict.Len()
 	gTotal := gMain + gc.deltaDict.Len() + 1 // +1: NULL group slot
@@ -355,6 +370,9 @@ func (t *Table) aggregateSingleGroup(res *agg.Result, specs []agg.Spec, gcol int
 	gcodes := make([]uint32, blockRows)
 	gidx := make([]uint32, blockRows)
 	t.forBatches(match, func(rids []int32, b0, nm, mainN int) bool {
+		if stop != nil && stop() {
+			return false
+		}
 		if mainN > 0 {
 			gc.mainCodes.UnpackBlock(b0, gcodes[:mainN])
 		}
@@ -402,7 +420,7 @@ func (t *Table) aggregateSingleGroup(res *agg.Result, specs []agg.Spec, gcol int
 // accumulator engine indexed by the combined codes — the typical shape of
 // analytical queries like TPC-H Q1 (GROUP BY l_returnflag, l_linestatus).
 // Both group columns' codes are bulk-decoded per block.
-func (t *Table) aggregatePairGroup(res *agg.Result, specs []agg.Spec, groupBy []int, match bitset.Bits) {
+func (t *Table) aggregatePairGroup(res *agg.Result, specs []agg.Spec, groupBy []int, match bitset.Bits, stop func() bool) {
 	g0, g1 := &t.cols[groupBy[0]], &t.cols[groupBy[1]]
 	// Combined code: local code offset by fragment (delta codes follow
 	// main codes; the extra slot at the end is the NULL key).
@@ -416,6 +434,9 @@ func (t *Table) aggregatePairGroup(res *agg.Result, specs []agg.Spec, groupBy []
 	codes1 := make([]uint32, blockRows)
 	gidx := make([]uint32, blockRows)
 	t.forBatches(match, func(rids []int32, b0, nm, mainN int) bool {
+		if stop != nil && stop() {
+			return false
+		}
 		if mainN > 0 {
 			g0.mainCodes.UnpackBlock(b0, codes0[:mainN])
 			g1.mainCodes.UnpackBlock(b0, codes1[:mainN])
@@ -465,7 +486,7 @@ func (t *Table) aggregatePairGroup(res *agg.Result, specs []agg.Spec, groupBy []
 
 // aggregateGeneric handles multi-column group-bys by materializing the key
 // per row through the batched scan.
-func (t *Table) aggregateGeneric(res *agg.Result, specs []agg.Spec, groupBy []int, match bitset.Bits, sc *scanScratch) {
+func (t *Table) aggregateGeneric(res *agg.Result, specs []agg.Spec, groupBy []int, match bitset.Bits, sc *scanScratch, stop func() bool) {
 	colIdx := make(map[int]int)
 	var cols []int
 	need := func(c int) {
@@ -496,6 +517,9 @@ func (t *Table) aggregateGeneric(res *agg.Result, specs []agg.Spec, groupBy []in
 	}
 	key := make([]value.Value, len(groupBy))
 	t.scanBatches(match, cols, sc, func(rids []int32, colVals [][]value.Value) bool {
+		if stop != nil && stop() {
+			return false
+		}
 		for k := range rids {
 			for i, p := range groupPos {
 				key[i] = colVals[p][k]

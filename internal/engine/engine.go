@@ -8,10 +8,12 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hybridstore/internal/agg"
@@ -28,6 +30,37 @@ import (
 // The online-mode statistics recorder implements it.
 type QueryObserver interface {
 	Observe(q *query.Query, d time.Duration)
+}
+
+// SessionObserver is an optional extension of QueryObserver: observers
+// that implement it additionally receive the session label attached to
+// the statement's context (empty for unattributed statements), so the
+// workload monitor can expose the real multi-tenant mix to the advisor.
+type SessionObserver interface {
+	ObserveSession(session string, q *query.Query, d time.Duration)
+}
+
+// ErrClosed is returned by Exec/ExecContext (and wrapped into durability
+// errors) once Close has been called. The network server relies on it to
+// drain sessions racing a shutdown cleanly.
+var ErrClosed = errors.New("engine: database is closed")
+
+// sessionKey is the context key WithSession stores the session label
+// under.
+type sessionKey struct{}
+
+// WithSession tags a context with a session/client label; statements
+// executed under it are attributed to that session by session-aware
+// observers (see SessionObserver).
+func WithSession(ctx context.Context, session string) context.Context {
+	return context.WithValue(ctx, sessionKey{}, session)
+}
+
+// SessionFromContext returns the session label attached by WithSession
+// (empty when absent).
+func SessionFromContext(ctx context.Context) string {
+	s, _ := ctx.Value(sessionKey{}).(string)
+	return s
 }
 
 // Result is the outcome of one executed query.
@@ -61,6 +94,12 @@ type Database struct {
 	// once by Open before the database is shared and never reassigned.
 	dir string
 	log *wal.Log
+
+	// closed flips once in Close, before the final checkpoint takes the
+	// write lock: statements that acquire a lock afterwards observe it
+	// and fail with ErrClosed instead of mutating a checkpointed (or
+	// log-less) database.
+	closed atomic.Bool
 }
 
 // New creates an empty database.
@@ -408,7 +447,24 @@ func (db *Database) MemoryBytes(name string) (int, error) {
 // Exec executes one query, measuring its runtime and notifying the
 // observer. DML takes the write lock; reads take the read lock.
 func (db *Database) Exec(q *query.Query) (*Result, error) {
+	return db.ExecContext(context.Background(), q)
+}
+
+// ExecContext is Exec with a statement context: cancelling (or timing
+// out) ctx aborts an in-flight read at the next batch boundary — scans
+// and aggregates poll the context roughly every 1024 rows — and the
+// statement returns ctx.Err(). DML is not interrupted once applied (a
+// half-applied statement could not be rolled back), but the context is
+// checked before the statement starts. A session label attached via
+// WithSession is forwarded to session-aware observers.
+func (db *Database) ExecContext(ctx context.Context, q *query.Query) (*Result, error) {
 	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	var (
@@ -420,6 +476,10 @@ func (db *Database) Exec(q *query.Query) (*Result, error) {
 	case query.Insert, query.Update, query.Delete:
 		var seq uint64
 		db.mu.Lock()
+		if db.closed.Load() {
+			db.mu.Unlock()
+			return nil, ErrClosed
+		}
 		res, seq, err = db.execDML(q)
 		db.mu.Unlock()
 		// Group commit: the record was enqueued in apply order under the
@@ -433,10 +493,14 @@ func (db *Database) Exec(q *query.Query) (*Result, error) {
 		}
 	default:
 		db.mu.RLock()
+		if db.closed.Load() {
+			db.mu.RUnlock()
+			return nil, ErrClosed
+		}
 		if q.Join != nil {
-			res, err = db.execJoin(q)
+			res, err = db.execJoin(ctx, q)
 		} else {
-			res, err = db.execRead(q)
+			res, err = db.execRead(ctx, q)
 		}
 		db.mu.RUnlock()
 	}
@@ -445,9 +509,22 @@ func (db *Database) Exec(q *query.Query) (*Result, error) {
 	}
 	res.Duration = time.Since(start)
 	if obs := db.observer(); obs != nil {
-		obs.Observe(q, res.Duration)
+		if so, ok := obs.(SessionObserver); ok {
+			so.ObserveSession(SessionFromContext(ctx), q, res.Duration)
+		} else {
+			obs.Observe(q, res.Duration)
+		}
 	}
 	return res, nil
+}
+
+// stopFunc derives the batch-boundary cancellation poll from a context;
+// contexts that can never be cancelled poll nothing.
+func stopFunc(ctx context.Context) func() bool {
+	if ctx.Done() == nil {
+		return nil
+	}
+	return func() bool { return ctx.Err() != nil }
 }
 
 func (db *Database) observer() QueryObserver {
@@ -529,7 +606,7 @@ func (db *Database) logRecord(rec *wal.Record) error {
 	return db.log.Append(rec)
 }
 
-func (db *Database) execRead(q *query.Query) (*Result, error) {
+func (db *Database) execRead(ctx context.Context, q *query.Query) (*Result, error) {
 	rt, err := db.runtime(q.Table)
 	if err != nil {
 		return nil, err
@@ -546,28 +623,72 @@ func (db *Database) execRead(q *query.Query) (*Result, error) {
 				return nil, fmt.Errorf("engine: select column %d out of range for %q", c, q.Table)
 			}
 		}
+		for _, o := range q.OrderBy {
+			if o.Col < 0 || o.Col >= sch.NumColumns() {
+				return nil, fmt.Errorf("engine: order-by column %d out of range for %q", o.Col, q.Table)
+			}
+		}
 		res := &Result{Cols: make([]string, len(cols))}
 		for i, c := range cols {
 			res.Cols[i] = sch.Columns[c].Name
 		}
-		rt.store.Scan(q.Pred, cols, func(row []value.Value) bool {
+		// With an ORDER BY the limit cannot short-circuit the scan, and
+		// sort keys (which may not be projected) ride along per row.
+		var keys [][]value.Value
+		ordered := len(q.OrderBy) > 0
+		scanCols := cols
+		if ordered {
+			scanCols = unionCols(cols, orderCols(q.OrderBy))
+		}
+		stop := stopFunc(ctx)
+		visited := 0
+		rt.store.Scan(q.Pred, scanCols, func(row []value.Value) bool {
+			if stop != nil {
+				visited++
+				if visited%scanCancelBatch == 0 && stop() {
+					return false
+				}
+			}
 			out := make([]value.Value, len(cols))
 			for i, c := range cols {
 				out[i] = row[c]
 			}
 			res.Rows = append(res.Rows, out)
+			if ordered {
+				key := make([]value.Value, len(q.OrderBy))
+				for i, o := range q.OrderBy {
+					key[i] = row[o.Col]
+				}
+				keys = append(keys, key)
+				return true
+			}
 			return q.Limit <= 0 || len(res.Rows) < q.Limit
 		})
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if ordered {
+			sortRowsByKeys(res.Rows, keys, q.OrderBy)
+			if q.Limit > 0 && len(res.Rows) > q.Limit {
+				res.Rows = res.Rows[:q.Limit]
+			}
+		}
 		res.Affected = len(res.Rows)
 		return res, nil
 	case query.Aggregate:
-		ar := rt.store.Aggregate(q.Aggs, q.GroupBy, q.Pred)
+		ar := rt.store.Aggregate(q.Aggs, q.GroupBy, q.Pred, stopFunc(ctx))
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res := &Result{Rows: ar.Rows()}
 		for _, g := range q.GroupBy {
 			res.Cols = append(res.Cols, sch.Columns[g].Name)
 		}
 		for _, s := range q.Aggs {
 			res.Cols = append(res.Cols, specName(sch, s))
+		}
+		if err := sortAggRows(res.Rows, q); err != nil {
+			return nil, err
 		}
 		res.Affected = len(res.Rows)
 		return res, nil

@@ -163,18 +163,18 @@ func (h *horizontalStorage) Scan(pred expr.Predicate, cols []int, fn func(row []
 // concurrently on the bounded worker pool — the partitions are independent
 // stores, and agg.Result merging is exactly the "union of both partitions"
 // the paper's rewrite produces, so the fan-out is transparent.
-func (h *horizontalStorage) Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate) *agg.Result {
+func (h *horizontalStorage) Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate, stop func() bool) *agg.Result {
 	useHot, useCold := h.sides(pred)
 	switch {
 	case useHot && !useCold:
-		return h.hot.Aggregate(specs, groupBy, pred)
+		return h.hot.Aggregate(specs, groupBy, pred, stop)
 	case useCold && !useHot:
-		return h.cold.Aggregate(specs, groupBy, pred)
+		return h.cold.Aggregate(specs, groupBy, pred, stop)
 	default:
 		var coldRes, hotRes *agg.Result
 		parallelDo(
-			func() { coldRes = h.cold.Aggregate(specs, groupBy, pred) },
-			func() { hotRes = h.hot.Aggregate(specs, groupBy, pred) },
+			func() { coldRes = h.cold.Aggregate(specs, groupBy, pred, stop) },
+			func() { hotRes = h.hot.Aggregate(specs, groupBy, pred, stop) },
 		)
 		coldRes.Merge(hotRes)
 		return coldRes

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"hybridstore/internal/agg"
@@ -15,7 +16,7 @@ import (
 // pushdown, estimated by table cardinality) is built into a hash table;
 // the larger side probes it. Column references in the query use combined
 // indexing: left columns first, then right columns.
-func (db *Database) execJoin(q *query.Query) (*Result, error) {
+func (db *Database) execJoin(ctx context.Context, q *query.Query) (*Result, error) {
 	left, err := db.runtime(q.Table)
 	if err != nil {
 		return nil, err
@@ -29,6 +30,12 @@ func (db *Database) execJoin(q *query.Query) (*Result, error) {
 	if q.Join.LeftCol < 0 || q.Join.LeftCol >= nL || q.Join.RightCol < 0 || q.Join.RightCol >= nR {
 		return nil, fmt.Errorf("engine: join columns out of range")
 	}
+	for _, o := range q.OrderBy {
+		if o.Col < 0 || o.Col >= nL+nR {
+			return nil, fmt.Errorf("engine: order-by column %d out of range", o.Col)
+		}
+	}
+	stop := stopFunc(ctx)
 
 	leftPred, rightPred, postPred := splitJoinPred(q.Pred, nL, nR)
 
@@ -54,6 +61,9 @@ func (db *Database) execJoin(q *query.Query) (*Result, error) {
 	if bs, ok := build.rt.store.(batchScanner); ok {
 		keyIdx := len(buildNeed) - 1 // joinCol is last in buildNeed
 		bs.ScanBatches(build.pred, buildNeed, func(rids []int32, colVals [][]value.Value) bool {
+			if stop != nil && stop() {
+				return false
+			}
 			for k := range rids {
 				key := colVals[keyIdx][k]
 				if key.IsNull() {
@@ -69,7 +79,14 @@ func (db *Database) execJoin(q *query.Query) (*Result, error) {
 			return true
 		})
 	} else {
+		buildVisited := 0
 		build.rt.store.Scan(build.pred, buildNeed, func(row []value.Value) bool {
+			if stop != nil {
+				buildVisited++
+				if buildVisited%scanCancelBatch == 0 && stop() {
+					return false
+				}
+			}
 			k := row[build.joinCol]
 			if k.IsNull() {
 				return true
@@ -108,14 +125,23 @@ func (db *Database) execJoin(q *query.Query) (*Result, error) {
 	// and group buckets once per build row, so the per-row work is a code
 	// extraction plus accumulator updates. This is the dictionary-join
 	// advantage real columnar engines have over value-at-a-time probing.
+	ordered := len(q.OrderBy) > 0
+	var keys [][]value.Value
 	if cs, ok := probe.rt.store.(*colStorage); ok &&
 		q.Kind == query.Aggregate && postPred == nil &&
 		groupsOnSide(q.GroupBy, build.offset, build.width) {
-		probeJoinColumnar(cs.t, q, &probe, &build, hash, aggRes)
+		probeJoinColumnar(cs.t, q, &probe, &build, hash, aggRes, stop)
 	} else {
 		limitHit := false
+		probeVisited := 0
 		probeNeed := append(append([]int{}, probe.need...), probe.joinCol)
 		probe.rt.store.Scan(probe.pred, probeNeed, func(row []value.Value) bool {
+			if stop != nil {
+				probeVisited++
+				if probeVisited%scanCancelBatch == 0 && stop() {
+					return false
+				}
+			}
 			k := row[probe.joinCol]
 			if k.IsNull() {
 				return true
@@ -161,6 +187,14 @@ func (db *Database) execJoin(q *query.Query) (*Result, error) {
 						out[i] = combined[c]
 					}
 					res.Rows = append(res.Rows, out)
+					if ordered {
+						key := make([]value.Value, len(q.OrderBy))
+						for i, o := range q.OrderBy {
+							key[i] = combined[o.Col]
+						}
+						keys = append(keys, key)
+						continue
+					}
 					if q.Limit > 0 && len(res.Rows) >= q.Limit {
 						limitHit = true
 						return false
@@ -169,6 +203,10 @@ func (db *Database) execJoin(q *query.Query) (*Result, error) {
 			}
 			return !limitHit
 		})
+	}
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	// Assemble the result.
@@ -193,6 +231,16 @@ func (db *Database) execJoin(q *query.Query) (*Result, error) {
 	} else {
 		for _, c := range outCols {
 			res.Cols = append(res.Cols, names(c))
+		}
+	}
+	if q.Kind == query.Aggregate {
+		if err := sortAggRows(res.Rows, q); err != nil {
+			return nil, err
+		}
+	} else if ordered {
+		sortRowsByKeys(res.Rows, keys, q.OrderBy)
+		if q.Limit > 0 && len(res.Rows) > q.Limit {
+			res.Rows = res.Rows[:q.Limit]
 		}
 	}
 	res.Affected = len(res.Rows)
@@ -231,7 +279,7 @@ func groupsOnSide(groupBy []int, offset, width int) bool {
 // side is resolved once per distinct probe-key code and group buckets once
 // per build row, so the per-probe-row work reduces to a code extraction,
 // an array lookup and accumulator updates.
-func probeJoinColumnar(t *colstore.Table, q *query.Query, probe, build *joinSide, hash map[uint64][]*buildRow, aggRes *agg.Result) {
+func probeJoinColumnar(t *colstore.Table, q *query.Query, probe, build *joinSide, hash map[uint64][]*buildRow, aggRes *agg.Result, stop func() bool) {
 	keyVals := t.KeyDictValues(probe.joinCol)
 	matches := make([][]*buildRow, len(keyVals))
 	resolved := make([]bool, len(keyVals))
@@ -278,7 +326,14 @@ func probeJoinColumnar(t *colstore.Table, q *query.Query, probe, build *joinSide
 		return m.group
 	}
 
+	visited := 0
 	t.JoinProbe(probe.joinCol, extra, probe.pred, func(code int64, extraVals []value.Value) bool {
+		if stop != nil {
+			visited++
+			if visited%scanCancelBatch == 0 && stop() {
+				return false
+			}
+		}
 		if code < 0 {
 			return true // NULL join keys never match
 		}
@@ -406,6 +461,9 @@ func joinNeededCols(q *query.Query, nL, nR int) (needL, needR []int) {
 	}
 	for _, c := range q.GroupBy {
 		add(c)
+	}
+	for _, o := range q.OrderBy {
+		add(o.Col)
 	}
 	for _, c := range expr.ColumnSet(q.Pred) {
 		add(c)

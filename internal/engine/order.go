@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"hybridstore/internal/query"
+	"hybridstore/internal/value"
+)
+
+// scanCancelBatch is how many callback rows a context-aware scan
+// processes between cancellation polls — the engine-side batch boundary
+// (the column store streams blocks of the same size underneath).
+const scanCancelBatch = 1024
+
+// orderCols extracts the column indexes of an ORDER BY clause.
+func orderCols(order []query.Order) []int {
+	cols := make([]int, len(order))
+	for i, o := range order {
+		cols[i] = o.Col
+	}
+	return cols
+}
+
+// unionCols returns cols plus any extras not already present, preserving
+// cols' order (projection positions must not move). The result is a
+// fresh slice.
+func unionCols(cols, extras []int) []int {
+	out := append(make([]int, 0, len(cols)+len(extras)), cols...)
+	for _, e := range extras {
+		found := false
+		for _, c := range out {
+			if c == e {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// compareKeys orders two extracted key tuples under the ORDER BY
+// directions. NULLs sort first ascending (value.Compare's order).
+func compareKeys(a, b []value.Value, order []query.Order) int {
+	for i, o := range order {
+		c := value.Compare(a[i], b[i])
+		if c == 0 {
+			continue
+		}
+		if o.Desc {
+			return -c
+		}
+		return c
+	}
+	return 0
+}
+
+// sortRowsByKeys stably sorts rows by their parallel key tuples.
+func sortRowsByKeys(rows, keys [][]value.Value, order []query.Order) {
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool {
+		return compareKeys(keys[idx[i]], keys[idx[j]], order) < 0
+	})
+	permuted := make([][]value.Value, len(rows))
+	for i, j := range idx {
+		permuted[i] = rows[j]
+	}
+	copy(rows, permuted)
+}
+
+// sortAggRows sorts an aggregate result's rows by its ORDER BY keys,
+// which must be group-by columns (result rows lead with the group key in
+// q.GroupBy order).
+func sortAggRows(rows [][]value.Value, q *query.Query) error {
+	if len(q.OrderBy) == 0 {
+		return nil
+	}
+	pos := make([]int, len(q.OrderBy))
+	for i, o := range q.OrderBy {
+		pos[i] = -1
+		for gi, g := range q.GroupBy {
+			if g == o.Col {
+				pos[i] = gi
+				break
+			}
+		}
+		if pos[i] < 0 {
+			return fmt.Errorf("engine: ORDER BY column %d of an aggregate must be grouped", o.Col)
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		for k, p := range pos {
+			c := value.Compare(rows[i][p], rows[j][p])
+			if c == 0 {
+				continue
+			}
+			if q.OrderBy[k].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return nil
+}

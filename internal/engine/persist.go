@@ -236,9 +236,15 @@ func (db *Database) checkpointLocked() error {
 	return db.log.Reset()
 }
 
-// Close checkpoints a durable database and closes its WAL. Closing an
-// in-memory database is a no-op.
+// Close marks the database closed — statements arriving afterwards fail
+// with ErrClosed — then checkpoints a durable database and closes its
+// WAL. The final checkpoint takes the write lock, so every statement
+// admitted before the close completes (and, for DML, reaches the log)
+// before the snapshot is cut; this is what lets the network server drain
+// racing sessions cleanly. Closing an in-memory database only sets the
+// flag.
 func (db *Database) Close() error {
+	db.closed.Store(true)
 	if db.log == nil {
 		return nil
 	}

@@ -27,7 +27,13 @@ type storage interface {
 	// will read (nil = all); implementations may leave other positions
 	// stale. The row slice is scratch — do not retain.
 	Scan(pred expr.Predicate, cols []int, fn func(row []value.Value) bool)
-	Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate) *agg.Result
+	// Aggregate computes grouped aggregates over rows matching pred.
+	// stop (when non-nil) is polled at batch boundaries — roughly every
+	// 1024 rows — and a true return abandons the aggregation; the
+	// partial result must then be discarded. The engine derives stop
+	// from the statement's context so cancelling a client aborts an
+	// in-flight analytical scan within one batch.
+	Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate, stop func() bool) *agg.Result
 	// CreateIndex adds a secondary index where the underlying store
 	// supports one (row stores); otherwise it is a no-op. Callers that
 	// need to distinguish must consult SupportsIndex first.
@@ -176,8 +182,8 @@ func (s *rowStorage) Scan(pred expr.Predicate, cols []int, fn func(row []value.V
 	s.t.Scan(pred, func(rid int, row []value.Value) bool { return fn(row) })
 }
 
-func (s *rowStorage) Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate) *agg.Result {
-	return s.t.Aggregate(specs, groupBy, pred)
+func (s *rowStorage) Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate, stop func() bool) *agg.Result {
+	return s.t.AggregateStop(specs, groupBy, pred, stop)
 }
 
 func (s *rowStorage) CreateIndex(col int) { s.t.CreateIndex(col) }
@@ -240,8 +246,8 @@ type batchScanner interface {
 	ScanBatches(pred expr.Predicate, cols []int, fn func(rids []int32, colVals [][]value.Value) bool)
 }
 
-func (s *colStorage) Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate) *agg.Result {
-	return s.t.Aggregate(specs, groupBy, pred)
+func (s *colStorage) Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate, stop func() bool) *agg.Result {
+	return s.t.AggregateStop(specs, groupBy, pred, stop)
 }
 
 // CreateIndex is a no-op: the column store's sorted dictionaries already

@@ -231,7 +231,7 @@ func (v *verticalStorage) scanJoined(pred expr.Predicate, fn func(row []value.Va
 // referenced columns live there (the common case after the advisor's
 // vertical split: keyfigures and group-bys in the column partition);
 // otherwise it accumulates over PK-joined tuples.
-func (v *verticalStorage) Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate) *agg.Result {
+func (v *verticalStorage) Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate, stop func() bool) *agg.Result {
 	need := expr.ColumnSet(pred)
 	for _, s := range specs {
 		if s.Col >= 0 {
@@ -269,19 +269,27 @@ func (v *verticalStorage) Aggregate(specs []agg.Spec, groupBy []int, pred expr.P
 	switch v.coverage(need) {
 	case partCol:
 		if rs, gb, p, ok := remapInto(v.colFwd); ok {
-			return v.colPart.Aggregate(rs, gb, p)
+			return v.colPart.AggregateStop(rs, gb, p, stop)
 		}
 	case partRow:
 		if rs, gb, p, ok := remapInto(v.rowFwd); ok {
-			return v.rowPart.Aggregate(rs, gb, p)
+			return v.rowPart.AggregateStop(rs, gb, p, stop)
 		}
 	}
-	// Spanning aggregate: PK-join scan with generic accumulation.
+	// Spanning aggregate: PK-join scan with generic accumulation,
+	// polling stop every 1024 joined rows.
 	res := agg.NewResult(specs, groupBy)
 	res.SetOutputTypes(v.sch.ColTypes())
 	key := make([]value.Value, len(groupBy))
 	cols := append([]int{}, need...)
+	visited := 0
 	v.Scan(pred, cols, func(row []value.Value) bool {
+		if stop != nil {
+			visited++
+			if visited%scanCancelBatch == 0 && stop() {
+				return false
+			}
+		}
 		var g *agg.Group
 		if len(groupBy) > 0 {
 			for i, c := range groupBy {

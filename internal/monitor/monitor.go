@@ -53,6 +53,16 @@ type partCounts struct {
 	Hot, Cold, Both int
 }
 
+// sessionCounts attributes one session's (or client's) operations within
+// an epoch, so the advisor sees which tenants drive which mix.
+type sessionCounts struct {
+	Queries  int
+	OLAP     int
+	DML      int
+	Duration time.Duration
+	Tables   map[string]int
+}
+
 // epoch is one bucket of the rolling window.
 type epoch struct {
 	rec    *stats.Recorder
@@ -62,14 +72,18 @@ type epoch struct {
 	selSum map[string]float64
 	selCnt map[string]int
 	parts  map[string]*partCounts
+	// sessions attributes the epoch's operations per session label
+	// (statements executed without a session tag are not attributed).
+	sessions map[string]*sessionCounts
 }
 
 func newEpoch() *epoch {
 	return &epoch{
-		rec:    stats.NewRecorder(),
-		selSum: map[string]float64{},
-		selCnt: map[string]int{},
-		parts:  map[string]*partCounts{},
+		rec:      stats.NewRecorder(),
+		selSum:   map[string]float64{},
+		selCnt:   map[string]int{},
+		parts:    map[string]*partCounts{},
+		sessions: map[string]*sessionCounts{},
 	}
 }
 
@@ -118,6 +132,13 @@ func sampleQuery(q *query.Query) *query.Query {
 
 // Observe implements engine.QueryObserver.
 func (m *Monitor) Observe(q *query.Query, d time.Duration) {
+	m.ObserveSession("", q, d)
+}
+
+// ObserveSession implements engine.SessionObserver: the statement is
+// folded into the window as usual and additionally attributed to the
+// given session label (empty = unattributed).
+func (m *Monitor) ObserveSession(session string, q *query.Query, d time.Duration) {
 	m.mu.Lock()
 	ep := m.ring[m.head]
 	ep.rec.Observe(q, d)
@@ -131,6 +152,24 @@ func (m *Monitor) Observe(q *query.Query, d time.Duration) {
 		ep.sample[ep.seen%m.cfg.SampleCap] = sampleQuery(q)
 	}
 	m.observeExtrasLocked(ep, q)
+	if session != "" {
+		sc := ep.sessions[session]
+		if sc == nil {
+			sc = &sessionCounts{Tables: map[string]int{}}
+			ep.sessions[session] = sc
+		}
+		sc.Queries++
+		sc.Duration += d
+		if q.IsOLAP() {
+			sc.OLAP++
+		}
+		if q.Kind == query.Insert || q.Kind == query.Update || q.Kind == query.Delete {
+			sc.DML++
+		}
+		for _, t := range q.Tables() {
+			sc.Tables[strings.ToLower(t)]++
+		}
+	}
 	if m.cfg.RotateEvery > 0 && ep.seen >= m.cfg.RotateEvery {
 		m.rotateLocked()
 	}

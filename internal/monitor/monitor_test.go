@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -203,5 +204,58 @@ func TestConcurrentObserveAndSnapshot(t *testing.T) {
 	tw, ok := snap.Table("t")
 	if !ok || tw.Ops.TotalQueries() == 0 {
 		t.Fatal("window empty after concurrent traffic")
+	}
+}
+
+func TestSessionAttribution(t *testing.T) {
+	db := testDB(t, catalog.RowStore, 50)
+	m := New(db, Config{Epochs: 3, RotateEvery: 10, SampleCap: 32})
+
+	olap := engine.WithSession(context.Background(), "analyst#1")
+	oltp := engine.WithSession(context.Background(), "writer#2")
+	for i := 0; i < 12; i++ {
+		if _, err := db.ExecContext(olap, aggQuery()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := db.ExecContext(oltp, &query.Query{
+			Kind: query.Update, Table: "t",
+			Set:  map[int]value.Value{2: value.NewDouble(float64(i))},
+			Pred: &expr.Comparison{Col: 0, Op: expr.Eq, Val: value.NewBigint(int64(i))},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Unattributed statements must not grow the session list.
+	if _, err := db.Exec(pointSelect(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := m.Snapshot()
+	if len(snap.Sessions) != 2 {
+		t.Fatalf("sessions = %+v", snap.Sessions)
+	}
+	byName := map[string]SessionWindow{}
+	for _, sw := range snap.Sessions {
+		byName[sw.Name] = sw
+	}
+	an := byName["analyst#1"]
+	if an.Queries != 12 || an.OLAP != 12 || an.DML != 0 {
+		t.Fatalf("analyst window: %+v", an)
+	}
+	wr := byName["writer#2"]
+	if wr.Queries != 8 || wr.OLAP != 0 || wr.DML != 8 {
+		t.Fatalf("writer window: %+v", wr)
+	}
+	if len(wr.Tables) != 1 || wr.Tables[0] != "t" {
+		t.Fatalf("writer tables: %v", wr.Tables)
+	}
+	// Sessions age out with the window like everything else: the
+	// attribution spans epochs (RotateEvery=10 rotated at least once
+	// above), and resetting clears it.
+	m.Reset()
+	if got := m.Snapshot(); len(got.Sessions) != 0 {
+		t.Fatalf("sessions survived reset: %+v", got.Sessions)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"hybridstore/internal/query"
 	"hybridstore/internal/stats"
@@ -56,6 +57,25 @@ func (tw TableWindow) String() string {
 	return s
 }
 
+// SessionWindow is one session's (or network client's) share of the
+// window — the multi-tenant attribution the network server feeds the
+// advisor.
+type SessionWindow struct {
+	Name     string
+	Queries  int
+	OLAP     int
+	DML      int
+	Duration time.Duration
+	// Tables lists the tables the session touched, sorted by name.
+	Tables []string
+}
+
+// String renders the session window compactly for shell display.
+func (sw SessionWindow) String() string {
+	return fmt.Sprintf("%s: %d ops (olap %d, dml %d), %v total, tables [%s]",
+		sw.Name, sw.Queries, sw.OLAP, sw.DML, sw.Duration, strings.Join(sw.Tables, " "))
+}
+
 // Snapshot is a point-in-time view of the rolling window: the advisor
 // consumes it in place of a parsed workload file.
 type Snapshot struct {
@@ -66,6 +86,9 @@ type Snapshot struct {
 	Recorder *stats.Recorder
 	// Tables holds the per-table feature windows, sorted by name.
 	Tables []TableWindow
+	// Sessions holds the per-session attribution, sorted by name
+	// (only statements executed under engine.WithSession appear).
+	Sessions []SessionWindow
 	// Seen is the total number of queries observed since the monitor
 	// started; WindowSeen counts only those still inside the window.
 	Seen, WindowSeen int
@@ -91,6 +114,8 @@ func (m *Monitor) Snapshot() *Snapshot {
 	selSum := map[string]float64{}
 	selCnt := map[string]int{}
 	parts := map[string]*PartitionWindow{}
+	sessions := map[string]*SessionWindow{}
+	sessTables := map[string]map[string]int{}
 	windowSeen := 0
 	for _, ep := range m.ring {
 		if ep == nil {
@@ -114,6 +139,21 @@ func (m *Monitor) Snapshot() *Snapshot {
 			pw.HotOps += pc.Hot
 			pw.ColdOps += pc.Cold
 			pw.BothOps += pc.Both
+		}
+		for name, sc := range ep.sessions {
+			sw := sessions[name]
+			if sw == nil {
+				sw = &SessionWindow{Name: name}
+				sessions[name] = sw
+				sessTables[name] = map[string]int{}
+			}
+			sw.Queries += sc.Queries
+			sw.OLAP += sc.OLAP
+			sw.DML += sc.DML
+			sw.Duration += sc.Duration
+			for t, n := range sc.Tables {
+				sessTables[name][t] += n
+			}
 		}
 	}
 	seen := m.seen
@@ -147,5 +187,13 @@ func (m *Monitor) Snapshot() *Snapshot {
 		snap.Tables = append(snap.Tables, tw)
 	}
 	sort.Slice(snap.Tables, func(i, j int) bool { return snap.Tables[i].Name < snap.Tables[j].Name })
+	for name, sw := range sessions {
+		for t := range sessTables[name] {
+			sw.Tables = append(sw.Tables, t)
+		}
+		sort.Strings(sw.Tables)
+		snap.Sessions = append(snap.Sessions, *sw)
+	}
+	sort.Slice(snap.Sessions, func(i, j int) bool { return snap.Sessions[i].Name < snap.Sessions[j].Name })
 	return snap
 }

@@ -61,6 +61,21 @@ type Join struct {
 	RightCol int
 }
 
+// Order is one ORDER BY key: a column index (combined indexing for
+// joins) and a direction.
+type Order struct {
+	Col  int
+	Desc bool
+}
+
+// String renders the key as "colN [DESC]".
+func (o Order) String() string {
+	if o.Desc {
+		return fmt.Sprintf("col%d DESC", o.Col)
+	}
+	return fmt.Sprintf("col%d", o.Col)
+}
+
 // Query is one logical statement against the database.
 type Query struct {
 	Kind  Kind
@@ -73,6 +88,11 @@ type Query struct {
 	// Selection (Kind == Select); nil Cols selects every column.
 	Cols  []int
 	Limit int
+
+	// OrderBy sorts the result rows (Select: any table columns;
+	// Aggregate: must be group-by columns). LIMIT applies after the sort,
+	// and NULLs order first ascending.
+	OrderBy []Order
 
 	// Filter for Aggregate/Select/Update/Delete.
 	Pred expr.Predicate
@@ -144,6 +164,7 @@ func (q *Query) String() string {
 				fmt.Fprintf(&b, "col%d", c)
 			}
 		}
+		writeOrderBy(&b, q.OrderBy)
 	case Select:
 		b.WriteString("SELECT ")
 		if q.Cols == nil {
@@ -163,6 +184,7 @@ func (q *Query) String() string {
 		if q.Pred != nil {
 			fmt.Fprintf(&b, " WHERE %s", q.Pred)
 		}
+		writeOrderBy(&b, q.OrderBy)
 		if q.Limit > 0 {
 			fmt.Fprintf(&b, " LIMIT %d", q.Limit)
 		}
@@ -182,15 +204,34 @@ func (q *Query) String() string {
 	return b.String()
 }
 
+func writeOrderBy(b *strings.Builder, order []Order) {
+	for i, o := range order {
+		if i == 0 {
+			b.WriteString(" ORDER BY ")
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(o.String())
+	}
+}
+
 // Validate performs structural checks (kind-specific required fields).
 func (q *Query) Validate() error {
 	if q.Table == "" {
 		return fmt.Errorf("query: no table")
 	}
+	if len(q.OrderBy) > 0 && q.Kind != Select && q.Kind != Aggregate {
+		return fmt.Errorf("query: ORDER BY is only valid on SELECT queries")
+	}
 	switch q.Kind {
 	case Aggregate:
 		if len(q.Aggs) == 0 {
 			return fmt.Errorf("query: aggregate without aggregates")
+		}
+		for _, o := range q.OrderBy {
+			if !containsCol(q.GroupBy, o.Col) {
+				return fmt.Errorf("query: ORDER BY column %d of an aggregate must be grouped", o.Col)
+			}
 		}
 	case Insert:
 		if len(q.Rows) == 0 {
@@ -212,6 +253,15 @@ func (q *Query) Validate() error {
 		}
 	}
 	return nil
+}
+
+func containsCol(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
 }
 
 // Workload is a sequence of queries; the advisor estimates its total

@@ -251,10 +251,29 @@ func (t *Table) Scan(pred expr.Predicate, fn func(rid int, row []value.Value) bo
 // matching tuple is visited in full, which is exactly the access pattern
 // the paper's Figure 1 illustrates for aggregation on a row store.
 func (t *Table) Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate) *agg.Result {
+	return t.AggregateStop(specs, groupBy, pred, nil)
+}
+
+// aggregateBatchRows is how many rows AggregateStop accumulates between
+// stop checks — the row store's "batch boundary" for cancellation.
+const aggregateBatchRows = 1024
+
+// AggregateStop is Aggregate with a cooperative cancellation hook: stop
+// (when non-nil) is polled every aggregateBatchRows visited rows, and a
+// true return abandons the aggregation, yielding a partial result the
+// caller must discard.
+func (t *Table) AggregateStop(specs []agg.Spec, groupBy []int, pred expr.Predicate, stop func() bool) *agg.Result {
 	res := agg.NewResult(specs, groupBy)
 	res.SetOutputTypes(t.sch.ColTypes())
 	key := make([]value.Value, len(groupBy))
+	visited := 0
 	t.Scan(pred, func(rid int, row []value.Value) bool {
+		if stop != nil {
+			visited++
+			if visited%aggregateBatchRows == 0 && stop() {
+				return false
+			}
+		}
 		var g *agg.Group
 		if len(groupBy) > 0 {
 			for i, c := range groupBy {

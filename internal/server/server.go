@@ -1,0 +1,352 @@
+// Package server implements the hsqld network service: a TCP server
+// speaking the internal/wire protocol in front of one engine.Database.
+//
+// Each accepted connection becomes a session with two goroutines: a
+// reader that decodes request frames (intercepting out-of-band cancels)
+// into a bounded pipeline queue, and an executor that serves the queue
+// in order — so clients can pipeline requests while responses stay in
+// request order. Statement execution passes through a server-wide
+// bounded worker pool: at most Config.Workers statements run in the
+// engine at once, excess requests wait in their session's queue, and a
+// full queue stops the session's reader — backpressure propagates to
+// the client's TCP window instead of accumulating goroutines or buffers.
+// Admission control also caps concurrent sessions; connections beyond
+// the cap are refused with a CodeTooBusy error frame.
+//
+// Prepared statements are tokenized once and cached server-wide keyed
+// by statement text (sessions hold handles into the shared cache), then
+// re-bound against the live catalog per execution, so they survive
+// schema and layout changes. Every statement executes under a
+// per-session context: Hello can set a per-statement deadline, and a
+// Cancel frame aborts the in-flight statement at the engine's next
+// batch boundary.
+//
+// Shutdown drains gracefully: the listener closes, session readers
+// stop, executors finish every request already accepted (in-flight
+// statements are hard-cancelled only if the drain deadline expires),
+// and finally the engine is closed — which checkpoints durable state —
+// so a drained shutdown never loses an acknowledged write.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybridstore/internal/catalog"
+	"hybridstore/internal/engine"
+	"hybridstore/internal/schema"
+	"hybridstore/internal/sql"
+	"hybridstore/internal/wire"
+)
+
+// Config tunes a server.
+type Config struct {
+	// MaxSessions caps concurrent sessions; further connections are
+	// refused with CodeTooBusy. 0 = 128.
+	MaxSessions int
+	// Workers bounds statements executing in the engine concurrently.
+	// 0 = GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the pipelined requests buffered per session
+	// before the reader stops reading (TCP backpressure). 0 = 32.
+	QueueDepth int
+	// MaxFrame caps accepted request frames and emitted response
+	// frames. 0 = wire.DefaultMaxFrame.
+	MaxFrame int
+	// StmtCache caps the shared prepared-statement cache entries.
+	// 0 = 256.
+	StmtCache int
+	// MaxStmtTimeout caps the per-statement deadline a session may
+	// request in Hello; sessions asking for more (or for none) get
+	// this. 0 = no cap.
+	MaxStmtTimeout time.Duration
+	// DrainTimeout bounds Shutdown's graceful phase when the caller's
+	// context has no deadline. 0 = 5s.
+	DrainTimeout time.Duration
+	// Logf receives server diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 128
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 32
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = wire.DefaultMaxFrame
+	}
+	if c.StmtCache <= 0 {
+		c.StmtCache = 256
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server serves one engine.Database over TCP.
+type Server struct {
+	db  *engine.Database
+	cfg Config
+	ln  net.Listener
+
+	// baseCtx is the parent of every session context; cancelling it is
+	// the hard-stop that aborts in-flight statements.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	// slots is the bounded worker pool: one token per statement
+	// executing in the engine.
+	slots chan struct{}
+
+	cache *stmtCache
+
+	draining atomic.Bool
+
+	mu       sync.Mutex
+	sessions map[uint64]*session
+	nextSess uint64
+
+	// stmtIDs issues prepared-statement handles unique across the whole
+	// server, not per session: a handle from a dead session can never
+	// alias a freshly issued one, so a driver retrying after a
+	// reconnect gets CodeUnknownStmt instead of silently executing the
+	// wrong statement.
+	stmtIDs atomic.Uint64
+
+	wg sync.WaitGroup // accept loop + sessions
+}
+
+// Serve listens on addr (e.g. ":7878" or "127.0.0.1:0") and starts
+// accepting sessions against db. The caller owns db until Shutdown,
+// which closes it.
+func Serve(db *engine.Database, addr string, cfg Config) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		db:       db,
+		cfg:      cfg,
+		ln:       ln,
+		baseCtx:  ctx,
+		cancel:   cancel,
+		slots:    make(chan struct{}, cfg.Workers),
+		cache:    newStmtCache(cfg.StmtCache),
+		sessions: make(map[uint64]*session),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed (Shutdown) or fatal
+		}
+		if s.draining.Load() {
+			_ = wire.WriteResponse(conn, &wire.Response{
+				Type: wire.MsgError, Code: wire.CodeShutdown, Err: "server is shutting down",
+			})
+			conn.Close()
+			continue
+		}
+		s.mu.Lock()
+		// Re-check draining under the lock: Shutdown sets the flag and
+		// then stops every registered session's reader under this same
+		// mutex, so a connection that slips past the first check is
+		// either refused here or registered in time to be drained.
+		if s.draining.Load() {
+			s.mu.Unlock()
+			_ = wire.WriteResponse(conn, &wire.Response{
+				Type: wire.MsgError, Code: wire.CodeShutdown, Err: "server is shutting down",
+			})
+			conn.Close()
+			continue
+		}
+		if len(s.sessions) >= s.cfg.MaxSessions {
+			s.mu.Unlock()
+			_ = wire.WriteResponse(conn, &wire.Response{
+				Type: wire.MsgError, Code: wire.CodeTooBusy,
+				Err: fmt.Sprintf("server at its session limit (%d)", s.cfg.MaxSessions),
+			})
+			conn.Close()
+			continue
+		}
+		s.nextSess++
+		sess := newSession(s, s.nextSess, conn)
+		s.sessions[sess.id] = sess
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go sess.run()
+	}
+}
+
+func (s *Server) dropSession(sess *session) {
+	s.mu.Lock()
+	delete(s.sessions, sess.id)
+	s.mu.Unlock()
+	s.wg.Done()
+}
+
+// resolver adapts the engine catalog to the SQL parser.
+func (s *Server) resolver(name string) *schema.Table {
+	if e := s.db.Catalog().Table(name); e != nil {
+		return e.Schema
+	}
+	return nil
+}
+
+// Sessions reports the number of live sessions.
+func (s *Server) Sessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Shutdown drains the server and closes the engine (checkpointing
+// durable state): the listener stops accepting, session readers are
+// stopped, executors finish every request already read off the wire,
+// and once every session has exited the database is closed. If ctx
+// expires first (or, without a deadline, after Config.DrainTimeout),
+// in-flight statements are hard-cancelled — they abort at the engine's
+// next batch boundary — and connections are torn down before the
+// engine closes.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if !s.draining.CompareAndSwap(false, true) {
+		return errors.New("server: already shut down")
+	}
+	s.ln.Close()
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.DrainTimeout)
+		defer cancel()
+	}
+	// Stop every session's reader: queued requests still execute, new
+	// frames are no longer read.
+	s.mu.Lock()
+	for _, sess := range s.sessions {
+		sess.stopReading()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	graceful := true
+	select {
+	case <-done:
+	case <-ctx.Done():
+		graceful = false
+		s.cancel() // abort in-flight statements at their next batch
+		s.mu.Lock()
+		for _, sess := range s.sessions {
+			sess.conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	s.cancel()
+	err := s.db.Close()
+	if err == nil && !graceful {
+		err = fmt.Errorf("server: drain deadline expired; in-flight statements were cancelled")
+	}
+	return err
+}
+
+// stmtCache is the server-wide prepared-statement cache: tokenized
+// templates keyed by statement text, shared across sessions. Eviction
+// is clock-ish: when full, an arbitrary entry makes room (statement
+// texts in a workload are few; the cap is a memory bound, not a tuning
+// surface).
+type stmtCache struct {
+	mu    sync.Mutex
+	cap   int
+	stmts map[string]*sql.Prepared
+	hits  atomic.Int64
+	miss  atomic.Int64
+}
+
+func newStmtCache(cap int) *stmtCache {
+	return &stmtCache{cap: cap, stmts: make(map[string]*sql.Prepared)}
+}
+
+// get returns the cached template for text, preparing and caching it on
+// a miss.
+func (c *stmtCache) get(text string) (*sql.Prepared, error) {
+	c.mu.Lock()
+	if pp, ok := c.stmts[text]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return pp, nil
+	}
+	c.mu.Unlock()
+	pp, err := sql.Prepare(text)
+	if err != nil {
+		return nil, err
+	}
+	c.miss.Add(1)
+	c.mu.Lock()
+	if len(c.stmts) >= c.cap {
+		for k := range c.stmts {
+			delete(c.stmts, k)
+			break
+		}
+	}
+	c.stmts[text] = pp
+	c.mu.Unlock()
+	return pp, nil
+}
+
+// Stats reports cache hits and misses since start.
+func (c *stmtCache) Stats() (hits, misses int64) { return c.hits.Load(), c.miss.Load() }
+
+// StmtCacheStats exposes the shared statement cache's hit/miss counters
+// (observability for the hsqld daemon and tests).
+func (s *Server) StmtCacheStats() (hits, misses int64) { return s.cache.Stats() }
+
+// execStatement runs one bound statement against the engine under the
+// statement context.
+func (s *Server) execStatement(ctx context.Context, st *sql.Statement) (*wire.Response, error) {
+	if st.CreateTable != nil {
+		if err := s.db.CreateTable(st.CreateTable, catalog.RowStore); err != nil {
+			return nil, err
+		}
+		return &wire.Response{Type: wire.MsgOK}, nil
+	}
+	res, err := s.db.ExecContext(ctx, st.Query)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Cols) == 0 {
+		return &wire.Response{Type: wire.MsgOK, Affected: res.Affected, Duration: res.Duration}, nil
+	}
+	return &wire.Response{
+		Type: wire.MsgRows, Affected: res.Affected, Duration: res.Duration,
+		Cols: res.Cols, Rows: res.Rows,
+	}, nil
+}

@@ -1,0 +1,305 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"hybridstore/internal/engine"
+	"hybridstore/internal/sql"
+	"hybridstore/internal/value"
+	"hybridstore/internal/wire"
+)
+
+// session is one client connection: a reader goroutine feeding a
+// bounded request queue and an executor goroutine (run) serving it in
+// order. The state machine is deliberately small — created → (hello) →
+// serving → draining → gone — with the hello optional so bare clients
+// can fire statements immediately.
+type session struct {
+	srv  *Server
+	id   uint64
+	conn net.Conn
+
+	// label attributes the session's statements in the workload
+	// monitor; Hello refines it with the client's name.
+	label string
+
+	// timeout is the per-statement deadline from Hello (0 = none).
+	timeout time.Duration
+
+	// ctx parents every statement context; cancelled on server
+	// hard-stop.
+	ctx context.Context
+
+	// reqCh is the bounded pipeline queue; the reader blocks when it is
+	// full, which is the per-session backpressure.
+	reqCh chan *wire.Request
+
+	// stopRead aborts a blocked read during drain.
+	readMu      sync.Mutex
+	readStopped bool
+
+	// curCancel aborts the statement the executor is running (nil when
+	// idle); Cancel frames call it from the reader goroutine.
+	cancelMu  sync.Mutex
+	curCancel context.CancelFunc
+
+	// writeMu serializes response frames: the executor is the main
+	// writer, but the reader emits a best-effort protocol-error frame
+	// when a session dies on garbage input.
+	writeMu sync.Mutex
+
+	// stmts maps this session's prepared-statement handles (issued from
+	// the server-wide counter) into the shared cache's templates. Only
+	// the executor touches it.
+	stmts map[uint64]*sql.Prepared
+}
+
+func newSession(s *Server, id uint64, conn net.Conn) *session {
+	return &session{
+		srv:   s,
+		id:    id,
+		conn:  conn,
+		label: fmt.Sprintf("sess#%d", id),
+		ctx:   s.baseCtx,
+		reqCh: make(chan *wire.Request, s.cfg.QueueDepth),
+		stmts: make(map[uint64]*sql.Prepared),
+		// The configured cap applies from the first statement, so a
+		// client that never sends Hello cannot dodge it.
+		timeout: s.cfg.MaxStmtTimeout,
+	}
+}
+
+// stopReading wakes a blocked read and prevents further ones; queued
+// requests still execute (graceful drain).
+func (se *session) stopReading() {
+	se.readMu.Lock()
+	se.readStopped = true
+	se.readMu.Unlock()
+	se.conn.SetReadDeadline(time.Now())
+}
+
+// reqProtoErr marks a poison queue entry the reader enqueues when the
+// request stream turns to garbage: the executor emits it as an error
+// frame IN ORDER — after every response already owed — and terminates
+// the session. Writing it directly from the reader would interleave it
+// ahead of queued responses and mis-correlate the client's positional
+// matching. The value is a response type, which no valid request can
+// carry.
+const reqProtoErr = wire.MsgError
+
+// run is the session's executor loop (and lifecycle owner).
+func (se *session) run() {
+	defer func() {
+		se.conn.Close()
+		se.srv.dropSession(se)
+	}()
+	go se.readLoop()
+	for rq := range se.reqCh {
+		if rq.Type == reqProtoErr {
+			se.write(&wire.Response{Type: wire.MsgError, Code: wire.CodeProtocol, Err: rq.SQL})
+			break
+		}
+		rs := se.handle(rq)
+		if rs == nil { // Quit
+			break
+		}
+		if err := se.write(rs); err != nil {
+			break
+		}
+	}
+	// Let the reader's queue drain so it can exit (it may be blocked on
+	// a full queue while we stop consuming).
+	se.stopReading()
+	for range se.reqCh {
+	}
+}
+
+// readLoop decodes frames into the queue, intercepting out-of-band
+// cancels. It owns closing reqCh.
+func (se *session) readLoop() {
+	defer close(se.reqCh)
+	for {
+		rq, err := wire.ReadRequest(se.conn, se.srv.cfg.MaxFrame)
+		if err != nil {
+			se.readMu.Lock()
+			stopped := se.readStopped
+			se.readMu.Unlock()
+			if !stopped {
+				// Protocol-level garbage earns a final error frame, but
+				// it must flow through the executor queue so it lands
+				// after every response already owed (response order is
+				// the client's correlation mechanism). EOF is a normal
+				// hangup and net errors (resets, closed conns) are not
+				// worth one.
+				var ne net.Error
+				if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.As(err, &ne) {
+					se.reqCh <- &wire.Request{Type: reqProtoErr, SQL: err.Error()}
+				}
+			}
+			return
+		}
+		if rq.Type == wire.MsgCancel {
+			se.cancelCurrent()
+			continue
+		}
+		se.reqCh <- rq
+		if rq.Type == wire.MsgQuit {
+			return
+		}
+	}
+}
+
+func (se *session) cancelCurrent() {
+	se.cancelMu.Lock()
+	if se.curCancel != nil {
+		se.curCancel()
+	}
+	se.cancelMu.Unlock()
+}
+
+// write serializes one response frame; responses that would exceed the
+// frame limit are replaced by an error so the client's reader survives.
+func (se *session) write(rs *wire.Response) error {
+	payload := wire.EncodeResponse(rs)
+	if len(payload) > se.srv.cfg.MaxFrame {
+		payload = wire.EncodeResponse(&wire.Response{
+			Type: wire.MsgError, Code: wire.CodeProtocol,
+			Err: fmt.Sprintf("result of %d bytes exceeds the %d-byte frame limit (page with LIMIT)", len(payload), se.srv.cfg.MaxFrame),
+		})
+	}
+	se.writeMu.Lock()
+	defer se.writeMu.Unlock()
+	return wire.WriteFrame(se.conn, payload)
+}
+
+// handle serves one request, returning its response (nil for Quit).
+func (se *session) handle(rq *wire.Request) *wire.Response {
+	switch rq.Type {
+	case wire.MsgHello:
+		if rq.Version != wire.ProtocolVersion {
+			return &wire.Response{Type: wire.MsgError, Code: wire.CodeProtocol,
+				Err: fmt.Sprintf("protocol version %d not supported (server speaks %d)", rq.Version, wire.ProtocolVersion)}
+		}
+		if rq.ClientName != "" {
+			se.label = fmt.Sprintf("%s#%d", rq.ClientName, se.id)
+		}
+		se.timeout = rq.Timeout
+		if max := se.srv.cfg.MaxStmtTimeout; max > 0 && (se.timeout == 0 || se.timeout > max) {
+			se.timeout = max
+		}
+		return &wire.Response{Type: wire.MsgWelcome, Session: se.id}
+	case wire.MsgPing:
+		return &wire.Response{Type: wire.MsgPong}
+	case wire.MsgQuit:
+		return nil
+	case wire.MsgPrepare:
+		pp, err := se.prepare(rq.SQL)
+		if err != nil {
+			return sqlError(err)
+		}
+		id := se.srv.stmtIDs.Add(1)
+		se.stmts[id] = pp
+		return &wire.Response{Type: wire.MsgPrepared, Stmt: id, NumParams: pp.NumParams}
+	case wire.MsgStmtClose:
+		delete(se.stmts, rq.Stmt)
+		return &wire.Response{Type: wire.MsgOK}
+	case wire.MsgExec:
+		pp, err := se.srv.cache.get(rq.SQL)
+		if err != nil {
+			return sqlError(err)
+		}
+		return se.execPrepared(pp, rq.Params)
+	case wire.MsgStmtExec:
+		pp, ok := se.stmts[rq.Stmt]
+		if !ok {
+			// CodeUnknownStmt tells the driver the statement provably
+			// did not execute (safe to re-prepare and retry).
+			return &wire.Response{Type: wire.MsgError, Code: wire.CodeUnknownStmt,
+				Err: fmt.Sprintf("unknown statement handle %d", rq.Stmt)}
+		}
+		return se.execPrepared(pp, rq.Params)
+	default:
+		return &wire.Response{Type: wire.MsgError, Code: wire.CodeProtocol,
+			Err: fmt.Sprintf("unexpected request type 0x%02x", rq.Type)}
+	}
+}
+
+// prepare resolves a statement template through the shared cache and
+// validates it against the current catalog by a throwaway bind with
+// NULL parameters, so syntax and column errors surface at Prepare time.
+func (se *session) prepare(text string) (*sql.Prepared, error) {
+	pp, err := se.srv.cache.get(text)
+	if err != nil {
+		return nil, err
+	}
+	nulls := make([]value.Value, pp.NumParams)
+	for i := range nulls {
+		nulls[i] = value.Null(value.Varchar)
+	}
+	if _, err := pp.Bind(se.srv.resolver, nulls); err != nil {
+		return nil, err
+	}
+	return pp, nil
+}
+
+// execPrepared binds and executes one statement under a fresh statement
+// context (session deadline applied, cancel registered for out-of-band
+// Cancel frames) on a worker-pool slot.
+func (se *session) execPrepared(pp *sql.Prepared, params []value.Value) *wire.Response {
+	st, err := pp.Bind(se.srv.resolver, params)
+	if err != nil {
+		return sqlError(err)
+	}
+
+	ctx := engine.WithSession(se.ctx, se.label)
+	var cancel context.CancelFunc
+	if se.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, se.timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	se.cancelMu.Lock()
+	se.curCancel = cancel
+	se.cancelMu.Unlock()
+	defer func() {
+		se.cancelMu.Lock()
+		se.curCancel = nil
+		se.cancelMu.Unlock()
+		cancel()
+	}()
+
+	// Bounded worker pool: wait for an execution slot (or hard-stop).
+	select {
+	case se.srv.slots <- struct{}{}:
+	case <-ctx.Done():
+		return ctxError(ctx.Err())
+	}
+	defer func() { <-se.srv.slots }()
+
+	rs, err := se.srv.execStatement(ctx, st)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			return ctxError(err)
+		case errors.Is(err, engine.ErrClosed):
+			return &wire.Response{Type: wire.MsgError, Code: wire.CodeShutdown, Err: err.Error()}
+		default:
+			return sqlError(err)
+		}
+	}
+	return rs
+}
+
+func sqlError(err error) *wire.Response {
+	return &wire.Response{Type: wire.MsgError, Code: wire.CodeSQL, Err: err.Error()}
+}
+
+func ctxError(err error) *wire.Response {
+	return &wire.Response{Type: wire.MsgError, Code: wire.CodeCancelled, Err: err.Error()}
+}

@@ -1,0 +1,214 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"hybridstore/internal/catalog"
+	"hybridstore/internal/client"
+	"hybridstore/internal/engine"
+	"hybridstore/internal/expr"
+	"hybridstore/internal/query"
+	"hybridstore/internal/schema"
+	"hybridstore/internal/value"
+)
+
+// TestServerSoakConcurrentSessions drives concurrent sessions issuing
+// mixed DML and analytics over TCP while the table migrates between
+// stores underneath, then differential-checks the final contents
+// against a single-session oracle replaying exactly the acknowledged
+// statements: zero lost writes, zero duplicated writes. Run under
+// -race in CI, this is the protocol/session/engine interleaving soak.
+func TestServerSoakConcurrentSessions(t *testing.T) {
+	const (
+		writers     = 5
+		readers     = 3
+		insertsPerW = 300
+		updateEvery = 4
+		readsPerR   = 60
+		migrations  = 6
+	)
+	db := engine.New()
+	sch := schema.MustNew("soak", []schema.Column{
+		{Name: "id", Type: value.Bigint},
+		{Name: "grp", Type: value.Integer},
+		{Name: "amount", Type: value.Double},
+		{Name: "note", Type: value.Varchar, Nullable: true},
+	}, "id")
+	if err := db.CreateTable(sch, catalog.RowStore); err != nil {
+		t.Fatal(err)
+	}
+	srv := startServer(t, db, Config{MaxSessions: writers + readers + 2})
+	defer shutdown(t, srv)
+	addr := srv.Addr().String()
+	ctx := context.Background()
+
+	// ackedOp is one acknowledged statement, replayed into the oracle in
+	// per-writer order (writers own disjoint key ranges, so cross-writer
+	// order is irrelevant to the final state).
+	type ackedOp struct {
+		insert bool
+		id     int64
+		grp    int64
+		amount float64
+	}
+	acked := make([][]ackedOp, writers)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers+readers+1)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := client.Dial(addr, client.Options{Name: fmt.Sprintf("writer%d", w)})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			ins, err := c.Prepare(ctx, "INSERT INTO soak VALUES (?, ?, ?, ?)")
+			if err != nil {
+				errCh <- err
+				return
+			}
+			upd, err := c.Prepare(ctx, "UPDATE soak SET amount = ? WHERE id = ?")
+			if err != nil {
+				errCh <- err
+				return
+			}
+			base := int64(w) * 1_000_000
+			for i := 0; i < insertsPerW; i++ {
+				id := base + int64(i)
+				grp := int64(i % 7)
+				amount := float64(i)
+				if _, err := ins.Exec(ctx,
+					value.NewBigint(id), value.NewBigint(grp),
+					value.NewDouble(amount), value.NewVarchar("s")); err != nil {
+					errCh <- fmt.Errorf("writer %d insert %d: %w", w, id, err)
+					return
+				}
+				acked[w] = append(acked[w], ackedOp{insert: true, id: id, grp: grp, amount: amount})
+				if i%updateEvery == 0 && i > 0 {
+					target := base + int64(i-1)
+					na := float64(i) * 2
+					if _, err := upd.Exec(ctx, value.NewDouble(na), value.NewBigint(target)); err != nil {
+						errCh <- fmt.Errorf("writer %d update %d: %w", w, target, err)
+						return
+					}
+					acked[w] = append(acked[w], ackedOp{id: target, amount: na})
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c, err := client.Dial(addr, client.Options{Name: fmt.Sprintf("reader%d", r)})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			agg, err := c.Prepare(ctx, "SELECT grp, COUNT(*), SUM(amount) FROM soak WHERE grp >= ? GROUP BY grp ORDER BY grp")
+			if err != nil {
+				errCh <- err
+				return
+			}
+			for i := 0; i < readsPerR; i++ {
+				if _, err := agg.Exec(ctx, value.NewBigint(int64(i%3))); err != nil {
+					errCh <- fmt.Errorf("reader %d: %w", r, err)
+					return
+				}
+			}
+		}(r)
+	}
+	// Migration churn: flip the layout row↔column while traffic flows.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		stores := []catalog.StoreKind{catalog.ColumnStore, catalog.RowStore}
+		for i := 0; i < migrations; i++ {
+			err := db.MigrateLayout("soak", stores[i%2], nil)
+			if err != nil && !errors.Is(err, engine.ErrClosed) {
+				// A migration already in flight is the only tolerable
+				// failure here.
+				if fmt.Sprint(err) != `engine: "soak" has a migration in flight` {
+					errCh <- fmt.Errorf("migration %d: %w", i, err)
+					return
+				}
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Oracle: a fresh single-session engine replaying the acknowledged
+	// statements.
+	oracle := engine.New()
+	osch := schema.MustNew("soak", sch.Columns, "id")
+	if err := oracle.CreateTable(osch, catalog.RowStore); err != nil {
+		t.Fatal(err)
+	}
+	for w := range acked {
+		for _, op := range acked[w] {
+			if op.insert {
+				_, err := oracle.Exec(&query.Query{Kind: query.Insert, Table: "soak", Rows: [][]value.Value{{
+					value.NewBigint(op.id), value.NewInt(op.grp), value.NewDouble(op.amount), value.NewVarchar("s"),
+				}}})
+				if err != nil {
+					t.Fatalf("oracle insert: %v", err)
+				}
+			} else {
+				_, err := oracle.Exec(&query.Query{Kind: query.Update, Table: "soak",
+					Set:  map[int]value.Value{2: value.NewDouble(op.amount)},
+					Pred: pkEq(op.id),
+				})
+				if err != nil {
+					t.Fatalf("oracle update: %v", err)
+				}
+			}
+		}
+	}
+	assertSameTable(t, db, oracle, "soak")
+}
+
+func pkEq(id int64) expr.Predicate {
+	return &expr.Comparison{Col: 0, Op: expr.Eq, Val: value.NewBigint(id)}
+}
+
+// assertSameTable compares the full ordered contents of one table in
+// two databases — the zero-lost, zero-duplicated differential check.
+func assertSameTable(t *testing.T, got, want *engine.Database, table string) {
+	t.Helper()
+	dump := func(db *engine.Database) *engine.Result {
+		res, err := db.Exec(&query.Query{
+			Kind: query.Select, Table: table,
+			OrderBy: []query.Order{{Col: 0}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	g, w := dump(got), dump(want)
+	if len(g.Rows) != len(w.Rows) {
+		t.Fatalf("row count: server %d vs oracle %d (lost or duplicated writes)", len(g.Rows), len(w.Rows))
+	}
+	for i := range g.Rows {
+		for j := range g.Rows[i] {
+			if !value.Equal(g.Rows[i][j], w.Rows[i][j]) {
+				t.Fatalf("row %d col %d: server %v vs oracle %v", i, j, g.Rows[i][j], w.Rows[i][j])
+			}
+		}
+	}
+}

@@ -1,8 +1,11 @@
 // Package sql implements a small SQL dialect for the hybrid-store engine:
 // CREATE TABLE, SELECT (projections, aggregates, a single equi-join, WHERE
-// with AND/OR/NOT/BETWEEN/IN, GROUP BY, LIMIT), INSERT ... VALUES, UPDATE
-// and DELETE. The offline advisor consumes workloads written in this
-// dialect; the hsql shell speaks it interactively.
+// with AND/OR/NOT/BETWEEN/IN, GROUP BY, ORDER BY, LIMIT), INSERT ...
+// VALUES, UPDATE and DELETE. Literal positions accept '?' parameter
+// placeholders via Prepare/Bind — the network server's prepared
+// statements bind them per execution. The offline advisor consumes
+// workloads written in this dialect; the hsql shell speaks it
+// interactively.
 package sql
 
 import (
@@ -114,7 +117,7 @@ func (l *lexer) next() (token, error) {
 			return token{kind: tokPunct, text: "<>", pos: start}, nil
 		}
 		return token{}, l.error(start, "unexpected '!'")
-	case strings.IndexByte("(),=*.+-;", c) >= 0:
+	case strings.IndexByte("(),=*.+-;?", c) >= 0:
 		l.pos++
 		return token{kind: tokPunct, text: string(c), pos: start}, nil
 	default:

@@ -1,0 +1,160 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"hybridstore/internal/query"
+	"hybridstore/internal/schema"
+	"hybridstore/internal/value"
+)
+
+func opResolver(t *testing.T) Resolver {
+	t.Helper()
+	sch := schema.MustNew("t", []schema.Column{
+		{Name: "id", Type: value.Bigint},
+		{Name: "grp", Type: value.Integer},
+		{Name: "amount", Type: value.Double},
+		{Name: "note", Type: value.Varchar, Nullable: true},
+	}, "id")
+	return func(name string) *schema.Table {
+		if strings.EqualFold(name, "t") {
+			return sch
+		}
+		return nil
+	}
+}
+
+func TestParseOrderBy(t *testing.T) {
+	st, err := Parse("SELECT id, amount FROM t WHERE grp = 3 ORDER BY amount DESC, id LIMIT 5", opResolver(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := st.Query
+	if q.Kind != query.Select {
+		t.Fatalf("kind = %v", q.Kind)
+	}
+	want := []query.Order{{Col: 2, Desc: true}, {Col: 0}}
+	if len(q.OrderBy) != 2 || q.OrderBy[0] != want[0] || q.OrderBy[1] != want[1] {
+		t.Fatalf("order by = %+v", q.OrderBy)
+	}
+	if q.Limit != 5 {
+		t.Fatalf("limit = %d", q.Limit)
+	}
+	// ASC is the explicit default.
+	st, err = Parse("SELECT id FROM t ORDER BY id ASC", opResolver(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Query.OrderBy[0].Desc {
+		t.Fatal("ASC parsed as DESC")
+	}
+}
+
+func TestParseOrderByAggregate(t *testing.T) {
+	st, err := Parse("SELECT grp, SUM(amount) FROM t GROUP BY grp ORDER BY grp DESC", opResolver(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Query.OrderBy) != 1 || st.Query.OrderBy[0].Col != 1 || !st.Query.OrderBy[0].Desc {
+		t.Fatalf("order by = %+v", st.Query.OrderBy)
+	}
+	// Ordering by an ungrouped column is rejected.
+	if _, err := Parse("SELECT grp, SUM(amount) FROM t GROUP BY grp ORDER BY amount", opResolver(t)); err == nil {
+		t.Fatal("ungrouped ORDER BY column accepted")
+	}
+}
+
+func TestPrepareBindParams(t *testing.T) {
+	pp, err := Prepare("SELECT id FROM t WHERE grp = ? AND amount BETWEEN ? AND ? ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.NumParams != 3 {
+		t.Fatalf("NumParams = %d", pp.NumParams)
+	}
+	st, err := pp.Bind(opResolver(t), []value.Value{
+		value.NewBigint(7), value.NewBigint(1), value.NewDouble(9.5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := st.Query.String()
+	if !strings.Contains(s, "WHERE") {
+		t.Fatalf("bad bound query: %s", s)
+	}
+	// Wrong arity is rejected.
+	if _, err := pp.Bind(opResolver(t), []value.Value{value.NewBigint(1)}); err == nil {
+		t.Fatal("short params accepted")
+	}
+	// Parse rejects parameterized statements outright.
+	if _, err := Parse("SELECT id FROM t WHERE grp = ?", opResolver(t)); err == nil {
+		t.Fatal("Parse accepted unbound parameters")
+	}
+}
+
+func TestPrepareBindInsertAndUpdate(t *testing.T) {
+	pp, err := Prepare("INSERT INTO t VALUES (?, ?, ?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.NumParams != 4 {
+		t.Fatalf("NumParams = %d", pp.NumParams)
+	}
+	st, err := pp.Bind(opResolver(t), []value.Value{
+		value.NewBigint(1), value.NewBigint(2), value.NewBigint(3), value.Null(value.Varchar),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := st.Query.Rows[0]
+	// Values are coerced to the column types at bind time.
+	if row[1].Type() != value.Integer || row[2].Type() != value.Double {
+		t.Fatalf("bind did not coerce: %v %v", row[1].Type(), row[2].Type())
+	}
+	if !row[3].IsNull() {
+		t.Fatal("null param lost")
+	}
+
+	up, err := Prepare("UPDATE t SET amount = ?, note = ? WHERE id = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = up.Bind(opResolver(t), []value.Value{
+		value.NewDouble(1.5), value.NewVarchar("x"), value.NewBigint(9),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Query.Set) != 2 {
+		t.Fatalf("set = %v", st.Query.Set)
+	}
+	// Concurrent binds of one template must be safe (shared cache).
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 200; j++ {
+				if _, err := up.Bind(opResolver(t), []value.Value{
+					value.NewDouble(2.5), value.NewVarchar("y"), value.NewBigint(3),
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+}
+
+func TestParamErrors(t *testing.T) {
+	pp, err := Prepare("SELECT id FROM t WHERE grp = -?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pp.Bind(opResolver(t), []value.Value{value.NewBigint(1)}); err == nil {
+		t.Fatal("negated parameter accepted")
+	}
+}

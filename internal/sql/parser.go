@@ -25,12 +25,60 @@ type Resolver func(table string) *schema.Table
 
 // Parse parses one SQL statement. Column references are resolved against
 // the tables' schemas (combined indexing for joins: left columns first).
+// Statements containing '?' parameter placeholders must go through
+// Prepare/Bind instead.
 func Parse(input string, resolve Resolver) (*Statement, error) {
+	pp, err := Prepare(input)
+	if err != nil {
+		return nil, err
+	}
+	if pp.NumParams > 0 {
+		return nil, fmt.Errorf("sql: statement has %d unbound parameters (use Prepare/Bind)", pp.NumParams)
+	}
+	return pp.Bind(resolve, nil)
+}
+
+// Prepared is a tokenized statement template, possibly containing '?'
+// parameter placeholders. Preparing once amortizes lexing across
+// executions; Bind substitutes parameters and resolves columns against
+// the current catalog, so a prepared statement stays valid across schema
+// and layout changes. A Prepared is immutable and safe for concurrent
+// Bind calls — the server's statement cache shares one instance across
+// sessions.
+type Prepared struct {
+	// Text is the original statement text.
+	Text string
+	// NumParams is the number of '?' placeholders.
+	NumParams int
+
+	toks []token
+}
+
+// Prepare tokenizes a statement and counts its parameter placeholders.
+// Syntax and column resolution are checked at Bind time (they depend on
+// the live catalog).
+func Prepare(input string) (*Prepared, error) {
 	toks, err := tokenize(input)
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks, resolve: resolve}
+	n := 0
+	for _, t := range toks {
+		if t.kind == tokPunct && t.text == "?" {
+			n++
+		}
+	}
+	return &Prepared{Text: input, NumParams: n, toks: toks}, nil
+}
+
+// Bind parses the prepared template with the given parameter values
+// substituted for its '?' placeholders (in textual order, coerced to the
+// referenced column's type). len(params) must equal NumParams.
+func (pp *Prepared) Bind(resolve Resolver, params []value.Value) (*Statement, error) {
+	if len(params) != pp.NumParams {
+		return nil, fmt.Errorf("sql: statement wants %d parameters, got %d", pp.NumParams, len(params))
+	}
+	p := &parser{toks: pp.toks, resolve: resolve, params: params}
 	st, err := p.statement()
 	if err != nil {
 		return nil, err
@@ -49,6 +97,11 @@ type parser struct {
 	toks    []token
 	i       int
 	resolve Resolver
+
+	// Parameter values bound to '?' placeholders, consumed in textual
+	// order.
+	params   []value.Value
+	paramIdx int
 
 	// Column resolution context for the current statement.
 	left      *schema.Table
@@ -300,13 +353,27 @@ func (p *parser) columnType(idx int) value.Type {
 	return p.right.Columns[idx-p.left.NumColumns()].Type
 }
 
-// literal parses a (possibly negated) literal value.
+// literal parses a (possibly negated) literal value or a '?' parameter
+// placeholder.
 func (p *parser) literal() (value.Value, error) {
+	if p.peek().kind == tokPunct && p.peek().text == "?" {
+		pos := p.peek().pos
+		p.advance()
+		if p.paramIdx >= len(p.params) {
+			return value.Value{}, fmt.Errorf("sql: unbound parameter at position %d", pos)
+		}
+		v := p.params[p.paramIdx]
+		p.paramIdx++
+		return v, nil
+	}
 	neg := false
 	if p.acceptPunct("-") {
 		neg = true
 	} else {
 		p.acceptPunct("+")
+	}
+	if neg && p.peek().kind == tokPunct && p.peek().text == "?" {
+		return value.Value{}, fmt.Errorf("sql: cannot negate a parameter")
 	}
 	t := p.peek()
 	switch t.kind {
@@ -599,6 +666,27 @@ func (p *parser) selectStmt() (*query.Query, error) {
 			}
 		}
 	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.columnRef()
+			if err != nil {
+				return nil, err
+			}
+			o := query.Order{Col: c}
+			if p.acceptKeyword("DESC") {
+				o.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			q.OrderBy = append(q.OrderBy, o)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
 	if p.acceptKeyword("LIMIT") {
 		t := p.peek()
 		if t.kind != tokNumber {
@@ -615,6 +703,11 @@ func (p *parser) selectStmt() (*query.Query, error) {
 	if len(aggs) > 0 {
 		q.Kind = query.Aggregate
 		q.Aggs = aggs
+		for _, o := range q.OrderBy {
+			if !containsInt(q.GroupBy, o.Col) {
+				return nil, fmt.Errorf("sql: ORDER BY column %d of an aggregate query must appear in GROUP BY", o.Col)
+			}
+		}
 		if len(cols) > 0 {
 			// Plain columns in an aggregate query must be grouped.
 			for _, c := range cols {

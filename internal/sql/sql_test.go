@@ -71,8 +71,12 @@ func TestTokenizeErrors(t *testing.T) {
 	if _, err := tokenize("'unterminated"); err == nil {
 		t.Error("unterminated string accepted")
 	}
-	if _, err := tokenize("a ? b"); err == nil {
+	if _, err := tokenize("a @ b"); err == nil {
 		t.Error("bad character accepted")
+	}
+	// '?' is the parameter placeholder, not an error.
+	if toks, err := tokenize("a ? b"); err != nil || toks[1].kind != tokPunct || toks[1].text != "?" {
+		t.Errorf("parameter placeholder should tokenize: %v %v", toks, err)
 	}
 	if _, err := tokenize("a ! b"); err == nil {
 		t.Error("lone ! accepted")

@@ -349,22 +349,28 @@ func (d *Decoder) Row(width int) []value.Value {
 	return row
 }
 
-// Rows reads a length-prefixed batch of rows of the given width.
+// Rows reads a length-prefixed batch of rows of the given width. The
+// claimed count only seeds a bounded capacity — memory beyond it is
+// committed row by row as bytes actually decode, so a corrupt or
+// hostile count cannot amplify into a huge up-front allocation (the
+// wire protocol feeds this decoder untrusted frames).
 func (d *Decoder) Rows(width int) [][]value.Value {
 	n := d.Uvarint()
 	if d.err != nil {
 		return nil
 	}
-	if n > uint64(d.Remaining()) { // each row takes >= width >= 1 bytes
-		d.fail("wal: implausible row count %d", n)
+	if width < 1 || n > uint64(d.Remaining()) { // each row takes >= width >= 1 bytes
+		d.fail("wal: implausible row count %d (width %d)", n, width)
 		return nil
 	}
-	rows := make([][]value.Value, 0, n)
+	const rowAllocBatch = 4096
+	rows := make([][]value.Value, 0, min(n, rowAllocBatch))
 	for i := uint64(0); i < n; i++ {
-		rows = append(rows, d.Row(width))
-	}
-	if d.err != nil {
-		return nil
+		row := d.Row(width)
+		if d.err != nil {
+			return nil
+		}
+		rows = append(rows, row)
 	}
 	return rows
 }

@@ -1,0 +1,377 @@
+// Package wire defines the hsqld network protocol: length-prefixed
+// binary frames whose payloads are encoded with the internal/wal codec
+// (the same uvarint-framed primitives WAL records and snapshots use, so
+// values, rows and schemas share one encoding across the log, the
+// snapshot and the wire).
+//
+// A frame is [uint32 LE payload length][payload]; the payload's first
+// byte is the message type. Each request frame receives exactly one
+// response frame, in request order — the ordering is what lets clients
+// pipeline without per-request correlation ids. Frames larger than the
+// reader's limit are rejected before any allocation, and truncated
+// frames surface as io.ErrUnexpectedEOF, so a malicious or confused peer
+// cannot make the server allocate or block unboundedly.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"hybridstore/internal/value"
+	"hybridstore/internal/wal"
+)
+
+// ProtocolVersion is bumped on incompatible frame-format changes; Hello
+// carries the client's version and the server rejects mismatches.
+const ProtocolVersion = 1
+
+// DefaultMaxFrame caps the payload size either side accepts (and the
+// row payload a response may carry). Large results should be paged with
+// LIMIT; large inserts split into batches.
+const DefaultMaxFrame = 8 << 20
+
+// frameHeaderLen is the fixed [length] prefix.
+const frameHeaderLen = 4
+
+// Request message types.
+const (
+	// MsgHello opens a session: client name, protocol version and an
+	// optional per-statement timeout.
+	MsgHello byte = 0x01
+	// MsgExec parses and executes one SQL statement (params allowed).
+	MsgExec byte = 0x02
+	// MsgPrepare registers a prepared statement and returns its handle.
+	MsgPrepare byte = 0x03
+	// MsgStmtExec executes a prepared statement with bound parameters.
+	MsgStmtExec byte = 0x04
+	// MsgStmtClose drops a prepared-statement handle.
+	MsgStmtClose byte = 0x05
+	// MsgPing checks liveness.
+	MsgPing byte = 0x06
+	// MsgCancel aborts the session's currently executing statement. It
+	// is processed out of band (no response frame of its own): the
+	// cancelled statement's response reports the cancellation.
+	MsgCancel byte = 0x07
+	// MsgQuit closes the session after the pipeline drains.
+	MsgQuit byte = 0x08
+)
+
+// Response message types.
+const (
+	// MsgWelcome answers Hello with the session id.
+	MsgWelcome byte = 0x81
+	// MsgOK reports a statement that returned no rows.
+	MsgOK byte = 0x82
+	// MsgRows carries a result set.
+	MsgRows byte = 0x83
+	// MsgPrepared answers Prepare with the handle and parameter count.
+	MsgPrepared byte = 0x84
+	// MsgError reports a failed request.
+	MsgError byte = 0x85
+	// MsgPong answers Ping.
+	MsgPong byte = 0x86
+)
+
+// Error codes carried by MsgError.
+const (
+	// CodeSQL: the statement failed to parse, bind or execute.
+	CodeSQL byte = 1
+	// CodeShutdown: the server is draining; the session should
+	// disconnect.
+	CodeShutdown byte = 2
+	// CodeCancelled: the statement was aborted by a cancel or deadline.
+	CodeCancelled byte = 3
+	// CodeProtocol: the peer violated the protocol (bad frame, unknown
+	// type, oversized result).
+	CodeProtocol byte = 4
+	// CodeTooBusy: admission control rejected the connection.
+	CodeTooBusy byte = 5
+	// CodeUnknownStmt: StmtExec/StmtClose named a handle this session
+	// does not hold. The statement provably did not execute, so drivers
+	// may re-prepare and retry transparently without double-applying.
+	CodeUnknownStmt byte = 6
+)
+
+// Request is one client→server message; only the fields of its Type are
+// meaningful.
+type Request struct {
+	Type byte
+
+	// Hello.
+	ClientName string
+	Version    int
+	// Timeout is the per-statement deadline the session wants (0 =
+	// none); the server clamps it to its configured maximum, when one
+	// is set.
+	Timeout time.Duration
+
+	// Exec / Prepare: statement text. StmtExec/StmtClose: handle.
+	SQL    string
+	Stmt   uint64
+	Params []value.Value
+}
+
+// Response is one server→client message; only the fields of its Type
+// are meaningful.
+type Response struct {
+	Type byte
+
+	// Welcome.
+	Session uint64
+
+	// Prepared.
+	Stmt      uint64
+	NumParams int
+
+	// OK / Rows.
+	Affected int
+	Duration time.Duration
+	Cols     []string
+	Rows     [][]value.Value
+
+	// Error.
+	Code byte
+	Err  string
+}
+
+// WriteFrame frames and writes one payload. The header and payload go
+// out in a single Write call, so frames from writers serialized by a
+// mutex can never interleave on the socket.
+func WriteFrame(w io.Writer, payload []byte) error {
+	buf := make([]byte, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[frameHeaderLen:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame payload, rejecting frames larger than max
+// (0 = DefaultMaxFrame) without allocating for them. A cleanly closed
+// connection between frames returns io.EOF; a connection cut inside a
+// frame returns io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, max int) ([]byte, error) {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("wire: truncated frame header: %w", err)
+		}
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, fmt.Errorf("wire: empty frame")
+	}
+	if int64(n) > int64(max) {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, max)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("wire: truncated frame (%d bytes expected): %w", n, io.ErrUnexpectedEOF)
+		}
+		return nil, err
+	}
+	return payload, nil
+}
+
+// EncodeRequest serializes a request into a frame payload.
+func EncodeRequest(rq *Request) []byte {
+	e := wal.NewEncoder()
+	e.Byte(rq.Type)
+	switch rq.Type {
+	case MsgHello:
+		e.String(rq.ClientName)
+		e.Uvarint(uint64(rq.Version))
+		e.Uvarint(uint64(rq.Timeout))
+	case MsgExec:
+		e.String(rq.SQL)
+		encodeParams(e, rq.Params)
+	case MsgPrepare:
+		e.String(rq.SQL)
+	case MsgStmtExec:
+		e.Uvarint(rq.Stmt)
+		encodeParams(e, rq.Params)
+	case MsgStmtClose:
+		e.Uvarint(rq.Stmt)
+	case MsgPing, MsgCancel, MsgQuit:
+		// Type byte only.
+	}
+	return e.Bytes()
+}
+
+// DecodeRequest parses a frame payload into a request.
+func DecodeRequest(payload []byte) (*Request, error) {
+	d := wal.NewDecoder(payload)
+	rq := &Request{Type: d.Byte()}
+	switch rq.Type {
+	case MsgHello:
+		rq.ClientName = d.String()
+		rq.Version = int(d.Uvarint())
+		rq.Timeout = time.Duration(d.Uvarint())
+	case MsgExec:
+		rq.SQL = d.String()
+		var perr error
+		if rq.Params, perr = decodeParams(d); perr != nil {
+			return nil, perr
+		}
+	case MsgPrepare:
+		rq.SQL = d.String()
+	case MsgStmtExec:
+		rq.Stmt = d.Uvarint()
+		var perr error
+		if rq.Params, perr = decodeParams(d); perr != nil {
+			return nil, perr
+		}
+	case MsgStmtClose:
+		rq.Stmt = d.Uvarint()
+	case MsgPing, MsgCancel, MsgQuit:
+	default:
+		return nil, fmt.Errorf("wire: unknown request type 0x%02x", rq.Type)
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("wire: bad request: %w", err)
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes in request", d.Remaining())
+	}
+	return rq, nil
+}
+
+// EncodeResponse serializes a response into a frame payload.
+func EncodeResponse(rs *Response) []byte {
+	e := wal.NewEncoder()
+	e.Byte(rs.Type)
+	switch rs.Type {
+	case MsgWelcome:
+		e.Uvarint(rs.Session)
+	case MsgOK:
+		e.Varint(int64(rs.Affected))
+		e.Uvarint(uint64(rs.Duration))
+	case MsgRows:
+		e.Varint(int64(rs.Affected))
+		e.Uvarint(uint64(rs.Duration))
+		e.Uvarint(uint64(len(rs.Cols)))
+		for _, c := range rs.Cols {
+			e.String(c)
+		}
+		e.Rows(rs.Rows)
+	case MsgPrepared:
+		e.Uvarint(rs.Stmt)
+		e.Uvarint(uint64(rs.NumParams))
+	case MsgError:
+		e.Byte(rs.Code)
+		e.String(rs.Err)
+	case MsgPong:
+	}
+	return e.Bytes()
+}
+
+// DecodeResponse parses a frame payload into a response.
+func DecodeResponse(payload []byte) (*Response, error) {
+	d := wal.NewDecoder(payload)
+	rs := &Response{Type: d.Byte()}
+	switch rs.Type {
+	case MsgWelcome:
+		rs.Session = d.Uvarint()
+	case MsgOK:
+		rs.Affected = d.Int()
+		rs.Duration = time.Duration(d.Uvarint())
+	case MsgRows:
+		rs.Affected = d.Int()
+		rs.Duration = time.Duration(d.Uvarint())
+		n := d.Uvarint()
+		if d.Err() == nil && (n == 0 || n > uint64(d.Remaining())) {
+			// Zero columns would let a row section of width 0 claim an
+			// arbitrary row count at zero bytes each; the server never
+			// emits MsgRows without columns.
+			return nil, fmt.Errorf("wire: implausible column count %d", n)
+		}
+		if d.Err() == nil {
+			rs.Cols = make([]string, 0, min(n, allocBatch))
+			for i := uint64(0); i < n && d.Err() == nil; i++ {
+				rs.Cols = append(rs.Cols, d.String())
+			}
+			rs.Rows = d.Rows(len(rs.Cols))
+		}
+	case MsgPrepared:
+		rs.Stmt = d.Uvarint()
+		rs.NumParams = int(d.Uvarint())
+	case MsgError:
+		rs.Code = d.Byte()
+		rs.Err = d.String()
+	case MsgPong:
+	default:
+		return nil, fmt.Errorf("wire: unknown response type 0x%02x", rs.Type)
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("wire: bad response: %w", err)
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes in response", d.Remaining())
+	}
+	return rs, nil
+}
+
+func encodeParams(e *wal.Encoder, params []value.Value) {
+	e.Uvarint(uint64(len(params)))
+	for _, v := range params {
+		e.Value(v)
+	}
+}
+
+// allocBatch caps up-front slice capacity when decoding claimed counts:
+// growth beyond it is paid only as elements actually decode, so a frame
+// claiming millions of entries cannot amplify its own byte size into a
+// huge allocation before the first bogus element fails.
+const allocBatch = 4096
+
+func decodeParams(d *wal.Decoder) ([]value.Value, error) {
+	n := d.Uvarint()
+	if d.Err() != nil {
+		return nil, nil // surfaced by the caller's d.Err() check
+	}
+	if n > uint64(d.Remaining()) { // each value takes >= 1 byte
+		return nil, fmt.Errorf("wire: implausible parameter count %d", n)
+	}
+	out := make([]value.Value, 0, min(n, allocBatch))
+	for i := uint64(0); i < n; i++ {
+		v := d.Value()
+		if d.Err() != nil {
+			return nil, nil
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
+// WriteRequest encodes and frames a request.
+func WriteRequest(w io.Writer, rq *Request) error { return WriteFrame(w, EncodeRequest(rq)) }
+
+// WriteResponse encodes and frames a response.
+func WriteResponse(w io.Writer, rs *Response) error { return WriteFrame(w, EncodeResponse(rs)) }
+
+// ReadRequest reads and decodes one request frame.
+func ReadRequest(r io.Reader, max int) (*Request, error) {
+	payload, err := ReadFrame(r, max)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeRequest(payload)
+}
+
+// ReadResponse reads and decodes one response frame.
+func ReadResponse(r io.Reader, max int) (*Response, error) {
+	payload, err := ReadFrame(r, max)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeResponse(payload)
+}

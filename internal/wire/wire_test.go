@@ -1,0 +1,273 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"hybridstore/internal/value"
+)
+
+func randValue(rng *rand.Rand) value.Value {
+	switch rng.Intn(6) {
+	case 0:
+		return value.NewInt(rng.Int63n(1000) - 500)
+	case 1:
+		return value.NewBigint(rng.Int63() - rng.Int63())
+	case 2:
+		return value.NewDouble(rng.NormFloat64() * 1e6)
+	case 3:
+		return value.NewVarchar(strings.Repeat("x", rng.Intn(20)) + "'q\x00")
+	case 4:
+		return value.NewDate(rng.Int63n(40000))
+	default:
+		return value.Null(value.Type(1 + rng.Intn(5)))
+	}
+}
+
+func randParams(rng *rand.Rand) []value.Value {
+	n := rng.Intn(5)
+	if n == 0 {
+		return nil
+	}
+	out := make([]value.Value, n)
+	for i := range out {
+		out[i] = randValue(rng)
+	}
+	return out
+}
+
+// paramsEqual treats nil and empty as equal (the wire cannot tell them
+// apart).
+func paramsEqual(a, b []value.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !value.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRequestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		var rq Request
+		switch rng.Intn(8) {
+		case 0:
+			rq = Request{Type: MsgHello, ClientName: "bench-w1", Version: ProtocolVersion, Timeout: time.Duration(rng.Intn(5000)) * time.Millisecond}
+		case 1:
+			rq = Request{Type: MsgExec, SQL: "SELECT * FROM t WHERE a = ? ORDER BY b DESC", Params: randParams(rng)}
+		case 2:
+			rq = Request{Type: MsgPrepare, SQL: "INSERT INTO t VALUES (?, ?, ?)"}
+		case 3:
+			rq = Request{Type: MsgStmtExec, Stmt: rng.Uint64() % 1e6, Params: randParams(rng)}
+		case 4:
+			rq = Request{Type: MsgStmtClose, Stmt: rng.Uint64() % 1e6}
+		case 5:
+			rq = Request{Type: MsgPing}
+		case 6:
+			rq = Request{Type: MsgCancel}
+		default:
+			rq = Request{Type: MsgQuit}
+		}
+		got, err := DecodeRequest(EncodeRequest(&rq))
+		if err != nil {
+			t.Fatalf("decode %+v: %v", rq, err)
+		}
+		if got.Type != rq.Type || got.SQL != rq.SQL || got.Stmt != rq.Stmt ||
+			got.ClientName != rq.ClientName || got.Version != rq.Version || got.Timeout != rq.Timeout ||
+			!paramsEqual(got.Params, rq.Params) {
+			t.Fatalf("round trip mismatch:\n  in  %+v\n  out %+v", rq, got)
+		}
+	}
+}
+
+func randRows(rng *rand.Rand, width int) [][]value.Value {
+	rows := make([][]value.Value, rng.Intn(6))
+	for i := range rows {
+		row := make([]value.Value, width)
+		for j := range row {
+			row[j] = randValue(rng)
+		}
+		rows[i] = row
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	return rows
+}
+
+func TestResponseRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 2000; i++ {
+		var rs Response
+		switch rng.Intn(6) {
+		case 0:
+			rs = Response{Type: MsgWelcome, Session: rng.Uint64() % 1e9}
+		case 1:
+			rs = Response{Type: MsgOK, Affected: rng.Intn(1000), Duration: time.Duration(rng.Intn(1e9))}
+		case 2:
+			cols := []string{"a", "b", "c"}[:1+rng.Intn(3)]
+			rs = Response{Type: MsgRows, Affected: rng.Intn(10), Duration: time.Duration(rng.Intn(1e9)),
+				Cols: cols, Rows: randRows(rng, len(cols))}
+		case 3:
+			rs = Response{Type: MsgPrepared, Stmt: rng.Uint64() % 1e6, NumParams: rng.Intn(10)}
+		case 4:
+			rs = Response{Type: MsgError, Code: CodeSQL, Err: "sql: boom"}
+		default:
+			rs = Response{Type: MsgPong}
+		}
+		got, err := DecodeResponse(EncodeResponse(&rs))
+		if err != nil {
+			t.Fatalf("decode %+v: %v", rs, err)
+		}
+		if got.Type != rs.Type || got.Session != rs.Session || got.Stmt != rs.Stmt ||
+			got.NumParams != rs.NumParams || got.Affected != rs.Affected ||
+			got.Duration != rs.Duration || got.Code != rs.Code || got.Err != rs.Err ||
+			!reflect.DeepEqual(got.Cols, rs.Cols) {
+			t.Fatalf("round trip mismatch:\n  in  %+v\n  out %+v", rs, got)
+		}
+		if len(got.Rows) != len(rs.Rows) {
+			t.Fatalf("row count mismatch: %d vs %d", len(got.Rows), len(rs.Rows))
+		}
+		for r := range rs.Rows {
+			if !paramsEqual(got.Rows[r], rs.Rows[r]) {
+				t.Fatalf("row %d mismatch", r)
+			}
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{{0x01}, []byte("hello frame"), bytes.Repeat([]byte{0xAB}, 1<<16)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range payloads {
+		got, err := ReadFrame(&buf, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame mismatch: %d vs %d bytes", len(got), len(want))
+		}
+	}
+	if _, err := ReadFrame(&buf, 0); err != io.EOF {
+		t.Fatalf("want io.EOF at stream end, got %v", err)
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	hdr := make([]byte, 4)
+	binary.LittleEndian.PutUint32(hdr, 1<<30) // claims 1 GiB
+	buf.Write(hdr)
+	_, err := ReadFrame(&buf, 1<<20)
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized frame accepted: %v", err)
+	}
+	// The default limit also rejects it.
+	buf.Reset()
+	buf.Write(hdr)
+	if _, err := ReadFrame(&buf, 0); err == nil {
+		t.Fatal("oversized frame accepted under default limit")
+	}
+}
+
+func TestTruncatedFrameRejected(t *testing.T) {
+	full := EncodeRequest(&Request{Type: MsgExec, SQL: "SELECT * FROM t", Params: []value.Value{value.NewInt(7)}})
+	var whole bytes.Buffer
+	if err := WriteFrame(&whole, full); err != nil {
+		t.Fatal(err)
+	}
+	raw := whole.Bytes()
+	// Every proper prefix must fail with ErrUnexpectedEOF (or io.EOF for
+	// the empty prefix), never hang or misparse.
+	for cut := 0; cut < len(raw); cut++ {
+		_, err := ReadFrame(bytes.NewReader(raw[:cut]), 0)
+		if err == nil {
+			t.Fatalf("truncated frame (cut %d/%d) accepted", cut, len(raw))
+		}
+		if cut > 0 && cut != len(raw) && err != io.EOF && !strings.Contains(err.Error(), "truncated") {
+			t.Fatalf("cut %d: unexpected error %v", cut, err)
+		}
+	}
+	// Truncated *payloads* inside a well-formed frame must error, not
+	// panic.
+	for cut := 1; cut < len(full); cut++ {
+		if _, err := DecodeRequest(full[:cut]); err == nil {
+			// Some prefixes can decode to a shorter-but-valid request
+			// only if every field still parses AND nothing trails;
+			// with a trailing-bytes check this should never happen.
+			t.Fatalf("truncated payload (cut %d/%d) accepted", cut, len(full))
+		}
+	}
+}
+
+func TestEmptyAndUnknownPayloadRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0})
+	if _, err := ReadFrame(&buf, 0); err == nil {
+		t.Fatal("empty frame accepted")
+	}
+	if _, err := DecodeRequest([]byte{0x7F}); err == nil {
+		t.Fatal("unknown request type accepted")
+	}
+	if _, err := DecodeResponse([]byte{0x10}); err == nil {
+		t.Fatal("unknown response type accepted")
+	}
+	// Trailing garbage after a valid message is a protocol error.
+	p := append(EncodeRequest(&Request{Type: MsgPing}), 0xFF)
+	if _, err := DecodeRequest(p); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+// FuzzDecodeRequest asserts decode never panics and that every frame we
+// encode survives a round trip.
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add(EncodeRequest(&Request{Type: MsgExec, SQL: "SELECT 1 FROM t", Params: []value.Value{value.NewInt(1)}}))
+	f.Add(EncodeRequest(&Request{Type: MsgHello, ClientName: "c", Version: 1}))
+	f.Add(EncodeRequest(&Request{Type: MsgStmtExec, Stmt: 3, Params: []value.Value{value.Null(value.Varchar)}}))
+	f.Add([]byte{0x02, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rq, err := DecodeRequest(data)
+		if err != nil {
+			return
+		}
+		re, err := DecodeRequest(EncodeRequest(rq))
+		if err != nil {
+			t.Fatalf("re-decode of valid request failed: %v", err)
+		}
+		if re.Type != rq.Type || re.SQL != rq.SQL || re.Stmt != rq.Stmt || !paramsEqual(re.Params, rq.Params) {
+			t.Fatalf("unstable round trip: %+v vs %+v", rq, re)
+		}
+	})
+}
+
+// FuzzDecodeResponse mirrors FuzzDecodeRequest for the response side.
+func FuzzDecodeResponse(f *testing.F) {
+	f.Add(EncodeResponse(&Response{Type: MsgRows, Cols: []string{"a"}, Rows: [][]value.Value{{value.NewInt(1)}}}))
+	f.Add(EncodeResponse(&Response{Type: MsgError, Code: CodeSQL, Err: "x"}))
+	f.Add([]byte{0x83, 0x00, 0x00, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rs, err := DecodeResponse(data)
+		if err != nil {
+			return
+		}
+		if _, err := DecodeResponse(EncodeResponse(rs)); err != nil {
+			t.Fatalf("re-decode of valid response failed: %v", err)
+		}
+	})
+}
