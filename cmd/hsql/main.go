@@ -41,6 +41,7 @@ import (
 	"hybridstore/internal/client"
 	"hybridstore/internal/costmodel"
 	"hybridstore/internal/engine"
+	"hybridstore/internal/exec"
 	"hybridstore/internal/migrate"
 	"hybridstore/internal/monitor"
 	"hybridstore/internal/schema"
@@ -61,7 +62,11 @@ func main() {
 	dataDir := flag.String("data", "", "data directory for durable mode (WAL + snapshots; empty = in-memory)")
 	groupCommit := flag.Int("group-commit", 0, "max WAL records per fsync batch (0 = default)")
 	connect := flag.String("connect", "", "connect to a running hsqld at host:port instead of embedding the engine")
+	workers := flag.Int("workers", 0, "worker-pool slots for morsel-parallel scans (0 = GOMAXPROCS)")
 	flag.Parse()
+	if *workers > 0 {
+		exec.SetDefaultSize(*workers)
+	}
 
 	if *connect != "" {
 		remoteShell(*connect)
@@ -294,6 +299,8 @@ func (s *session) command(line string) bool {
 		fmt.Println("checkpoint written; WAL truncated")
 	case "\\stats":
 		if len(fields) == 1 {
+			pool := s.db.Pool()
+			fmt.Printf("worker pool: %d slots (%d in use)\n", pool.Size(), pool.InUse())
 			snap := s.mon.Snapshot()
 			fmt.Printf("observed %d queries (%d in window)\n", snap.Seen, snap.WindowSeen)
 			for _, tw := range snap.Tables {

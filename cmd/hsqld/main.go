@@ -42,7 +42,7 @@ func main() {
 		auto        = flag.Duration("auto", 0, "auto-advise interval for background layout migration (0 disables)")
 		hysteresis  = flag.Float64("hysteresis", -1, "min relative improvement before auto-migrating (-1 = default)")
 		maxSessions = flag.Int("max-sessions", 0, "max concurrent client sessions (0 = default 128)")
-		workers     = flag.Int("workers", 0, "max concurrently executing statements (0 = GOMAXPROCS)")
+		workers     = flag.Int("workers", 0, "worker-pool slots shared by statement admission and morsel-parallel scans (0 = GOMAXPROCS)")
 		queueDepth  = flag.Int("queue-depth", 0, "pipelined requests buffered per session (0 = default 32)")
 		maxFrame    = flag.Int("max-frame", 0, "max request/response frame bytes (0 = default 8 MiB)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-drain budget on shutdown")

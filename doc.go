@@ -28,11 +28,20 @@
 //
 //   - Predicates compile to code ranges on the sorted main dictionaries
 //     and are evaluated by fused decode+test kernels
-//     (compress.RangeMatchWords) that emit uint64 bitset words — 64 rows
-//     per word — directly into a reused match bitset. Conjuncts combine
-//     with word-wide ANDs (most selective first, so later conjuncts skip
-//     decode for already-zero words), and the tombstone mask is itself a
-//     maintained bitset ANDed in word-at-a-time.
+//     (compress.CodeVector.RangeMatchWords) that emit uint64 bitset
+//     words — 64 rows per word — directly into a reused match bitset.
+//     Conjuncts combine with word-wide ANDs (most selective first, so
+//     later conjuncts skip decode for already-zero words), and the
+//     tombstone mask is itself a maintained bitset ANDed in
+//     word-at-a-time.
+//   - Merged main columns pick their coding per column: bit-packed
+//     codes (compress.Packed), run-length runs for sorted or clustered
+//     data (compress.RLE), or per-block frame-of-reference deltas
+//     (compress.FoR) — whichever is smallest by a margin. All three
+//     implement the same decode-free filter kernels: RLE answers a code
+//     range per run with word fills (work proportional to runs, not
+//     rows) and FoR skips whole 1024-row blocks whose local code window
+//     misses the range.
 //   - Each main-fragment column keeps per-block (1024-row) zone maps:
 //     min/max dictionary code plus NULL presence. Blocks whose zone
 //     misses the predicate's code range are skipped without decoding;
@@ -51,9 +60,43 @@
 //     aggregates count per code and fold one weighted add per distinct
 //     value — the paper's f_compression advantage.
 //   - Horizontally partitioned tables compute partial aggregates for the
-//     hot and cold partitions concurrently on a bounded worker pool and
+//     hot and cold partitions concurrently on the shared worker pool and
 //     merge them (the paper's "union of both partitions"), falling back
 //     inline when the pool is saturated.
+//
+// # Parallel execution
+//
+// Query execution is morsel-driven: one process-wide worker pool
+// (internal/exec, GOMAXPROCS slots by default, -workers on every
+// binary) feeds every parallel path, and scans split into morsels —
+// 1024-row blocks in the column store, slot ranges in the row store —
+// that workers claim dynamically, so a skewed block doesn't stall the
+// scan. The statement's own goroutine is always worker zero and helpers
+// are try-acquired, never awaited: with no idle slot a scan simply runs
+// serially, and results are identical either way.
+//
+//   - Column-store match bitmaps are built block-parallel (each worker
+//     applies every conjunct to its blocks; word alignment keeps
+//     workers on disjoint bitset words), aggregation runs per-worker —
+//     dense per-code accumulators, counting global paths, generic
+//     group maps — and merges once at the end, and SELECT collection
+//     reassembles batches by block index so parallel row order equals
+//     serial row order.
+//   - Hash joins build per-block and insert serially in block order
+//     (deterministic bucket chains), then probe in parallel: the
+//     columnar dictionary probe keeps per-worker match/group caches,
+//     the generic aggregate probe per-worker partial results.
+//   - The network server admits statements through the same pool
+//     (session slot = worker slot), so intra-query parallelism scales
+//     down automatically as concurrent statements scale up instead of
+//     oversubscribing cores.
+//   - Cancellation is polled at morsel claims and batch boundaries;
+//     tombstones, zone maps, the delta fragment and monitor attribution
+//     behave identically in serial and parallel runs. The differential
+//     suite (internal/engine parallel tests) forces an 8-slot pool and
+//     asserts bit-identical serial/parallel results across layouts,
+//     NULLs, tombstones and migration churn; `hsbench -exp parallel`
+//     records serial-vs-parallel speedups into BENCH_parallel.json.
 //
 // # Live advisory & migration
 //

@@ -179,6 +179,7 @@ func Experiments() []Experiment {
 		{"ablation", "Design-choice ablations (DESIGN.md)", Ablations},
 		{"durability", "Durable-mode insert throughput (WAL group commit)", Durability},
 		{"concurrent-clients", "Concurrent network clients: mixed DML + analytics over TCP", ConcurrentClients},
+		{"parallel", "Morsel-driven parallel execution: serial vs shared worker pool", Parallel},
 	}
 }
 

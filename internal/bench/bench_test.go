@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -53,7 +54,7 @@ func TestLookupAndUnknown(t *testing.T) {
 }
 
 func TestExperimentRegistryComplete(t *testing.T) {
-	want := []string{"fig6a", "fig6b", "fig7a", "fig7b", "fig8", "fig9a", "fig9b", "fig10", "ablation", "durability", "concurrent-clients"}
+	want := []string{"fig6a", "fig6b", "fig7a", "fig7b", "fig8", "fig9a", "fig9b", "fig10", "ablation", "durability", "concurrent-clients", "parallel"}
 	have := Experiments()
 	if len(have) != len(want) {
 		t.Fatalf("experiments = %d, want %d", len(have), len(want))
@@ -199,5 +200,37 @@ func TestConcurrentClientsQuick(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("no differential check note")
+	}
+}
+
+// TestParallelExperimentSmoke is the CI bench smoke for the morsel
+// executor: the experiment itself fails if parallel results diverge
+// from serial ones, and on hosts with at least 4 cores the scan and
+// group-by speedups must not fall below serial beyond a 10% tolerance.
+// Single- and dual-core hosts only get the correctness check — a
+// speedup floor there would assert noise.
+func TestParallelExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel experiment smoke skipped in -short")
+	}
+	cfg := quickCfg()
+	cfg.Scale = 0.25
+	cfg.Reps = 5
+	res, err := Parallel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if procs := runtime.GOMAXPROCS(0); procs < 4 {
+		t.Logf("GOMAXPROCS=%d: correctness verified, speedup floor skipped", procs)
+		return
+	}
+	for _, q := range []string{"scan", "group-by", "filter-agg", "join"} {
+		sp := res.Series[q+"_speedup"]
+		if len(sp) != 1 {
+			t.Fatalf("missing %s speedup series", q)
+		}
+		if sp[0] < 0.9 {
+			t.Errorf("%s: parallel slower than serial beyond tolerance (speedup %.2fx)", q, sp[0])
+		}
 	}
 }

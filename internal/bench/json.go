@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+)
+
+// Snapshot is the machine-readable form of a finished experiment,
+// written as BENCH_<name>.json so runs on different machines (and CI)
+// can be compared. Meta records the hardware context the numbers were
+// taken in — parallel speedups are meaningless without the core count.
+type Snapshot struct {
+	Name    string               `json:"name"`
+	Title   string               `json:"title"`
+	Columns []string             `json:"columns"`
+	Rows    [][]string           `json:"rows"`
+	Series  map[string][]float64 `json:"series,omitempty"`
+	Notes   []string             `json:"notes,omitempty"`
+	Meta    SnapshotMeta         `json:"meta"`
+}
+
+// SnapshotMeta is the run context of a Snapshot.
+type SnapshotMeta struct {
+	Taken      string  `json:"taken"` // RFC 3339, UTC
+	GoVersion  string  `json:"go_version"`
+	OS         string  `json:"os"`
+	Arch       string  `json:"arch"`
+	NumCPU     int     `json:"num_cpu"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Scale      float64 `json:"scale"`
+	Seed       int64   `json:"seed"`
+	Reps       int     `json:"reps"`
+}
+
+// WriteJSON serializes res as dir/BENCH_<name>.json and returns the
+// written path.
+func WriteJSON(dir string, res *Result, cfg Config) (string, error) {
+	cfg = cfg.withDefaults()
+	snap := Snapshot{
+		Name:    res.Name,
+		Title:   res.Title,
+		Columns: res.Columns,
+		Rows:    res.Rows,
+		Series:  res.Series,
+		Notes:   res.Notes,
+		Meta: SnapshotMeta{
+			Taken:      time.Now().UTC().Format(time.RFC3339),
+			GoVersion:  runtime.Version(),
+			OS:         runtime.GOOS,
+			Arch:       runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Scale:      cfg.Scale,
+			Seed:       cfg.Seed,
+			Reps:       cfg.Reps,
+		},
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", res.Name))
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"hybridstore/internal/agg"
+	"hybridstore/internal/catalog"
+	"hybridstore/internal/engine"
+	"hybridstore/internal/exec"
+	"hybridstore/internal/expr"
+	"hybridstore/internal/query"
+	"hybridstore/internal/value"
+	"hybridstore/internal/workload"
+)
+
+// Parallel measures the morsel-driven executor: the same scan, filtered
+// aggregate, group-by and star-join queries run over one column-store
+// database twice — once on a single-slot worker pool (serial) and once
+// on a GOMAXPROCS-sized pool — and the speedup is reported per query.
+// Both runs must produce identical result sets; a divergence fails the
+// experiment. On single-core hosts the pool has one slot either way, so
+// a speedup near 1.0 is the expected (and honest) reading there — the
+// JSON snapshot records GOMAXPROCS and NumCPU alongside the series.
+func Parallel(cfg Config) (*Result, error) {
+	dimRows := 1000
+	fact := workload.FactTable("pfact", dimRows)
+	dim := workload.DimensionTable("pdim")
+	n := cfg.scaled(300_000)
+
+	db := engine.New()
+	if err := fact.Load(db, catalog.ColumnStore, n, cfg.Seed); err != nil {
+		return nil, err
+	}
+	if err := dim.Load(db, catalog.ColumnStore, dimRows, cfg.Seed+1); err != nil {
+		return nil, err
+	}
+	// Merge deltas so the scans run against the compressed main
+	// fragments the morsel executor partitions into blocks.
+	if err := db.Compact("pfact"); err != nil {
+		return nil, err
+	}
+	if err := db.Compact("pdim"); err != nil {
+		return nil, err
+	}
+
+	nL := fact.Schema.NumColumns()
+	half := value.NewInt(500) // f columns have cardinality 1000
+	queries := []struct {
+		name string
+		q    *query.Query
+	}{
+		{"scan", &query.Query{
+			Kind: query.Select, Table: "pfact",
+			Cols: []int{0, fact.Keyfigures[0], fact.Filters[0]},
+			Pred: &expr.Comparison{Col: fact.Filters[0], Op: expr.Lt, Val: half},
+		}},
+		{"filter-agg", &query.Query{
+			Kind: query.Aggregate, Table: "pfact",
+			Aggs: []agg.Spec{{Func: agg.Count, Col: -1}, {Func: agg.Sum, Col: fact.Keyfigures[0]}},
+			Pred: &expr.Comparison{Col: fact.Filters[1], Op: expr.Lt, Val: half},
+		}},
+		{"group-by", &query.Query{
+			Kind: query.Aggregate, Table: "pfact",
+			Aggs:    []agg.Spec{{Func: agg.Sum, Col: fact.Keyfigures[0]}, {Func: agg.Min, Col: fact.Keyfigures[1]}},
+			GroupBy: []int{fact.Filters[2]},
+			Pred:    &expr.Comparison{Col: fact.Filters[0], Op: expr.Lt, Val: half},
+		}},
+		{"join", &query.Query{
+			Kind: query.Aggregate, Table: "pfact",
+			Join:    &query.Join{Table: "pdim", LeftCol: 1, RightCol: 0},
+			Aggs:    []agg.Spec{{Func: agg.Sum, Col: fact.Keyfigures[0]}},
+			GroupBy: []int{nL + dim.GroupBys[0]},
+			Pred:    &expr.Comparison{Col: fact.Filters[0], Op: expr.Lt, Val: half},
+		}},
+	}
+
+	serialPool := exec.NewPool(1)
+	parallelPool := exec.NewPool(runtime.GOMAXPROCS(0))
+	defer db.SetPool(exec.Default())
+
+	res := &Result{Columns: []string{"query", "serial_ms", "parallel_ms", "speedup"}}
+	for _, qc := range queries {
+		db.SetPool(serialPool)
+		serialRows, err := queryFingerprint(db, qc.q)
+		if err != nil {
+			return nil, err
+		}
+		tSerial, err := measureQuery(db, qc.q, cfg.Reps)
+		if err != nil {
+			return nil, err
+		}
+
+		db.SetPool(parallelPool)
+		parallelRows, err := queryFingerprint(db, qc.q)
+		if err != nil {
+			return nil, err
+		}
+		tParallel, err := measureQuery(db, qc.q, cfg.Reps)
+		if err != nil {
+			return nil, err
+		}
+
+		if serialRows != parallelRows {
+			return nil, fmt.Errorf("bench: parallel %s diverged from serial result", qc.name)
+		}
+		speedup := float64(tSerial) / float64(tParallel)
+		res.AddRow([]string{
+			qc.name, ms(float64(tSerial)), ms(float64(tParallel)), fmt.Sprintf("%.2fx", speedup),
+		}, map[string]float64{
+			"serial_ns":              float64(tSerial),
+			"parallel_ns":            float64(tParallel),
+			qc.name + "_speedup":     speedup,
+			qc.name + "_serial_ns":   float64(tSerial),
+			qc.name + "_parallel_ns": float64(tParallel),
+		})
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("GOMAXPROCS=%d NumCPU=%d; pools: serial=1 slot, parallel=%d slots",
+			runtime.GOMAXPROCS(0), runtime.NumCPU(), parallelPool.Size()),
+		"expected shape: speedup grows with cores (≈1.0x on a single-core host); serial and parallel result sets are verified identical")
+	return res, nil
+}
+
+// queryFingerprint executes q once and returns an order-insensitive
+// rendering of the result rows, used to check serial/parallel agreement.
+func queryFingerprint(db *engine.Database, q *query.Query) (string, error) {
+	r, err := db.Exec(q)
+	if err != nil {
+		return "", err
+	}
+	lines := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		lines[i] = fmt.Sprint(row)
+	}
+	sort.Strings(lines)
+	return fmt.Sprint(lines), nil
+}

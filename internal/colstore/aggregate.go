@@ -3,6 +3,7 @@ package colstore
 import (
 	"hybridstore/internal/agg"
 	"hybridstore/internal/bitset"
+	"hybridstore/internal/exec"
 	"hybridstore/internal/expr"
 	"hybridstore/internal/value"
 )
@@ -24,20 +25,27 @@ func (t *Table) Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate) 
 // must discard. This is the "batch boundary" the engine's context
 // cancellation rides on.
 func (t *Table) AggregateStop(specs []agg.Spec, groupBy []int, pred expr.Predicate, stop func() bool) *agg.Result {
+	return t.AggregateExec(specs, groupBy, pred, exec.Serial(stop))
+}
+
+// AggregateExec is Aggregate with an execution context: ex carries the
+// cancellation hook and the worker pool the morsel loops draw helpers
+// from. A nil ex (or nil ex.Pool) runs serially.
+func (t *Table) AggregateExec(specs []agg.Spec, groupBy []int, pred expr.Predicate, ex *exec.Ctx) *agg.Result {
 	res := agg.NewResult(specs, groupBy)
 	res.SetOutputTypes(t.sch.ColTypes())
 	s := t.acquireScratch()
 	defer t.releaseScratch(s)
-	match := t.matchBitmap(pred, s) // nil means all live rows
+	match := t.matchBitmapExec(pred, s, ex) // nil means all live rows
 	switch {
 	case len(groupBy) == 0:
-		t.aggregateGlobal(res, specs, match, s, stop)
+		t.aggregateGlobalExec(res, specs, match, s, ex)
 	case len(groupBy) == 1:
-		t.aggregateSingleGroup(res, specs, groupBy[0], match, stop)
+		t.aggregateSingleGroup(res, specs, groupBy[0], match, ex)
 	case len(groupBy) == 2 && t.pairGroupFeasible(groupBy):
-		t.aggregatePairGroup(res, specs, groupBy, match, stop)
+		t.aggregatePairGroup(res, specs, groupBy, match, ex)
 	default:
-		t.aggregateGeneric(res, specs, groupBy, match, s, stop)
+		t.aggregateGeneric(res, specs, groupBy, match, s, ex)
 	}
 	return res
 }
@@ -216,6 +224,42 @@ func (da *denseGroupAgg) addBatch(rids []int32, gidx []uint32, b0, nm, mainN int
 	}
 }
 
+// merge folds another worker's accumulators (built from the same specs
+// and group space) into da. Counts and sums add; code-space min/max
+// transfer only from cells that saw rows (minC is all-ones when empty).
+func (da *denseGroupAgg) merge(o *denseGroupAgg) {
+	for g, c := range o.counts {
+		da.counts[g] += c
+	}
+	for i := range da.accs {
+		b := &o.accs[i]
+		if b.cnt == 0 {
+			continue
+		}
+		a := &da.accs[i]
+		a.sum += b.sum
+		a.cnt += b.cnt
+		if b.minC < a.minC {
+			a.minC = b.minC
+		}
+		if b.maxC > a.maxC {
+			a.maxC = b.maxC
+		}
+	}
+	for g, b := range o.deltaAccs {
+		if b == nil {
+			continue
+		}
+		if da.deltaAccs[g] == nil {
+			da.deltaAccs[g] = b
+			continue
+		}
+		for si := range b {
+			da.deltaAccs[g][si].Merge(&b[si])
+		}
+	}
+}
+
 // fold materializes every non-empty group into res. groupKey may reuse its
 // returned slice (GroupFor copies).
 func (da *denseGroupAgg) fold(res *agg.Result, groupKey func(g uint32) []value.Value) {
@@ -329,50 +373,105 @@ func (t *Table) aggregateGlobal(res *agg.Result, specs []agg.Spec, match bitset.
 			}
 		}
 		// Per-code counting over the delta fragment.
-		if t.deltaRows > 0 {
-			counts := make([]int64, c.deltaDict.Len())
-			if dense && c.deltaNulls == nil {
-				for _, code := range c.deltaCodes {
-					counts[code]++
-				}
-			} else {
-				src := t.rowSource(match)
-				for d, code := range c.deltaCodes {
-					rid := t.mainRows + d
-					if !src.Get(rid) {
-						continue
-					}
-					if c.deltaNulls != nil && c.deltaNulls[d] {
-						continue
-					}
-					counts[code]++
-				}
+		t.aggregateGlobalDelta(&g.Accs[si], c, match, dense)
+	}
+}
+
+// aggregateGlobalDelta folds the delta fragment of one value column into
+// an ungrouped accumulator by per-code counting. Shared by the serial and
+// morsel-parallel global paths (the delta is small and always serial).
+func (t *Table) aggregateGlobalDelta(acc *agg.Acc, c *column, match bitset.Bits, dense bool) {
+	if t.deltaRows == 0 {
+		return
+	}
+	counts := make([]int64, c.deltaDict.Len())
+	if dense && c.deltaNulls == nil {
+		for _, code := range c.deltaCodes {
+			counts[code]++
+		}
+	} else {
+		src := t.rowSource(match)
+		for d, code := range c.deltaCodes {
+			rid := t.mainRows + d
+			if !src.Get(rid) {
+				continue
 			}
-			for code, cnt := range counts {
-				if cnt > 0 {
-					g.Accs[si].AddWeighted(c.deltaDict.Value(uint32(code)), cnt)
-				}
+			if c.deltaNulls != nil && c.deltaNulls[d] {
+				continue
 			}
+			counts[code]++
 		}
 	}
+	for code, cnt := range counts {
+		if cnt > 0 {
+			acc.AddWeighted(c.deltaDict.Value(uint32(code)), cnt)
+		}
+	}
+}
+
+// denseWorkerState is the per-worker state of the dense grouped paths: a
+// private accumulator array plus the group-code staging buffers. Workers
+// never share one, so addBatch needs no synchronization; the states merge
+// pairwise after the morsel loop drains.
+type denseWorkerState struct {
+	da     *denseGroupAgg
+	gcodes []uint32 // first group column's block codes
+	gcode2 []uint32 // second group column's block codes (pair path)
+	gidx   []uint32 // dense group index per batch row
+}
+
+// denseStates lazily allocates per-worker dense aggregation state.
+func (t *Table) denseStates(ex *exec.Ctx, specs []agg.Spec, gTotal int, pair bool) ([]*denseWorkerState, func(w int) *denseWorkerState) {
+	states := make([]*denseWorkerState, ex.Workers(t.NumBlocks()))
+	get := func(w int) *denseWorkerState {
+		st := states[w]
+		if st == nil {
+			st = &denseWorkerState{
+				da:     t.newDenseGroupAgg(specs, gTotal),
+				gcodes: make([]uint32, blockRows),
+				gidx:   make([]uint32, blockRows),
+			}
+			if pair {
+				st.gcode2 = make([]uint32, blockRows)
+			}
+			states[w] = st
+		}
+		return st
+	}
+	return states, get
+}
+
+// mergeDenseStates folds the per-worker accumulators into one (nil when
+// no worker saw a row, i.e. the result has no groups).
+func mergeDenseStates(states []*denseWorkerState) *denseGroupAgg {
+	var out *denseGroupAgg
+	for _, st := range states {
+		if st == nil {
+			continue
+		}
+		if out == nil {
+			out = st.da
+		} else {
+			out.merge(st.da)
+		}
+	}
+	return out
 }
 
 // aggregateSingleGroup groups by one column. The group column's combined
 // codes (main, then delta offset by the main dictionary's size, then a
 // NULL slot) index the dense accumulator engine directly.
-func (t *Table) aggregateSingleGroup(res *agg.Result, specs []agg.Spec, gcol int, match bitset.Bits, stop func() bool) {
+func (t *Table) aggregateSingleGroup(res *agg.Result, specs []agg.Spec, gcol int, match bitset.Bits, ex *exec.Ctx) {
 	gc := &t.cols[gcol]
 	gMain := gc.mainDict.Len()
 	gTotal := gMain + gc.deltaDict.Len() + 1 // +1: NULL group slot
 	gNull := uint32(gTotal - 1)
 
-	da := t.newDenseGroupAgg(specs, gTotal)
-	gcodes := make([]uint32, blockRows)
-	gidx := make([]uint32, blockRows)
-	t.forBatches(match, func(rids []int32, b0, nm, mainN int) bool {
-		if stop != nil && stop() {
-			return false
-		}
+	ex = denseGroupCtx(ex, gTotal, len(specs))
+	states, state := t.denseStates(ex, specs, gTotal, false)
+	t.forBatchesExec(match, ex, func(w int, rids []int32, b0, nm, mainN int) bool {
+		st := state(w)
+		gcodes, gidx := st.gcodes, st.gidx
 		if mainN > 0 {
 			gc.mainCodes.UnpackBlock(b0, gcodes[:mainN])
 		}
@@ -398,9 +497,13 @@ func (t *Table) aggregateSingleGroup(res *agg.Result, specs []agg.Spec, gcol int
 				gidx[k] = uint32(gMain) + gc.deltaCodes[d]
 			}
 		}
-		da.addBatch(rids, gidx, b0, nm, mainN)
+		st.da.addBatch(rids, gidx, b0, nm, mainN)
 		return true
 	})
+	da := mergeDenseStates(states)
+	if da == nil || ex.Stopped() {
+		return
+	}
 
 	key := make([]value.Value, 1)
 	da.fold(res, func(g uint32) []value.Value {
@@ -420,7 +523,7 @@ func (t *Table) aggregateSingleGroup(res *agg.Result, specs []agg.Spec, gcol int
 // accumulator engine indexed by the combined codes — the typical shape of
 // analytical queries like TPC-H Q1 (GROUP BY l_returnflag, l_linestatus).
 // Both group columns' codes are bulk-decoded per block.
-func (t *Table) aggregatePairGroup(res *agg.Result, specs []agg.Spec, groupBy []int, match bitset.Bits, stop func() bool) {
+func (t *Table) aggregatePairGroup(res *agg.Result, specs []agg.Spec, groupBy []int, match bitset.Bits, ex *exec.Ctx) {
 	g0, g1 := &t.cols[groupBy[0]], &t.cols[groupBy[1]]
 	// Combined code: local code offset by fragment (delta codes follow
 	// main codes; the extra slot at the end is the NULL key).
@@ -429,14 +532,11 @@ func (t *Table) aggregatePairGroup(res *agg.Result, specs []agg.Spec, groupBy []
 	null0, null1 := uint32(d0-1), uint32(d1-1)
 	mainLen0, mainLen1 := uint32(g0.mainDict.Len()), uint32(g1.mainDict.Len())
 
-	da := t.newDenseGroupAgg(specs, d0*d1)
-	codes0 := make([]uint32, blockRows)
-	codes1 := make([]uint32, blockRows)
-	gidx := make([]uint32, blockRows)
-	t.forBatches(match, func(rids []int32, b0, nm, mainN int) bool {
-		if stop != nil && stop() {
-			return false
-		}
+	ex = denseGroupCtx(ex, d0*d1, len(specs))
+	states, state := t.denseStates(ex, specs, d0*d1, true)
+	t.forBatchesExec(match, ex, func(w int, rids []int32, b0, nm, mainN int) bool {
+		st := state(w)
+		codes0, codes1, gidx := st.gcodes, st.gcode2, st.gidx
 		if mainN > 0 {
 			g0.mainCodes.UnpackBlock(b0, codes0[:mainN])
 			g1.mainCodes.UnpackBlock(b0, codes1[:mainN])
@@ -463,9 +563,13 @@ func (t *Table) aggregatePairGroup(res *agg.Result, specs []agg.Spec, groupBy []
 			}
 			gidx[k] = k0*uint32(d1) + k1
 		}
-		da.addBatch(rids, gidx, b0, nm, mainN)
+		st.da.addBatch(rids, gidx, b0, nm, mainN)
 		return true
 	})
+	da := mergeDenseStates(states)
+	if da == nil || ex.Stopped() {
+		return
+	}
 
 	valueOf := func(c *column, code, null uint32) value.Value {
 		if code == null {
@@ -486,7 +590,7 @@ func (t *Table) aggregatePairGroup(res *agg.Result, specs []agg.Spec, groupBy []
 
 // aggregateGeneric handles multi-column group-bys by materializing the key
 // per row through the batched scan.
-func (t *Table) aggregateGeneric(res *agg.Result, specs []agg.Spec, groupBy []int, match bitset.Bits, sc *scanScratch, stop func() bool) {
+func (t *Table) aggregateGeneric(res *agg.Result, specs []agg.Spec, groupBy []int, match bitset.Bits, sc *scanScratch, ex *exec.Ctx) {
 	colIdx := make(map[int]int)
 	var cols []int
 	need := func(c int) {
@@ -515,16 +619,12 @@ func (t *Table) aggregateGeneric(res *agg.Result, specs []agg.Spec, groupBy []in
 			specPos[si] = colIdx[s.Col]
 		}
 	}
-	key := make([]value.Value, len(groupBy))
-	t.scanBatches(match, cols, sc, func(rids []int32, colVals [][]value.Value) bool {
-		if stop != nil && stop() {
-			return false
-		}
+	accumulate := func(into *agg.Result, key []value.Value, rids []int32, colVals [][]value.Value) {
 		for k := range rids {
 			for i, p := range groupPos {
 				key[i] = colVals[p][k]
 			}
-			g := res.GroupFor(key)
+			g := into.GroupFor(key)
 			for si, p := range specPos {
 				if p < 0 {
 					g.Accs[si].AddCount(1)
@@ -533,6 +633,59 @@ func (t *Table) aggregateGeneric(res *agg.Result, specs []agg.Spec, groupBy []in
 				}
 			}
 		}
+	}
+	if !ex.Parallel(t.NumBlocks()) || t.totalRows() < parallelMinRows {
+		key := make([]value.Value, len(groupBy))
+		stop := ex.StopHook()
+		t.scanBatches(match, cols, sc, func(rids []int32, colVals [][]value.Value) bool {
+			if stop != nil && stop() {
+				return false
+			}
+			accumulate(res, key, rids, colVals)
+			return true
+		})
+		return
+	}
+	// Parallel: per-worker partial results (hash-grouped) gathered over
+	// per-worker scratch buffers, merged into res after the loop. Group
+	// order across runs is not deterministic — it follows the morsel
+	// partition — which SQL does not promise for unordered results.
+	type genState struct {
+		res   *agg.Result
+		s     *scanScratch
+		views [][]value.Value
+		key   []value.Value
+	}
+	states := make([]*genState, ex.Workers(t.NumBlocks()))
+	t.forBatchesExec(match, ex, func(w int, rids []int32, b0, nm, mainN int) bool {
+		st := states[w]
+		if st == nil {
+			pr := agg.NewResult(specs, groupBy)
+			pr.SetOutputTypes(t.sch.ColTypes())
+			st = &genState{
+				res:   pr,
+				s:     t.acquireScratch(),
+				views: make([][]value.Value, len(cols)),
+				key:   make([]value.Value, len(groupBy)),
+			}
+			states[w] = st
+		}
+		bufs := st.s.colBufs(len(cols))
+		codes := st.s.codeBuf()
+		for j, cidx := range cols {
+			st.views[j] = bufs[j][:len(rids)]
+			t.gatherColumn(&t.cols[cidx], rids, b0, nm, mainN, codes, st.views[j])
+		}
+		accumulate(st.res, st.key, rids, st.views)
 		return true
 	})
+	for _, st := range states {
+		if st == nil {
+			continue
+		}
+		if !ex.Stopped() {
+			res.Merge(st.res)
+		}
+		t.releaseScratch(st.s)
+	}
 }

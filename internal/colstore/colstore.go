@@ -43,7 +43,7 @@ type column struct {
 	typ value.Type
 
 	mainDict  *compress.Dict
-	mainCodes *compress.Packed
+	mainCodes compress.CodeVector
 	mainNulls []bool     // nil when no NULLs present in main
 	mainZones []codeZone // per-blockRows code min/max summaries
 
@@ -313,7 +313,11 @@ func (t *Table) mergeColumn(c *column, liveRids []int32) {
 		codes[i] = code
 	}
 	c.mainDict = dict
-	c.mainCodes = compress.Pack(codes, dict.Len())
+	// Encode picks the smallest coding per column — bit-packed, run-length
+	// or frame-of-reference — at merge time, when the value distribution
+	// is known. Non-bit-packed vectors are immutable; updateRow routes
+	// their in-place updates through the migrate path instead.
+	c.mainCodes = compress.Encode(codes, dict.Len())
 	c.mainNulls = nulls
 	c.mainZones = buildZones(codes, nulls)
 	c.deltaDict = compress.NewUDict()
@@ -495,6 +499,11 @@ func (t *Table) updateRow(rid int, set map[int]value.Value, pkChanged bool) {
 	inPlace := true
 	if rid < t.mainRows {
 		for col, v := range set {
+			if _, mutable := t.cols[col].mainCodes.(compress.Mutable); !mutable {
+				// RLE/FoR-coded vector: no in-place overwrite; migrate.
+				inPlace = false
+				break
+			}
 			if v.IsNull() {
 				// Setting NULL in main needs a null bitmap we may not have
 				// sized; migrate for simplicity.
@@ -524,7 +533,7 @@ func (t *Table) updateRow(rid int, set map[int]value.Value, pkChanged bool) {
 			c := &t.cols[col]
 			if rid < t.mainRows {
 				code, _ := c.mainDict.Code(v)
-				c.mainCodes.Set(rid, code)
+				c.mainCodes.(compress.Mutable).Set(rid, code)
 				patchZone(c.mainZones, rid, code)
 			} else {
 				d := rid - t.mainRows

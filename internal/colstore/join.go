@@ -1,6 +1,7 @@
 package colstore
 
 import (
+	"hybridstore/internal/exec"
 	"hybridstore/internal/expr"
 	"hybridstore/internal/value"
 )
@@ -28,25 +29,61 @@ func (t *Table) KeyDictValues(col int) []value.Value {
 // column-at-a-time, so the per-row work is an array read plus the
 // callback.
 func (t *Table) JoinProbe(keyCol int, extra []int, pred expr.Predicate, fn func(keyCode int64, extraVals []value.Value) bool) {
+	t.JoinProbeExec(keyCol, extra, pred, nil, func(_ int, keyCode int64, extraVals []value.Value) bool {
+		return fn(keyCode, extraVals)
+	})
+}
+
+// JoinProbeExec is JoinProbe driven by the execution context: blocks are
+// claimed as morsels and decoded into per-worker buffers, so an
+// aggregating consumer keeps per-worker accumulators and merges them
+// after the probe. fn additionally receives the worker id and must be
+// safe for concurrent calls with distinct ids; row order across workers
+// is not defined.
+func (t *Table) JoinProbeExec(keyCol int, extra []int, pred expr.Predicate, ex *exec.Ctx, fn func(w int, keyCode int64, extraVals []value.Value) bool) {
 	if t.totalRows() == 0 {
 		return
 	}
 	s := t.acquireScratch()
 	defer t.releaseScratch(s)
-	match := t.matchBitmap(pred, s)
+	match := t.matchBitmapExec(pred, s, ex)
 	kc := &t.cols[keyCol]
 	mainRows := t.mainRows
 	mainLen := int64(kc.mainDict.Len())
-	keyCodes := s.codeBuf()
-	gatherCodes := make([]uint32, blockRows)
-	extraVals := make([]value.Value, len(extra))
-	extraBufs := s.colBufs(len(extra))
-	t.forBatches(match, func(rids []int32, b0, nm, mainN int) bool {
+	type jpState struct {
+		s           *scanScratch
+		gatherCodes []uint32
+		extraVals   []value.Value
+	}
+	states := make([]*jpState, ex.Workers(t.NumBlocks()))
+	defer func() {
+		for _, st := range states {
+			if st != nil && st.s != s {
+				t.releaseScratch(st.s)
+			}
+		}
+	}()
+	t.forBatchesExec(match, ex, func(w int, rids []int32, b0, nm, mainN int) bool {
+		st := states[w]
+		if st == nil {
+			sc := s // worker 0 reuses the matcher's scratch buffers
+			if w != 0 {
+				sc = t.acquireScratch()
+			}
+			st = &jpState{
+				s:           sc,
+				gatherCodes: make([]uint32, blockRows),
+				extraVals:   make([]value.Value, len(extra)),
+			}
+			states[w] = st
+		}
+		keyCodes := st.s.codeBuf()
+		extraBufs := st.s.colBufs(len(extra))
 		if nm > 0 {
 			kc.mainCodes.UnpackBlock(b0, keyCodes[:mainN])
 		}
 		for j, c := range extra {
-			t.gatherColumn(&t.cols[c], rids, b0, nm, mainN, gatherCodes, extraBufs[j][:len(rids)])
+			t.gatherColumn(&t.cols[c], rids, b0, nm, mainN, st.gatherCodes, extraBufs[j][:len(rids)])
 		}
 		for k, rid32 := range rids {
 			rid := int(rid32)
@@ -66,9 +103,9 @@ func (t *Table) JoinProbe(keyCol int, extra []int, pred expr.Predicate, fn func(
 				}
 			}
 			for j := range extra {
-				extraVals[j] = extraBufs[j][k]
+				st.extraVals[j] = extraBufs[j][k]
 			}
-			if !fn(code, extraVals) {
+			if !fn(w, code, st.extraVals) {
 				return false
 			}
 		}

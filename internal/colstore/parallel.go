@@ -1,0 +1,432 @@
+package colstore
+
+import (
+	"sort"
+
+	"hybridstore/internal/agg"
+	"hybridstore/internal/bitset"
+	"hybridstore/internal/exec"
+	"hybridstore/internal/expr"
+	"hybridstore/internal/value"
+)
+
+// parallelMinRows is the table size below which scans and aggregations
+// stay serial: the per-worker state setup outweighs the work.
+const parallelMinRows = 8 * blockRows
+
+// denseParallelCells caps the per-worker dense accumulator arrays
+// (groups x specs cells). Beyond it grouped aggregation stays serial
+// rather than multiplying a huge array by the worker count.
+const denseParallelCells = 1 << 18
+
+// globalCountsLimit is the largest main dictionary for which the
+// parallel ungrouped path keeps per-worker per-code count arrays (the
+// compression-aware fast path); larger dictionaries switch to scalar
+// code accumulators so memory stays bounded.
+const globalCountsLimit = 1 << 16
+
+// denseGroupCtx demotes ex to serial when the dense group space is too
+// large to replicate per worker.
+func denseGroupCtx(ex *exec.Ctx, gTotal, nspec int) *exec.Ctx {
+	if nspec < 1 {
+		nspec = 1
+	}
+	if gTotal > denseParallelCells/nspec {
+		return exec.Serial(ex.StopHook())
+	}
+	return ex
+}
+
+// NumBlocks returns the number of blockRows-sized scan blocks (the
+// morsel count of a full scan over this table).
+func (t *Table) NumBlocks() int { return (t.totalRows() + blockRows - 1) / blockRows }
+
+func (t *Table) numMainBlocks() int { return (t.mainRows + blockRows - 1) / blockRows }
+
+// matchBitmapExec is matchBitmap with morsel parallelism: main-fragment
+// blocks are claimed from a shared counter and every conjunct is applied
+// to a block before the next is claimed. Blocks are bitset-word aligned,
+// so concurrent workers write disjoint words; the delta passes and the
+// tombstone AND run serially afterwards (the delta fragment is small and
+// shares its first word with the last main block).
+func (t *Table) matchBitmapExec(pred expr.Predicate, s *scanScratch, ex *exec.Ctx) bitset.Bits {
+	nb := t.numMainBlocks()
+	if t.totalRows() < parallelMinRows || !ex.Parallel(nb) {
+		return t.matchBitmap(pred, s)
+	}
+	matchers, ok := t.compileMatchers(pred)
+	if !ok {
+		return t.fallbackBitmapExec(pred, s, ex)
+	}
+	if len(matchers) == 0 {
+		return nil
+	}
+	sort.Slice(matchers, func(i, j int) bool {
+		return t.matcherSelectivity(&matchers[i]) < t.matcherSelectivity(&matchers[j])
+	})
+	match := s.bits(t.totalRows())
+	blockWords := make([][]uint64, ex.Workers(nb))
+	ex.Morsels(nb, func(w, b int) bool {
+		bw := blockWords[w]
+		if bw == nil {
+			bw = make([]uint64, blockRows/64)
+			blockWords[w] = bw
+		}
+		b0 := b * blockRows
+		t.fillMatcherBlock(&matchers[0], match, b0, true, bw)
+		for i := 1; i < len(matchers); i++ {
+			t.fillMatcherBlock(&matchers[i], match, b0, false, bw)
+		}
+		return true
+	})
+	for i := range matchers {
+		t.fillMatcherDelta(&matchers[i], match, i == 0)
+	}
+	if t.live != t.totalRows() {
+		match.And(t.liveSet[:len(match)])
+	}
+	return match
+}
+
+// fallbackBitmapExec is fallbackBitmap with one block per morsel: each
+// worker materializes rows into private scratch and sets bits in its
+// block's (word-disjoint) region of the shared bitmap.
+func (t *Table) fallbackBitmapExec(pred expr.Predicate, s *scanScratch, ex *exec.Ctx) bitset.Bits {
+	cols := expr.ColumnSet(pred)
+	match := s.bits(t.totalRows())
+	match.Zero()
+	total := t.totalRows()
+	mainRows := t.mainRows
+	live := t.liveSet
+	type fbState struct {
+		scratch    []value.Value
+		blockCodes [][]uint32
+	}
+	nb := t.NumBlocks()
+	states := make([]*fbState, ex.Workers(nb))
+	ex.Morsels(nb, func(w, b int) bool {
+		st := states[w]
+		if st == nil {
+			st = &fbState{
+				scratch:    make([]value.Value, len(t.cols)),
+				blockCodes: make([][]uint32, len(cols)),
+			}
+			for j := range st.blockCodes {
+				st.blockCodes[j] = make([]uint32, blockRows)
+			}
+			states[w] = st
+		}
+		b0 := b * blockRows
+		n := min(blockRows, total-b0)
+		if !live.AnyRange(b0, b0+n) {
+			return true
+		}
+		mainN := 0
+		if b0 < mainRows {
+			mainN = min(n, mainRows-b0)
+		}
+		for j, cidx := range cols {
+			if mainN > 0 {
+				t.cols[cidx].mainCodes.UnpackBlock(b0, st.blockCodes[j][:mainN])
+			}
+		}
+		scratch := st.scratch
+		for i := 0; i < n; i++ {
+			rid := b0 + i
+			if !live.Get(rid) {
+				continue
+			}
+			for j, cidx := range cols {
+				c := &t.cols[cidx]
+				if i < mainN {
+					if c.mainNulls != nil && c.mainNulls[rid] {
+						scratch[cidx] = value.Null(c.typ)
+					} else {
+						scratch[cidx] = c.mainDict.Value(st.blockCodes[j][i])
+					}
+				} else {
+					d := rid - mainRows
+					if c.deltaNulls != nil && c.deltaNulls[d] {
+						scratch[cidx] = value.Null(c.typ)
+					} else {
+						scratch[cidx] = c.deltaDict.Value(c.deltaCodes[d])
+					}
+				}
+			}
+			if pred.Matches(scratch) {
+				match.Set(rid)
+			}
+		}
+		return true
+	})
+	return match
+}
+
+// forBatchesExec is forBatches driven by the execution context: one scan
+// block per morsel, each worker building the batch rid list in a private
+// buffer. fn must be safe for concurrent calls with distinct worker ids;
+// batch order across workers is not defined. The serial path (small
+// table, no pool, single slot) preserves forBatches' ascending order and
+// polls the cancellation hook between blocks.
+func (t *Table) forBatchesExec(match bitset.Bits, ex *exec.Ctx, fn func(w int, rids []int32, b0, nm, mainN int) bool) {
+	total := t.totalRows()
+	nb := t.NumBlocks()
+	if total < parallelMinRows || !ex.Parallel(nb) {
+		stop := ex.StopHook()
+		t.forBatches(match, func(rids []int32, b0, nm, mainN int) bool {
+			if stop != nil && stop() {
+				return false
+			}
+			return fn(0, rids, b0, nm, mainN)
+		})
+		return
+	}
+	src := t.rowSource(match)
+	ridBufs := make([][]int32, ex.Workers(nb))
+	ex.Morsels(nb, func(w, b int) bool {
+		b0 := b * blockRows
+		n := min(blockRows, total-b0)
+		rids := ridBufs[w]
+		if rids == nil {
+			rids = make([]int32, 0, blockRows)
+		}
+		rids = src.AppendSet(rids[:0], b0, b0+n)
+		ridBufs[w] = rids
+		if len(rids) == 0 {
+			return true
+		}
+		nm, mainN := t.splitBatch(rids, b0, n)
+		return fn(w, rids, b0, nm, mainN)
+	})
+}
+
+// aggregateGlobalExec computes ungrouped aggregates. Small tables and
+// serial contexts use aggregateGlobal's per-code counting verbatim; the
+// parallel path claims main-fragment blocks as morsels with per-worker
+// count arrays (small dictionaries) or scalar code accumulators (large
+// ones), then folds per code exactly like the serial path. The delta
+// fragment stays serial — it is bounded by the merge threshold.
+func (t *Table) aggregateGlobalExec(res *agg.Result, specs []agg.Spec, match bitset.Bits, s *scanScratch, ex *exec.Ctx) {
+	nb := t.numMainBlocks()
+	if t.mainRows < parallelMinRows || !ex.Parallel(nb) {
+		t.aggregateGlobal(res, specs, match, s, ex.StopHook())
+		return
+	}
+	g := res.Global()
+	dense := match == nil && t.live == t.totalRows()
+	src := t.rowSource(match)
+
+	// Per-spec plan, shared read-only by all workers.
+	counting := make([]bool, len(specs))
+	fvals := make([][]float64, len(specs))
+	for si, sp := range specs {
+		if sp.Col < 0 {
+			g.Accs[si].AddCount(t.countMatches(match))
+			continue
+		}
+		c := &t.cols[sp.Col]
+		if c.mainDict.Len() <= globalCountsLimit {
+			counting[si] = true
+			continue
+		}
+		mv := c.mainDict.Values()
+		f := make([]float64, len(mv))
+		for i, v := range mv {
+			f[i] = v.Float()
+		}
+		fvals[si] = f
+	}
+
+	type gState struct {
+		counts [][]int64 // per counting-mode spec: rows per main code
+		accs   []codeAcc // per large-dictionary spec
+		codes  []uint32
+		rids   []int32
+	}
+	states := make([]*gState, ex.Workers(nb))
+	ex.Morsels(nb, func(w, b int) bool {
+		st := states[w]
+		if st == nil {
+			st = &gState{
+				counts: make([][]int64, len(specs)),
+				accs:   make([]codeAcc, len(specs)),
+				codes:  make([]uint32, blockRows),
+				rids:   make([]int32, 0, blockRows),
+			}
+			for si, sp := range specs {
+				st.accs[si].minC = ^uint32(0)
+				if sp.Col >= 0 && counting[si] {
+					st.counts[si] = make([]int64, t.cols[sp.Col].mainDict.Len())
+				}
+			}
+			states[w] = st
+		}
+		b0 := b * blockRows
+		n := min(blockRows, t.mainRows-b0)
+		haveRids := false
+		for si := range specs {
+			sp := &specs[si]
+			if sp.Col < 0 {
+				continue
+			}
+			c := &t.cols[sp.Col]
+			fast := dense && c.mainNulls == nil
+			if !fast && !haveRids {
+				st.rids = src.AppendSet(st.rids[:0], b0, b0+n)
+				haveRids = true
+			}
+			if !fast && len(st.rids) == 0 {
+				continue
+			}
+			c.mainCodes.UnpackBlock(b0, st.codes[:n])
+			codes := st.codes[:n]
+			if counting[si] {
+				cnts := st.counts[si]
+				switch {
+				case fast:
+					for _, code := range codes {
+						cnts[code]++
+					}
+				case c.mainNulls == nil:
+					for _, rid := range st.rids {
+						cnts[codes[int(rid)-b0]]++
+					}
+				default:
+					for _, rid := range st.rids {
+						if !c.mainNulls[rid] {
+							cnts[codes[int(rid)-b0]]++
+						}
+					}
+				}
+				continue
+			}
+			a := &st.accs[si]
+			f := fvals[si]
+			add := func(code uint32) {
+				a.sum += f[code]
+				a.cnt++
+				if code < a.minC {
+					a.minC = code
+				}
+				if code > a.maxC {
+					a.maxC = code
+				}
+			}
+			switch {
+			case fast:
+				for _, code := range codes {
+					add(code)
+				}
+			case c.mainNulls == nil:
+				for _, rid := range st.rids {
+					add(codes[int(rid)-b0])
+				}
+			default:
+				for _, rid := range st.rids {
+					if !c.mainNulls[rid] {
+						add(codes[int(rid)-b0])
+					}
+				}
+			}
+		}
+		return true
+	})
+	if ex.Stopped() {
+		return
+	}
+	for si, sp := range specs {
+		if sp.Col < 0 {
+			continue
+		}
+		c := &t.cols[sp.Col]
+		if counting[si] {
+			var total []int64
+			for _, st := range states {
+				if st == nil || st.counts[si] == nil {
+					continue
+				}
+				if total == nil {
+					total = st.counts[si]
+					continue
+				}
+				for code, cnt := range st.counts[si] {
+					total[code] += cnt
+				}
+			}
+			for code, cnt := range total {
+				if cnt > 0 {
+					g.Accs[si].AddWeighted(c.mainDict.Value(uint32(code)), cnt)
+				}
+			}
+		} else {
+			var m codeAcc
+			m.minC = ^uint32(0)
+			for _, st := range states {
+				if st == nil || st.accs[si].cnt == 0 {
+					continue
+				}
+				b := &st.accs[si]
+				m.sum += b.sum
+				m.cnt += b.cnt
+				if b.minC < m.minC {
+					m.minC = b.minC
+				}
+				if b.maxC > m.maxC {
+					m.maxC = b.maxC
+				}
+			}
+			if m.cnt > 0 {
+				g.Accs[si].AddSummary(m.sum, m.cnt, c.mainDict.Value(m.minC), c.mainDict.Value(m.maxC))
+			}
+		}
+		t.aggregateGlobalDelta(&g.Accs[si], c, match, dense)
+	}
+}
+
+// ScanBatchesExec is ScanBatches driven by the execution context: batches
+// are claimed one scan block per morsel and decoded into per-worker
+// buffers. fn additionally receives the worker id (for per-worker
+// downstream state) and the batch's block index (block order is the
+// serial batch order, so callers can reassemble deterministic output);
+// it must be safe for concurrent calls with distinct worker ids.
+func (t *Table) ScanBatchesExec(pred expr.Predicate, cols []int, ex *exec.Ctx, fn func(w, block int, rids []int32, colVals [][]value.Value) bool) {
+	if cols == nil {
+		cols = t.allColumns()
+	}
+	s := t.acquireScratch()
+	defer t.releaseScratch(s)
+	match := t.matchBitmapExec(pred, s, ex)
+	if t.totalRows() == 0 {
+		return
+	}
+	type sbState struct {
+		s     *scanScratch
+		views [][]value.Value
+	}
+	states := make([]*sbState, ex.Workers(t.NumBlocks()))
+	defer func() {
+		for _, st := range states {
+			if st != nil && st.s != s {
+				t.releaseScratch(st.s)
+			}
+		}
+	}()
+	t.forBatchesExec(match, ex, func(w int, rids []int32, b0, nm, mainN int) bool {
+		st := states[w]
+		if st == nil {
+			sc := s // worker 0 reuses the matcher's scratch buffers
+			if w != 0 {
+				sc = t.acquireScratch()
+			}
+			st = &sbState{s: sc, views: make([][]value.Value, len(cols))}
+			states[w] = st
+		}
+		bufs := st.s.colBufs(len(cols))
+		codes := st.s.codeBuf()
+		for j, cidx := range cols {
+			st.views[j] = bufs[j][:len(rids)]
+			t.gatherColumn(&t.cols[cidx], rids, b0, nm, mainN, codes, st.views[j])
+		}
+		return fn(w, b0/blockRows, rids, st.views)
+	})
+}

@@ -213,14 +213,28 @@ func (s *scanScratch) colBufs(ncols int) [][]value.Value {
 // words are ANDed in — and blocks whose words are already zero are skipped
 // before any decode.
 func (t *Table) fillMatcher(m *colMatcher, match bitset.Bits, first bool) {
+	var blockWords [blockRows / 64]uint64
+	for b0 := 0; b0 < t.mainRows; b0 += blockRows {
+		t.fillMatcherBlock(m, match, b0, first, blockWords[:])
+	}
+	t.fillMatcherDelta(m, match, first)
+}
+
+// fillMatcherBlock evaluates one matcher over the single main-fragment
+// block starting at b0. Blocks are bitset-word aligned (blockRows is a
+// multiple of 64), so distinct blocks write disjoint words — the morsel
+// parallel scan runs this concurrently, one block per morsel, as long as
+// every matcher is applied to a block before moving on and the delta
+// passes run afterwards. blockWords is a per-caller (n+63)/64-word
+// staging buffer for nullable columns.
+func (t *Table) fillMatcherBlock(m *colMatcher, match bitset.Bits, b0 int, first bool, blockWords []uint64) {
 	c := &t.cols[m.col]
 	lo, hi := m.mainLo, m.mainHi
 	if hi < lo {
 		hi = lo // empty code range (e.g. inverted BETWEEN bounds)
 	}
 	mainRows := t.mainRows
-	var blockWords [blockRows / 64]uint64
-	for b0 := 0; b0 < mainRows; b0 += blockRows {
+	{
 		n := min(blockRows, mainRows-b0)
 		w0 := b0 >> 6
 		z := c.mainZones[b0/blockRows]
@@ -239,7 +253,7 @@ func (t *Table) fillMatcher(m *colMatcher, match bitset.Bits, first bool) {
 					match[(b0+n)>>6] &= ^uint64(0) << rem
 				}
 			}
-			continue
+			return
 		}
 		if !z.hasNull && z.within(lo, hi) {
 			// Every row in the block matches: ANDing is a no-op,
@@ -253,7 +267,7 @@ func (t *Table) fillMatcher(m *colMatcher, match bitset.Bits, first bool) {
 					match[w0+full] = 1<<rem - 1
 				}
 			}
-			continue
+			return
 		}
 		// Ambiguous block: fused decode+test kernels write bitset words
 		// straight into the match bitmap. The AND kernel skips decode for
@@ -265,7 +279,7 @@ func (t *Table) fillMatcher(m *colMatcher, match bitset.Bits, first bool) {
 			} else {
 				c.mainCodes.RangeMatchWordsAnd(b0, n, lo, hi, match[w0:])
 			}
-			continue
+			return
 		}
 		// Nullable column: mask NULL rows out of a block buffer first.
 		bw := blockWords[:(n+63)>>6]
@@ -294,8 +308,16 @@ func (t *Table) fillMatcher(m *colMatcher, match bitset.Bits, first bool) {
 			}
 		}
 	}
-	// Delta fragment (small, append-only): per-row over the plain code
-	// slice and the matcher's per-code table.
+}
+
+// fillMatcherDelta evaluates one matcher over the delta fragment (small,
+// append-only): per-row over the plain code slice and the matcher's
+// per-code table. It must run after every main-fragment block pass — the
+// word shared between the last main block and the first delta rows holds
+// only main bits until then.
+func (t *Table) fillMatcherDelta(m *colMatcher, match bitset.Bits, first bool) {
+	c := &t.cols[m.col]
+	mainRows := t.mainRows
 	if first {
 		for w := (mainRows + 63) >> 6; w < len(match); w++ {
 			match[w] = 0

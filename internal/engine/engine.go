@@ -19,6 +19,7 @@ import (
 	"hybridstore/internal/agg"
 	"hybridstore/internal/catalog"
 	"hybridstore/internal/colstore"
+	"hybridstore/internal/exec"
 	"hybridstore/internal/query"
 	"hybridstore/internal/rowstore"
 	"hybridstore/internal/schema"
@@ -90,6 +91,12 @@ type Database struct {
 	tables map[string]*tableRuntime
 	obs    QueryObserver
 
+	// pool is the worker pool analytical reads draw morsel helpers
+	// from. It defaults to the shared process-wide pool; the network
+	// server replaces it with the pool it also admits statements on, so
+	// admission plus intra-query parallelism stay bounded together.
+	pool *exec.Pool
+
 	// Durability state; nil/empty for in-memory databases. log is set
 	// once by Open before the database is shared and never reassigned.
 	dir string
@@ -107,7 +114,23 @@ func New() *Database {
 	return &Database{
 		cat:    catalog.New(),
 		tables: make(map[string]*tableRuntime),
+		pool:   exec.Default(),
 	}
+}
+
+// SetPool replaces the worker pool reads fan out on (nil forces serial
+// execution). The server calls it before serving so session admission and
+// query parallelism share one bounded pool; it must not be called while
+// statements are executing.
+func (db *Database) SetPool(p *exec.Pool) { db.pool = p }
+
+// Pool returns the database's worker pool (nil when serial).
+func (db *Database) Pool() *exec.Pool { return db.pool }
+
+// execCtx derives one statement's execution context: the database pool
+// plus the context-backed cancellation hook.
+func (db *Database) execCtx(ctx context.Context) *exec.Ctx {
+	return &exec.Ctx{Pool: db.pool, Stop: stopFunc(ctx)}
 }
 
 // Catalog exposes the system catalog.
@@ -640,6 +663,63 @@ func (db *Database) execRead(ctx context.Context, q *query.Query) (*Result, erro
 		if ordered {
 			scanCols = unionCols(cols, orderCols(q.OrderBy))
 		}
+		// Morsel-parallel collection: when the store exposes a parallel
+		// batch scan and the limit cannot short-circuit (no limit, or an
+		// ORDER BY that must see every row anyway), blocks are projected
+		// concurrently and reassembled in block order — the exact row
+		// order of the serial scan.
+		ex := db.execCtx(ctx)
+		if bs, ok := rt.store.(execBatchScanner); ok && ex.Parallel(bs.NumBlocks()) && (q.Limit <= 0 || ordered) {
+			perBlock := make([][][]value.Value, bs.NumBlocks())
+			var perKeys [][][]value.Value
+			if ordered {
+				perKeys = make([][][]value.Value, bs.NumBlocks())
+			}
+			pos := make([]int, sch.NumColumns())
+			for j, c := range scanCols {
+				pos[c] = j
+			}
+			bs.ScanBatchesExec(q.Pred, scanCols, ex, func(w, block int, rids []int32, colVals [][]value.Value) bool {
+				rows := make([][]value.Value, len(rids))
+				for k := range rids {
+					out := make([]value.Value, len(cols))
+					for i, c := range cols {
+						out[i] = colVals[pos[c]][k]
+					}
+					rows[k] = out
+				}
+				perBlock[block] = rows
+				if ordered {
+					bkeys := make([][]value.Value, len(rids))
+					for k := range rids {
+						key := make([]value.Value, len(q.OrderBy))
+						for i, o := range q.OrderBy {
+							key[i] = colVals[pos[o.Col]][k]
+						}
+						bkeys[k] = key
+					}
+					perKeys[block] = bkeys
+				}
+				return true
+			})
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			for b, rows := range perBlock {
+				res.Rows = append(res.Rows, rows...)
+				if ordered {
+					keys = append(keys, perKeys[b]...)
+				}
+			}
+			if ordered {
+				sortRowsByKeys(res.Rows, keys, q.OrderBy)
+				if q.Limit > 0 && len(res.Rows) > q.Limit {
+					res.Rows = res.Rows[:q.Limit]
+				}
+			}
+			res.Affected = len(res.Rows)
+			return res, nil
+		}
 		stop := stopFunc(ctx)
 		visited := 0
 		rt.store.Scan(q.Pred, scanCols, func(row []value.Value) bool {
@@ -676,7 +756,7 @@ func (db *Database) execRead(ctx context.Context, q *query.Query) (*Result, erro
 		res.Affected = len(res.Rows)
 		return res, nil
 	case query.Aggregate:
-		ar := rt.store.Aggregate(q.Aggs, q.GroupBy, q.Pred, stopFunc(ctx))
+		ar := rt.store.Aggregate(q.Aggs, q.GroupBy, q.Pred, db.execCtx(ctx))
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}

@@ -2,48 +2,15 @@ package engine
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"hybridstore/internal/agg"
 	"hybridstore/internal/catalog"
+	"hybridstore/internal/exec"
 	"hybridstore/internal/expr"
 	"hybridstore/internal/schema"
 	"hybridstore/internal/value"
 	"hybridstore/internal/wal"
 )
-
-// scanWorkers bounds the goroutines the engine fans out across horizontal
-// partitions. A partition task either grabs a worker slot or runs inline
-// on the caller's goroutine, so nested partitioning can never deadlock the
-// pool.
-var scanWorkers = make(chan struct{}, runtime.GOMAXPROCS(0))
-
-// parallelDo runs the given functions concurrently where worker slots
-// allow (the first, and any overflow, run inline) and returns when all are
-// done. Tasks must touch disjoint state: the engine builds each partition
-// as its own store, so per-partition scans and partial aggregates never
-// share scratch buffers.
-func parallelDo(fns ...func()) {
-	var wg sync.WaitGroup
-	for _, fn := range fns[1:] {
-		select {
-		case scanWorkers <- struct{}{}:
-			wg.Add(1)
-			go func(f func()) {
-				defer func() {
-					<-scanWorkers
-					wg.Done()
-				}()
-				f()
-			}(fn)
-		default:
-			fn()
-		}
-	}
-	fns[0]()
-	wg.Wait()
-}
 
 // horizontalStorage splits a table into a hot partition (rows with
 // SplitCol >= SplitVal — current and newly arriving tuples, typically in
@@ -159,22 +126,24 @@ func (h *horizontalStorage) Scan(pred expr.Predicate, cols []int, fn func(row []
 }
 
 // Aggregate computes partial aggregates per relevant partition and merges
-// them. When both partitions participate, the partial aggregates run
-// concurrently on the bounded worker pool — the partitions are independent
+// them. When both partitions participate, the partial aggregates fan out
+// on the shared worker pool via ex.Do — the partitions are independent
 // stores, and agg.Result merging is exactly the "union of both partitions"
-// the paper's rewrite produces, so the fan-out is transparent.
-func (h *horizontalStorage) Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate, stop func() bool) *agg.Result {
+// the paper's rewrite produces, so the fan-out is transparent. Each
+// partition's aggregate gets the same ex, so a partition that lands on a
+// column store can still claim leftover pool slots for its own morsels.
+func (h *horizontalStorage) Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate, ex *exec.Ctx) *agg.Result {
 	useHot, useCold := h.sides(pred)
 	switch {
 	case useHot && !useCold:
-		return h.hot.Aggregate(specs, groupBy, pred, stop)
+		return h.hot.Aggregate(specs, groupBy, pred, ex)
 	case useCold && !useHot:
-		return h.cold.Aggregate(specs, groupBy, pred, stop)
+		return h.cold.Aggregate(specs, groupBy, pred, ex)
 	default:
 		var coldRes, hotRes *agg.Result
-		parallelDo(
-			func() { coldRes = h.cold.Aggregate(specs, groupBy, pred, stop) },
-			func() { hotRes = h.hot.Aggregate(specs, groupBy, pred, stop) },
+		ex.Do(
+			func() { coldRes = h.cold.Aggregate(specs, groupBy, pred, ex) },
+			func() { hotRes = h.hot.Aggregate(specs, groupBy, pred, ex) },
 		)
 		coldRes.Merge(hotRes)
 		return coldRes

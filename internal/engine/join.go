@@ -6,6 +6,7 @@ import (
 
 	"hybridstore/internal/agg"
 	"hybridstore/internal/colstore"
+	"hybridstore/internal/exec"
 	"hybridstore/internal/expr"
 	"hybridstore/internal/query"
 	"hybridstore/internal/value"
@@ -36,6 +37,7 @@ func (db *Database) execJoin(ctx context.Context, q *query.Query) (*Result, erro
 		}
 	}
 	stop := stopFunc(ctx)
+	ex := db.execCtx(ctx)
 
 	leftPred, rightPred, postPred := splitJoinPred(q.Pred, nL, nR)
 
@@ -58,7 +60,35 @@ func (db *Database) execJoin(ctx context.Context, q *query.Query) (*Result, erro
 	// full-width scratch copy per row.
 	hash := make(map[uint64][]*buildRow)
 	buildNeed := append(append([]int{}, build.need...), build.joinCol)
-	if bs, ok := build.rt.store.(batchScanner); ok {
+	if bs, ok := build.rt.store.(execBatchScanner); ok && ex.Parallel(bs.NumBlocks()) {
+		// Parallel build: blocks materialize their rows concurrently;
+		// the hash inserts run serially afterwards in block order, so
+		// bucket chains match the serial build exactly.
+		keyIdx := len(buildNeed) - 1 // joinCol is last in buildNeed
+		perBlock := make([][]*buildRow, bs.NumBlocks())
+		bs.ScanBatchesExec(build.pred, buildNeed, ex, func(w, block int, rids []int32, colVals [][]value.Value) bool {
+			rows := make([]*buildRow, 0, len(rids))
+			for k := range rids {
+				key := colVals[keyIdx][k]
+				if key.IsNull() {
+					continue
+				}
+				vals := make([]value.Value, build.width)
+				for j, c := range buildNeed {
+					vals[c] = colVals[j][k]
+				}
+				rows = append(rows, &buildRow{key: key, vals: vals})
+			}
+			perBlock[block] = rows
+			return true
+		})
+		for _, rows := range perBlock {
+			for _, br := range rows {
+				h := br.key.Hash()
+				hash[h] = append(hash[h], br)
+			}
+		}
+	} else if bs, ok := build.rt.store.(batchScanner); ok {
 		keyIdx := len(buildNeed) - 1 // joinCol is last in buildNeed
 		bs.ScanBatches(build.pred, buildNeed, func(rids []int32, colVals [][]value.Value) bool {
 			if stop != nil && stop() {
@@ -130,7 +160,10 @@ func (db *Database) execJoin(ctx context.Context, q *query.Query) (*Result, erro
 	if cs, ok := probe.rt.store.(*colStorage); ok &&
 		q.Kind == query.Aggregate && postPred == nil &&
 		groupsOnSide(q.GroupBy, build.offset, build.width) {
-		probeJoinColumnar(cs.t, q, &probe, &build, hash, aggRes, stop)
+		probeJoinColumnar(cs.t, q, &probe, &build, hash, aggRes, ex)
+	} else if bs, ok := probe.rt.store.(execBatchScanner); ok &&
+		q.Kind == query.Aggregate && ex.Parallel(bs.NumBlocks()) {
+		probeJoinParallel(bs, q, &probe, &build, buildNeed, hash, aggRes, postPred, nL+nR, ex)
 	} else {
 		limitHit := false
 		probeVisited := 0
@@ -259,9 +292,8 @@ type joinSide struct {
 
 // buildRow is one materialized row of the hash join's build side.
 type buildRow struct {
-	key   value.Value
-	vals  []value.Value // full side width (needed cols filled)
-	group *agg.Group    // lazily resolved when grouping is build-side only
+	key  value.Value
+	vals []value.Value // full side width (needed cols filled)
 }
 
 // groupsOnSide reports whether every group-by column (combined indexing)
@@ -278,11 +310,12 @@ func groupsOnSide(groupBy []int, offset, width int) bool {
 // probeJoinColumnar probes the hash join by dictionary code: the build
 // side is resolved once per distinct probe-key code and group buckets once
 // per build row, so the per-probe-row work reduces to a code extraction,
-// an array lookup and accumulator updates.
-func probeJoinColumnar(t *colstore.Table, q *query.Query, probe, build *joinSide, hash map[uint64][]*buildRow, aggRes *agg.Result, stop func() bool) {
+// an array lookup and accumulator updates. Under a parallel execution
+// context each probe worker keeps a private code→matches cache, group
+// cache and partial result (re-resolving a code on two workers is cheap
+// and race-free); the partials merge into aggRes in worker order.
+func probeJoinColumnar(t *colstore.Table, q *query.Query, probe, build *joinSide, hash map[uint64][]*buildRow, aggRes *agg.Result, ex *exec.Ctx) {
 	keyVals := t.KeyDictValues(probe.joinCol)
-	matches := make([][]*buildRow, len(keyVals))
-	resolved := make([]bool, len(keyVals))
 
 	// Map each aggregate to its source: COUNT(*), a probe-side column
 	// (decoded into extraVals), or a build-side column.
@@ -312,46 +345,58 @@ func probeJoinColumnar(t *colstore.Table, q *query.Query, probe, build *joinSide
 		}
 	}
 
-	groupKey := make([]value.Value, len(q.GroupBy))
-	resolveGroup := func(m *buildRow) *agg.Group {
-		if len(q.GroupBy) == 0 {
-			return aggRes.Global()
-		}
-		if m.group == nil {
-			for i, c := range q.GroupBy {
-				groupKey[i] = m.vals[c-build.offset]
-			}
-			m.group = aggRes.GroupFor(groupKey)
-		}
-		return m.group
+	type pjState struct {
+		res      *agg.Result
+		matches  [][]*buildRow
+		resolved []bool
+		groups   map[*buildRow]*agg.Group
+		groupKey []value.Value
 	}
+	states := make([]*pjState, ex.Workers(t.NumBlocks()))
 
-	visited := 0
-	t.JoinProbe(probe.joinCol, extra, probe.pred, func(code int64, extraVals []value.Value) bool {
-		if stop != nil {
-			visited++
-			if visited%scanCancelBatch == 0 && stop() {
-				return false
+	t.JoinProbeExec(probe.joinCol, extra, probe.pred, ex, func(w int, code int64, extraVals []value.Value) bool {
+		st := states[w]
+		if st == nil {
+			st = &pjState{
+				res:      agg.NewResult(q.Aggs, q.GroupBy),
+				matches:  make([][]*buildRow, len(keyVals)),
+				resolved: make([]bool, len(keyVals)),
+				groupKey: make([]value.Value, len(q.GroupBy)),
 			}
+			if len(q.GroupBy) > 0 {
+				st.groups = make(map[*buildRow]*agg.Group)
+			}
+			states[w] = st
 		}
 		if code < 0 {
 			return true // NULL join keys never match
 		}
-		if !resolved[code] {
-			resolved[code] = true
+		if !st.resolved[code] {
+			st.resolved[code] = true
 			k := keyVals[code]
 			for _, m := range hash[k.Hash()] {
 				if value.Equal(m.key, k) {
-					matches[code] = append(matches[code], m)
+					st.matches[code] = append(st.matches[code], m)
 				}
 			}
 		}
-		ms := matches[code]
+		ms := st.matches[code]
 		if len(ms) == 0 {
 			return true
 		}
 		for _, m := range ms {
-			g := resolveGroup(m)
+			var g *agg.Group
+			if len(q.GroupBy) == 0 {
+				g = st.res.Global()
+			} else if cached, ok := st.groups[m]; ok {
+				g = cached
+			} else {
+				for i, c := range q.GroupBy {
+					st.groupKey[i] = m.vals[c-build.offset]
+				}
+				g = st.res.GroupFor(st.groupKey)
+				st.groups[m] = g
+			}
 			for i := range q.Aggs {
 				switch {
 				case srcs[i].countStar:
@@ -365,6 +410,91 @@ func probeJoinColumnar(t *colstore.Table, q *query.Query, probe, build *joinSide
 		}
 		return true
 	})
+	if ex.Stopped() {
+		return // caller surfaces ctx.Err(); partials are discarded
+	}
+	for _, st := range states {
+		if st != nil {
+			aggRes.Merge(st.res)
+		}
+	}
+}
+
+// probeJoinParallel is the generic aggregate probe fanned out across
+// morsel workers: each worker materializes probe batches, walks the
+// shared (read-only) hash table and accumulates into a private partial
+// result; the partials merge in worker order after the scan. Select
+// joins stay serial — their limit/order semantics want the serial row
+// order — and stopped contexts leave aggRes untouched.
+func probeJoinParallel(bs execBatchScanner, q *query.Query, probe, build *joinSide, buildNeed []int, hash map[uint64][]*buildRow, aggRes *agg.Result, postPred expr.Predicate, combinedWidth int, ex *exec.Ctx) {
+	probeNeed := append(append([]int{}, probe.need...), probe.joinCol)
+	keyIdx := len(probeNeed) - 1
+	type gpState struct {
+		res      *agg.Result
+		combined []value.Value
+		groupKey []value.Value
+	}
+	states := make([]*gpState, ex.Workers(bs.NumBlocks()))
+	bs.ScanBatchesExec(probe.pred, probeNeed, ex, func(w, block int, rids []int32, colVals [][]value.Value) bool {
+		st := states[w]
+		if st == nil {
+			st = &gpState{
+				res:      agg.NewResult(q.Aggs, q.GroupBy),
+				combined: make([]value.Value, combinedWidth),
+				groupKey: make([]value.Value, len(q.GroupBy)),
+			}
+			states[w] = st
+		}
+		for k := range rids {
+			kv := colVals[keyIdx][k]
+			if kv.IsNull() {
+				continue
+			}
+			matches := hash[kv.Hash()]
+			if len(matches) == 0 {
+				continue
+			}
+			for j, c := range probeNeed {
+				st.combined[probe.offset+c] = colVals[j][k]
+			}
+			for _, m := range matches {
+				if !value.Equal(m.key, kv) {
+					continue // hash collision
+				}
+				for _, c := range buildNeed {
+					st.combined[build.offset+c] = m.vals[c]
+				}
+				if postPred != nil && !postPred.Matches(st.combined) {
+					continue
+				}
+				var g *agg.Group
+				if len(q.GroupBy) > 0 {
+					for i, c := range q.GroupBy {
+						st.groupKey[i] = st.combined[c]
+					}
+					g = st.res.GroupFor(st.groupKey)
+				} else {
+					g = st.res.Global()
+				}
+				for i, s := range q.Aggs {
+					if s.Col < 0 {
+						g.Accs[i].AddCount(1)
+					} else {
+						g.Accs[i].Add(st.combined[s.Col])
+					}
+				}
+			}
+		}
+		return true
+	})
+	if ex.Stopped() {
+		return
+	}
+	for _, st := range states {
+		if st != nil {
+			aggRes.Merge(st.res)
+		}
+	}
 }
 
 // splitJoinPred partitions a combined-index predicate into conjuncts that

@@ -5,6 +5,7 @@ import (
 
 	"hybridstore/internal/agg"
 	"hybridstore/internal/colstore"
+	"hybridstore/internal/exec"
 	"hybridstore/internal/expr"
 	"hybridstore/internal/rowstore"
 	"hybridstore/internal/schema"
@@ -27,13 +28,14 @@ type storage interface {
 	// will read (nil = all); implementations may leave other positions
 	// stale. The row slice is scratch — do not retain.
 	Scan(pred expr.Predicate, cols []int, fn func(row []value.Value) bool)
-	// Aggregate computes grouped aggregates over rows matching pred.
-	// stop (when non-nil) is polled at batch boundaries — roughly every
-	// 1024 rows — and a true return abandons the aggregation; the
-	// partial result must then be discarded. The engine derives stop
-	// from the statement's context so cancelling a client aborts an
-	// in-flight analytical scan within one batch.
-	Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate, stop func() bool) *agg.Result
+	// Aggregate computes grouped aggregates over rows matching pred. ex
+	// carries the statement's execution context: its Stop hook (derived
+	// from the statement context) is polled at batch boundaries —
+	// roughly every 1024 rows — and a true return abandons the
+	// aggregation, whose partial result must then be discarded; its Pool
+	// lets the stores fan the scan out across morsel workers. A nil ex
+	// (or nil ex.Pool) runs serially without cancellation.
+	Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate, ex *exec.Ctx) *agg.Result
 	// CreateIndex adds a secondary index where the underlying store
 	// supports one (row stores); otherwise it is a no-op. Callers that
 	// need to distinguish must consult SupportsIndex first.
@@ -182,8 +184,8 @@ func (s *rowStorage) Scan(pred expr.Predicate, cols []int, fn func(row []value.V
 	s.t.Scan(pred, func(rid int, row []value.Value) bool { return fn(row) })
 }
 
-func (s *rowStorage) Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate, stop func() bool) *agg.Result {
-	return s.t.AggregateStop(specs, groupBy, pred, stop)
+func (s *rowStorage) Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate, ex *exec.Ctx) *agg.Result {
+	return s.t.AggregateExec(specs, groupBy, pred, ex)
 }
 
 func (s *rowStorage) CreateIndex(col int) { s.t.CreateIndex(col) }
@@ -246,8 +248,27 @@ type batchScanner interface {
 	ScanBatches(pred expr.Predicate, cols []int, fn func(rids []int32, colVals [][]value.Value) bool)
 }
 
-func (s *colStorage) Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate, stop func() bool) *agg.Result {
-	return s.t.AggregateStop(specs, groupBy, pred, stop)
+// NumBlocks exposes the column store's scan-block (morsel) count.
+func (s *colStorage) NumBlocks() int { return s.t.NumBlocks() }
+
+// ScanBatchesExec exposes the column store's morsel-parallel batch scan.
+func (s *colStorage) ScanBatchesExec(pred expr.Predicate, cols []int, ex *exec.Ctx, fn func(w, block int, rids []int32, colVals [][]value.Value) bool) {
+	s.t.ScanBatchesExec(pred, cols, ex, fn)
+}
+
+// execBatchScanner is implemented by storages whose batch scan can fan
+// out across morsel workers; the engine's parallel SELECT collection and
+// join build/probe paths type-assert against it. Batches arrive on
+// concurrent workers in arbitrary order — fn must be safe for distinct
+// worker ids, and callers reassemble deterministic output via the block
+// index (block order is the serial scan order).
+type execBatchScanner interface {
+	NumBlocks() int
+	ScanBatchesExec(pred expr.Predicate, cols []int, ex *exec.Ctx, fn func(w, block int, rids []int32, colVals [][]value.Value) bool)
+}
+
+func (s *colStorage) Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate, ex *exec.Ctx) *agg.Result {
+	return s.t.AggregateExec(specs, groupBy, pred, ex)
 }
 
 // CreateIndex is a no-op: the column store's sorted dictionaries already

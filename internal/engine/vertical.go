@@ -6,6 +6,7 @@ import (
 	"hybridstore/internal/agg"
 	"hybridstore/internal/catalog"
 	"hybridstore/internal/colstore"
+	"hybridstore/internal/exec"
 	"hybridstore/internal/expr"
 	"hybridstore/internal/rowstore"
 	"hybridstore/internal/schema"
@@ -231,7 +232,7 @@ func (v *verticalStorage) scanJoined(pred expr.Predicate, fn func(row []value.Va
 // referenced columns live there (the common case after the advisor's
 // vertical split: keyfigures and group-bys in the column partition);
 // otherwise it accumulates over PK-joined tuples.
-func (v *verticalStorage) Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate, stop func() bool) *agg.Result {
+func (v *verticalStorage) Aggregate(specs []agg.Spec, groupBy []int, pred expr.Predicate, ex *exec.Ctx) *agg.Result {
 	need := expr.ColumnSet(pred)
 	for _, s := range specs {
 		if s.Col >= 0 {
@@ -269,11 +270,11 @@ func (v *verticalStorage) Aggregate(specs []agg.Spec, groupBy []int, pred expr.P
 	switch v.coverage(need) {
 	case partCol:
 		if rs, gb, p, ok := remapInto(v.colFwd); ok {
-			return v.colPart.AggregateStop(rs, gb, p, stop)
+			return v.colPart.AggregateExec(rs, gb, p, ex)
 		}
 	case partRow:
 		if rs, gb, p, ok := remapInto(v.rowFwd); ok {
-			return v.rowPart.AggregateStop(rs, gb, p, stop)
+			return v.rowPart.AggregateExec(rs, gb, p, ex)
 		}
 	}
 	// Spanning aggregate: PK-join scan with generic accumulation,
@@ -282,6 +283,7 @@ func (v *verticalStorage) Aggregate(specs []agg.Spec, groupBy []int, pred expr.P
 	res.SetOutputTypes(v.sch.ColTypes())
 	key := make([]value.Value, len(groupBy))
 	cols := append([]int{}, need...)
+	stop := ex.StopHook()
 	visited := 0
 	v.Scan(pred, cols, func(row []value.Value) bool {
 		if stop != nil {

@@ -1,0 +1,227 @@
+// Package exec provides the process-wide query-execution worker pool and
+// the morsel-driven parallel loop the storage layers run scans and
+// aggregations on.
+//
+// The pool is a fixed set of slots (default GOMAXPROCS) shared by two
+// kinds of work: statement admission (the network server blocks one slot
+// per executing statement) and intra-query helpers (a parallel scan
+// try-acquires extra slots for additional workers). Helpers never block —
+// when no slot is free the caller simply does the work on its own
+// goroutine — so sharing one pool between admission control and morsel
+// parallelism cannot deadlock, and the total number of goroutines doing
+// query work stays bounded by the pool size: a lone analytical query
+// fans out across every core, while a saturated server runs one statement
+// per slot with no oversubscription.
+package exec
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded set of execution slots.
+type Pool struct {
+	size  int
+	slots chan struct{}
+}
+
+// NewPool creates a pool with n slots; n <= 0 means GOMAXPROCS.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{size: n, slots: make(chan struct{}, n)}
+}
+
+// Size returns the number of slots.
+func (p *Pool) Size() int { return p.size }
+
+// InUse returns the number of currently held slots (admission +
+// in-flight helper workers); a value at Size means the pool is
+// saturated.
+func (p *Pool) InUse() int { return len(p.slots) }
+
+// Acquire blocks until a slot is free (statement admission) or ctx is
+// done, returning ctx.Err() in the latter case.
+func (p *Pool) Acquire(ctx context.Context) error {
+	select {
+	case p.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TryAcquire grabs a slot only if one is free. Intra-query helpers use
+// it so parallel loops degrade to inline execution instead of blocking.
+func (p *Pool) TryAcquire() bool {
+	select {
+	case p.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a slot taken by Acquire or TryAcquire.
+func (p *Pool) Release() { <-p.slots }
+
+var (
+	defaultMu   sync.Mutex
+	defaultSize int
+	defaultPool *Pool
+)
+
+// Default returns the shared process-wide pool, creating it on first use
+// (GOMAXPROCS slots unless SetDefaultSize ran first).
+func Default() *Pool {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if defaultPool == nil {
+		defaultPool = NewPool(defaultSize)
+	}
+	return defaultPool
+}
+
+// SetDefaultSize sizes the default pool (0 = GOMAXPROCS). Commands call
+// it at startup from their -workers flag, before any query runs; calling
+// it later replaces the pool for future Default() callers only.
+func SetDefaultSize(n int) {
+	defaultMu.Lock()
+	defaultPool = NewPool(n)
+	defaultMu.Unlock()
+}
+
+// Ctx carries one statement's execution resources through the storage
+// layers: the pool its morsel loops may draw helper workers from and the
+// cooperative cancellation hook derived from the statement context. A
+// nil Ctx (or nil Pool) means serial execution with no cancellation —
+// every method is nil-receiver safe.
+type Ctx struct {
+	Pool *Pool
+	// Stop is polled at batch boundaries (roughly every 1024 rows); a
+	// true return abandons the work and the partial result must be
+	// discarded.
+	Stop func() bool
+}
+
+// Serial returns a Ctx that executes serially but still honors the given
+// cancellation hook.
+func Serial(stop func() bool) *Ctx { return &Ctx{Stop: stop} }
+
+// Stopped reports whether the statement has been cancelled.
+func (c *Ctx) Stopped() bool {
+	return c != nil && c.Stop != nil && c.Stop()
+}
+
+// StopHook returns the raw cancellation hook (nil for a nil Ctx), for
+// handing to serial code paths that take a stop func directly.
+func (c *Ctx) StopHook() func() bool {
+	if c == nil {
+		return nil
+	}
+	return c.Stop
+}
+
+// Workers returns the maximum number of workers a Morsels(n, ...) loop
+// may use (including the caller); callers size per-worker state with it.
+func (c *Ctx) Workers(n int) int {
+	if c == nil || c.Pool == nil || n < 1 {
+		return 1
+	}
+	if s := c.Pool.Size(); s < n {
+		n = s
+	}
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// Parallel reports whether a Morsels loop over n morsels could use more
+// than one worker; callers use it to skip building mergeable per-worker
+// state when execution is serial anyway.
+func (c *Ctx) Parallel(n int) bool { return c.Workers(n) > 1 }
+
+// Morsels runs fn(worker, morsel) for every morsel in [0, n), claiming
+// morsels from a shared counter. The calling goroutine is always worker
+// 0; up to Workers(n)-1 helpers are try-acquired from the pool and get
+// worker ids 1..k, so per-worker state indexed by the worker id is never
+// shared. fn returning false — or Stop reporting cancellation, polled
+// before every claim — stops all workers after their current morsel.
+// fn must be safe for concurrent calls with distinct worker ids.
+func (c *Ctx) Morsels(n int, fn func(worker, morsel int) bool) {
+	if n <= 0 {
+		return
+	}
+	workers := c.Workers(n)
+	var stop func() bool
+	if c != nil {
+		stop = c.Stop
+	}
+	if workers <= 1 {
+		for m := 0; m < n; m++ {
+			if stop != nil && stop() {
+				return
+			}
+			if !fn(0, m) {
+				return
+			}
+		}
+		return
+	}
+	var (
+		next    atomic.Int64
+		stopped atomic.Bool
+		wg      sync.WaitGroup
+	)
+	run := func(worker int) {
+		for {
+			if stopped.Load() || (stop != nil && stop()) {
+				return
+			}
+			m := int(next.Add(1)) - 1
+			if m >= n {
+				return
+			}
+			if !fn(worker, m) {
+				stopped.Store(true)
+				return
+			}
+		}
+	}
+	for w := 1; w < workers; w++ {
+		if !c.Pool.TryAcquire() {
+			break // pool saturated: remaining morsels run on fewer workers
+		}
+		wg.Add(1)
+		go func(worker int) {
+			defer func() {
+				c.Pool.Release()
+				wg.Done()
+			}()
+			run(worker)
+		}(w)
+	}
+	run(0)
+	wg.Wait()
+}
+
+// Do runs the given independent functions, on helper workers where the
+// pool allows (overflow runs on the caller). It is the partition fan-out
+// primitive: each fn must touch disjoint state.
+func (c *Ctx) Do(fns ...func()) {
+	switch len(fns) {
+	case 0:
+		return
+	case 1:
+		fns[0]()
+		return
+	}
+	c.Morsels(len(fns), func(_, m int) bool {
+		fns[m]()
+		return true
+	})
+}

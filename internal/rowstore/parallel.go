@@ -1,0 +1,85 @@
+package rowstore
+
+import (
+	"hybridstore/internal/agg"
+	"hybridstore/internal/exec"
+	"hybridstore/internal/expr"
+	"hybridstore/internal/value"
+)
+
+// rowMorsel is the row-slot range one parallel aggregation morsel covers.
+const rowMorsel = 4 * aggregateBatchRows
+
+// parallelMinRows is the arena size below which aggregation stays serial.
+const parallelMinRows = 2 * rowMorsel
+
+// AggregateExec is Aggregate driven by an execution context: when no
+// index restricts the candidate set, workers claim rowMorsel-sized slot
+// ranges of the arena, accumulate into private results and merge them
+// after the scan — the row store's full-tuple visit is embarrassingly
+// parallel because the arena is immutable during reads. Index-assisted
+// predicates (PK point/range, secondary equality) visit few rows and
+// stay serial, as do small arenas and serial contexts.
+func (t *Table) AggregateExec(specs []agg.Spec, groupBy []int, pred expr.Predicate, ex *exec.Ctx) *agg.Result {
+	capRows := t.capacityRows()
+	nm := (capRows + rowMorsel - 1) / rowMorsel
+	if capRows < parallelMinRows || !ex.Parallel(nm) {
+		return t.AggregateStop(specs, groupBy, pred, ex.StopHook())
+	}
+	if _, ok := t.candidateRows(pred); ok {
+		return t.AggregateStop(specs, groupBy, pred, ex.StopHook())
+	}
+	res := agg.NewResult(specs, groupBy)
+	res.SetOutputTypes(t.sch.ColTypes())
+	type aggState struct {
+		res *agg.Result
+		key []value.Value
+	}
+	states := make([]*aggState, ex.Workers(nm))
+	ex.Morsels(nm, func(w, m int) bool {
+		st := states[w]
+		if st == nil {
+			pr := agg.NewResult(specs, groupBy)
+			pr.SetOutputTypes(t.sch.ColTypes())
+			st = &aggState{res: pr, key: make([]value.Value, len(groupBy))}
+			states[w] = st
+		}
+		lo := m * rowMorsel
+		hi := min(capRows, lo+rowMorsel)
+		for rid := lo; rid < hi; rid++ {
+			if !t.valid[rid] {
+				continue
+			}
+			row := t.Row(rid)
+			if pred != nil && !pred.Matches(row) {
+				continue
+			}
+			var g *agg.Group
+			if len(groupBy) > 0 {
+				for i, c := range groupBy {
+					st.key[i] = row[c]
+				}
+				g = st.res.GroupFor(st.key)
+			} else {
+				g = st.res.Global()
+			}
+			for i, s := range specs {
+				if s.Col < 0 {
+					g.Accs[i].AddCount(1)
+				} else {
+					g.Accs[i].Add(row[s.Col])
+				}
+			}
+		}
+		return true
+	})
+	if ex.Stopped() {
+		return res
+	}
+	for _, st := range states {
+		if st != nil {
+			res.Merge(st.res)
+		}
+	}
+	return res
+}

@@ -33,13 +33,13 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hybridstore/internal/catalog"
 	"hybridstore/internal/engine"
+	"hybridstore/internal/exec"
 	"hybridstore/internal/schema"
 	"hybridstore/internal/sql"
 	"hybridstore/internal/wire"
@@ -50,8 +50,10 @@ type Config struct {
 	// MaxSessions caps concurrent sessions; further connections are
 	// refused with CodeTooBusy. 0 = 128.
 	MaxSessions int
-	// Workers bounds statements executing in the engine concurrently.
-	// 0 = GOMAXPROCS.
+	// Workers sizes the shared worker pool that bounds both statements
+	// executing concurrently and the morsel helpers each statement's
+	// scans may recruit. 0 = the process-wide default pool
+	// (GOMAXPROCS slots unless exec.SetDefaultSize overrode it).
 	Workers int
 	// QueueDepth bounds the pipelined requests buffered per session
 	// before the reader stops reading (TCP backpressure). 0 = 32.
@@ -76,9 +78,6 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.MaxSessions <= 0 {
 		c.MaxSessions = 128
-	}
-	if c.Workers <= 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 32
@@ -109,9 +108,13 @@ type Server struct {
 	baseCtx context.Context
 	cancel  context.CancelFunc
 
-	// slots is the bounded worker pool: one token per statement
-	// executing in the engine.
-	slots chan struct{}
+	// pool is the shared worker pool: one slot per statement executing
+	// in the engine. The engine draws its intra-statement morsel
+	// helpers from the same pool (Serve installs it via db.SetPool), so
+	// statement admission and scan parallelism share one budget and a
+	// loaded server degrades to one-core-per-statement instead of
+	// oversubscribing.
+	pool *exec.Pool
 
 	cache *stmtCache
 
@@ -140,6 +143,12 @@ func Serve(db *engine.Database, addr string, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
 	}
 	cfg = cfg.withDefaults()
+	pool := exec.Default()
+	if cfg.Workers > 0 {
+		pool = exec.NewPool(cfg.Workers)
+	}
+	cfg.Workers = pool.Size()
+	db.SetPool(pool)
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		db:       db,
@@ -147,7 +156,7 @@ func Serve(db *engine.Database, addr string, cfg Config) (*Server, error) {
 		ln:       ln,
 		baseCtx:  ctx,
 		cancel:   cancel,
-		slots:    make(chan struct{}, cfg.Workers),
+		pool:     pool,
 		cache:    newStmtCache(cfg.StmtCache),
 		sessions: make(map[uint64]*session),
 	}

@@ -274,13 +274,13 @@ func (se *session) execPrepared(pp *sql.Prepared, params []value.Value) *wire.Re
 		cancel()
 	}()
 
-	// Bounded worker pool: wait for an execution slot (or hard-stop).
-	select {
-	case se.srv.slots <- struct{}{}:
-	case <-ctx.Done():
-		return ctxError(ctx.Err())
+	// Shared worker pool: wait for an execution slot (or hard-stop).
+	// The statement runs on this slot; any additional parallelism the
+	// engine finds comes from try-acquiring idle slots of the same pool.
+	if err := se.srv.pool.Acquire(ctx); err != nil {
+		return ctxError(err)
 	}
-	defer func() { <-se.srv.slots }()
+	defer se.srv.pool.Release()
 
 	rs, err := se.srv.execStatement(ctx, st)
 	if err != nil {

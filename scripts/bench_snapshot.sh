@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Benchmark snapshot: run the parallel-execution and concurrent-clients
+# experiments and record their BENCH_<experiment>.json snapshots in the
+# repo root. The JSON embeds GOMAXPROCS/NumCPU, so snapshots taken on
+# different machines stay comparable — re-run after executor changes and
+# commit the updated files when the shape moved.
+#
+# Usage: scripts/bench_snapshot.sh [scale]   (default scale 0.25)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+scale="${1:-0.25}"
+
+go run ./cmd/hsbench -exp parallel -scale "$scale" -json .
+go run ./cmd/hsbench -exp concurrent-clients -scale "$scale" -json .
+
+echo "bench snapshot: OK (scale $scale)"
