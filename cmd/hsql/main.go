@@ -10,7 +10,16 @@
 //	\apply                        apply the last recommendation (blocking)
 //	\migrate                      apply it as a background migration
 //	\checkpoint                   snapshot durable state and truncate the WAL
+//	\metrics                      dump the process metrics registry (same as SHOW METRICS)
+//	\slowlog <dur>|off            arm the slow-query log at a threshold (JSON lines on stderr)
 //	\quit
+//
+// EXPLAIN ANALYZE <statement> executes the statement with tracing armed
+// and prints one row per execution stage (wall time, rows in/out,
+// storage counters such as blocks decoded vs zone-map-skipped, morsel
+// and per-worker busy breakdown) instead of the statement's rows.
+// SHOW METRICS dumps the process-wide metrics registry; both also work
+// over -connect since they travel as ordinary result sets.
 //
 // With -data <dir> the session is durable: every statement is logged to
 // a write-ahead log before it is acknowledged, and restarting hsql with
@@ -185,8 +194,18 @@ func remoteShell(addr string) {
 				} else {
 					fmt.Printf("pong (%v)\n", time.Since(start))
 				}
+			case "\\metrics":
+				res, err := conn.Exec(context.Background(), "SHOW METRICS;")
+				if err != nil {
+					fmt.Println("error:", err)
+					break
+				}
+				printResult(&engine.Result{
+					Cols: res.Cols, Rows: res.Rows,
+					Affected: res.Affected, Duration: res.Duration,
+				})
 			default:
-				fmt.Println("unknown remote command (only \\quit and \\ping work over -connect):", trimmed)
+				fmt.Println("unknown remote command (only \\quit, \\ping and \\metrics work over -connect):", trimmed)
 			}
 			prompt()
 			continue
@@ -227,7 +246,15 @@ func execute(db *engine.Database, resolver sql.Resolver, stmtText string) {
 		fmt.Printf("created table %s (row store)\n", st.CreateTable.Name)
 		return
 	}
-	res, err := db.Exec(st.Query)
+	var res *engine.Result
+	switch {
+	case st.ShowMetrics:
+		res = engine.MetricsResult()
+	case st.ExplainAnalyze:
+		res, err = db.ExplainAnalyzeContext(context.Background(), st.Query)
+	default:
+		res, err = db.Exec(st.Query)
+	}
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -297,10 +324,34 @@ func (s *session) command(line string) bool {
 			break
 		}
 		fmt.Println("checkpoint written; WAL truncated")
+	case "\\metrics":
+		printResult(engine.MetricsResult())
+	case "\\slowlog":
+		if len(fields) != 2 {
+			fmt.Println("usage: \\slowlog <threshold, e.g. 100ms> | off")
+			break
+		}
+		if strings.EqualFold(fields[1], "off") {
+			db.SlowQueryLogHandle().SetThreshold(0)
+			fmt.Println("slow-query log disarmed")
+			break
+		}
+		d, err := time.ParseDuration(fields[1])
+		if err != nil || d <= 0 {
+			fmt.Println("bad threshold:", fields[1])
+			break
+		}
+		if sl := db.SlowQueryLogHandle(); sl != nil {
+			sl.SetThreshold(d)
+		} else {
+			db.SetSlowQueryLog(engine.NewSlowQueryLog(os.Stderr, d))
+		}
+		fmt.Printf("slow-query log armed at %v (JSON lines on stderr)\n", d)
 	case "\\stats":
 		if len(fields) == 1 {
-			pool := s.db.Pool()
-			fmt.Printf("worker pool: %d slots (%d in use)\n", pool.Size(), pool.InUse())
+			ps := s.db.Pool().Stats()
+			fmt.Printf("worker pool: %d slots (%d in use, %d queued; %d tasks done, peak queue %d)\n",
+				ps.Size, ps.InUse, ps.Queued, ps.Done, ps.PeakQueued)
 			snap := s.mon.Snapshot()
 			fmt.Printf("observed %d queries (%d in window)\n", snap.Seen, snap.WindowSeen)
 			for _, tw := range snap.Tables {

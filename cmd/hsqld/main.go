@@ -5,12 +5,25 @@
 // Usage:
 //
 //	hsqld -listen :7878 -data /var/lib/hsql [-auto 30s] [-max-sessions 128]
+//	      [-http 127.0.0.1:7879] [-slow-query 250ms] [-slow-log /path/queries.log]
 //
 // With -data the engine is durable: statements are write-ahead logged
 // before acknowledgment and a restart (even after kill -9) recovers
 // every acknowledged write. With -auto the online advisor watches the
 // live workload — attributed per client session — and migrates table
 // layouts in the background.
+//
+// With -http a debug HTTP listener is bound alongside the protocol
+// port, serving /metrics (Prometheus text exposition of the process
+// registry: query latency histograms, WAL fsync latency, pool
+// utilization, codec mix, ...), /status (JSON snapshot), /slowlog
+// (GET/PUT the slow-query threshold) and /debug/pprof. Bind it to
+// loopback: it is an operator surface, not a client one.
+//
+// With -slow-query every statement slower than the threshold is logged
+// as one JSON line (to stderr, or to the -slow-log file) carrying its
+// per-stage execution trace; the threshold is adjustable at runtime via
+// the debug listener.
 //
 // SIGINT/SIGTERM drain gracefully: accepted requests finish, sessions
 // close, and the engine checkpoints before the process exits.
@@ -20,6 +33,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -46,6 +60,9 @@ func main() {
 		queueDepth  = flag.Int("queue-depth", 0, "pipelined requests buffered per session (0 = default 32)")
 		maxFrame    = flag.Int("max-frame", 0, "max request/response frame bytes (0 = default 8 MiB)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-drain budget on shutdown")
+		httpAddr    = flag.String("http", "", "debug HTTP listen address for /metrics, /status, /slowlog, /debug/pprof (empty = disabled; bind to loopback)")
+		slowQuery   = flag.Duration("slow-query", 0, "slow-query log threshold (0 = disabled; adjustable at runtime via /slowlog)")
+		slowLogPath = flag.String("slow-log", "", "slow-query log file (empty = stderr; JSON lines)")
 	)
 	flag.Parse()
 
@@ -62,6 +79,24 @@ func main() {
 	} else {
 		db = engine.New()
 		logger.Printf("in-memory mode (no -data): a restart loses all data")
+	}
+
+	// The slow-query log is attached even with a zero threshold when a
+	// debug listener is requested, so /slowlog can arm it at runtime.
+	if *slowQuery > 0 || *httpAddr != "" {
+		slowW := io.Writer(os.Stderr)
+		if *slowLogPath != "" {
+			f, err := os.OpenFile(*slowLogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				logger.Fatalf("slow-log: %v", err)
+			}
+			defer f.Close()
+			slowW = f
+		}
+		db.SetSlowQueryLog(engine.NewSlowQueryLog(slowW, *slowQuery))
+		if *slowQuery > 0 {
+			logger.Printf("slow-query log armed at %v", *slowQuery)
+		}
 	}
 
 	mon := monitor.New(db, monitor.DefaultConfig())
@@ -84,6 +119,15 @@ func main() {
 		logger.Fatalf("%v", err)
 	}
 	logger.Printf("listening on %s", srv.Addr())
+
+	if *httpAddr != "" {
+		ds, err := srv.ServeDebug(*httpAddr)
+		if err != nil {
+			logger.Fatalf("%v", err)
+		}
+		defer ds.Close()
+		logger.Printf("debug HTTP on http://%s (/metrics /status /slowlog /debug/pprof)", ds.Addr())
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)

@@ -20,6 +20,7 @@ import (
 
 	"hybridstore/internal/costmodel"
 	"hybridstore/internal/engine"
+	"hybridstore/internal/metrics"
 	"hybridstore/internal/query"
 )
 
@@ -205,12 +206,30 @@ func Run(name string, cfg Config) (*Result, error) {
 		sort.Strings(names)
 		return nil, fmt.Errorf("bench: unknown experiment %q (have %s)", name, strings.Join(names, ", "))
 	}
+	// Scope the engine's statement-latency histograms to this experiment
+	// so the snapshot's p50/p99 reflect it alone, then record them as
+	// single-point series in the BENCH_*.json output.
+	readHist := metrics.Default().Histogram("hs_engine_read_seconds", "", "seconds")
+	dmlHist := metrics.Default().Histogram("hs_engine_dml_seconds", "", "seconds")
+	readHist.Reset()
+	dmlHist.Reset()
 	res, err := e.Run(cfg)
 	if err != nil {
 		return nil, err
 	}
 	res.Name = e.Name
 	res.Title = e.Title
+	if res.Series == nil {
+		res.Series = map[string][]float64{}
+	}
+	if readHist.Count() > 0 {
+		res.Series["engine_read_p50_ms"] = []float64{readHist.Quantile(0.50) / 1e6}
+		res.Series["engine_read_p99_ms"] = []float64{readHist.Quantile(0.99) / 1e6}
+	}
+	if dmlHist.Count() > 0 {
+		res.Series["engine_dml_p50_ms"] = []float64{dmlHist.Quantile(0.50) / 1e6}
+		res.Series["engine_dml_p99_ms"] = []float64{dmlHist.Quantile(0.99) / 1e6}
+	}
 	res.Fprint(cfg.Out)
 	return res, nil
 }

@@ -3,7 +3,6 @@ package bench
 import (
 	"context"
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
@@ -11,6 +10,7 @@ import (
 	"hybridstore/internal/client"
 	"hybridstore/internal/engine"
 	"hybridstore/internal/expr"
+	"hybridstore/internal/metrics"
 	"hybridstore/internal/query"
 	"hybridstore/internal/schema"
 	"hybridstore/internal/server"
@@ -36,16 +36,8 @@ type ackedWrite struct {
 	note   string
 }
 
-// percentile returns the p-th percentile (0..100) of sorted durations.
-func percentile(sorted []time.Duration, p float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := int(p / 100 * float64(len(sorted)-1))
-	return sorted[idx]
-}
-
-func latMS(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+// histMS returns a histogram quantile (recorded in ns) in milliseconds.
+func histMS(h *metrics.Histogram, q float64) float64 { return h.Quantile(q) / 1e6 }
 
 // ConcurrentClients is the network-service experiment: an in-process
 // hsqld serves one engine over TCP; N writer sessions sustain single-row
@@ -86,12 +78,14 @@ func ConcurrentClients(cfg Config) (*Result, error) {
 	for _, clients := range []int{2, 4, 8, 16} {
 		writers := clients / 2
 		readers := clients - writers
+		// Per-sweep-point latency distributions: the same bounded
+		// histogram the metrics registry uses, recorded lock-free from
+		// every client goroutine (observations are atomic adds).
+		writeHist := metrics.NewHistogram()
+		readHist := metrics.NewHistogram()
 		var (
-			mu        sync.Mutex
-			writeLats []time.Duration
-			readLats  []time.Duration
-			firstErr  error
-			totalOps  int
+			mu       sync.Mutex
+			firstErr error
 		)
 		fail := func(err error) {
 			mu.Lock()
@@ -124,7 +118,6 @@ func ConcurrentClients(cfg Config) (*Result, error) {
 					fail(err)
 					return
 				}
-				var lats []time.Duration
 				var acked []ackedWrite
 				inserted := int64(0)
 				for i := 0; i < opsPerWriter; i++ {
@@ -150,12 +143,10 @@ func ConcurrentClients(cfg Config) (*Result, error) {
 						acked = append(acked, ackedWrite{insert: true, id: id, grp: grp, amount: amount, note: note})
 						inserted++
 					}
-					lats = append(lats, time.Since(t0))
+					writeHist.Observe(time.Since(t0).Nanoseconds())
 				}
 				mu.Lock()
-				writeLats = append(writeLats, lats...)
 				oracleOps = append(oracleOps, acked)
-				totalOps += len(lats)
 				mu.Unlock()
 			}(w, base)
 		}
@@ -174,19 +165,14 @@ func ConcurrentClients(cfg Config) (*Result, error) {
 					fail(err)
 					return
 				}
-				var lats []time.Duration
 				for i := 0; i < opsPerReader; i++ {
 					t0 := time.Now()
 					if _, err := agg.Exec(ctx, value.NewBigint(int64(i%4))); err != nil {
 						fail(fmt.Errorf("reader %d: %w", r, err))
 						return
 					}
-					lats = append(lats, time.Since(t0))
+					readHist.Observe(time.Since(t0).Nanoseconds())
 				}
-				mu.Lock()
-				readLats = append(readLats, lats...)
-				totalOps += len(lats)
-				mu.Unlock()
 			}(r)
 		}
 		wg.Wait()
@@ -195,20 +181,21 @@ func ConcurrentClients(cfg Config) (*Result, error) {
 			return nil, firstErr
 		}
 		elapsed := time.Since(start)
-		sort.Slice(writeLats, func(i, j int) bool { return writeLats[i] < writeLats[j] })
-		sort.Slice(readLats, func(i, j int) bool { return readLats[i] < readLats[j] })
+		totalOps := writeHist.Count() + readHist.Count()
 		tput := float64(totalOps) / elapsed.Seconds()
 		res.AddRow([]string{
 			fmt.Sprintf("%d", clients), fmt.Sprintf("%d", writers), fmt.Sprintf("%d", readers),
-			fmt.Sprintf("%.2fms", latMS(percentile(writeLats, 50))),
-			fmt.Sprintf("%.2fms", latMS(percentile(writeLats, 99))),
-			fmt.Sprintf("%.2fms", latMS(percentile(readLats, 50))),
-			fmt.Sprintf("%.2fms", latMS(percentile(readLats, 99))),
+			fmt.Sprintf("%.2fms", histMS(writeHist, 0.50)),
+			fmt.Sprintf("%.2fms", histMS(writeHist, 0.99)),
+			fmt.Sprintf("%.2fms", histMS(readHist, 0.50)),
+			fmt.Sprintf("%.2fms", histMS(readHist, 0.99)),
 			fmt.Sprintf("%.0f", tput),
 		}, map[string]float64{
 			"clients": float64(clients), "ops/s": tput,
-			"write p99": latMS(percentile(writeLats, 99)),
-			"read p99":  latMS(percentile(readLats, 99)),
+			"write p50": histMS(writeHist, 0.50),
+			"write p99": histMS(writeHist, 0.99),
+			"read p50":  histMS(readHist, 0.50),
+			"read p99":  histMS(readHist, 0.99),
 		})
 	}
 

@@ -7,6 +7,7 @@ import (
 	"hybridstore/internal/bitset"
 	"hybridstore/internal/exec"
 	"hybridstore/internal/expr"
+	"hybridstore/internal/trace"
 	"hybridstore/internal/value"
 )
 
@@ -32,7 +33,7 @@ func denseGroupCtx(ex *exec.Ctx, gTotal, nspec int) *exec.Ctx {
 		nspec = 1
 	}
 	if gTotal > denseParallelCells/nspec {
-		return exec.Serial(ex.StopHook())
+		return &exec.Ctx{Stop: ex.StopHook(), Trace: ex.Tracer()}
 	}
 	return ex
 }
@@ -52,7 +53,7 @@ func (t *Table) numMainBlocks() int { return (t.mainRows + blockRows - 1) / bloc
 func (t *Table) matchBitmapExec(pred expr.Predicate, s *scanScratch, ex *exec.Ctx) bitset.Bits {
 	nb := t.numMainBlocks()
 	if t.totalRows() < parallelMinRows || !ex.Parallel(nb) {
-		return t.matchBitmap(pred, s)
+		return t.matchBitmapTraced(pred, s, ex.Tracer())
 	}
 	matchers, ok := t.compileMatchers(pred)
 	if !ok {
@@ -65,20 +66,28 @@ func (t *Table) matchBitmapExec(pred expr.Predicate, s *scanScratch, ex *exec.Ct
 		return t.matcherSelectivity(&matchers[i]) < t.matcherSelectivity(&matchers[j])
 	})
 	match := s.bits(t.totalRows())
-	blockWords := make([][]uint64, ex.Workers(nb))
+	workers := ex.Workers(nb)
+	blockWords := make([][]uint64, workers)
+	counts := make([]scanCounts, workers)
 	ex.Morsels(nb, func(w, b int) bool {
 		bw := blockWords[w]
 		if bw == nil {
 			bw = make([]uint64, blockRows/64)
 			blockWords[w] = bw
 		}
+		sc := &counts[w]
 		b0 := b * blockRows
-		t.fillMatcherBlock(&matchers[0], match, b0, true, bw)
+		sc.count(t.fillMatcherBlock(&matchers[0], match, b0, true, bw))
 		for i := 1; i < len(matchers); i++ {
-			t.fillMatcherBlock(&matchers[i], match, b0, false, bw)
+			sc.count(t.fillMatcherBlock(&matchers[i], match, b0, false, bw))
 		}
 		return true
 	})
+	var sc scanCounts
+	for w := range counts {
+		sc.add(counts[w])
+	}
+	sc.report(ex.Tracer())
 	for i := range matchers {
 		t.fillMatcherDelta(&matchers[i], match, i == 0)
 	}
@@ -173,16 +182,23 @@ func (t *Table) forBatchesExec(match bitset.Bits, ex *exec.Ctx, fn func(w int, r
 	nb := t.NumBlocks()
 	if total < parallelMinRows || !ex.Parallel(nb) {
 		stop := ex.StopHook()
+		var mainRows, deltaRows int64
 		t.forBatches(match, func(rids []int32, b0, nm, mainN int) bool {
 			if stop != nil && stop() {
 				return false
 			}
+			mainRows += int64(nm)
+			deltaRows += int64(len(rids) - nm)
 			return fn(0, rids, b0, nm, mainN)
 		})
+		reportFragmentRows(ex.Tracer(), mainRows, deltaRows)
 		return
 	}
 	src := t.rowSource(match)
-	ridBufs := make([][]int32, ex.Workers(nb))
+	workers := ex.Workers(nb)
+	ridBufs := make([][]int32, workers)
+	type fragRows struct{ main, delta int64 }
+	frags := make([]fragRows, workers)
 	ex.Morsels(nb, func(w, b int) bool {
 		b0 := b * blockRows
 		n := min(blockRows, total-b0)
@@ -196,8 +212,30 @@ func (t *Table) forBatchesExec(match bitset.Bits, ex *exec.Ctx, fn func(w int, r
 			return true
 		}
 		nm, mainN := t.splitBatch(rids, b0, n)
+		frags[w].main += int64(nm)
+		frags[w].delta += int64(len(rids) - nm)
 		return fn(w, rids, b0, nm, mainN)
 	})
+	var mainRows, deltaRows int64
+	for w := range frags {
+		mainRows += frags[w].main
+		deltaRows += frags[w].delta
+	}
+	reportFragmentRows(ex.Tracer(), mainRows, deltaRows)
+}
+
+// reportFragmentRows folds one batch stream's delta-vs-main split into
+// the cumulative metrics and the statement trace.
+func reportFragmentRows(tr *trace.Trace, mainRows, deltaRows int64) {
+	if mainRows == 0 && deltaRows == 0 {
+		return
+	}
+	mScanMainRows.Add(mainRows)
+	mScanDeltaRows.Add(deltaRows)
+	if tr != nil {
+		tr.Add("main_rows", mainRows)
+		tr.Add("delta_rows", deltaRows)
+	}
 }
 
 // aggregateGlobalExec computes ungrouped aggregates. Small tables and

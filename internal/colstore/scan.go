@@ -6,6 +6,7 @@ import (
 	"hybridstore/internal/bitset"
 	"hybridstore/internal/compress"
 	"hybridstore/internal/expr"
+	"hybridstore/internal/trace"
 	"hybridstore/internal/value"
 )
 
@@ -111,6 +112,12 @@ func (t *Table) compileBetween(q *expr.Between) (colMatcher, bool) {
 // tombstone mask combine with word-wide ANDs. The returned bitset is
 // backed by s and stays valid until s is released.
 func (t *Table) matchBitmap(pred expr.Predicate, s *scanScratch) bitset.Bits {
+	return t.matchBitmapTraced(pred, s, nil)
+}
+
+// matchBitmapTraced is matchBitmap reporting zone-map outcomes to tr
+// (and always to the cumulative package metrics).
+func (t *Table) matchBitmapTraced(pred expr.Predicate, s *scanScratch, tr *trace.Trace) bitset.Bits {
 	if matchers, ok := t.compileMatchers(pred); ok {
 		if len(matchers) == 0 {
 			return nil
@@ -121,10 +128,12 @@ func (t *Table) matchBitmap(pred expr.Predicate, s *scanScratch) bitset.Bits {
 			return t.matcherSelectivity(&matchers[i]) < t.matcherSelectivity(&matchers[j])
 		})
 		match := s.bits(t.totalRows())
-		t.fillMatcher(&matchers[0], match, true)
+		var sc scanCounts
+		t.fillMatcher(&matchers[0], match, true, &sc)
 		for i := 1; i < len(matchers); i++ {
-			t.fillMatcher(&matchers[i], match, false)
+			t.fillMatcher(&matchers[i], match, false, &sc)
 		}
+		sc.report(tr)
 		if t.live != t.totalRows() {
 			match.And(t.liveSet[:len(match)])
 		}
@@ -212,22 +221,73 @@ func (s *scanScratch) colBufs(ncols int) [][]value.Value {
 // word. With first=true the bitset is initialized, otherwise each block's
 // words are ANDed in — and blocks whose words are already zero are skipped
 // before any decode.
-func (t *Table) fillMatcher(m *colMatcher, match bitset.Bits, first bool) {
+func (t *Table) fillMatcher(m *colMatcher, match bitset.Bits, first bool, sc *scanCounts) {
 	var blockWords [blockRows / 64]uint64
 	for b0 := 0; b0 < t.mainRows; b0 += blockRows {
-		t.fillMatcherBlock(m, match, b0, first, blockWords[:])
+		sc.count(t.fillMatcherBlock(m, match, b0, first, blockWords[:]))
 	}
 	t.fillMatcherDelta(m, match, first)
 }
 
+// scanCounts accumulates per-scan zone-map outcomes locally — one plain
+// add per 1024-row block — and is folded into the cumulative package
+// metrics (and the statement trace, when one is attached) exactly once
+// per scan, so the hot path never touches an atomic or a mutex.
+type scanCounts struct {
+	decoded, skipped, wholesale int64
+}
+
+func (sc *scanCounts) count(outcome int) {
+	switch outcome {
+	case blockZoneSkipped:
+		sc.skipped++
+	case blockZoneWholesale:
+		sc.wholesale++
+	default:
+		sc.decoded++
+	}
+}
+
+func (sc *scanCounts) add(o scanCounts) {
+	sc.decoded += o.decoded
+	sc.skipped += o.skipped
+	sc.wholesale += o.wholesale
+}
+
+// report folds the finished scan's counts into the cumulative codec
+// metrics and, when the statement is traced, its trace counters.
+func (sc *scanCounts) report(tr *trace.Trace) {
+	total := sc.decoded + sc.skipped + sc.wholesale
+	if total == 0 {
+		return
+	}
+	mBlocksDecoded.Add(sc.decoded)
+	mBlocksZoneSkipped.Add(sc.skipped)
+	mBlocksZoneWholesale.Add(sc.wholesale)
+	if tr != nil {
+		tr.Add("blocks_decoded", sc.decoded)
+		tr.Add("blocks_zone_skipped", sc.skipped)
+		tr.Add("blocks_zone_wholesale", sc.wholesale)
+	}
+}
+
+// Zone-map outcomes of one fillMatcherBlock call, reported per block so
+// traces and metrics can show how much decode the zone maps avoided.
+const (
+	blockZoneSkipped   = iota // zone map excluded the block: zero words, no decode
+	blockZoneWholesale        // zone map accepted the block wholesale: word fills, no decode
+	blockDecoded              // ambiguous: fused decode+test kernels ran
+)
+
 // fillMatcherBlock evaluates one matcher over the single main-fragment
-// block starting at b0. Blocks are bitset-word aligned (blockRows is a
-// multiple of 64), so distinct blocks write disjoint words — the morsel
-// parallel scan runs this concurrently, one block per morsel, as long as
-// every matcher is applied to a block before moving on and the delta
-// passes run afterwards. blockWords is a per-caller (n+63)/64-word
-// staging buffer for nullable columns.
-func (t *Table) fillMatcherBlock(m *colMatcher, match bitset.Bits, b0 int, first bool, blockWords []uint64) {
+// block starting at b0, returning the zone-map outcome. Blocks are
+// bitset-word aligned (blockRows is a multiple of 64), so distinct
+// blocks write disjoint words — the morsel parallel scan runs this
+// concurrently, one block per morsel, as long as every matcher is
+// applied to a block before moving on and the delta passes run
+// afterwards. blockWords is a per-caller (n+63)/64-word staging buffer
+// for nullable columns.
+func (t *Table) fillMatcherBlock(m *colMatcher, match bitset.Bits, b0 int, first bool, blockWords []uint64) int {
 	c := &t.cols[m.col]
 	lo, hi := m.mainLo, m.mainHi
 	if hi < lo {
@@ -253,7 +313,7 @@ func (t *Table) fillMatcherBlock(m *colMatcher, match bitset.Bits, b0 int, first
 					match[(b0+n)>>6] &= ^uint64(0) << rem
 				}
 			}
-			return
+			return blockZoneSkipped
 		}
 		if !z.hasNull && z.within(lo, hi) {
 			// Every row in the block matches: ANDing is a no-op,
@@ -267,7 +327,7 @@ func (t *Table) fillMatcherBlock(m *colMatcher, match bitset.Bits, b0 int, first
 					match[w0+full] = 1<<rem - 1
 				}
 			}
-			return
+			return blockZoneWholesale
 		}
 		// Ambiguous block: fused decode+test kernels write bitset words
 		// straight into the match bitmap. The AND kernel skips decode for
@@ -279,7 +339,7 @@ func (t *Table) fillMatcherBlock(m *colMatcher, match bitset.Bits, b0 int, first
 			} else {
 				c.mainCodes.RangeMatchWordsAnd(b0, n, lo, hi, match[w0:])
 			}
-			return
+			return blockDecoded
 		}
 		// Nullable column: mask NULL rows out of a block buffer first.
 		bw := blockWords[:(n+63)>>6]
@@ -308,6 +368,7 @@ func (t *Table) fillMatcherBlock(m *colMatcher, match bitset.Bits, b0 int, first
 			}
 		}
 	}
+	return blockDecoded
 }
 
 // fillMatcherDelta evaluates one matcher over the delta fragment (small,

@@ -1,5 +1,18 @@
 package compress
 
+import "hybridstore/internal/metrics"
+
+// Codec-mix counters: one increment per Encode decision, so /metrics
+// shows which codings the merged main fragments actually ended up with.
+var (
+	mEncodePacked = metrics.Default().Counter("hs_compress_encode_packed_total",
+		"main-fragment columns encoded bit-packed")
+	mEncodeRLE = metrics.Default().Counter("hs_compress_encode_rle_total",
+		"main-fragment columns encoded run-length")
+	mEncodeFoR = metrics.Default().Counter("hs_compress_encode_for_total",
+		"main-fragment columns encoded frame-of-reference")
+)
+
 // CodeVector is the read interface of a main-fragment code vector: a
 // sequence of dictionary codes supporting bulk decode and the fused
 // predicate kernels. Pack (bit-packed), NewRLE (run-length) and NewFoR
@@ -48,6 +61,7 @@ func beats(candidate, packed int) bool { return candidate*4 <= packed*3 }
 func Encode(codes []uint32, distinct int) CodeVector {
 	p := Pack(codes, distinct)
 	if len(codes) < encodeMinRows || p.SizeBytes() == 0 {
+		mEncodePacked.Inc()
 		return p
 	}
 	packedSize := p.SizeBytes()
@@ -83,10 +97,13 @@ func Encode(codes []uint32, distinct int) CodeVector {
 
 	switch {
 	case beats(rleSize, packedSize) && rleSize <= forSize:
+		mEncodeRLE.Inc()
 		return NewRLE(codes)
 	case beats(forSize, packedSize):
+		mEncodeFoR.Inc()
 		return NewFoR(codes)
 	default:
+		mEncodePacked.Inc()
 		return p
 	}
 }

@@ -21,9 +21,9 @@ import (
 
 func dmlSchema() *schema.Table {
 	return schema.MustNew("dml", []schema.Column{
-		{Name: "id", Type: value.Bigint},                   // 0: PK
-		{Name: "grp", Type: value.Integer},                 // 1: horizontal split column
-		{Name: "amt", Type: value.Double, Nullable: true},  // 2
+		{Name: "id", Type: value.Bigint},                    // 0: PK
+		{Name: "grp", Type: value.Integer},                  // 1: horizontal split column
+		{Name: "amt", Type: value.Double, Nullable: true},   // 2
 		{Name: "note", Type: value.Varchar, Nullable: true}, // 3
 	}, "id")
 }

@@ -23,6 +23,7 @@ import (
 	"hybridstore/internal/query"
 	"hybridstore/internal/rowstore"
 	"hybridstore/internal/schema"
+	"hybridstore/internal/trace"
 	"hybridstore/internal/value"
 	"hybridstore/internal/wal"
 )
@@ -107,6 +108,10 @@ type Database struct {
 	// and fail with ErrClosed instead of mutating a checkpointed (or
 	// log-less) database.
 	closed atomic.Bool
+
+	// slow holds the attached slow-query log (boxed so a nil log is
+	// still an atomic swap); see SetSlowQueryLog.
+	slow atomic.Pointer[slowLogBox]
 }
 
 // New creates an empty database.
@@ -127,10 +132,11 @@ func (db *Database) SetPool(p *exec.Pool) { db.pool = p }
 // Pool returns the database's worker pool (nil when serial).
 func (db *Database) Pool() *exec.Pool { return db.pool }
 
-// execCtx derives one statement's execution context: the database pool
-// plus the context-backed cancellation hook.
+// execCtx derives one statement's execution context: the database pool,
+// the context-backed cancellation hook, and the statement trace (nil for
+// untraced statements — every trace consumer is nil-safe).
 func (db *Database) execCtx(ctx context.Context) *exec.Ctx {
-	return &exec.Ctx{Pool: db.pool, Stop: stopFunc(ctx)}
+	return &exec.Ctx{Pool: db.pool, Stop: stopFunc(ctx), Trace: trace.FromContext(ctx)}
 }
 
 // Catalog exposes the system catalog.
@@ -490,14 +496,26 @@ func (db *Database) ExecContext(ctx context.Context, q *query.Query) (*Result, e
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// An armed slow-query log traces every statement so slow ones carry
+	// their per-stage breakdown; EXPLAIN ANALYZE arrives with a trace
+	// already in ctx and keeps it.
+	tr := trace.FromContext(ctx)
+	sl := db.SlowQueryLogHandle()
+	if tr == nil && sl.Threshold() > 0 {
+		tr = trace.New()
+		ctx = trace.WithTrace(ctx, tr)
+	}
 	var (
 		res *Result
 		err error
 	)
+	isDML := false
 	start := time.Now()
 	switch q.Kind {
 	case query.Insert, query.Update, query.Delete:
+		isDML = true
 		var seq uint64
+		sp := tr.Start("apply")
 		db.mu.Lock()
 		if db.closed.Load() {
 			db.mu.Unlock()
@@ -505,16 +523,25 @@ func (db *Database) ExecContext(ctx context.Context, q *query.Query) (*Result, e
 		}
 		res, seq, err = db.execDML(q)
 		db.mu.Unlock()
+		sp.End()
 		// Group commit: the record was enqueued in apply order under the
 		// write lock; the durability wait happens outside it, so
 		// concurrent writers share one fsync (the WAL's group-commit
 		// batching) and readers are never blocked on disk.
 		if err == nil && seq != 0 {
+			wsp := tr.Start("wal_wait")
+			wstart := time.Now()
 			if werr := db.log.WaitDurable(seq); werr != nil {
 				err = fmt.Errorf("engine: %s applied but not durable: %w", q.Kind, werr)
 			}
+			mWALWaitSeconds.Observe(time.Since(wstart).Nanoseconds())
+			wsp.End()
+		}
+		if err == nil {
+			sp.AddRowsOut(int64(res.Affected))
 		}
 	default:
+		sp := tr.Start(readStage(q))
 		db.mu.RLock()
 		if db.closed.Load() {
 			db.mu.RUnlock()
@@ -526,11 +553,21 @@ func (db *Database) ExecContext(ctx context.Context, q *query.Query) (*Result, e
 			res, err = db.execRead(ctx, q)
 		}
 		db.mu.RUnlock()
+		if err == nil {
+			sp.AddRowsOut(int64(len(res.Rows)))
+		}
+		sp.End()
 	}
 	if err != nil {
 		return nil, err
 	}
 	res.Duration = time.Since(start)
+	kindCounter(q.Kind).Inc()
+	if isDML {
+		mDMLSeconds.Observe(res.Duration.Nanoseconds())
+	} else {
+		mReadSeconds.Observe(res.Duration.Nanoseconds())
+	}
 	if obs := db.observer(); obs != nil {
 		if so, ok := obs.(SessionObserver); ok {
 			so.ObserveSession(SessionFromContext(ctx), q, res.Duration)
@@ -538,7 +575,29 @@ func (db *Database) ExecContext(ctx context.Context, q *query.Query) (*Result, e
 			obs.Observe(q, res.Duration)
 		}
 	}
+	sl.observe(SessionFromContext(ctx), q, res.Duration, resultRows(res), tr)
 	return res, nil
+}
+
+// readStage names the trace span of a read statement.
+func readStage(q *query.Query) string {
+	switch {
+	case q.Join != nil:
+		return "join"
+	case q.Kind == query.Aggregate:
+		return "aggregate"
+	default:
+		return "scan"
+	}
+}
+
+// resultRows is the row count reported to the slow-query log: result
+// rows for reads, affected rows for DML.
+func resultRows(res *Result) int {
+	if len(res.Rows) > 0 {
+		return len(res.Rows)
+	}
+	return res.Affected
 }
 
 // stopFunc derives the batch-boundary cancellation poll from a context;
@@ -667,9 +726,14 @@ func (db *Database) execRead(ctx context.Context, q *query.Query) (*Result, erro
 		// batch scan and the limit cannot short-circuit (no limit, or an
 		// ORDER BY that must see every row anyway), blocks are projected
 		// concurrently and reassembled in block order — the exact row
-		// order of the serial scan.
+		// order of the serial scan. A traced statement takes this path
+		// even serially, because only the batch kernels report the
+		// storage counters (blocks decoded vs zone-map-skipped,
+		// main/delta rows) the trace wants.
 		ex := db.execCtx(ctx)
-		if bs, ok := rt.store.(execBatchScanner); ok && ex.Parallel(bs.NumBlocks()) && (q.Limit <= 0 || ordered) {
+		if bs, ok := rt.store.(execBatchScanner); ok &&
+			(ex.Parallel(bs.NumBlocks()) || ex.Tracer() != nil) &&
+			(q.Limit <= 0 || ordered) {
 			perBlock := make([][][]value.Value, bs.NumBlocks())
 			var perKeys [][][]value.Value
 			if ordered {

@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"hybridstore/internal/metrics"
+	"hybridstore/internal/query"
+	"hybridstore/internal/trace"
+	"hybridstore/internal/value"
+)
+
+// ExplainAnalyzeContext executes q with tracing armed and returns the
+// trace — not the statement's rows — as a result set: one row per
+// execution stage plus synthetic "storage", "parallel" and "total" rows.
+// Because the output is an ordinary Result it travels through the wire
+// protocol and driver unchanged.
+func (db *Database) ExplainAnalyzeContext(ctx context.Context, q *query.Query) (*Result, error) {
+	tr := trace.New()
+	res, err := db.ExecContext(trace.WithTrace(ctx, tr), q)
+	if err != nil {
+		return nil, err
+	}
+	return explainResult(tr, res), nil
+}
+
+// explainCols is the column set of an EXPLAIN ANALYZE result.
+var explainCols = []string{"stage", "time_ns", "rows_in", "rows_out", "detail"}
+
+func explainRow(stage string, d time.Duration, rowsIn, rowsOut int64, detail string) []value.Value {
+	return []value.Value{
+		value.NewVarchar(stage),
+		value.NewBigint(d.Nanoseconds()),
+		value.NewBigint(rowsIn),
+		value.NewBigint(rowsOut),
+		value.NewVarchar(detail),
+	}
+}
+
+// explainResult renders a finished trace as a result set.
+func explainResult(tr *trace.Trace, res *Result) *Result {
+	out := &Result{Cols: explainCols, Duration: res.Duration}
+	for _, s := range tr.Spans() {
+		out.Rows = append(out.Rows, explainRow(s.Stage(), s.Duration(), s.RowsIn(), s.RowsOut(), s.DetailString()))
+	}
+	if c := tr.CountersString(); c != "" {
+		out.Rows = append(out.Rows, explainRow("storage", 0, 0, 0, c))
+	}
+	if morsels, runs := tr.Morsels(); runs > 0 {
+		busy := tr.WorkerBusy()
+		var bparts []string
+		var total time.Duration
+		for _, wb := range busy {
+			bparts = append(bparts, fmt.Sprintf("w%d=%s", wb.Worker, wb.Busy.Round(time.Microsecond)))
+			total += wb.Busy
+		}
+		detail := fmt.Sprintf("morsels=%d runs=%d workers=%d busy[%s]",
+			morsels, runs, len(busy), strings.Join(bparts, " "))
+		out.Rows = append(out.Rows, explainRow("parallel", total, 0, 0, detail))
+	}
+	out.Rows = append(out.Rows, explainRow("total", res.Duration, 0, int64(resultRows(res)), ""))
+	out.Affected = len(out.Rows)
+	return out
+}
+
+// MetricsResult renders the process-wide metrics registry as a result
+// set (metric name, value) so SHOW METRICS works over any transport.
+// Histograms expand to _count/_sum/_p50/_p99 rows.
+func MetricsResult() *Result {
+	rows := metrics.Default().Rows()
+	res := &Result{Cols: []string{"metric", "value"}}
+	for _, r := range rows {
+		res.Rows = append(res.Rows, []value.Value{
+			value.NewVarchar(r.Name),
+			value.NewDouble(r.Value),
+		})
+	}
+	res.Affected = len(res.Rows)
+	return res
+}

@@ -1,0 +1,226 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"hybridstore/internal/agg"
+	"hybridstore/internal/catalog"
+	"hybridstore/internal/expr"
+	"hybridstore/internal/query"
+	"hybridstore/internal/schema"
+	"hybridstore/internal/value"
+)
+
+// explainStage finds the first row of stage in an EXPLAIN ANALYZE result
+// and returns its rows_out; ok=false when the stage is absent.
+func explainStage(t *testing.T, res *Result, stage string) (rowsOut int64, detail string, ok bool) {
+	t.Helper()
+	if len(res.Cols) != 5 || res.Cols[0] != "stage" || res.Cols[3] != "rows_out" {
+		t.Fatalf("unexpected explain columns %v", res.Cols)
+	}
+	for _, row := range res.Rows {
+		if row[0].Varchar() == stage {
+			return row[3].Int(), row[4].Varchar(), true
+		}
+	}
+	return 0, "", false
+}
+
+// TestExplainAnalyzeDifferential runs scan, group-by and join statements
+// under every storage layout twice — once plainly, once under EXPLAIN
+// ANALYZE — and asserts the trace's reported row counts match the actual
+// result row counts.
+func TestExplainAnalyzeDifferential(t *testing.T) {
+	dimSchema := schema.MustNew("regions", []schema.Column{
+		{Name: "region", Type: value.Integer},
+		{Name: "label", Type: value.Varchar},
+	}, "region")
+
+	layouts := []struct {
+		name  string
+		store catalog.StoreKind
+		spec  *catalog.PartitionSpec
+	}{
+		{"row", catalog.RowStore, nil},
+		{"column", catalog.ColumnStore, nil},
+		{"horizontal", catalog.Partitioned, horizontalSpec()},
+		{"vertical", catalog.Partitioned, verticalSpec()},
+	}
+
+	queries := []struct {
+		name  string
+		stage string
+		q     func() *query.Query
+	}{
+		{"scan", "scan", func() *query.Query {
+			return &query.Query{
+				Kind: query.Select, Table: "sales", Cols: []int{0, 2},
+				Pred: &expr.Comparison{Col: 1, Op: expr.Lt, Val: value.NewInt(2)},
+			}
+		}},
+		{"group-by", "aggregate", func() *query.Query {
+			return &query.Query{
+				Kind: query.Aggregate, Table: "sales",
+				Aggs:    []agg.Spec{{Func: agg.Count, Col: -1}, {Func: agg.Sum, Col: 2}},
+				GroupBy: []int{1},
+			}
+		}},
+		{"join", "join", func() *query.Query {
+			return &query.Query{
+				Kind: query.Aggregate, Table: "sales",
+				Join:    &query.Join{Table: "regions", LeftCol: 1, RightCol: 0},
+				Aggs:    []agg.Spec{{Func: agg.Sum, Col: 2}},
+				GroupBy: []int{5 + 1}, // regions.label
+			}
+		}},
+	}
+
+	for _, lo := range layouts {
+		t.Run(lo.name, func(t *testing.T) {
+			db := New()
+			if err := db.CreateTableWithLayout(salesSchema(), lo.store, lo.spec); err != nil {
+				t.Fatal(err)
+			}
+			rows := make([][]value.Value, 0, 500)
+			for i := 0; i < 500; i++ {
+				rows = append(rows, salesRow(int64(i)))
+			}
+			if _, err := db.Exec(&query.Query{Kind: query.Insert, Table: "sales", Rows: rows}); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.CreateTable(dimSchema, catalog.RowStore); err != nil {
+				t.Fatal(err)
+			}
+			dim := make([][]value.Value, 0, 4)
+			for r := int64(0); r < 4; r++ {
+				dim = append(dim, []value.Value{value.NewInt(r), value.NewVarchar(strings.Repeat("r", int(r)+1))})
+			}
+			if _, err := db.Exec(&query.Query{Kind: query.Insert, Table: "regions", Rows: dim}); err != nil {
+				t.Fatal(err)
+			}
+
+			for _, qc := range queries {
+				plain, err := db.Exec(qc.q())
+				if err != nil {
+					t.Fatalf("%s: %v", qc.name, err)
+				}
+				ex, err := db.ExplainAnalyzeContext(context.Background(), qc.q())
+				if err != nil {
+					t.Fatalf("%s explain: %v", qc.name, err)
+				}
+				got, _, ok := explainStage(t, ex, qc.stage)
+				if !ok {
+					t.Fatalf("%s: no %q stage in explain output %v", qc.name, qc.stage, ex.Rows)
+				}
+				if got != int64(len(plain.Rows)) {
+					t.Errorf("%s: explain reports %d rows, actual result has %d", qc.name, got, len(plain.Rows))
+				}
+				total, _, ok := explainStage(t, ex, "total")
+				if !ok || total != int64(len(plain.Rows)) {
+					t.Errorf("%s: total row reports %d rows (ok=%v), want %d", qc.name, total, ok, len(plain.Rows))
+				}
+			}
+
+			// Column-store layouts must surface storage counters (blocks
+			// decoded vs zone-map-skipped, main/delta rows) in the trace.
+			if lo.name == "column" {
+				if err := db.Compact("sales"); err != nil {
+					t.Fatal(err)
+				}
+				ex, err := db.ExplainAnalyzeContext(context.Background(), queries[0].q())
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, detail, ok := explainStage(t, ex, "storage")
+				if !ok {
+					t.Fatalf("no storage counters row in explain output %v", ex.Rows)
+				}
+				if !strings.Contains(detail, "main_rows") {
+					t.Errorf("storage counters %q missing main_rows", detail)
+				}
+			}
+		})
+	}
+}
+
+// TestExplainAnalyzeDML asserts DML statements report apply/wal_wait
+// stages and affected-row counts.
+func TestExplainAnalyzeDML(t *testing.T) {
+	db := newDB(t, catalog.RowStore, 100)
+	ex, err := db.ExplainAnalyzeContext(context.Background(), &query.Query{
+		Kind: query.Update, Table: "sales",
+		Set:  map[int]value.Value{2: value.NewDouble(1.5)},
+		Pred: &expr.Comparison{Col: 1, Op: expr.Eq, Val: value.NewInt(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, ok := explainStage(t, ex, "apply")
+	if !ok {
+		t.Fatalf("no apply stage in %v", ex.Rows)
+	}
+	if got != 25 {
+		t.Errorf("apply rows_out = %d, want 25", got)
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer (the slow log writes from
+// whichever goroutine ran the statement).
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func (b *syncBuffer) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.buf.Reset()
+}
+
+// TestSlowQueryLog asserts the slow-query log captures statements over
+// the threshold with a trace summary, and that disarming stops it.
+func TestSlowQueryLog(t *testing.T) {
+	db := newDB(t, catalog.ColumnStore, 2000)
+	var buf syncBuffer
+	db.SetSlowQueryLog(NewSlowQueryLog(&buf, 1)) // 1ns: everything is slow
+	q := &query.Query{
+		Kind: query.Aggregate, Table: "sales",
+		Aggs: []agg.Spec{{Func: agg.Sum, Col: 2}},
+		Pred: &expr.Comparison{Col: 1, Op: expr.Lt, Val: value.NewInt(3)},
+	}
+	if _, err := db.Exec(q); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"kind":"AGGREGATE"`) {
+		t.Fatalf("slow log entry missing kind: %q", out)
+	}
+	if !strings.Contains(out, "stage=aggregate") {
+		t.Errorf("slow log entry missing trace summary: %q", out)
+	}
+
+	db.SlowQueryLogHandle().SetThreshold(0)
+	buf.Reset()
+	if _, err := db.Exec(q); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "" {
+		t.Errorf("disarmed slow log still wrote %q", buf.String())
+	}
+}

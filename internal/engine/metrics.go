@@ -1,0 +1,52 @@
+package engine
+
+import (
+	"hybridstore/internal/metrics"
+	"hybridstore/internal/query"
+)
+
+// Engine-level instruments in the process-wide registry. Statement
+// metrics are recorded once per ExecContext (never per row), so the
+// cost is two atomic adds per statement; the WAL-wait histogram
+// isolates the group-commit share of DML latency from apply time.
+var (
+	mReadSeconds = metrics.Default().Histogram("hs_engine_read_seconds",
+		"read statement (select/aggregate/join) latency", "seconds")
+	mDMLSeconds = metrics.Default().Histogram("hs_engine_dml_seconds",
+		"DML statement latency including the durability wait", "seconds")
+	mWALWaitSeconds = metrics.Default().Histogram("hs_engine_wal_wait_seconds",
+		"time DML statements spend waiting on WAL group commit", "seconds")
+	mCheckpointSeconds = metrics.Default().Histogram("hs_engine_checkpoint_seconds",
+		"snapshot checkpoint duration", "seconds")
+
+	mSelects = metrics.Default().Counter("hs_engine_select_total",
+		"SELECT statements executed")
+	mAggregates = metrics.Default().Counter("hs_engine_aggregate_total",
+		"aggregate statements executed")
+	mInserts = metrics.Default().Counter("hs_engine_insert_total",
+		"INSERT statements executed")
+	mUpdates = metrics.Default().Counter("hs_engine_update_total",
+		"UPDATE statements executed")
+	mDeletes = metrics.Default().Counter("hs_engine_delete_total",
+		"DELETE statements executed")
+
+	mMigrations = metrics.Default().Counter("hs_engine_migrations_total",
+		"completed online layout migrations")
+	mCheckpoints = metrics.Default().Counter("hs_engine_checkpoints_total",
+		"completed snapshot checkpoints")
+)
+
+func kindCounter(k query.Kind) *metrics.Counter {
+	switch k {
+	case query.Aggregate:
+		return mAggregates
+	case query.Select:
+		return mSelects
+	case query.Insert:
+		return mInserts
+	case query.Update:
+		return mUpdates
+	default:
+		return mDeletes
+	}
+}

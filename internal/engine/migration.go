@@ -224,6 +224,7 @@ func (db *Database) MigrateLayout(name string, store catalog.StoreKind, spec *ca
 	}
 	cur.store = target
 	cur.tail = nil
+	mMigrations.Inc()
 	// A migration becomes durable only here, as a single layout-change
 	// record logged after the swap: a crash at any earlier point leaves
 	// no trace of it in the WAL, so recovery replays the buffered DML

@@ -23,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"hybridstore/internal/catalog"
 	"hybridstore/internal/query"
@@ -174,6 +175,11 @@ func (db *Database) checkpointLocked() error {
 	if db.log == nil {
 		return fmt.Errorf("engine: database is not durable (create it with engine.Open)")
 	}
+	cpStart := time.Now()
+	defer func() {
+		mCheckpointSeconds.Observe(time.Since(cpStart).Nanoseconds())
+		mCheckpoints.Inc()
+	}()
 	// Everything acknowledged must be on disk in the log before the
 	// snapshot claims to supersede it.
 	if err := db.log.Sync(); err != nil {

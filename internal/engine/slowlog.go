@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybridstore/internal/metrics"
+	"hybridstore/internal/query"
+	"hybridstore/internal/trace"
+)
+
+// slowLogMaxPerSec caps slow-query log entries per second; a storm of
+// slow statements (a saturated server is exactly when everything turns
+// slow) must not amplify itself with logging I/O. Dropped entries are
+// counted and surfaced as a metric.
+const slowLogMaxPerSec = 50
+
+var mSlowlogDropped = metrics.Default().Counter("hs_slowlog_dropped_total",
+	"slow-query log entries dropped by rate limiting")
+var mSlowlogWritten = metrics.Default().Counter("hs_slowlog_written_total",
+	"slow-query log entries written")
+
+// SlowQueryLog writes one JSON line per statement whose latency crosses
+// a runtime-adjustable threshold. While the threshold is non-zero every
+// statement is traced, so each entry carries the per-stage trace
+// summary that answers "why was this statement slow?"; with the
+// threshold at zero the log is fully disarmed and statements run with
+// tracing off (one atomic load of overhead).
+type SlowQueryLog struct {
+	w         io.Writer
+	mu        sync.Mutex // serializes writes and rate-limit state
+	threshold atomic.Int64
+	winStart  int64 // unix second of the current rate window
+	winCount  int64
+}
+
+// NewSlowQueryLog creates a slow-query log writing JSON lines to w with
+// the given initial threshold (0 = disarmed).
+func NewSlowQueryLog(w io.Writer, threshold time.Duration) *SlowQueryLog {
+	sl := &SlowQueryLog{w: w}
+	sl.threshold.Store(int64(threshold))
+	return sl
+}
+
+// SetThreshold adjusts the slow-statement threshold at runtime; 0
+// disarms the log (and stops arming traces).
+func (sl *SlowQueryLog) SetThreshold(d time.Duration) {
+	if sl == nil {
+		return
+	}
+	sl.threshold.Store(int64(d))
+}
+
+// Threshold returns the current threshold (0 = disarmed).
+func (sl *SlowQueryLog) Threshold() time.Duration {
+	if sl == nil {
+		return 0
+	}
+	return time.Duration(sl.threshold.Load())
+}
+
+// slowLogEntry is the JSON shape of one slow-query log line.
+type slowLogEntry struct {
+	Time       string  `json:"time"` // RFC 3339 with millis
+	Session    string  `json:"session,omitempty"`
+	Kind       string  `json:"kind"`
+	Query      string  `json:"query"`
+	DurationMS float64 `json:"duration_ms"`
+	Rows       int     `json:"rows"`
+	Trace      string  `json:"trace,omitempty"`
+}
+
+// observe records one finished statement, writing an entry when its
+// duration crosses the armed threshold and the rate limit allows.
+func (sl *SlowQueryLog) observe(session string, q *query.Query, d time.Duration, rows int, tr *trace.Trace) {
+	if sl == nil {
+		return
+	}
+	th := sl.threshold.Load()
+	if th <= 0 || int64(d) < th {
+		return
+	}
+	now := time.Now()
+	sl.mu.Lock()
+	sec := now.Unix()
+	if sec != sl.winStart {
+		sl.winStart = sec
+		sl.winCount = 0
+	}
+	if sl.winCount >= slowLogMaxPerSec {
+		sl.mu.Unlock()
+		mSlowlogDropped.Inc()
+		return
+	}
+	sl.winCount++
+	entry := slowLogEntry{
+		Time:       now.UTC().Format("2006-01-02T15:04:05.000Z07:00"),
+		Session:    session,
+		Kind:       q.Kind.String(),
+		Query:      q.String(),
+		DurationMS: float64(d) / float64(time.Millisecond),
+		Rows:       rows,
+		Trace:      tr.Summary(),
+	}
+	line, err := json.Marshal(entry)
+	if err == nil {
+		line = append(line, '\n')
+		sl.w.Write(line)
+	}
+	sl.mu.Unlock()
+	mSlowlogWritten.Inc()
+}
+
+// SetSlowQueryLog attaches (or with nil detaches) the database's
+// slow-query log. Safe to call while statements execute.
+func (db *Database) SetSlowQueryLog(sl *SlowQueryLog) {
+	db.slow.Store(&slowLogBox{sl: sl})
+}
+
+// SlowQueryLogHandle returns the attached slow-query log (nil when
+// detached) so CLIs and the debug listener can adjust its threshold at
+// runtime.
+func (db *Database) SlowQueryLogHandle() *SlowQueryLog {
+	if b := db.slow.Load(); b != nil {
+		return b.sl
+	}
+	return nil
+}
+
+// slowLogBox wraps the pointer for atomic.Pointer (which needs a
+// concrete type even for a nil slow log).
+type slowLogBox struct{ sl *SlowQueryLog }

@@ -19,12 +19,47 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"hybridstore/internal/trace"
 )
 
 // Pool is a bounded set of execution slots.
+//
+// The pool distinguishes three task states so observers (and drain
+// logic) can tell them apart: queued (blocked in Acquire waiting for a
+// slot), running (holding a slot) and done (cumulative completed slot
+// holds). Before these counters existed the queue depth was
+// unobservable — a goroutine parked in Acquire was indistinguishable
+// from one actively running, so a saturated pool and an idle one with
+// a long admission queue reported the same InUse.
 type Pool struct {
 	size  int
 	slots chan struct{}
+
+	queued     atomic.Int64 // goroutines blocked in Acquire
+	done       atomic.Int64 // cumulative released slot holds
+	peakQueued atomic.Int64 // high-water mark of queued
+}
+
+// PoolStats is a point-in-time view of pool activity.
+type PoolStats struct {
+	Size       int   // configured slots
+	InUse      int   // slots currently held (running tasks + helpers)
+	Queued     int   // goroutines blocked in Acquire right now
+	Done       int64 // cumulative completed slot holds
+	PeakQueued int64 // high-water mark of Queued since pool creation
+}
+
+// Stats returns current pool activity counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Size:       p.size,
+		InUse:      len(p.slots),
+		Queued:     int(p.queued.Load()),
+		Done:       p.done.Load(),
+		PeakQueued: p.peakQueued.Load(),
+	}
 }
 
 // NewPool creates a pool with n slots; n <= 0 means GOMAXPROCS.
@@ -44,8 +79,23 @@ func (p *Pool) Size() int { return p.size }
 func (p *Pool) InUse() int { return len(p.slots) }
 
 // Acquire blocks until a slot is free (statement admission) or ctx is
-// done, returning ctx.Err() in the latter case.
+// done, returning ctx.Err() in the latter case. While blocked the
+// caller counts as queued in Stats.
 func (p *Pool) Acquire(ctx context.Context) error {
+	// Fast path: a free slot means no queueing at all.
+	select {
+	case p.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	q := p.queued.Add(1)
+	for {
+		peak := p.peakQueued.Load()
+		if q <= peak || p.peakQueued.CompareAndSwap(peak, q) {
+			break
+		}
+	}
+	defer p.queued.Add(-1)
 	select {
 	case p.slots <- struct{}{}:
 		return nil
@@ -65,8 +115,12 @@ func (p *Pool) TryAcquire() bool {
 	}
 }
 
-// Release returns a slot taken by Acquire or TryAcquire.
-func (p *Pool) Release() { <-p.slots }
+// Release returns a slot taken by Acquire or TryAcquire and counts the
+// completed hold toward Stats().Done.
+func (p *Pool) Release() {
+	<-p.slots
+	p.done.Add(1)
+}
 
 var (
 	defaultMu   sync.Mutex
@@ -105,11 +159,24 @@ type Ctx struct {
 	// true return abandons the work and the partial result must be
 	// discarded.
 	Stop func() bool
+	// Trace, when non-nil, collects morsel counts and per-worker busy
+	// time from parallel loops. Nil (the default) keeps Morsels on its
+	// uninstrumented fast path.
+	Trace *trace.Trace
 }
 
 // Serial returns a Ctx that executes serially but still honors the given
 // cancellation hook.
 func Serial(stop func() bool) *Ctx { return &Ctx{Stop: stop} }
+
+// Tracer returns the Ctx's trace (nil for a nil Ctx or an untraced
+// statement) so storage layers can report counters nil-safely.
+func (c *Ctx) Tracer() *trace.Trace {
+	if c == nil {
+		return nil
+	}
+	return c.Trace
+}
 
 // Stopped reports whether the statement has been cancelled.
 func (c *Ctx) Stopped() bool {
@@ -158,17 +225,38 @@ func (c *Ctx) Morsels(n int, fn func(worker, morsel int) bool) {
 	}
 	workers := c.Workers(n)
 	var stop func() bool
+	var tr *trace.Trace
 	if c != nil {
 		stop = c.Stop
+		tr = c.Trace
+	}
+	if tr != nil {
+		// Tracing wraps fn to count processed morsels and times each
+		// worker. The wrapper exists only on traced statements, so the
+		// untraced hot path below runs the raw fn with zero additions.
+		var processed atomic.Int64
+		inner := fn
+		fn = func(worker, morsel int) bool {
+			processed.Add(1)
+			return inner(worker, morsel)
+		}
+		defer func() { tr.AddMorselRun(processed.Load(), workers) }()
 	}
 	if workers <= 1 {
+		start := time.Time{}
+		if tr != nil {
+			start = time.Now()
+		}
 		for m := 0; m < n; m++ {
 			if stop != nil && stop() {
-				return
+				break
 			}
 			if !fn(0, m) {
-				return
+				break
 			}
+		}
+		if tr != nil {
+			tr.AddWorkerBusy(0, time.Since(start))
 		}
 		return
 	}
@@ -178,18 +266,25 @@ func (c *Ctx) Morsels(n int, fn func(worker, morsel int) bool) {
 		wg      sync.WaitGroup
 	)
 	run := func(worker int) {
+		start := time.Time{}
+		if tr != nil {
+			start = time.Now()
+		}
 		for {
 			if stopped.Load() || (stop != nil && stop()) {
-				return
+				break
 			}
 			m := int(next.Add(1)) - 1
 			if m >= n {
-				return
+				break
 			}
 			if !fn(worker, m) {
 				stopped.Store(true)
-				return
+				break
 			}
+		}
+		if tr != nil {
+			tr.AddWorkerBusy(worker, time.Since(start))
 		}
 	}
 	for w := 1; w < workers; w++ {

@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"hybridstore/internal/trace"
 )
 
 func TestMorselsCoversAll(t *testing.T) {
@@ -137,5 +139,100 @@ func TestHelpersNeverExceedPool(t *testing.T) {
 	})
 	if peak.Load() > 3 {
 		t.Fatalf("peak concurrency %d exceeds pool size 3", peak.Load())
+	}
+}
+
+func TestPoolStats(t *testing.T) {
+	p := NewPool(1)
+	st := p.Stats()
+	if st.Size != 1 || st.InUse != 0 || st.Queued != 0 || st.Done != 0 || st.PeakQueued != 0 {
+		t.Fatalf("fresh pool stats = %+v", st)
+	}
+	if err := p.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.InUse != 1 {
+		t.Fatalf("InUse = %d after acquire, want 1", st.InUse)
+	}
+
+	// Second acquirer must show up as queued while the slot is held.
+	started := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		close(started)
+		if err := p.Acquire(context.Background()); err == nil {
+			p.Release()
+		}
+		close(done)
+	}()
+	<-started
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Stats().Queued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never counted as queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := p.Stats(); st.PeakQueued < 1 {
+		t.Fatalf("PeakQueued = %d, want >= 1", st.PeakQueued)
+	}
+	p.Release()
+	<-done
+	st = p.Stats()
+	if st.Done != 2 {
+		t.Fatalf("Done = %d after two releases, want 2", st.Done)
+	}
+	if st.Queued != 0 {
+		t.Fatalf("Queued = %d after drain, want 0", st.Queued)
+	}
+}
+
+func TestPoolStatsQueuedClearsOnCancel(t *testing.T) {
+	p := NewPool(1)
+	if err := p.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- p.Acquire(ctx) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Stats().Queued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never counted as queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("cancelled Acquire returned nil")
+	}
+	if st := p.Stats(); st.Queued != 0 {
+		t.Fatalf("Queued = %d after cancelled acquire, want 0", st.Queued)
+	}
+	p.Release()
+}
+
+func TestMorselsTraceCollection(t *testing.T) {
+	tr := trace.New()
+	c := &Ctx{Pool: NewPool(4), Trace: tr}
+	const n = 64
+	var ran atomic.Int32
+	c.Morsels(n, func(w, m int) bool {
+		ran.Add(1)
+		time.Sleep(10 * time.Microsecond)
+		return true
+	})
+	morsels, runs := tr.Morsels()
+	if morsels != n || runs != 1 {
+		t.Fatalf("trace morsels = %d runs = %d, want %d/1", morsels, runs, n)
+	}
+	busy := tr.WorkerBusy()
+	if len(busy) == 0 {
+		t.Fatal("no worker busy time recorded")
+	}
+	for _, wb := range busy {
+		if wb.Busy <= 0 {
+			t.Fatalf("worker %d busy = %v, want > 0", wb.Worker, wb.Busy)
+		}
 	}
 }

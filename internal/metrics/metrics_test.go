@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"bufio"
+	"math"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("test_depth", "depth")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	if c2 := r.Counter("test_ops_total", "ops"); c2 != c {
+		t.Fatalf("re-registration returned a different counter")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency", "latency", "seconds")
+	// 1000 observations spread 1ms..100ms uniformly.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(int64(i) * 100_000) // 0.1ms steps in ns
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d, want 1000", h.Count())
+	}
+	p50 := h.Quantile(0.50)
+	p99 := h.Quantile(0.99)
+	// True p50 = 50ms, p99 = 99ms; bucket estimates err high by at most
+	// one ratio step (1.6x).
+	if p50 < 50e6*0.9 || p50 > 50e6*1.7 {
+		t.Fatalf("p50 = %g ns, want ~5e7 within bucket error", p50)
+	}
+	if p99 < 99e6*0.9 || p99 > 99e6*1.7 {
+		t.Fatalf("p99 = %g ns, want ~9.9e7 within bucket error", p99)
+	}
+	if p99 < p50 {
+		t.Fatalf("p99 %g < p50 %g", p99, p50)
+	}
+	h2 := r.Histogram("test_empty", "", "")
+	if q := h2.Quantile(0.99); q != 0 {
+		t.Fatalf("empty histogram quantile = %g, want 0", q)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_conc", "", "")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+}
+
+// sampleLine matches a valid Prometheus text-format sample line.
+var sampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9.eE+-]+|\+Inf|-Inf|NaN)$`)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fmt_ops_total", "total ops").Add(42)
+	r.Gauge("fmt_depth", "queue depth").Set(3)
+	r.GaugeFunc("fmt_live", "live things", func() int64 { return 9 })
+	h := r.Histogram("fmt_latency_seconds", "latency", "seconds")
+	h.Observe(1_500_000)
+	h.Observe(2_000_000_000)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	sc := bufio.NewScanner(strings.NewReader(out))
+	n := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no sample lines written")
+	}
+	for _, want := range []string{
+		"fmt_ops_total 42", "fmt_depth 3", "fmt_live 9",
+		"fmt_latency_seconds_count 2", `fmt_latency_seconds_bucket{le="+Inf"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRows(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_ops", "").Add(1)
+	r.Gauge("a_depth", "").Set(2)
+	h := r.Histogram("m_lat", "", "")
+	h.Observe(100)
+	rows := r.Rows()
+	if len(rows) != 6 { // counter + gauge + 4 histogram rows
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Name < rows[i-1].Name {
+			t.Fatalf("rows not sorted: %q after %q", rows[i].Name, rows[i-1].Name)
+		}
+	}
+}
+
+func TestBucketMonotone(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("mono", "", "")
+	last := -1
+	for v := 1.0; v < 1e12; v *= 2 {
+		b := h.bucket(v)
+		if b < last {
+			t.Fatalf("bucket(%g) = %d < previous %d", v, b, last)
+		}
+		last = b
+	}
+	if !math.IsInf(h.upperBound(len(h.counts)-1), 1) {
+		t.Fatal("overflow bucket bound must be +Inf")
+	}
+}

@@ -1,0 +1,47 @@
+package server
+
+import "hybridstore/internal/metrics"
+
+// Wire-protocol statement counters; latency distributions live on the
+// engine side (hs_engine_read_seconds / hs_engine_dml_seconds).
+var (
+	mStatements = metrics.Default().Counter("hs_server_statements_total",
+		"statements executed over the wire protocol")
+	mStmtErrors = metrics.Default().Counter("hs_server_statement_errors_total",
+		"wire statements that returned an error frame")
+	mSessionsOpened = metrics.Default().Counter("hs_server_sessions_opened_total",
+		"client sessions accepted")
+	mSessionsRefused = metrics.Default().Counter("hs_server_sessions_refused_total",
+		"connections refused by admission control (session limit or drain)")
+)
+
+// registerGauges binds the registry's pool/session gauges to this
+// server. GaugeFunc re-registration replaces the callback, so when a
+// process starts a new server (tests do) the freshest one owns them.
+func (s *Server) registerGauges() {
+	reg := metrics.Default()
+	reg.GaugeFunc("hs_pool_slots",
+		"worker pool size (statement admission + morsel helpers)",
+		func() int64 { return int64(s.pool.Stats().Size) })
+	reg.GaugeFunc("hs_pool_in_use",
+		"worker pool slots currently held",
+		func() int64 { return int64(s.pool.Stats().InUse) })
+	reg.GaugeFunc("hs_pool_queued",
+		"acquirers currently waiting for a pool slot",
+		func() int64 { return int64(s.pool.Stats().Queued) })
+	reg.GaugeFunc("hs_pool_queued_peak",
+		"high-water mark of waiting acquirers",
+		func() int64 { return int64(s.pool.Stats().PeakQueued) })
+	reg.GaugeFunc("hs_pool_tasks_done",
+		"pool slot acquisitions completed since start",
+		func() int64 { return int64(s.pool.Stats().Done) })
+	reg.GaugeFunc("hs_server_sessions",
+		"live client sessions",
+		func() int64 { return int64(s.Sessions()) })
+	reg.GaugeFunc("hs_server_stmt_cache_hits",
+		"shared prepared-statement cache hits",
+		func() int64 { h, _ := s.cache.Stats(); return h })
+	reg.GaugeFunc("hs_server_stmt_cache_misses",
+		"shared prepared-statement cache misses",
+		func() int64 { _, m := s.cache.Stats(); return m })
+}

@@ -160,6 +160,7 @@ func Serve(db *engine.Database, addr string, cfg Config) (*Server, error) {
 		cache:    newStmtCache(cfg.StmtCache),
 		sessions: make(map[uint64]*session),
 	}
+	s.registerGauges()
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -176,6 +177,7 @@ func (s *Server) acceptLoop() {
 			return // listener closed (Shutdown) or fatal
 		}
 		if s.draining.Load() {
+			mSessionsRefused.Inc()
 			_ = wire.WriteResponse(conn, &wire.Response{
 				Type: wire.MsgError, Code: wire.CodeShutdown, Err: "server is shutting down",
 			})
@@ -197,6 +199,7 @@ func (s *Server) acceptLoop() {
 		}
 		if len(s.sessions) >= s.cfg.MaxSessions {
 			s.mu.Unlock()
+			mSessionsRefused.Inc()
 			_ = wire.WriteResponse(conn, &wire.Response{
 				Type: wire.MsgError, Code: wire.CodeTooBusy,
 				Err: fmt.Sprintf("server at its session limit (%d)", s.cfg.MaxSessions),
@@ -208,6 +211,7 @@ func (s *Server) acceptLoop() {
 		sess := newSession(s, s.nextSess, conn)
 		s.sessions[sess.id] = sess
 		s.mu.Unlock()
+		mSessionsOpened.Inc()
 		s.wg.Add(1)
 		go sess.run()
 	}
@@ -347,7 +351,16 @@ func (s *Server) execStatement(ctx context.Context, st *sql.Statement) (*wire.Re
 		}
 		return &wire.Response{Type: wire.MsgOK}, nil
 	}
-	res, err := s.db.ExecContext(ctx, st.Query)
+	var res *engine.Result
+	var err error
+	switch {
+	case st.ShowMetrics:
+		res = engine.MetricsResult()
+	case st.ExplainAnalyze:
+		res, err = s.db.ExplainAnalyzeContext(ctx, st.Query)
+	default:
+		res, err = s.db.ExecContext(ctx, st.Query)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -283,7 +283,9 @@ func (se *session) execPrepared(pp *sql.Prepared, params []value.Value) *wire.Re
 	defer se.srv.pool.Release()
 
 	rs, err := se.srv.execStatement(ctx, st)
+	mStatements.Inc()
 	if err != nil {
+		mStmtErrors.Inc()
 		switch {
 		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 			return ctxError(err)

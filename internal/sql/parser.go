@@ -17,6 +17,13 @@ import (
 type Statement struct {
 	CreateTable *schema.Table
 	Query       *query.Query
+
+	// ExplainAnalyze marks an EXPLAIN ANALYZE-wrapped Query: execute it
+	// traced and return the per-stage trace as the result set.
+	ExplainAnalyze bool
+	// ShowMetrics marks SHOW METRICS: return the process metrics
+	// registry as a (metric, value) result set.
+	ShowMetrics bool
 }
 
 // Resolver looks up table schemas during parsing; the engine's catalog is
@@ -171,6 +178,26 @@ func (p *parser) ident() (string, error) {
 
 func (p *parser) statement() (*Statement, error) {
 	switch {
+	case p.isKeyword("EXPLAIN"):
+		p.advance()
+		if err := p.expectKeyword("ANALYZE"); err != nil {
+			return nil, fmt.Errorf("sql: only EXPLAIN ANALYZE is supported: %w", err)
+		}
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		if st.Query == nil || st.ExplainAnalyze || st.ShowMetrics {
+			return nil, fmt.Errorf("sql: EXPLAIN ANALYZE wants a SELECT/INSERT/UPDATE/DELETE statement")
+		}
+		st.ExplainAnalyze = true
+		return st, nil
+	case p.isKeyword("SHOW"):
+		p.advance()
+		if err := p.expectKeyword("METRICS"); err != nil {
+			return nil, err
+		}
+		return &Statement{ShowMetrics: true}, nil
 	case p.isKeyword("CREATE"):
 		sch, err := p.createTable()
 		if err != nil {

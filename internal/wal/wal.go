@@ -23,6 +23,23 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
+
+	"hybridstore/internal/metrics"
+)
+
+// Group-commit metrics: one histogram observation per flush batch (not
+// per record), so the recording cost is amortized across every writer
+// sharing the fsync.
+var (
+	mFsyncSeconds = metrics.Default().Histogram("hs_wal_fsync_seconds",
+		"WAL group-commit write+fsync latency per flush batch", "seconds")
+	mBatchFrames = metrics.Default().Histogram("hs_wal_batch_frames",
+		"frames merged into one WAL group-commit flush", "")
+	mFlushes = metrics.Default().Counter("hs_wal_flushes_total",
+		"WAL group-commit flush batches")
+	mRecords = metrics.Default().Counter("hs_wal_records_total",
+		"records appended to the WAL")
 )
 
 // DefaultMaxBatch is the default cap on frames merged into one fsync
@@ -135,6 +152,7 @@ func (l *Log) Enqueue(rec *Record) (uint64, error) {
 	seq := l.nextSeq
 	l.nextSeq++
 	l.pending = append(l.pending, encodeFrame(seq, rec))
+	mRecords.Inc()
 	return seq, nil
 }
 
@@ -181,6 +199,7 @@ func (l *Log) flushBatchLocked() {
 	f := l.f
 	l.mu.Unlock()
 
+	start := time.Now()
 	var err error
 	for _, frame := range batch {
 		if _, werr := f.Write(frame); werr != nil {
@@ -191,6 +210,9 @@ func (l *Log) flushBatchLocked() {
 	if err == nil && !l.opts.NoSync {
 		err = f.Sync()
 	}
+	mFsyncSeconds.Observe(time.Since(start).Nanoseconds())
+	mBatchFrames.Observe(int64(len(batch)))
+	mFlushes.Inc()
 
 	l.mu.Lock()
 	l.flushing = false

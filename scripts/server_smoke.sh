@@ -16,6 +16,7 @@ trap cleanup EXIT
 
 data="$work/data"
 port="${SMOKE_PORT:-17878}"
+http_port="${SMOKE_HTTP_PORT:-17978}"
 
 go build -o "$work/hsqld" ./cmd/hsqld
 go build -o "$work/hsql" ./cmd/hsql
@@ -36,8 +37,8 @@ wait_ready() {
   return 1
 }
 
-echo "== start hsqld (durable) =="
-"$work/hsqld" -listen "127.0.0.1:$port" -data "$data" &
+echo "== start hsqld (durable, with debug HTTP) =="
+"$work/hsqld" -listen "127.0.0.1:$port" -data "$data" -http "127.0.0.1:$http_port" &
 pid=$!
 wait_ready "$port"
 
@@ -48,7 +49,41 @@ INSERT INTO kv VALUES (1, 'one'), (2, 'two'), (3, 'three');
 UPDATE kv SET v = 'THREE' WHERE k = 3;
 DELETE FROM kv WHERE k = 1;
 INSERT INTO kv VALUES (4, 'four');
+SELECT COUNT(*) FROM kv;
 EOF
+
+echo "== EXPLAIN ANALYZE over the wire =="
+ea="$("$work/hsql" -connect "127.0.0.1:$port" <<'EOF'
+EXPLAIN ANALYZE SELECT v FROM kv WHERE k >= 2;
+EOF
+)"
+echo "$ea"
+echo "$ea" | grep -q '^scan'  || { echo "FAIL: EXPLAIN ANALYZE missing scan stage" >&2; exit 1; }
+echo "$ea" | grep -q '^total' || { echo "FAIL: EXPLAIN ANALYZE missing total row" >&2; exit 1; }
+
+echo "== /metrics: valid Prometheus exposition =="
+metrics="$(curl -sf "http://127.0.0.1:$http_port/metrics")"
+echo "$metrics" | head -n 20
+# Loaded-daemon signals must be present.
+for want in hs_wal_fsync_seconds_bucket hs_engine_read_seconds_bucket hs_pool_slots hs_server_statements_total; do
+  echo "$metrics" | grep -q "^$want" || { echo "FAIL: /metrics missing $want" >&2; exit 1; }
+done
+# Every non-comment line must match the exposition text format:
+# name{optional labels} value
+bad="$(echo "$metrics" | grep -v '^#' | grep -vE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|\+Inf|-Inf|NaN)$' || true)"
+if [ -n "$bad" ]; then
+  echo "FAIL: malformed Prometheus exposition lines:" >&2
+  echo "$bad" >&2
+  exit 1
+fi
+
+echo "== /status: JSON snapshot =="
+status="$(curl -sf "http://127.0.0.1:$http_port/status")"
+echo "$status"
+echo "$status" | grep -q '"kv"'         || { echo "FAIL: /status missing table kv" >&2; exit 1; }
+echo "$status" | grep -q '"slots"'      || { echo "FAIL: /status missing pool stats" >&2; exit 1; }
+echo "$status" | python3 -c 'import json,sys; json.load(sys.stdin)' 2>/dev/null \
+  || { echo "FAIL: /status is not valid JSON" >&2; exit 1; }
 
 echo "== kill -9 =="
 kill -9 "$pid"
