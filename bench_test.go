@@ -21,6 +21,7 @@ import (
 
 	"hybridstore/internal/bench"
 	"hybridstore/internal/costmodel"
+	"hybridstore/internal/costmodel/calibrate"
 )
 
 var (
@@ -41,7 +42,7 @@ func benchScale() float64 {
 func benchConfig(b *testing.B) bench.Config {
 	b.Helper()
 	modelOnce.Do(func() {
-		sharedModel, modelErr = costmodel.Calibrate(costmodel.CalibrationConfig{
+		sharedModel, modelErr = calibrate.Calibrate(calibrate.Config{
 			RefRows: 30_000, Reps: 3, Seed: 2012,
 		})
 	})
@@ -180,7 +181,7 @@ func BenchmarkAblations(b *testing.B) {
 // paper's "initialize cost model" step, Figure 5).
 func BenchmarkCalibration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		m, err := costmodel.Calibrate(costmodel.CalibrationConfig{
+		m, err := calibrate.Calibrate(calibrate.Config{
 			RefRows: 10_000, Reps: 1, Seed: int64(i + 1),
 		})
 		if err != nil {

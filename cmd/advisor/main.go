@@ -28,6 +28,7 @@ import (
 	"hybridstore/internal/advisor"
 	"hybridstore/internal/catalog"
 	"hybridstore/internal/costmodel"
+	calib "hybridstore/internal/costmodel/calibrate"
 	"hybridstore/internal/query"
 	"hybridstore/internal/schema"
 	"hybridstore/internal/sql"
@@ -152,7 +153,7 @@ func run(schemaPath, workloadPath, rowsFlag, modelPath, saveModel string, calibr
 		fmt.Printf("loaded cost model from %s\n", modelPath)
 	case calibrate:
 		fmt.Println("calibrating cost model against this machine...")
-		model, err = costmodel.Calibrate(costmodel.DefaultCalibrationConfig())
+		model, err = calib.Calibrate(calib.DefaultConfig())
 		if err != nil {
 			return err
 		}

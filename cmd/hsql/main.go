@@ -51,6 +51,7 @@ import (
 	"hybridstore/internal/costmodel"
 	"hybridstore/internal/engine"
 	"hybridstore/internal/exec"
+	"hybridstore/internal/metrics"
 	"hybridstore/internal/migrate"
 	"hybridstore/internal/monitor"
 	"hybridstore/internal/schema"
@@ -204,8 +205,29 @@ func remoteShell(addr string) {
 					Cols: res.Cols, Rows: res.Rows,
 					Affected: res.Affected, Duration: res.Duration,
 				})
+			case "\\stats":
+				res, err := conn.Exec(context.Background(), "SHOW METRICS;")
+				if err != nil {
+					fmt.Println("error:", err)
+					break
+				}
+				vals := map[string]float64{}
+				for _, row := range res.Rows {
+					if len(row) == 2 {
+						vals[row[0].String()] = row[1].Float()
+					}
+				}
+				hits, miss := vals["hs_plan_cache_hits_total"], vals["hs_plan_cache_misses_total"]
+				if total := hits + miss; total > 0 {
+					fmt.Printf("plan cache: %d entries, %.0f hits / %.0f misses (%.1f%% hit rate)\n",
+						int(vals["hs_plan_cache_size"]), hits, miss, 100*hits/total)
+				} else {
+					fmt.Println("plan cache: no planned reads yet")
+				}
+				fmt.Printf("stmt cache: %.0f hits / %.0f misses\n",
+					vals["hs_server_stmt_cache_hits"], vals["hs_server_stmt_cache_misses"])
 			default:
-				fmt.Println("unknown remote command (only \\quit, \\ping and \\metrics work over -connect):", trimmed)
+				fmt.Println("unknown remote command (only \\quit, \\ping, \\metrics and \\stats work over -connect):", trimmed)
 			}
 			prompt()
 			continue
@@ -250,6 +272,8 @@ func execute(db *engine.Database, resolver sql.Resolver, stmtText string) {
 	switch {
 	case st.ShowMetrics:
 		res = engine.MetricsResult()
+	case st.Explain:
+		res, err = db.ExplainContext(context.Background(), st.Query)
 	case st.ExplainAnalyze:
 		res, err = db.ExplainAnalyzeContext(context.Background(), st.Query)
 	default:
@@ -354,6 +378,12 @@ func (s *session) command(line string) bool {
 				ps.Size, ps.InUse, ps.Queued, ps.Done, ps.PeakQueued)
 			snap := s.mon.Snapshot()
 			fmt.Printf("observed %d queries (%d in window)\n", snap.Seen, snap.WindowSeen)
+			ph := metrics.Default().Histogram("hs_planning_seconds",
+				"query planning latency (plan IR construction and costing)", "seconds")
+			if c := ph.Count(); c > 0 {
+				fmt.Printf("planning: %d plans, mean %.1fus, p50 %.1fus, p99 %.1fus\n",
+					c, float64(ph.Sum())/float64(c)/1e3, ph.Quantile(0.5)/1e3, ph.Quantile(0.99)/1e3)
+			}
 			for _, tw := range snap.Tables {
 				fmt.Println(" ", tw)
 			}

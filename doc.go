@@ -98,6 +98,49 @@
 //     NULLs, tombstones and migration churn; `hsbench -exp parallel`
 //     records serial-vs-parallel speedups into BENCH_parallel.json.
 //
+// # Query planning
+//
+// Every read statement (SELECT or aggregate, with or without a join)
+// lowers into an explicit physical plan before execution — internal/plan
+// builds a tree of typed operators (Scan, Filter, Project, HashJoin,
+// Aggregate, Sort, TopK, Limit), each carrying a cardinality and cost
+// estimate, and the engine executes the tree. The planner is cost-based:
+// it prices alternatives with the calibrated store cost model
+// (internal/costmodel, the same model the advisor uses) fed by collected
+// table statistics, falling back to the workload monitor's live observed
+// predicate selectivities for tables never analyzed.
+//
+//   - Predicate pushdown: join predicates split structurally into
+//     left-only, right-only and cross-side conjuncts; single-side
+//     conjuncts push below the join into the storage scans (where zone
+//     maps and dictionary kernels evaluate them), shrinking the build
+//     side before a hash table is ever allocated.
+//   - Join ordering: the smaller estimated post-pushdown input builds
+//     the hash table, so a selective dimension filter flips the build
+//     side away from the fact table.
+//   - ORDER BY + LIMIT fuses into a single-pass bounded-heap TopK that
+//     retains exactly the stable-sort-then-limit prefix (ties broken by
+//     arrival sequence), accumulating per-worker under the morsel
+//     scheduler and merging order-independently.
+//   - Plans are parameter-independent: the executor consumes only the
+//     plan's structural decisions and re-derives predicates and columns
+//     from the bound statement, so one plan serves every binding of a
+//     prepared statement. The server caches plans on its prepared-
+//     statement cache keyed by normalized text; each plan is stamped
+//     with the catalog version at build time and revalidated per
+//     execution, so DDL, layout migration cutover, compaction and stats
+//     refresh (all of which bump the version) invalidate cached plans
+//     without any registration machinery.
+//   - EXPLAIN <stmt> renders the chosen plan tree with per-node row and
+//     cost estimates as an ordinary result set; EXPLAIN ANALYZE tags its
+//     spans with plan-node ids ("scan#3", "hashjoin#5") so observed
+//     rows can be read against estimates. hs_plan_cache_{hits,misses}_total
+//     and hs_planning_seconds quantify cache effectiveness; `hsbench
+//     -exp planner` measures the pushdown/join-order/top-K wins against
+//     forcibly degraded plans (BENCH_planner.json), and the planner
+//     differential wall (internal/engine) checks planned execution
+//     against a naive oracle across all four layouts.
+//
 // # Live advisory & migration
 //
 // The paper's online mode (§4) runs as a full subsystem on top of the

@@ -7,6 +7,7 @@ import (
 
 	"hybridstore/internal/catalog"
 	"hybridstore/internal/costmodel"
+	"hybridstore/internal/costmodel/calibrate"
 	"hybridstore/internal/engine"
 	"hybridstore/internal/query"
 	"hybridstore/internal/stats"
@@ -173,8 +174,8 @@ func (m *Monitor) Apply(rec *Recommendation) error {
 // Recalibrate re-initializes the cost model against the current system
 // ("to also keep track of changes in hardware or system settings", §4)
 // and swaps it into the advisor.
-func (m *Monitor) Recalibrate(cfg costmodel.CalibrationConfig) error {
-	model, err := costmodel.Calibrate(cfg)
+func (m *Monitor) Recalibrate(cfg calibrate.Config) error {
+	model, err := calibrate.Calibrate(cfg)
 	if err != nil {
 		return err
 	}

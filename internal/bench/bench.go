@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"hybridstore/internal/costmodel"
+	"hybridstore/internal/costmodel/calibrate"
 	"hybridstore/internal/engine"
 	"hybridstore/internal/metrics"
 	"hybridstore/internal/query"
@@ -90,7 +91,7 @@ func (c Config) model() (*costmodel.Model, error) {
 	if m, ok := modelCache[c.CalibRows]; ok {
 		return m, nil
 	}
-	m, err := costmodel.Calibrate(costmodel.CalibrationConfig{
+	m, err := calibrate.Calibrate(calibrate.Config{
 		RefRows: c.CalibRows, Reps: c.Reps, Seed: c.Seed,
 	})
 	if err != nil {
@@ -181,6 +182,7 @@ func Experiments() []Experiment {
 		{"durability", "Durable-mode insert throughput (WAL group commit)", Durability},
 		{"concurrent-clients", "Concurrent network clients: mixed DML + analytics over TCP", ConcurrentClients},
 		{"parallel", "Morsel-driven parallel execution: serial vs shared worker pool", Parallel},
+		{"planner", "Cost-based planner: pushdown/join-order/top-K wins and plan-cache hit rate", Planner},
 	}
 }
 

@@ -54,7 +54,7 @@ func TestLookupAndUnknown(t *testing.T) {
 }
 
 func TestExperimentRegistryComplete(t *testing.T) {
-	want := []string{"fig6a", "fig6b", "fig7a", "fig7b", "fig8", "fig9a", "fig9b", "fig10", "ablation", "durability", "concurrent-clients", "parallel"}
+	want := []string{"fig6a", "fig6b", "fig7a", "fig7b", "fig8", "fig9a", "fig9b", "fig10", "ablation", "durability", "concurrent-clients", "parallel", "planner"}
 	have := Experiments()
 	if len(have) != len(want) {
 		t.Fatalf("experiments = %d, want %d", len(have), len(want))

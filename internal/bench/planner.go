@@ -1,0 +1,259 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"hybridstore/internal/agg"
+	"hybridstore/internal/catalog"
+	"hybridstore/internal/client"
+	"hybridstore/internal/engine"
+	"hybridstore/internal/expr"
+	"hybridstore/internal/metrics"
+	"hybridstore/internal/plan"
+	"hybridstore/internal/query"
+	"hybridstore/internal/server"
+	"hybridstore/internal/value"
+	"hybridstore/internal/workload"
+)
+
+// Planner measures the cost-based planner end to end.
+//
+// Part 1 (plan quality): pushdown-, join-order- and top-K-sensitive
+// queries over a star schema run twice — once as planned and once with
+// the planner decision forcibly degraded (pushdown off, build side
+// flipped, top-K replaced by full sort). Both variants must return
+// identical results; the speedup attributes the win to the decision
+// itself, not to unrelated execution differences.
+//
+// Part 2 (plan cache): an in-process hsqld serves the same engine; a
+// client prepares a handful of parameterized statements and executes
+// each repeatedly. Reported: the server plan-cache hit rate (first
+// execution per statement plans, the rest must reuse) and the planning
+// latency distribution from hs_planning_seconds.
+func Planner(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	dimRows := cfg.scaled(20_000)
+	factRows := cfg.scaled(100_000)
+
+	fact := workload.FactTable("pfact", dimRows)
+	dim := workload.DimensionTable("pdim")
+
+	db := engine.New()
+	if err := fact.Load(db, catalog.ColumnStore, factRows, cfg.Seed); err != nil {
+		return nil, err
+	}
+	if err := dim.Load(db, catalog.ColumnStore, dimRows, cfg.Seed+1); err != nil {
+		return nil, err
+	}
+
+	nL := fact.Schema.NumColumns()
+	forceLeft := true
+	cases := []struct {
+		name     string
+		q        *query.Query
+		degraded plan.Options
+		ordered  bool // compare row order too (ORDER BY present)
+	}{
+		{
+			// Only ~1% of dimension rows pass d_attr < 10; pushed below
+			// the join the build side shrinks from dimRows to ~dimRows/100
+			// and probe emissions drop accordingly. Degraded, the full
+			// dimension builds and every fact row joins before filtering.
+			name: "pushdown",
+			q: &query.Query{
+				Kind: query.Select, Table: "pfact",
+				Join: &query.Join{Table: "pdim", LeftCol: 1, RightCol: 0},
+				Cols: []int{0, 2, nL + 4},
+				Pred: &expr.Comparison{Col: nL + 5, Op: expr.Lt, Val: value.NewInt(10)},
+			},
+			degraded: plan.Options{DisablePushdown: true},
+		},
+		{
+			// The dimension is the smaller input; the planner builds it.
+			// Degraded, the fact side builds a hash table of every fact
+			// row instead.
+			name: "join-order",
+			q: &query.Query{
+				Kind: query.Aggregate, Table: "pfact",
+				Join: &query.Join{Table: "pdim", LeftCol: 1, RightCol: 0},
+				// Integer SUM: exact regardless of accumulation order, so
+				// the build-side variants stay bit-identical.
+				Aggs:    []agg.Spec{{Func: agg.Sum, Col: 6}},
+				GroupBy: []int{nL + 1},
+			},
+			degraded: plan.Options{ForceBuildLeft: &forceLeft},
+		},
+		{
+			// ORDER BY + LIMIT: the planner's single-pass top-K keeps 10
+			// rows in a bounded heap; degraded, every matching row is
+			// materialized and fully sorted first.
+			name: "topk",
+			q: &query.Query{
+				Kind: query.Select, Table: "pfact",
+				Cols:    []int{0, 2},
+				OrderBy: []query.Order{{Col: 2, Desc: true}},
+				Limit:   10,
+			},
+			degraded: plan.Options{DisableTopK: true},
+			ordered:  true,
+		},
+	}
+
+	res := &Result{
+		Columns: []string{"query", "planned_ms", "degraded_ms", "speedup", "degradation"},
+		Notes: []string{
+			fmt.Sprintf("star schema: %d fact rows joining %d dimension rows, column store", factRows, dimRows),
+			"each query runs planned and with one planner decision forcibly degraded; results are verified identical",
+		},
+	}
+	degradeLabel := []string{"pushdown off", "build side flipped", "full sort instead of top-K"}
+	for i, tc := range cases {
+		planned, err := db.PlanQueryOptions(tc.q, plan.Options{})
+		if err != nil {
+			return nil, err
+		}
+		degraded, err := db.PlanQueryOptions(tc.q, tc.degraded)
+		if err != nil {
+			return nil, err
+		}
+		fpPlanned, err := plannedFingerprint(db, tc.q, planned, tc.ordered)
+		if err != nil {
+			return nil, err
+		}
+		fpDegraded, err := plannedFingerprint(db, tc.q, degraded, tc.ordered)
+		if err != nil {
+			return nil, err
+		}
+		if fpPlanned != fpDegraded {
+			return nil, fmt.Errorf("bench: %s: planned and degraded plans disagree on the result", tc.name)
+		}
+		tPlanned, err := measurePlanned(db, tc.q, planned, cfg.Reps)
+		if err != nil {
+			return nil, err
+		}
+		tDegraded, err := measurePlanned(db, tc.q, degraded, cfg.Reps)
+		if err != nil {
+			return nil, err
+		}
+		speedup := float64(tDegraded) / float64(tPlanned)
+		res.AddRow([]string{
+			tc.name, ms(float64(tPlanned)), ms(float64(tDegraded)),
+			fmt.Sprintf("%.2fx", speedup), degradeLabel[i],
+		}, map[string]float64{
+			tc.name + "_planned_ns":  float64(tPlanned),
+			tc.name + "_degraded_ns": float64(tDegraded),
+			tc.name + "_speedup":     speedup,
+		})
+	}
+
+	// Part 2: plan-cache behavior over the wire.
+	hitRate, planP50, planP99, reps, stmts, err := plannerCacheWorkload(db, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.AddRow([]string{
+		"plan-cache", fmt.Sprintf("p50 %.1fus", planP50/1e3), fmt.Sprintf("p99 %.1fus", planP99/1e3),
+		fmt.Sprintf("%.1f%% hits", 100*hitRate), fmt.Sprintf("%d stmts x %d reps", stmts, reps),
+	}, map[string]float64{
+		"plan_cache_hit_rate": hitRate,
+		"planning_p50_ns":     planP50,
+		"planning_p99_ns":     planP99,
+	})
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("plan cache: %d prepared statements executed %d times each over TCP; first execution plans, the rest must hit", stmts, reps),
+		"acceptance: >= 2x speedup on a pushdown- or join-order-sensitive query, >= 90% plan-cache hit rate")
+	return res, nil
+}
+
+// plannedFingerprint executes q through p once and renders the result
+// rows (order-sensitively when the query is ordered) for differential
+// comparison between plan variants.
+func plannedFingerprint(db *engine.Database, q *query.Query, p *plan.Plan, ordered bool) (string, error) {
+	r, err := db.ExecPlannedContext(context.Background(), q, p)
+	if err != nil {
+		return "", err
+	}
+	lines := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		lines[i] = fmt.Sprint(row)
+	}
+	if !ordered {
+		sort.Strings(lines)
+	}
+	return fmt.Sprint(lines), nil
+}
+
+// measurePlanned runs q through the given plan reps times and returns
+// the median engine-measured duration.
+func measurePlanned(db *engine.Database, q *query.Query, p *plan.Plan, reps int) (time.Duration, error) {
+	runtime.GC()
+	times := make([]time.Duration, 0, reps)
+	for i := 0; i < reps; i++ {
+		res, err := db.ExecPlannedContext(context.Background(), q, p)
+		if err != nil {
+			return 0, err
+		}
+		times = append(times, res.Duration)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[len(times)/2], nil
+}
+
+// plannerCacheWorkload drives the server-side plan cache: prepare a
+// fixed set of parameterized read statements and execute each reps
+// times. Returns the plan-cache hit rate and the planning latency
+// quantiles observed during the workload.
+func plannerCacheWorkload(db *engine.Database, cfg Config) (hitRate, planP50, planP99 float64, reps, stmts int, err error) {
+	srv, err := server.Serve(db, "127.0.0.1:0", server.Config{MaxSessions: 8})
+	if err != nil {
+		return 0, 0, 0, 0, 0, err
+	}
+	defer srv.Shutdown(context.Background())
+
+	planHist := metrics.Default().Histogram("hs_planning_seconds",
+		"query planning latency (plan IR construction and costing)", "seconds")
+	planHist.Reset()
+	hits0, miss0, _ := srv.PlanCacheStats()
+
+	conn, err := client.Dial(srv.Addr().String(), client.Options{Name: "planner-bench"})
+	if err != nil {
+		return 0, 0, 0, 0, 0, err
+	}
+	defer conn.Close()
+	ctx := context.Background()
+
+	texts := []string{
+		"SELECT id, k0 FROM pfact WHERE f0 < ? LIMIT 50;",
+		"SELECT SUM(k0) FROM pfact WHERE f1 < ?;",
+		"SELECT COUNT(*) FROM pfact GROUP BY f2;",
+		"SELECT id, k1 FROM pfact WHERE f3 < ? ORDER BY k1 DESC LIMIT 10;",
+		"SELECT SUM(k0) FROM pfact JOIN pdim ON dimkey = dkey GROUP BY d_g0;",
+	}
+	reps = 20
+	for _, text := range texts {
+		st, err := conn.Prepare(ctx, text)
+		if err != nil {
+			return 0, 0, 0, 0, 0, fmt.Errorf("prepare %q: %w", text, err)
+		}
+		for i := 0; i < reps; i++ {
+			var args []value.Value
+			if st.NumParams() > 0 {
+				args = []value.Value{value.NewInt(int64(100 + i))}
+			}
+			if _, err := st.Exec(ctx, args...); err != nil {
+				return 0, 0, 0, 0, 0, fmt.Errorf("exec %q: %w", text, err)
+			}
+		}
+	}
+
+	hits, miss, _ := srv.PlanCacheStats()
+	dh, dm := hits-hits0, miss-miss0
+	if dh+dm > 0 {
+		hitRate = float64(dh) / float64(dh+dm)
+	}
+	return hitRate, planHist.Quantile(0.50), planHist.Quantile(0.99), reps, len(texts), nil
+}

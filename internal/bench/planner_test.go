@@ -1,0 +1,45 @@
+package bench
+
+import "testing"
+
+// TestPlannerExperimentSmoke runs the planner experiment at a reduced
+// scale and enforces its acceptance floor: the plan cache must serve at
+// least 90% of the repeated-statement workload, and at least one
+// pushdown- or join-order-sensitive query must run >= 2x faster planned
+// than degraded. The top-K series is informational (its win depends on
+// the sort-to-scan ratio at this scale) but must not be slower.
+func TestPlannerExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("planner experiment smoke skipped in -short")
+	}
+	cfg := quickCfg()
+	cfg.Scale = 0.25
+	cfg.Reps = 5
+	res, err := Planner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := res.Series["plan_cache_hit_rate"]
+	if len(hit) != 1 {
+		t.Fatal("missing plan_cache_hit_rate series")
+	}
+	if hit[0] < 0.9 {
+		t.Errorf("plan-cache hit rate %.2f, want >= 0.90", hit[0])
+	}
+	best := 0.0
+	for _, q := range []string{"pushdown", "join-order"} {
+		sp := res.Series[q+"_speedup"]
+		if len(sp) != 1 {
+			t.Fatalf("missing %s speedup series", q)
+		}
+		if sp[0] > best {
+			best = sp[0]
+		}
+	}
+	if best < 2.0 {
+		t.Errorf("best pushdown/join-order speedup %.2fx, want >= 2x", best)
+	}
+	if sp := res.Series["topk_speedup"]; len(sp) == 1 && sp[0] < 0.9 {
+		t.Errorf("top-K slower than full sort beyond tolerance (%.2fx)", sp[0])
+	}
+}

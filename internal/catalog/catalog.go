@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"hybridstore/internal/schema"
 	"hybridstore/internal/value"
@@ -180,7 +181,17 @@ func (e *TableEntry) HasIndex(col int) bool {
 type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*TableEntry
+
+	// version counts catalog mutations (DDL, placement changes, index
+	// declarations, statistics refreshes). Cached query plans record the
+	// version they were built against and are invalidated when it moves.
+	version atomic.Uint64
 }
+
+// Version returns the current catalog version. It increases on every
+// mutation that could change a query plan: table add/remove, placement
+// change, index declaration and statistics refresh.
+func (c *Catalog) Version() uint64 { return c.version.Load() }
 
 // New creates an empty catalog.
 func New() *Catalog {
@@ -204,6 +215,7 @@ func (c *Catalog) Add(entry *TableEntry) error {
 		return fmt.Errorf("catalog: table %q already exists", entry.Schema.Name)
 	}
 	c.tables[k] = entry
+	c.version.Add(1)
 	return nil
 }
 
@@ -233,6 +245,7 @@ func (c *Catalog) SetStats(name string, st *TableStats) bool {
 		return false
 	}
 	e.Stats = st
+	c.version.Add(1)
 	return true
 }
 
@@ -246,6 +259,7 @@ func (c *Catalog) AddIndex(name string, col int) bool {
 	}
 	if !containsInt(e.Indexes, col) {
 		e.Indexes = append(e.Indexes, col)
+		c.version.Add(1)
 	}
 	return true
 }
@@ -259,6 +273,7 @@ func (c *Catalog) Remove(name string) bool {
 		return false
 	}
 	delete(c.tables, k)
+	c.version.Add(1)
 	return true
 }
 
@@ -287,5 +302,6 @@ func (c *Catalog) SetPlacement(name string, store StoreKind, spec *PartitionSpec
 	}
 	e.Store = store
 	e.Partitioning = spec
+	c.version.Add(1)
 	return nil
 }

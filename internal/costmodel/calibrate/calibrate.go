@@ -1,4 +1,4 @@
-package costmodel
+package calibrate
 
 import (
 	"fmt"
@@ -8,6 +8,7 @@ import (
 
 	"hybridstore/internal/agg"
 	"hybridstore/internal/catalog"
+	"hybridstore/internal/costmodel"
 	"hybridstore/internal/engine"
 	"hybridstore/internal/expr"
 	"hybridstore/internal/query"
@@ -15,9 +16,9 @@ import (
 	"hybridstore/internal/value"
 )
 
-// CalibrationConfig tunes the representative tests used to initialize the
+// Config tunes the representative tests used to initialize the
 // cost model.
-type CalibrationConfig struct {
+type Config struct {
 	// RefRows is the reference table size; other sizes are derived from it.
 	RefRows int
 	// Reps is how many times each probe query runs (the median is used).
@@ -26,9 +27,9 @@ type CalibrationConfig struct {
 	Seed int64
 }
 
-// DefaultCalibrationConfig returns the standard calibration setting.
-func DefaultCalibrationConfig() CalibrationConfig {
-	return CalibrationConfig{RefRows: 40_000, Reps: 3, Seed: 1}
+// DefaultConfig returns the standard calibration setting.
+func DefaultConfig() Config {
+	return Config{RefRows: 40_000, Reps: 3, Seed: 1}
 }
 
 // Calibration column layout (see calibSchema).
@@ -110,7 +111,7 @@ func calibRow(rng *rand.Rand, id int64, dDistinct int) []value.Value {
 
 // calibrator bundles the shared state of one calibration run.
 type calibrator struct {
-	cfg CalibrationConfig
+	cfg Config
 	db  *engine.Database
 	rng *rand.Rand
 }
@@ -159,15 +160,15 @@ func (c *calibrator) loadTable(name string, store catalog.StoreKind, rows, dDist
 // following the paper's recommendation process ("Initialize cost model",
 // Figure 5). It is deterministic given the config seed, up to timing
 // noise.
-func Calibrate(cfg CalibrationConfig) (*Model, error) {
+func Calibrate(cfg Config) (*costmodel.Model, error) {
 	if cfg.RefRows <= 0 {
-		cfg.RefRows = DefaultCalibrationConfig().RefRows
+		cfg.RefRows = DefaultConfig().RefRows
 	}
 	if cfg.Reps <= 0 {
-		cfg.Reps = DefaultCalibrationConfig().Reps
+		cfg.Reps = DefaultConfig().Reps
 	}
 	c := &calibrator{cfg: cfg, db: engine.New(), rng: rand.New(rand.NewSource(cfg.Seed))}
-	m := &Model{
+	m := &costmodel.Model{
 		RefRows:    cfg.RefRows,
 		JoinBase:   map[string]map[string]float64{"ROW": {}, "COLUMN": {}},
 		JoinGroupC: map[string]map[string]float64{"ROW": {}, "COLUMN": {}},
@@ -222,8 +223,8 @@ func Calibrate(cfg CalibrationConfig) (*Model, error) {
 	return m, nil
 }
 
-// calibrateStore fits all StoreParams for one store.
-func (c *calibrator) calibrateStore(kind catalog.StoreKind, prefix string) (*StoreParams, float64, error) {
+// calibrateStore fits all costmodel.StoreParams for one store.
+func (c *calibrator) calibrateStore(kind catalog.StoreKind, prefix string) (*costmodel.StoreParams, float64, error) {
 	ref := c.cfg.RefRows
 	// The 2×ref table anchors the f_#rows fit beyond the reference so the
 	// linear model captures the out-of-cache growth of larger tables.
@@ -251,7 +252,7 @@ func (c *calibrator) calibrateStore(kind catalog.StoreKind, prefix string) (*Sto
 	}
 	refCompr := refStats.CompressionOf(calD)
 
-	p := &StoreParams{
+	p := &costmodel.StoreParams{
 		AggBase:   map[string]float64{},
 		DataTypeC: map[string]float64{},
 	}
@@ -274,7 +275,7 @@ func (c *calibrator) calibrateStore(kind catalog.StoreKind, prefix string) (*Sto
 		xs = append(xs, float64(n))
 		ys = append(ys, t)
 	}
-	rowsFit := FitLinFn(xs, ys)
+	rowsFit := costmodel.FitLinFn(xs, ys)
 	p.RowsF = rowsFit.Normalized(float64(ref))
 
 	// Aggregation base costs at the reference table. The per-query scan
@@ -392,7 +393,7 @@ func (c *calibrator) calibrateStore(kind catalog.StoreKind, prefix string) (*Sto
 			return nil, 0, err
 		}
 	}
-	p.CompressionF = NormalizePiecewise(FitPiecewise(cxs, cys), refCompr)
+	p.CompressionF = costmodel.NormalizePiecewise(costmodel.FitPiecewise(cxs, cys), refCompr)
 
 	// Selections: equality predicates on columns with controlled distinct
 	// counts give controlled selectivities.
@@ -424,12 +425,12 @@ func (c *calibrator) calibrateStore(kind catalog.StoreKind, prefix string) (*Sto
 		ixs = append(ixs, sc.sel)
 		iys = append(iys, t)
 	}
-	idxFit := FitLinFn(ixs, iys)
+	idxFit := costmodel.FitLinFn(ixs, iys)
 	p.SelectBase = idxFit.At(0.01) // reference: selectivity 1%, 2 columns
 	if p.SelectBase <= 0 {
 		p.SelectBase = iys[len(iys)-1]
 	}
-	p.SelIdxF = LinFn{A: idxFit.A / p.SelectBase, B: idxFit.B / p.SelectBase}
+	p.SelIdxF = costmodel.LinFn{A: idxFit.A / p.SelectBase, B: idxFit.B / p.SelectBase}
 
 	// Scan path: same predicates on an unindexed same-size table (the
 	// second-largest sizing table is unindexed even for the row store).
@@ -452,8 +453,8 @@ func (c *calibrator) calibrateStore(kind catalog.StoreKind, prefix string) (*Sto
 		sxs = append(sxs, sc.sel)
 		sys = append(sys, t)
 	}
-	scanFit := FitLinFn(sxs, sys)
-	p.SelScanF = LinFn{A: scanFit.A / p.SelectBase, B: scanFit.B / p.SelectBase}
+	scanFit := costmodel.FitLinFn(sxs, sys)
+	p.SelScanF = costmodel.LinFn{A: scanFit.A / p.SelectBase, B: scanFit.B / p.SelectBase}
 	if kind == catalog.RowStore {
 		if err := c.db.DropTable(scanName); err != nil {
 			return nil, 0, err
@@ -470,7 +471,7 @@ func (c *calibrator) calibrateStore(kind catalog.StoreKind, prefix string) (*Sto
 		kxs = append(kxs, float64(k))
 		kys = append(kys, t)
 	}
-	p.SelColsF = FitLinFn(kxs, kys).Normalized(2)
+	p.SelColsF = costmodel.FitLinFn(kxs, kys).Normalized(2)
 
 	// Inserts: amortized per-row cost while growing each sizing table by
 	// 15% (enough to cross the column store's delta-merge threshold, so
@@ -500,7 +501,7 @@ func (c *calibrator) calibrateStore(kind catalog.StoreKind, prefix string) (*Sto
 		inxs = append(inxs, float64(n))
 		inys = append(inys, perRow)
 	}
-	insFit := FitLinFn(inxs, inys)
+	insFit := costmodel.FitLinFn(inxs, inys)
 	p.InsertBase = insFit.At(float64(ref))
 	if p.InsertBase <= 0 {
 		p.InsertBase = inys[len(inys)-1]
@@ -566,7 +567,7 @@ func (c *calibrator) calibrateStore(kind catalog.StoreKind, prefix string) (*Sto
 		uxs = append(uxs, float64(len(spec.cols)))
 		uys = append(uys, apply/p.UpdateBase)
 	}
-	p.UpdColsF = FitLinFn(uxs, uys).Normalized(1)
+	p.UpdColsF = costmodel.FitLinFn(uxs, uys).Normalized(1)
 
 	var rxs, rys []float64
 	for _, sc := range []struct {
@@ -584,7 +585,7 @@ func (c *calibrator) calibrateStore(kind catalog.StoreKind, prefix string) (*Sto
 		rxs = append(rxs, sc.sel*float64(ref))
 		rys = append(rys, apply/p.UpdateBase)
 	}
-	p.UpdRowsF = FitLinFn(rxs, rys).Normalized(refAffected)
+	p.UpdRowsF = costmodel.FitLinFn(rxs, rys).Normalized(refAffected)
 
 	return p, refCompr, nil
 }
@@ -592,7 +593,7 @@ func (c *calibrator) calibrateStore(kind catalog.StoreKind, prefix string) (*Sto
 // calibrateJoins measures the reference join (SUM over the fact table
 // joined with a 1000-row dimension) for all four store combinations and
 // backs out the base costs.
-func (c *calibrator) calibrateJoins(m *Model) error {
+func (c *calibrator) calibrateJoins(m *costmodel.Model) error {
 	ref := c.cfg.RefRows
 	for _, combo := range []struct {
 		fact, dim catalog.StoreKind
@@ -619,14 +620,14 @@ func (c *calibrator) calibrateJoins(m *Model) error {
 		if err != nil {
 			return err
 		}
-		p1 := m.params(combo.fact)
-		p2 := m.params(combo.dim)
+		p1 := m.Params(combo.fact)
+		p2 := m.Params(combo.dim)
 		denom := p1.RowsF.At(float64(ref)) * p2.RowsF.At(1000)
 		denom *= p1.CompressionF.At(m.RefCompression) * p2.CompressionF.At(m.RefCompression)
 		if denom <= 0 {
 			denom = 1
 		}
-		m.JoinBase[storeKey(combo.fact)][storeKey(combo.dim)] = t / denom
+		m.JoinBase[costmodel.StoreKey(combo.fact)][costmodel.StoreKey(combo.dim)] = t / denom
 
 		// Grouping multiplier: the same join grouped by a dimension
 		// attribute (combined index: fact width + dim column 1).
@@ -647,7 +648,7 @@ func (c *calibrator) calibrateJoins(m *Model) error {
 		if ratio < 1 {
 			ratio = 1
 		}
-		m.JoinGroupC[storeKey(combo.fact)][storeKey(combo.dim)] = ratio
+		m.JoinGroupC[costmodel.StoreKey(combo.fact)][costmodel.StoreKey(combo.dim)] = ratio
 	}
 	return nil
 }

@@ -1,5 +1,5 @@
 //go:build !race
 
-package costmodel
+package calibrate
 
 const raceEnabled = false

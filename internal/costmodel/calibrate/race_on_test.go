@@ -1,6 +1,6 @@
 //go:build race
 
-package costmodel
+package calibrate
 
 // raceEnabled reports that the race detector instruments this build;
 // calibration timing assertions are skipped because instrumentation

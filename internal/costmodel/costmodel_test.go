@@ -406,48 +406,3 @@ func TestModelJSONRoundTrip(t *testing.T) {
 		t.Error("invalid model accepted")
 	}
 }
-
-// Calibration smoke test: run a tiny calibration against the real engine
-// and check that the fitted model reproduces the qualitative asymmetries.
-func TestCalibrateSmoke(t *testing.T) {
-	if testing.Short() {
-		t.Skip("calibration is slow")
-	}
-	if raceEnabled {
-		t.Skip("race-detector instrumentation distorts the timed store asymmetries")
-	}
-	m, err := Calibrate(CalibrationConfig{RefRows: 8000, Reps: 1, Seed: 7})
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Compare whole single-aggregate queries (shared scan intercept plus
-	// the marginal per-aggregate cost).
-	csAgg := m.CS.AggQueryBase + m.CS.AggBase["SUM"]
-	rsAgg := m.RS.AggQueryBase + m.RS.AggBase["SUM"]
-	if csAgg >= rsAgg {
-		t.Errorf("calibrated CS aggregation should be faster: cs=%v rs=%v", csAgg, rsAgg)
-	}
-	if m.RS.InsertBase >= m.CS.InsertBase {
-		t.Errorf("calibrated RS inserts should be faster: rs=%v cs=%v",
-			m.RS.InsertBase, m.CS.InsertBase)
-	}
-	for _, p := range []*StoreParams{&m.RS, &m.CS} {
-		if p.SelectBase <= 0 || p.UpdateBase <= 0 || p.InsertBase <= 0 {
-			t.Errorf("non-positive base costs: %+v", p)
-		}
-		if p.GroupByC <= 0 {
-			t.Errorf("group-by multiplier = %v", p.GroupByC)
-		}
-	}
-	for _, s1 := range []string{"ROW", "COLUMN"} {
-		for _, s2 := range []string{"ROW", "COLUMN"} {
-			if m.JoinBase[s1][s2] <= 0 {
-				t.Errorf("join base %s/%s = %v", s1, s2, m.JoinBase[s1][s2])
-			}
-		}
-	}
-	// A calibrated model must serialize (offline-mode persistence).
-	if _, err := json.Marshal(m); err != nil {
-		t.Errorf("marshal calibrated model: %v", err)
-	}
-}

@@ -155,6 +155,14 @@ func (m *Model) params(s catalog.StoreKind) *StoreParams {
 	return &m.CS
 }
 
+// StoreKey renders a StoreKind as a JSON-friendly map key ("ROW" or
+// "COLUMN"); Partitioned placements use the column-store block.
+func StoreKey(s catalog.StoreKind) string { return storeKey(s) }
+
+// Params returns the mutable parameter block for a store; the calibrate
+// package writes fitted coefficients through it.
+func (m *Model) Params(s catalog.StoreKind) *StoreParams { return m.params(s) }
+
 // aggBase returns the base cost for an aggregation function, falling back
 // to SUM.
 func (p *StoreParams) aggBase(f agg.Func) float64 {

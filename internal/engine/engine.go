@@ -19,7 +19,9 @@ import (
 	"hybridstore/internal/agg"
 	"hybridstore/internal/catalog"
 	"hybridstore/internal/colstore"
+	"hybridstore/internal/costmodel"
 	"hybridstore/internal/exec"
+	"hybridstore/internal/plan"
 	"hybridstore/internal/query"
 	"hybridstore/internal/rowstore"
 	"hybridstore/internal/schema"
@@ -112,7 +114,16 @@ type Database struct {
 	// slow holds the attached slow-query log (boxed so a nil log is
 	// still an atomic swap); see SetSlowQueryLog.
 	slow atomic.Pointer[slowLogBox]
+
+	// costModel is the calibrated cost model the planner prices
+	// alternatives with; nil falls back to the deterministic default
+	// profile (see SetCostModel).
+	costModel atomic.Pointer[costmodel.Model]
 }
+
+// defaultPlanModel caches the analytic default cost model shared by
+// every database without an attached calibrated model.
+var defaultPlanModel = sync.OnceValue(costmodel.DefaultModel)
 
 // New creates an empty database.
 func New() *Database {
@@ -418,12 +429,20 @@ func (db *Database) setLayoutLocked(name string, store catalog.StoreKind, spec *
 // arbitrary delta fill.
 func (db *Database) Compact(name string) error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	rt, err := db.runtime(name)
 	if err != nil {
+		db.mu.Unlock()
 		return err
 	}
 	rt.store.Compact()
+	db.mu.Unlock()
+	// Refresh catalog statistics to match the compacted state (fresh
+	// compression rates, reclaimed rows) so planner estimates don't
+	// drift; the refresh bumps the catalog version, invalidating cached
+	// plans. Runs under its own read lock so readers were never blocked
+	// behind the full-table statistics scan. A failure (the table was
+	// concurrently dropped) doesn't undo the compaction.
+	db.CollectStats(name)
 	return nil
 }
 
@@ -487,6 +506,14 @@ func (db *Database) Exec(q *query.Query) (*Result, error) {
 // checked before the statement starts. A session label attached via
 // WithSession is forwarded to session-aware observers.
 func (db *Database) ExecContext(ctx context.Context, q *query.Query) (*Result, error) {
+	return db.execWithPlan(ctx, q, nil)
+}
+
+// execWithPlan is the statement entry point. Reads execute through the
+// plan IR: a supplied plan (the server's plan cache) is used when its
+// catalog version still matches, otherwise the statement is (re)planned
+// under the read lock.
+func (db *Database) execWithPlan(ctx context.Context, q *query.Query, planned *plan.Plan) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -541,22 +568,28 @@ func (db *Database) ExecContext(ctx context.Context, q *query.Query) (*Result, e
 			sp.AddRowsOut(int64(res.Affected))
 		}
 	default:
-		sp := tr.Start(readStage(q))
 		db.mu.RLock()
 		if db.closed.Load() {
 			db.mu.RUnlock()
 			return nil, ErrClosed
 		}
-		if q.Join != nil {
-			res, err = db.execJoin(ctx, q)
-		} else {
-			res, err = db.execRead(ctx, q)
+		// A cached plan is honored only while the catalog version it
+		// was built against is current; DDL, migrations, index changes
+		// and statistics refreshes all move the version and force a
+		// replan (still under this read lock, so the check is stable).
+		p := planned
+		if p == nil || p.CatalogVersion != db.cat.Version() {
+			p, err = db.planReadLocked(q)
+		}
+		if err == nil {
+			sp := tr.Start(readStage(q))
+			res, err = db.execPlan(ctx, q, p)
+			if err == nil {
+				sp.AddRowsOut(int64(len(res.Rows)))
+			}
+			sp.End()
 		}
 		db.mu.RUnlock()
-		if err == nil {
-			sp.AddRowsOut(int64(len(res.Rows)))
-		}
-		sp.End()
 	}
 	if err != nil {
 		return nil, err
@@ -686,158 +719,6 @@ func (db *Database) logRecord(rec *wal.Record) error {
 		return nil
 	}
 	return db.log.Append(rec)
-}
-
-func (db *Database) execRead(ctx context.Context, q *query.Query) (*Result, error) {
-	rt, err := db.runtime(q.Table)
-	if err != nil {
-		return nil, err
-	}
-	sch := rt.entry.Schema
-	switch q.Kind {
-	case query.Select:
-		cols := q.Cols
-		if cols == nil {
-			cols = allCols(sch.NumColumns())
-		}
-		for _, c := range cols {
-			if c < 0 || c >= sch.NumColumns() {
-				return nil, fmt.Errorf("engine: select column %d out of range for %q", c, q.Table)
-			}
-		}
-		for _, o := range q.OrderBy {
-			if o.Col < 0 || o.Col >= sch.NumColumns() {
-				return nil, fmt.Errorf("engine: order-by column %d out of range for %q", o.Col, q.Table)
-			}
-		}
-		res := &Result{Cols: make([]string, len(cols))}
-		for i, c := range cols {
-			res.Cols[i] = sch.Columns[c].Name
-		}
-		// With an ORDER BY the limit cannot short-circuit the scan, and
-		// sort keys (which may not be projected) ride along per row.
-		var keys [][]value.Value
-		ordered := len(q.OrderBy) > 0
-		scanCols := cols
-		if ordered {
-			scanCols = unionCols(cols, orderCols(q.OrderBy))
-		}
-		// Morsel-parallel collection: when the store exposes a parallel
-		// batch scan and the limit cannot short-circuit (no limit, or an
-		// ORDER BY that must see every row anyway), blocks are projected
-		// concurrently and reassembled in block order — the exact row
-		// order of the serial scan. A traced statement takes this path
-		// even serially, because only the batch kernels report the
-		// storage counters (blocks decoded vs zone-map-skipped,
-		// main/delta rows) the trace wants.
-		ex := db.execCtx(ctx)
-		if bs, ok := rt.store.(execBatchScanner); ok &&
-			(ex.Parallel(bs.NumBlocks()) || ex.Tracer() != nil) &&
-			(q.Limit <= 0 || ordered) {
-			perBlock := make([][][]value.Value, bs.NumBlocks())
-			var perKeys [][][]value.Value
-			if ordered {
-				perKeys = make([][][]value.Value, bs.NumBlocks())
-			}
-			pos := make([]int, sch.NumColumns())
-			for j, c := range scanCols {
-				pos[c] = j
-			}
-			bs.ScanBatchesExec(q.Pred, scanCols, ex, func(w, block int, rids []int32, colVals [][]value.Value) bool {
-				rows := make([][]value.Value, len(rids))
-				for k := range rids {
-					out := make([]value.Value, len(cols))
-					for i, c := range cols {
-						out[i] = colVals[pos[c]][k]
-					}
-					rows[k] = out
-				}
-				perBlock[block] = rows
-				if ordered {
-					bkeys := make([][]value.Value, len(rids))
-					for k := range rids {
-						key := make([]value.Value, len(q.OrderBy))
-						for i, o := range q.OrderBy {
-							key[i] = colVals[pos[o.Col]][k]
-						}
-						bkeys[k] = key
-					}
-					perKeys[block] = bkeys
-				}
-				return true
-			})
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			for b, rows := range perBlock {
-				res.Rows = append(res.Rows, rows...)
-				if ordered {
-					keys = append(keys, perKeys[b]...)
-				}
-			}
-			if ordered {
-				sortRowsByKeys(res.Rows, keys, q.OrderBy)
-				if q.Limit > 0 && len(res.Rows) > q.Limit {
-					res.Rows = res.Rows[:q.Limit]
-				}
-			}
-			res.Affected = len(res.Rows)
-			return res, nil
-		}
-		stop := stopFunc(ctx)
-		visited := 0
-		rt.store.Scan(q.Pred, scanCols, func(row []value.Value) bool {
-			if stop != nil {
-				visited++
-				if visited%scanCancelBatch == 0 && stop() {
-					return false
-				}
-			}
-			out := make([]value.Value, len(cols))
-			for i, c := range cols {
-				out[i] = row[c]
-			}
-			res.Rows = append(res.Rows, out)
-			if ordered {
-				key := make([]value.Value, len(q.OrderBy))
-				for i, o := range q.OrderBy {
-					key[i] = row[o.Col]
-				}
-				keys = append(keys, key)
-				return true
-			}
-			return q.Limit <= 0 || len(res.Rows) < q.Limit
-		})
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		if ordered {
-			sortRowsByKeys(res.Rows, keys, q.OrderBy)
-			if q.Limit > 0 && len(res.Rows) > q.Limit {
-				res.Rows = res.Rows[:q.Limit]
-			}
-		}
-		res.Affected = len(res.Rows)
-		return res, nil
-	case query.Aggregate:
-		ar := rt.store.Aggregate(q.Aggs, q.GroupBy, q.Pred, db.execCtx(ctx))
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		res := &Result{Rows: ar.Rows()}
-		for _, g := range q.GroupBy {
-			res.Cols = append(res.Cols, sch.Columns[g].Name)
-		}
-		for _, s := range q.Aggs {
-			res.Cols = append(res.Cols, specName(sch, s))
-		}
-		if err := sortAggRows(res.Rows, q); err != nil {
-			return nil, err
-		}
-		res.Affected = len(res.Rows)
-		return res, nil
-	}
-	return nil, fmt.Errorf("engine: bad read kind %v", q.Kind)
 }
 
 func specName(sch *schema.Table, s agg.Spec) string {

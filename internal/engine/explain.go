@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hybridstore/internal/metrics"
+	"hybridstore/internal/plan"
 	"hybridstore/internal/query"
 	"hybridstore/internal/trace"
 	"hybridstore/internal/value"
@@ -24,6 +25,39 @@ func (db *Database) ExplainAnalyzeContext(ctx context.Context, q *query.Query) (
 		return nil, err
 	}
 	return explainResult(tr, res), nil
+}
+
+// ExplainContext plans q without executing it and renders the chosen
+// plan tree — one operator per row with the planner's cost and
+// cardinality estimates — as a result set, so EXPLAIN travels through
+// the wire protocol and driver like any query. Tree shape is conveyed
+// by two-space indentation of the operator column.
+func (db *Database) ExplainContext(ctx context.Context, q *query.Query) (*Result, error) {
+	p, err := db.PlanQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return ExplainPlanResult(p), nil
+}
+
+// explainPlanCols is the column set of a plain EXPLAIN result.
+var explainPlanCols = []string{"id", "operator", "est_rows", "est_cost_ns", "detail"}
+
+// ExplainPlanResult renders a plan tree as an EXPLAIN result set.
+func ExplainPlanResult(p *plan.Plan) *Result {
+	out := &Result{Cols: explainPlanCols}
+	plan.Walk(p.Root, func(n plan.Node, depth int) {
+		est := n.Estimate()
+		out.Rows = append(out.Rows, []value.Value{
+			value.NewBigint(int64(n.ID())),
+			value.NewVarchar(strings.Repeat("  ", depth) + n.Kind()),
+			value.NewBigint(int64(est.Rows)),
+			value.NewBigint(int64(est.CostNs)),
+			value.NewVarchar(n.Detail()),
+		})
+	})
+	out.Affected = len(out.Rows)
+	return out
 }
 
 // explainCols is the column set of an EXPLAIN ANALYZE result.

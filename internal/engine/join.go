@@ -8,16 +8,21 @@ import (
 	"hybridstore/internal/colstore"
 	"hybridstore/internal/exec"
 	"hybridstore/internal/expr"
+	"hybridstore/internal/plan"
 	"hybridstore/internal/query"
+	"hybridstore/internal/trace"
 	"hybridstore/internal/value"
 )
 
-// execJoin executes an equi-join query (Select or Aggregate with a Join
-// clause) as a hash join. The smaller input (after per-side predicate
-// pushdown, estimated by table cardinality) is built into a hash table;
-// the larger side probes it. Column references in the query use combined
-// indexing: left columns first, then right columns.
-func (db *Database) execJoin(ctx context.Context, q *query.Query) (*Result, error) {
+// execJoinPlan executes a planned equi-join (Select or Aggregate with a
+// Join clause) as a hash join. The plan contributes the structural
+// decisions — which side builds the hash table and whether single-side
+// conjuncts are pushed below the join — while the concrete predicate
+// fragments are re-derived from the bound query (the classification is
+// structural, so a cached generic plan and the bound statement always
+// agree). Column references in the query use combined indexing: left
+// columns first, then right columns.
+func (db *Database) execJoinPlan(ctx context.Context, q *query.Query, p *plan.Plan, sh *readShape) (*Result, error) {
 	left, err := db.runtime(q.Table)
 	if err != nil {
 		return nil, err
@@ -31,27 +36,35 @@ func (db *Database) execJoin(ctx context.Context, q *query.Query) (*Result, erro
 	if q.Join.LeftCol < 0 || q.Join.LeftCol >= nL || q.Join.RightCol < 0 || q.Join.RightCol >= nR {
 		return nil, fmt.Errorf("engine: join columns out of range")
 	}
-	for _, o := range q.OrderBy {
-		if o.Col < 0 || o.Col >= nL+nR {
-			return nil, fmt.Errorf("engine: order-by column %d out of range", o.Col)
-		}
-	}
 	stop := stopFunc(ctx)
 	ex := db.execCtx(ctx)
 
-	leftPred, rightPred, postPred := splitJoinPred(q.Pred, nL, nR)
+	// Planner decision: predicate pushdown below the join.
+	var leftPred, rightPred, postPred expr.Predicate
+	if p.Pushdown {
+		leftPred, rightPred, postPred = plan.SplitJoinPred(q.Pred, nL, nR)
+	} else {
+		postPred = q.Pred
+	}
 
 	// Columns each side must materialize.
-	needL, needR := joinNeededCols(q, nL, nR)
+	needL, needR := plan.JoinNeededCols(q, nL, nR)
 
-	// Pick the build side: the smaller cardinality.
-	buildLeft := left.store.Rows() < right.store.Rows()
+	// Planner decision: the smaller estimated (post-pushdown) input
+	// builds the hash table.
+	buildLeft := p.BuildLeft
 
 	ls := joinSide{rt: left, pred: leftPred, need: needL, joinCol: q.Join.LeftCol, width: nL, offset: 0}
 	rs := joinSide{rt: right, pred: rightPred, need: needR, joinCol: q.Join.RightCol, width: nR, offset: nL}
 	build, probe := rs, ls
 	if buildLeft {
 		build, probe = ls, rs
+	}
+
+	tr := trace.FromContext(ctx)
+	var bsp *trace.Span
+	if tr != nil {
+		bsp = tr.Start(nodeSpanName(sh.join.Build))
 	}
 
 	// Build phase: materialize the needed columns of matching build rows.
@@ -131,6 +144,19 @@ func (db *Database) execJoin(ctx context.Context, q *query.Query) (*Result, erro
 		})
 	}
 
+	if bsp != nil {
+		var nb int64
+		for _, rows := range hash {
+			nb += int64(len(rows))
+		}
+		bsp.AddRowsOut(nb)
+		bsp.End()
+	}
+	var psp *trace.Span
+	if tr != nil {
+		psp = tr.Start(nodeSpanName(sh.join.Probe))
+	}
+
 	// Probe phase.
 	combined := make([]value.Value, nL+nR)
 	var res *Result
@@ -157,6 +183,11 @@ func (db *Database) execJoin(ctx context.Context, q *query.Query) (*Result, erro
 	// advantage real columnar engines have over value-at-a-time probing.
 	ordered := len(q.OrderBy) > 0
 	var keys [][]value.Value
+	var acc *topKAcc
+	var seq int64
+	if sh.topk != nil {
+		acc = newTopK(q.Limit, q.OrderBy)
+	}
 	if cs, ok := probe.rt.store.(*colStorage); ok &&
 		q.Kind == query.Aggregate && postPred == nil &&
 		groupsOnSide(q.GroupBy, build.offset, build.width) {
@@ -219,6 +250,18 @@ func (db *Database) execJoin(ctx context.Context, q *query.Query) (*Result, erro
 					for i, c := range outCols {
 						out[i] = combined[c]
 					}
+					if acc != nil {
+						// Planned single-pass top-K over the probe
+						// output: arrival order is the serial probe
+						// emission order, matching stable sort+limit.
+						key := make([]value.Value, len(q.OrderBy))
+						for i, o := range q.OrderBy {
+							key[i] = combined[o.Col]
+						}
+						acc.Add(out, key, seq)
+						seq++
+						continue
+					}
 					res.Rows = append(res.Rows, out)
 					if ordered {
 						key := make([]value.Value, len(q.OrderBy))
@@ -239,7 +282,17 @@ func (db *Database) execJoin(ctx context.Context, q *query.Query) (*Result, erro
 	}
 
 	if err := ctx.Err(); err != nil {
+		psp.End()
 		return nil, err
+	}
+	if acc != nil {
+		res.Rows = acc.Finish()
+	}
+	if psp != nil {
+		if q.Kind != query.Aggregate { // grouped rows are assembled below
+			psp.AddRowsOut(int64(len(res.Rows)))
+		}
+		psp.End()
 	}
 
 	// Assemble the result.
@@ -270,7 +323,7 @@ func (db *Database) execJoin(ctx context.Context, q *query.Query) (*Result, erro
 		if err := sortAggRows(res.Rows, q); err != nil {
 			return nil, err
 		}
-	} else if ordered {
+	} else if ordered && acc == nil {
 		sortRowsByKeys(res.Rows, keys, q.OrderBy)
 		if q.Limit > 0 && len(res.Rows) > q.Limit {
 			res.Rows = res.Rows[:q.Limit]
@@ -495,115 +548,4 @@ func probeJoinParallel(bs execBatchScanner, q *query.Query, probe, build *joinSi
 			aggRes.Merge(st.res)
 		}
 	}
-}
-
-// splitJoinPred partitions a combined-index predicate into conjuncts that
-// reference only the left side (returned in left indexing), only the right
-// side (remapped to right-local indexing), and the remainder evaluated
-// post-join.
-func splitJoinPred(pred expr.Predicate, nL, nR int) (leftPred, rightPred, postPred expr.Predicate) {
-	if pred == nil {
-		return nil, nil, nil
-	}
-	var lefts, rights, posts []expr.Predicate
-	rightMap := make(map[int]int, nR)
-	for i := 0; i < nR; i++ {
-		rightMap[nL+i] = i
-	}
-	identLeft := make(map[int]int, nL)
-	for i := 0; i < nL; i++ {
-		identLeft[i] = i
-	}
-	for _, c := range expr.Conjuncts(pred) {
-		cols := expr.ColumnSet(c)
-		side := sideOf(cols, nL)
-		switch side {
-		case 0:
-			if p, ok := expr.Remap(c, identLeft); ok {
-				lefts = append(lefts, p)
-				continue
-			}
-			posts = append(posts, c)
-		case 1:
-			if p, ok := expr.Remap(c, rightMap); ok {
-				rights = append(rights, p)
-				continue
-			}
-			posts = append(posts, c)
-		default:
-			posts = append(posts, c)
-		}
-	}
-	mk := func(ps []expr.Predicate) expr.Predicate {
-		switch len(ps) {
-		case 0:
-			return nil
-		case 1:
-			return ps[0]
-		default:
-			return &expr.And{Preds: ps}
-		}
-	}
-	return mk(lefts), mk(rights), mk(posts)
-}
-
-// sideOf returns 0 if all columns are left-side, 1 if all right-side,
-// -1 if mixed or empty.
-func sideOf(cols []int, nL int) int {
-	if len(cols) == 0 {
-		return -1
-	}
-	left, right := false, false
-	for _, c := range cols {
-		if c < nL {
-			left = true
-		} else {
-			right = true
-		}
-	}
-	switch {
-	case left && !right:
-		return 0
-	case right && !left:
-		return 1
-	default:
-		return -1
-	}
-}
-
-// joinNeededCols computes, per side, the columns a join query references
-// (projection, aggregates, group-by, predicate), in side-local indexing.
-func joinNeededCols(q *query.Query, nL, nR int) (needL, needR []int) {
-	set := map[int]struct{}{}
-	add := func(c int) { set[c] = struct{}{} }
-	for _, c := range q.Cols {
-		add(c)
-	}
-	if q.Kind == query.Select && q.Cols == nil {
-		for c := 0; c < nL+nR; c++ {
-			add(c)
-		}
-	}
-	for _, s := range q.Aggs {
-		if s.Col >= 0 {
-			add(s.Col)
-		}
-	}
-	for _, c := range q.GroupBy {
-		add(c)
-	}
-	for _, o := range q.OrderBy {
-		add(o.Col)
-	}
-	for _, c := range expr.ColumnSet(q.Pred) {
-		add(c)
-	}
-	for c := range set {
-		if c < nL {
-			needL = append(needL, c)
-		} else {
-			needR = append(needR, c-nL)
-		}
-	}
-	return needL, needR
 }

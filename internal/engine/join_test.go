@@ -6,6 +6,7 @@ import (
 	"hybridstore/internal/agg"
 	"hybridstore/internal/catalog"
 	"hybridstore/internal/expr"
+	"hybridstore/internal/plan"
 	"hybridstore/internal/query"
 	"hybridstore/internal/schema"
 	"hybridstore/internal/value"
@@ -154,7 +155,7 @@ func TestSplitJoinPred(t *testing.T) {
 			&expr.Comparison{Col: 5, Op: expr.Eq, Val: value.NewInt(2)},
 		}},
 	}}
-	l, r, post := splitJoinPred(pred, 5, 2)
+	l, r, post := plan.SplitJoinPred(pred, 5, 2)
 	if l == nil || len(expr.ColumnSet(l)) != 1 || expr.ColumnSet(l)[0] != 2 {
 		t.Errorf("left pred = %v", l)
 	}
@@ -164,7 +165,7 @@ func TestSplitJoinPred(t *testing.T) {
 	if post == nil {
 		t.Error("mixed conjunct should be post-filtered")
 	}
-	l, r, post = splitJoinPred(nil, 5, 2)
+	l, r, post = plan.SplitJoinPred(nil, 5, 2)
 	if l != nil || r != nil || post != nil {
 		t.Error("nil pred should split to nils")
 	}

@@ -18,6 +18,8 @@ var (
 		"time DML statements spend waiting on WAL group commit", "seconds")
 	mCheckpointSeconds = metrics.Default().Histogram("hs_engine_checkpoint_seconds",
 		"snapshot checkpoint duration", "seconds")
+	mPlanningSeconds = metrics.Default().Histogram("hs_planning_seconds",
+		"query planning latency (plan IR construction and costing)", "seconds")
 
 	mSelects = metrics.Default().Counter("hs_engine_select_total",
 		"SELECT statements executed")

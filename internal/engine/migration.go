@@ -199,17 +199,18 @@ func (db *Database) MigrateLayout(name string, store catalog.StoreKind, spec *ca
 
 	// Phase 5: final drain and atomic cutover.
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	cur, err := db.runtime(name)
 	if err != nil || cur.tail != tail {
 		// The table was dropped (or the migration superseded) meanwhile.
 		if err == nil {
 			err = fmt.Errorf("engine: migration of %q superseded", name)
 		}
+		db.mu.Unlock()
 		return err
 	}
 	if err := replayOps(target, tail.ops[applied:]); err != nil {
 		cur.tail = nil
+		db.mu.Unlock()
 		return fmt.Errorf("engine: migrating %q: %w", name, err)
 	}
 	// Indexes declared after the off-lock materialization pass.
@@ -220,6 +221,7 @@ func (db *Database) MigrateLayout(name string, store catalog.StoreKind, spec *ca
 	}
 	if err := db.cat.SetPlacement(name, store, spec); err != nil {
 		cur.tail = nil
+		db.mu.Unlock()
 		return err
 	}
 	cur.store = target
@@ -229,7 +231,14 @@ func (db *Database) MigrateLayout(name string, store catalog.StoreKind, spec *ca
 	// record logged after the swap: a crash at any earlier point leaves
 	// no trace of it in the WAL, so recovery replays the buffered DML
 	// against the old layout — the in-flight migration aborts cleanly.
-	return db.logRecord(&wal.Record{Kind: wal.RecSetLayout, Table: name, Store: store, Spec: spec})
+	werr := db.logRecord(&wal.Record{Kind: wal.RecSetLayout, Table: name, Store: store, Spec: spec})
+	db.mu.Unlock()
+	// Refresh statistics against the new layout so planner estimates
+	// (and the catalog version plan caches key on) track the cutover;
+	// a failure means the table was concurrently dropped, which doesn't
+	// undo the completed migration.
+	db.CollectStats(name)
+	return werr
 }
 
 func containsCol(cols []int, c int) bool {

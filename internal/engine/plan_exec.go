@@ -1,0 +1,449 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"hybridstore/internal/costmodel"
+	"hybridstore/internal/plan"
+	"hybridstore/internal/query"
+	"hybridstore/internal/trace"
+	"hybridstore/internal/value"
+)
+
+// SelectivityHinter is an optional extension of QueryObserver: observers
+// that implement it (the workload monitor) feed their observed average
+// predicate selectivity per table back to the planner, the cardinality
+// fallback for tables whose statistics were never collected.
+type SelectivityHinter interface {
+	AvgSelectivity(table string) (float64, bool)
+}
+
+// planEnvLocked snapshots the planner's inputs. The returned Env's
+// closures read runtime state directly, so they are only valid while the
+// caller holds db.mu (read or write).
+func (db *Database) planEnvLocked() plan.Env {
+	env := plan.Env{
+		Meta: func(table string) (plan.TableMeta, bool) {
+			rt, ok := db.tables[tableKey(table)]
+			if !ok {
+				return plan.TableMeta{}, false
+			}
+			// Statistics are published under the catalog's own lock
+			// (CollectStats runs concurrent with readers holding only
+			// db.mu.RLock), so the entry must be read through the
+			// catalog's copying accessor, not rt.entry directly.
+			e := db.cat.Table(table)
+			if e == nil {
+				return plan.TableMeta{}, false
+			}
+			return plan.TableMeta{
+				Schema:   e.Schema,
+				Store:    e.Store,
+				Rows:     rt.store.Rows(),
+				Stats:    e.Stats,
+				HasIndex: e.HasIndex,
+			}, true
+		},
+		Model:          db.planModel(),
+		CatalogVersion: db.cat.Version(),
+	}
+	if h, ok := db.obs.(SelectivityHinter); ok {
+		env.LiveSelectivity = h.AvgSelectivity
+	}
+	return env
+}
+
+// planModel returns the cost model the planner prices alternatives with:
+// an attached calibrated model, or the deterministic default profile.
+func (db *Database) planModel() *costmodel.Model {
+	if m := db.costModel.Load(); m != nil {
+		return m
+	}
+	return defaultPlanModel()
+}
+
+// SetCostModel attaches a calibrated cost model for the planner to use
+// (nil reverts to the default analytic profile).
+func (db *Database) SetCostModel(m *costmodel.Model) { db.costModel.Store(m) }
+
+// planReadLocked plans one read statement under the held lock, recording
+// planning latency.
+func (db *Database) planReadLocked(q *query.Query) (*plan.Plan, error) {
+	return db.planReadOptsLocked(q, plan.Options{})
+}
+
+func (db *Database) planReadOptsLocked(q *query.Query, opts plan.Options) (*plan.Plan, error) {
+	start := time.Now()
+	p, err := plan.BuildOptions(q, db.planEnvLocked(), opts)
+	if err != nil {
+		return nil, err
+	}
+	mPlanningSeconds.Observe(time.Since(start).Nanoseconds())
+	return p, nil
+}
+
+// PlanQuery plans a read statement against the current catalog state
+// without executing it. The plan records the catalog version it was
+// built against; ExecPlannedContext replans transparently if the catalog
+// has moved by execution time.
+func (db *Database) PlanQuery(q *query.Query) (*plan.Plan, error) {
+	return db.PlanQueryOptions(q, plan.Options{})
+}
+
+// PlanQueryOptions is PlanQuery with forced planner decisions (used by
+// EXPLAIN variants and the planner bench's degraded baselines).
+func (db *Database) PlanQueryOptions(q *query.Query, opts plan.Options) (*plan.Plan, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if q.Kind != query.Select && q.Kind != query.Aggregate {
+		return nil, fmt.Errorf("engine: cannot plan %v statement", q.Kind)
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
+	return db.planReadOptsLocked(q, opts)
+}
+
+// ExecPlannedContext executes a read statement through a previously
+// built plan (typically the server's plan cache). A stale plan — its
+// CatalogVersion no longer matching — is discarded and the statement is
+// replanned under the same lock, so results are always correct.
+func (db *Database) ExecPlannedContext(ctx context.Context, q *query.Query, p *plan.Plan) (*Result, error) {
+	return db.execWithPlan(ctx, q, p)
+}
+
+// readShape is the executor's decomposition of a plan tree: the
+// decorator chain above the terminal Scan or HashJoin. The engine's
+// storage kernels fuse several of these operators (scan+filter,
+// scan+aggregate), so execution dispatches on the shape rather than
+// interpreting node-by-node.
+type readShape struct {
+	scan    *plan.Scan
+	join    *plan.HashJoin
+	filter  *plan.Filter
+	agg     *plan.Aggregate
+	sort    *plan.Sort
+	topk    *plan.TopK
+	limit   *plan.Limit
+	project *plan.Project
+}
+
+// shapeOf walks a plan root down to its terminal node.
+func shapeOf(p *plan.Plan) (readShape, error) {
+	var sh readShape
+	n := p.Root
+	for n != nil {
+		switch t := n.(type) {
+		case *plan.Project:
+			sh.project = t
+			n = t.Input
+		case *plan.TopK:
+			sh.topk = t
+			n = t.Input
+		case *plan.Sort:
+			sh.sort = t
+			n = t.Input
+		case *plan.Limit:
+			sh.limit = t
+			n = t.Input
+		case *plan.Aggregate:
+			sh.agg = t
+			n = t.Input
+		case *plan.Filter:
+			sh.filter = t
+			n = t.Input
+		case *plan.HashJoin:
+			sh.join = t
+			return sh, nil
+		case *plan.Scan:
+			sh.scan = t
+			return sh, nil
+		default:
+			return sh, fmt.Errorf("engine: unknown plan node %T", n)
+		}
+	}
+	return sh, fmt.Errorf("engine: plan has no scan node")
+}
+
+// nodeSpanName tags a trace span with its plan node ("scan#1"), letting
+// EXPLAIN ANALYZE line actuals up against EXPLAIN's estimates. Callers
+// only pay the formatting when a trace is armed.
+func nodeSpanName(n plan.Node) string { return fmt.Sprintf("%s#%d", n.Kind(), n.ID()) }
+
+// execPlan executes a read statement through its plan. The concrete
+// predicates, projections and keys are re-derived from the bound query q
+// — plans are generic over parameter values — while the plan contributes
+// the structural decisions (build side, pushdown, top-K) and the node
+// ids for tracing. Caller holds db.mu.RLock.
+func (db *Database) execPlan(ctx context.Context, q *query.Query, p *plan.Plan) (*Result, error) {
+	sh, err := shapeOf(p)
+	if err != nil {
+		return nil, err
+	}
+	if sh.join != nil {
+		return db.execJoinPlan(ctx, q, p, &sh)
+	}
+	if q.Kind == query.Aggregate {
+		return db.execAggPlan(ctx, q, &sh)
+	}
+	return db.execScanPlan(ctx, q, &sh)
+}
+
+// execScanPlan executes a planned single-table SELECT.
+func (db *Database) execScanPlan(ctx context.Context, q *query.Query, sh *readShape) (*Result, error) {
+	rt, err := db.runtime(q.Table)
+	if err != nil {
+		return nil, err
+	}
+	sch := rt.entry.Schema
+	cols := q.Cols
+	if cols == nil {
+		cols = allCols(sch.NumColumns())
+	}
+	res := &Result{Cols: make([]string, len(cols))}
+	for i, c := range cols {
+		res.Cols[i] = sch.Columns[c].Name
+	}
+	ordered := len(q.OrderBy) > 0
+	scanCols := cols
+	if ordered {
+		scanCols = unionCols(cols, orderCols(q.OrderBy))
+	}
+	useTopK := sh.topk != nil
+
+	tr := trace.FromContext(ctx)
+	var ssp *trace.Span
+	if tr != nil {
+		ssp = tr.Start(nodeSpanName(sh.scan))
+	}
+
+	// With an ORDER BY the limit cannot short-circuit the scan, and
+	// sort keys (which may not be projected) ride along per row.
+	var keys [][]value.Value
+	// Morsel-parallel collection: when the store exposes a parallel
+	// batch scan and the limit cannot short-circuit (no limit, or an
+	// ORDER BY that must see every row anyway), blocks are projected
+	// concurrently and reassembled in block order — the exact row
+	// order of the serial scan. A traced statement takes this path
+	// even serially, because only the batch kernels report the
+	// storage counters (blocks decoded vs zone-map-skipped,
+	// main/delta rows) the trace wants.
+	ex := db.execCtx(ctx)
+	if bs, ok := rt.store.(execBatchScanner); ok &&
+		(ex.Parallel(bs.NumBlocks()) || ex.Tracer() != nil) &&
+		(q.Limit <= 0 || ordered) {
+		pos := make([]int, sch.NumColumns())
+		for j, c := range scanCols {
+			pos[c] = j
+		}
+		if useTopK {
+			// Planned single-pass top-K: per-worker bounded heaps with
+			// block/row arrival sequences, merged after the scan. The
+			// retained set is a pure function of the scanned rows, so
+			// the result matches the serial stable-sort+limit exactly
+			// regardless of worker schedule.
+			states := make([]*topKAcc, ex.Workers(bs.NumBlocks()))
+			bs.ScanBatchesExec(q.Pred, scanCols, ex, func(w, block int, rids []int32, colVals [][]value.Value) bool {
+				st := states[w]
+				if st == nil {
+					st = newTopK(q.Limit, q.OrderBy)
+					states[w] = st
+				}
+				for k := range rids {
+					out := make([]value.Value, len(cols))
+					for i, c := range cols {
+						out[i] = colVals[pos[c]][k]
+					}
+					key := make([]value.Value, len(q.OrderBy))
+					for i, o := range q.OrderBy {
+						key[i] = colVals[pos[o.Col]][k]
+					}
+					st.Add(out, key, int64(block)<<32|int64(k))
+				}
+				return true
+			})
+			if err := ctx.Err(); err != nil {
+				ssp.End()
+				return nil, err
+			}
+			acc := newTopK(q.Limit, q.OrderBy)
+			for _, st := range states {
+				if st != nil {
+					acc.Merge(st)
+				}
+			}
+			res.Rows = acc.Finish()
+			finishScanSpan(tr, ssp, sh, len(res.Rows))
+			res.Affected = len(res.Rows)
+			return res, nil
+		}
+		perBlock := make([][][]value.Value, bs.NumBlocks())
+		var perKeys [][][]value.Value
+		if ordered {
+			perKeys = make([][][]value.Value, bs.NumBlocks())
+		}
+		bs.ScanBatchesExec(q.Pred, scanCols, ex, func(w, block int, rids []int32, colVals [][]value.Value) bool {
+			rows := make([][]value.Value, len(rids))
+			for k := range rids {
+				out := make([]value.Value, len(cols))
+				for i, c := range cols {
+					out[i] = colVals[pos[c]][k]
+				}
+				rows[k] = out
+			}
+			perBlock[block] = rows
+			if ordered {
+				bkeys := make([][]value.Value, len(rids))
+				for k := range rids {
+					key := make([]value.Value, len(q.OrderBy))
+					for i, o := range q.OrderBy {
+						key[i] = colVals[pos[o.Col]][k]
+					}
+					bkeys[k] = key
+				}
+				perKeys[block] = bkeys
+			}
+			return true
+		})
+		if err := ctx.Err(); err != nil {
+			ssp.End()
+			return nil, err
+		}
+		for b, rows := range perBlock {
+			res.Rows = append(res.Rows, rows...)
+			if ordered {
+				keys = append(keys, perKeys[b]...)
+			}
+		}
+		ssp.AddRowsOut(int64(len(res.Rows)))
+		ssp.End()
+		if ordered {
+			var sosp *trace.Span
+			if tr != nil {
+				sosp = tr.Start(nodeSpanName(sh.sort))
+				sosp.AddRowsIn(int64(len(res.Rows)))
+			}
+			sortRowsByKeys(res.Rows, keys, q.OrderBy)
+			if q.Limit > 0 && len(res.Rows) > q.Limit {
+				res.Rows = res.Rows[:q.Limit]
+			}
+			if sosp != nil {
+				sosp.AddRowsOut(int64(len(res.Rows)))
+				sosp.End()
+			}
+		}
+		res.Affected = len(res.Rows)
+		return res, nil
+	}
+	stop := stopFunc(ctx)
+	visited := 0
+	var acc *topKAcc
+	if useTopK {
+		acc = newTopK(q.Limit, q.OrderBy)
+	}
+	var seq int64
+	rt.store.Scan(q.Pred, scanCols, func(row []value.Value) bool {
+		if stop != nil {
+			visited++
+			if visited%scanCancelBatch == 0 && stop() {
+				return false
+			}
+		}
+		out := make([]value.Value, len(cols))
+		for i, c := range cols {
+			out[i] = row[c]
+		}
+		if useTopK {
+			key := make([]value.Value, len(q.OrderBy))
+			for i, o := range q.OrderBy {
+				key[i] = row[o.Col]
+			}
+			acc.Add(out, key, seq)
+			seq++
+			return true
+		}
+		res.Rows = append(res.Rows, out)
+		if ordered {
+			key := make([]value.Value, len(q.OrderBy))
+			for i, o := range q.OrderBy {
+				key[i] = row[o.Col]
+			}
+			keys = append(keys, key)
+			return true
+		}
+		return q.Limit <= 0 || len(res.Rows) < q.Limit
+	})
+	if err := ctx.Err(); err != nil {
+		ssp.End()
+		return nil, err
+	}
+	if useTopK {
+		res.Rows = acc.Finish()
+		finishScanSpan(tr, ssp, sh, len(res.Rows))
+		res.Affected = len(res.Rows)
+		return res, nil
+	}
+	ssp.AddRowsOut(int64(len(res.Rows)))
+	ssp.End()
+	if ordered {
+		sortRowsByKeys(res.Rows, keys, q.OrderBy)
+		if q.Limit > 0 && len(res.Rows) > q.Limit {
+			res.Rows = res.Rows[:q.Limit]
+		}
+	}
+	res.Affected = len(res.Rows)
+	return res, nil
+}
+
+// finishScanSpan closes the scan span and records the fused top-K as its
+// own span (the heap runs inside the scan loop, so only the output
+// cardinality is separately attributable).
+func finishScanSpan(tr *trace.Trace, ssp *trace.Span, sh *readShape, rows int) {
+	ssp.End()
+	if tr != nil && sh.topk != nil {
+		tsp := tr.Start(nodeSpanName(sh.topk))
+		tsp.AddRowsOut(int64(rows))
+		tsp.End()
+	}
+}
+
+// execAggPlan executes a planned single-table aggregate through the
+// storage layer's fused scan+aggregate kernel.
+func (db *Database) execAggPlan(ctx context.Context, q *query.Query, sh *readShape) (*Result, error) {
+	rt, err := db.runtime(q.Table)
+	if err != nil {
+		return nil, err
+	}
+	sch := rt.entry.Schema
+	tr := trace.FromContext(ctx)
+	var asp *trace.Span
+	if tr != nil && sh.agg != nil {
+		asp = tr.Start(nodeSpanName(sh.agg))
+	}
+	ar := rt.store.Aggregate(q.Aggs, q.GroupBy, q.Pred, db.execCtx(ctx))
+	if err := ctx.Err(); err != nil {
+		asp.End()
+		return nil, err
+	}
+	res := &Result{Rows: ar.Rows()}
+	if asp != nil {
+		asp.AddRowsOut(int64(len(res.Rows)))
+		asp.End()
+	}
+	for _, g := range q.GroupBy {
+		res.Cols = append(res.Cols, sch.Columns[g].Name)
+	}
+	for _, s := range q.Aggs {
+		res.Cols = append(res.Cols, specName(sch, s))
+	}
+	if err := sortAggRows(res.Rows, q); err != nil {
+		return nil, err
+	}
+	res.Affected = len(res.Rows)
+	return res, nil
+}

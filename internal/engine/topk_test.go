@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"hybridstore/internal/query"
+	"hybridstore/internal/value"
+)
+
+// topKOracle is the specification topKAcc must match: stable-sort every
+// offered row by the ORDER BY keys, take the first k.
+func topKOracle(rows, keys [][]value.Value, order []query.Order, k int) [][]value.Value {
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return compareKeys(keys[idx[a]], keys[idx[b]], order) < 0
+	})
+	if len(idx) > k {
+		idx = idx[:k]
+	}
+	out := make([][]value.Value, len(idx))
+	for i, j := range idx {
+		out[i] = rows[j]
+	}
+	return out
+}
+
+// randTopKInput generates rows with deliberately heavy key duplication
+// so tie-breaking by arrival sequence is exercised constantly.
+func randTopKInput(rng *rand.Rand, n int) (rows, keys [][]value.Value) {
+	for i := 0; i < n; i++ {
+		k1 := value.NewInt(int64(rng.Intn(8)))
+		k2 := value.NewInt(int64(rng.Intn(4)))
+		if rng.Intn(10) == 0 {
+			k2 = value.Null(value.Integer)
+		}
+		rows = append(rows, []value.Value{value.NewBigint(int64(i)), k1, k2})
+		keys = append(keys, []value.Value{k1, k2})
+	}
+	return rows, keys
+}
+
+func TestTopKAccMatchesStableSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	orders := [][]query.Order{
+		{{Col: 1}},
+		{{Col: 1, Desc: true}},
+		{{Col: 1}, {Col: 2, Desc: true}},
+		{{Col: 2, Desc: true}, {Col: 1}},
+	}
+	for _, n := range []int{0, 1, 7, 100, 1000} {
+		for _, k := range []int{1, 3, 16, 150} {
+			for oi, order := range orders {
+				rows, keys := randTopKInput(rng, n)
+				acc := newTopK(k, order)
+				for i := range rows {
+					acc.Add(rows[i], keys[i], int64(i))
+				}
+				got := acc.Finish()
+				want := topKOracle(rows, keys, order, k)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("n=%d k=%d order=%d: heap diverged from stable sort\ngot:  %v\nwant: %v",
+						n, k, oi, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestTopKAccMergeOrderIndependent shards one input across several
+// accumulators and merges them in two different orders: both must equal
+// the single-accumulator result, since the retained set is a pure
+// function of the (row, key, seq) multiset.
+func TestTopKAccMergeOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	order := []query.Order{{Col: 1}, {Col: 2, Desc: true}}
+	rows, keys := randTopKInput(rng, 500)
+	const k = 20
+
+	single := newTopK(k, order)
+	shards := make([]*topKAcc, 4)
+	for i := range shards {
+		shards[i] = newTopK(k, order)
+	}
+	for i := range rows {
+		single.Add(rows[i], keys[i], int64(i))
+		shards[i%len(shards)].Add(rows[i], keys[i], int64(i))
+	}
+
+	forward := newTopK(k, order)
+	for _, s := range shards {
+		forward.Merge(s)
+	}
+	backward := newTopK(k, order)
+	for i := len(shards) - 1; i >= 0; i-- {
+		backward.Merge(shards[i])
+	}
+
+	want := single.Finish()
+	if got := forward.Finish(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("forward merge diverged\ngot:  %v\nwant: %v", got, want)
+	}
+	if got := backward.Finish(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("backward merge diverged\ngot:  %v\nwant: %v", got, want)
+	}
+}

@@ -99,6 +99,9 @@ type Monitor struct {
 	seen int
 }
 
+// The planner consults the monitor for live selectivity feedback.
+var _ engine.SelectivityHinter = (*Monitor)(nil)
+
 // New attaches a monitor to a database as its query observer.
 func New(db *engine.Database, cfg Config) *Monitor {
 	if cfg.Epochs <= 0 {
@@ -246,6 +249,31 @@ func (m *Monitor) Rotate() {
 func (m *Monitor) rotateLocked() {
 	m.head = (m.head + 1) % len(m.ring)
 	m.ring[m.head] = newEpoch()
+}
+
+// AvgSelectivity returns the mean estimated predicate selectivity of the
+// observed window's reads against table, and whether any were observed.
+// It implements engine.SelectivityHinter: the planner consults it for
+// tables without collected statistics, closing the loop between the
+// live workload window and plan costing. Lock order is safe — nothing
+// holding m.mu acquires the engine lock.
+func (m *Monitor) AvgSelectivity(table string) (float64, bool) {
+	key := strings.ToLower(table)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var sum float64
+	var cnt int
+	for _, ep := range m.ring {
+		if ep == nil {
+			continue
+		}
+		sum += ep.selSum[key]
+		cnt += ep.selCnt[key]
+	}
+	if cnt == 0 {
+		return 0, false
+	}
+	return sum / float64(cnt), true
 }
 
 // Seen returns the total number of observed queries.

@@ -89,6 +89,9 @@ type statusBody struct {
 	Pool          statusPool    `json:"pool"`
 	StmtCacheHits int64         `json:"stmt_cache_hits"`
 	StmtCacheMiss int64         `json:"stmt_cache_misses"`
+	PlanCacheHits int64         `json:"plan_cache_hits"`
+	PlanCacheMiss int64         `json:"plan_cache_misses"`
+	PlanCacheSize int           `json:"plan_cache_size"`
 	SlowThreshold string        `json:"slow_query_threshold"`
 	Tables        []statusTable `json:"tables"`
 }
@@ -96,6 +99,7 @@ type statusBody struct {
 func (ds *DebugServer) writeStatus(w http.ResponseWriter, s *Server) {
 	ps := s.pool.Stats()
 	hits, misses := s.cache.Stats()
+	pHits, pMiss, pSize := s.PlanCacheStats()
 	body := statusBody{
 		Addr:          s.Addr().String(),
 		UptimeSeconds: time.Since(ds.start).Seconds(),
@@ -106,6 +110,9 @@ func (ds *DebugServer) writeStatus(w http.ResponseWriter, s *Server) {
 		},
 		StmtCacheHits: hits,
 		StmtCacheMiss: misses,
+		PlanCacheHits: pHits,
+		PlanCacheMiss: pMiss,
+		PlanCacheSize: pSize,
 		SlowThreshold: s.db.SlowQueryLogHandle().Threshold().String(),
 		Tables:        []statusTable{},
 	}

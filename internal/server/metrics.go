@@ -13,6 +13,11 @@ var (
 		"client sessions accepted")
 	mSessionsRefused = metrics.Default().Counter("hs_server_sessions_refused_total",
 		"connections refused by admission control (session limit or drain)")
+
+	mPlanCacheHits = metrics.Default().Counter("hs_plan_cache_hits_total",
+		"read executions served by a cached, still-valid plan")
+	mPlanCacheMiss = metrics.Default().Counter("hs_plan_cache_misses_total",
+		"read executions that (re)planned: first execution or catalog change")
 )
 
 // registerGauges binds the registry's pool/session gauges to this
@@ -44,4 +49,7 @@ func (s *Server) registerGauges() {
 	reg.GaugeFunc("hs_server_stmt_cache_misses",
 		"shared prepared-statement cache misses",
 		func() int64 { _, m := s.cache.Stats(); return m })
+	reg.GaugeFunc("hs_plan_cache_size",
+		"statement entries in the shared plan cache",
+		func() int64 { return int64(s.cache.size()) })
 }

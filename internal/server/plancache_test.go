@@ -1,0 +1,195 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"hybridstore/internal/catalog"
+	"hybridstore/internal/client"
+	"hybridstore/internal/engine"
+	"hybridstore/internal/query"
+	"hybridstore/internal/schema"
+	"hybridstore/internal/value"
+)
+
+// planCacheTable loads a small analytics table directly into a fresh
+// engine for plan-cache tests.
+func planCacheTable(t testing.TB, n int) *engine.Database {
+	t.Helper()
+	db := engine.New()
+	sch := schema.MustNew("pc", []schema.Column{
+		{Name: "id", Type: value.Bigint},
+		{Name: "grp", Type: value.Integer},
+		{Name: "x", Type: value.Integer},
+	}, "id")
+	if err := db.CreateTable(sch, catalog.RowStore); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]value.Value, n)
+	for i := range rows {
+		rows[i] = []value.Value{
+			value.NewBigint(int64(i)), value.NewInt(int64(i % 8)), value.NewInt(int64(i % 100)),
+		}
+	}
+	if _, err := db.Exec(&query.Query{Kind: query.Insert, Table: "pc", Rows: rows}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPlanCacheHitsMissesAndDDLInvalidation(t *testing.T) {
+	db := planCacheTable(t, 1000)
+	srv := startServer(t, db, Config{})
+	defer shutdown(t, srv)
+	c, err := client.Dial(srv.Addr().String(), client.Options{Name: "plancache"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	st, err := c.Prepare(ctx, "SELECT id, x FROM pc WHERE grp = ? ORDER BY id LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, m0, _ := srv.PlanCacheStats()
+	for i := 0; i < 5; i++ {
+		res, err := st.Exec(ctx, value.NewInt(int64(i%3)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 5 {
+			t.Fatalf("exec %d: %d rows", i, len(res.Rows))
+		}
+	}
+	h1, m1, size := srv.PlanCacheStats()
+	if m1-m0 != 1 {
+		t.Fatalf("plan misses = %d, want 1 (first execution plans)", m1-m0)
+	}
+	if h1-h0 != 4 {
+		t.Fatalf("plan hits = %d, want 4 (plans are parameter-independent)", h1-h0)
+	}
+	if size < 1 {
+		t.Fatalf("plan cache size = %d", size)
+	}
+
+	// The cache keys on normalized text: a differently-spelled duplicate
+	// shares the entry and its cached plan.
+	st2, err := c.Prepare(ctx, "select  ID, x  from PC where grp = ? order by id limit 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.Exec(ctx, value.NewInt(1)); err != nil {
+		t.Fatal(err)
+	}
+	h2, m2, _ := srv.PlanCacheStats()
+	if m2 != m1 || h2 != h1+1 {
+		t.Fatalf("normalized duplicate did not reuse the plan: hits %d->%d misses %d->%d", h1, h2, m1, m2)
+	}
+
+	// DDL bumps the catalog version: the cached plan is stale, the next
+	// execution replans exactly once and caches the fresh plan.
+	if _, err := c.Exec(ctx, "CREATE TABLE other (k BIGINT NOT NULL, PRIMARY KEY (k))"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Exec(ctx, value.NewInt(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Exec(ctx, value.NewInt(2)); err != nil {
+		t.Fatal(err)
+	}
+	h3, m3, _ := srv.PlanCacheStats()
+	if m3-m2 != 1 {
+		t.Fatalf("plan misses after DDL = %d, want exactly 1", m3-m2)
+	}
+	if h3-h2 != 1 {
+		t.Fatalf("plan hits after DDL = %d, want 1", h3-h2)
+	}
+}
+
+// TestPlanCacheUnderLayoutChurn executes cached reads while the table
+// migrates back and forth between row and column layouts. Every cutover
+// bumps the catalog version, so stale plans must be detected and
+// replaced — never executed against the wrong store — and results stay
+// correct throughout. Run under -race this also exercises the
+// cachedStmt plan pointer's concurrent load/store discipline.
+func TestPlanCacheUnderLayoutChurn(t *testing.T) {
+	const rows = 2000
+	db := planCacheTable(t, rows)
+	srv := startServer(t, db, Config{MaxSessions: 8})
+	defer shutdown(t, srv)
+	c, err := client.Dial(srv.Addr().String(), client.Options{Name: "churn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	agg, err := c.Prepare(ctx, "SELECT COUNT(*) FROM pc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := c.Prepare(ctx, "SELECT id FROM pc WHERE x < ? ORDER BY id DESC LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		stores := []catalog.StoreKind{catalog.ColumnStore, catalog.RowStore}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := db.MigrateLayout("pc", stores[i%2], nil); err != nil {
+				t.Errorf("migrate %d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	for i := 0; i < 200; i++ {
+		res, err := agg.Exec(ctx)
+		if err != nil {
+			t.Fatalf("count exec %d: %v", i, err)
+		}
+		if got := res.Rows[0][0].Int(); got != rows {
+			t.Fatalf("count exec %d: %d rows, want %d", i, got, rows)
+		}
+		res, err = sel.Exec(ctx, value.NewInt(50))
+		if err != nil {
+			t.Fatalf("select exec %d: %v", i, err)
+		}
+		if len(res.Rows) != 3 || res.Rows[0][0].Int() != 1949 {
+			t.Fatalf("select exec %d: %v", i, res.Rows)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// The churn must have invalidated plans: misses beyond the two
+	// initial compilations.
+	_, misses, _ := srv.PlanCacheStats()
+	if misses <= 2 {
+		t.Fatalf("misses = %d: layout churn never invalidated a plan", misses)
+	}
+
+	// With the catalog quiet again, the cache must converge back to
+	// serving hits: one replan at most, then reuse.
+	h0, _, _ := srv.PlanCacheStats()
+	for i := 0; i < 5; i++ {
+		if _, err := agg.Exec(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h1, _, _ := srv.PlanCacheStats()
+	if h1-h0 < 4 {
+		t.Fatalf("post-churn hits = %d, want >= 4", h1-h0)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,6 +41,8 @@ import (
 	"hybridstore/internal/catalog"
 	"hybridstore/internal/engine"
 	"hybridstore/internal/exec"
+	"hybridstore/internal/plan"
+	"hybridstore/internal/query"
 	"hybridstore/internal/schema"
 	"hybridstore/internal/sql"
 	"hybridstore/internal/wire"
@@ -291,31 +294,85 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// stmtCache is the server-wide prepared-statement cache: tokenized
-// templates keyed by statement text, shared across sessions. Eviction
-// is clock-ish: when full, an arbitrary entry makes room (statement
-// texts in a workload are few; the cap is a memory bound, not a tuning
-// surface).
+// cachedStmt is one shared statement-cache entry: the tokenized
+// template plus the last plan built for it. Plans are generic
+// (parameter-independent), so one plan serves every binding; it is
+// stamped with the catalog version it was built against and rebuilt —
+// not trusted — when the catalog has moved (DDL, stats refresh, layout
+// migration all bump the version).
+type cachedStmt struct {
+	pp   *sql.Prepared
+	plan atomic.Pointer[plan.Plan]
+}
+
+// stmtCache is the server-wide prepared-statement and plan cache:
+// tokenized templates keyed by whitespace/case-normalized statement
+// text, shared across sessions. Eviction is clock-ish: when full, an
+// arbitrary entry makes room (statement texts in a workload are few;
+// the cap is a memory bound, not a tuning surface).
 type stmtCache struct {
 	mu    sync.Mutex
 	cap   int
-	stmts map[string]*sql.Prepared
+	stmts map[string]*cachedStmt
 	hits  atomic.Int64
 	miss  atomic.Int64
+	// planHits/planMiss count executions served by a cached plan vs.
+	// those that (re)planned — the plan-cache effectiveness signal.
+	planHits atomic.Int64
+	planMiss atomic.Int64
 }
 
 func newStmtCache(cap int) *stmtCache {
-	return &stmtCache{cap: cap, stmts: make(map[string]*sql.Prepared)}
+	return &stmtCache{cap: cap, stmts: make(map[string]*cachedStmt)}
 }
 
-// get returns the cached template for text, preparing and caching it on
-// a miss.
-func (c *stmtCache) get(text string) (*sql.Prepared, error) {
+// normalizeSQL canonicalizes a statement text for cache keying:
+// whitespace runs collapse to one space and characters outside
+// single-quoted strings fold to lower case, so "SELECT  A FROM T" and
+// "select a from t" share one cache entry (and one plan).
+func normalizeSQL(text string) string {
+	var b strings.Builder
+	b.Grow(len(text))
+	inStr := false
+	space := false
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		if inStr {
+			b.WriteByte(c)
+			if c == '\'' {
+				inStr = false
+			}
+			continue
+		}
+		switch {
+		case c == '\'':
+			inStr = true
+			b.WriteByte(c)
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			space = true
+		default:
+			if space && b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			space = false
+			if 'A' <= c && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// get returns the cached entry for text, preparing and caching it on a
+// miss.
+func (c *stmtCache) get(text string) (*cachedStmt, error) {
+	key := normalizeSQL(text)
 	c.mu.Lock()
-	if pp, ok := c.stmts[text]; ok {
+	if cs, ok := c.stmts[key]; ok {
 		c.mu.Unlock()
 		c.hits.Add(1)
-		return pp, nil
+		return cs, nil
 	}
 	c.mu.Unlock()
 	pp, err := sql.Prepare(text)
@@ -324,27 +381,69 @@ func (c *stmtCache) get(text string) (*sql.Prepared, error) {
 	}
 	c.miss.Add(1)
 	c.mu.Lock()
+	if cs, ok := c.stmts[key]; ok { // lost the prepare race: share the winner
+		c.mu.Unlock()
+		return cs, nil
+	}
 	if len(c.stmts) >= c.cap {
 		for k := range c.stmts {
 			delete(c.stmts, k)
 			break
 		}
 	}
-	c.stmts[text] = pp
+	cs := &cachedStmt{pp: pp}
+	c.stmts[key] = cs
 	c.mu.Unlock()
-	return pp, nil
+	return cs, nil
 }
 
 // Stats reports cache hits and misses since start.
 func (c *stmtCache) Stats() (hits, misses int64) { return c.hits.Load(), c.miss.Load() }
 
+// size reports the number of cached statement entries.
+func (c *stmtCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.stmts)
+}
+
 // StmtCacheStats exposes the shared statement cache's hit/miss counters
 // (observability for the hsqld daemon and tests).
 func (s *Server) StmtCacheStats() (hits, misses int64) { return s.cache.Stats() }
 
+// PlanCacheStats exposes the plan cache's effectiveness counters and
+// current size: hits are executions that reused a cached, still-valid
+// plan; misses planned (first execution, or invalidated by a catalog
+// change).
+func (s *Server) PlanCacheStats() (hits, misses int64, size int) {
+	return s.cache.planHits.Load(), s.cache.planMiss.Load(), s.cache.size()
+}
+
+// execCachedRead executes a read statement through the plan cache: a
+// cached plan stamped with the current catalog version is reused as-is;
+// otherwise the statement is planned and the plan published for
+// subsequent executions. DDL, statistics refresh and layout migration
+// all bump the catalog version, so stale plans are never trusted.
+func (s *Server) execCachedRead(ctx context.Context, cs *cachedStmt, q *query.Query) (*engine.Result, error) {
+	if p := cs.plan.Load(); p != nil && p.CatalogVersion == s.db.Catalog().Version() {
+		s.cache.planHits.Add(1)
+		mPlanCacheHits.Inc()
+		return s.db.ExecPlannedContext(ctx, q, p)
+	}
+	s.cache.planMiss.Add(1)
+	mPlanCacheMiss.Inc()
+	p, err := s.db.PlanQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	cs.plan.Store(p)
+	return s.db.ExecPlannedContext(ctx, q, p)
+}
+
 // execStatement runs one bound statement against the engine under the
-// statement context.
-func (s *Server) execStatement(ctx context.Context, st *sql.Statement) (*wire.Response, error) {
+// statement context. cs is the statement's shared cache entry (nil for
+// uncached paths); reads execute through its plan slot.
+func (s *Server) execStatement(ctx context.Context, st *sql.Statement, cs *cachedStmt) (*wire.Response, error) {
 	if st.CreateTable != nil {
 		if err := s.db.CreateTable(st.CreateTable, catalog.RowStore); err != nil {
 			return nil, err
@@ -356,8 +455,12 @@ func (s *Server) execStatement(ctx context.Context, st *sql.Statement) (*wire.Re
 	switch {
 	case st.ShowMetrics:
 		res = engine.MetricsResult()
+	case st.Explain:
+		res, err = s.db.ExplainContext(ctx, st.Query)
 	case st.ExplainAnalyze:
 		res, err = s.db.ExplainAnalyzeContext(ctx, st.Query)
+	case cs != nil && (st.Query.Kind == query.Select || st.Query.Kind == query.Aggregate):
+		res, err = s.execCachedRead(ctx, cs, st.Query)
 	default:
 		res, err = s.db.ExecContext(ctx, st.Query)
 	}

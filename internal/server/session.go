@@ -10,7 +10,6 @@ import (
 	"time"
 
 	"hybridstore/internal/engine"
-	"hybridstore/internal/sql"
 	"hybridstore/internal/value"
 	"hybridstore/internal/wire"
 )
@@ -57,7 +56,7 @@ type session struct {
 	// stmts maps this session's prepared-statement handles (issued from
 	// the server-wide counter) into the shared cache's templates. Only
 	// the executor touches it.
-	stmts map[uint64]*sql.Prepared
+	stmts map[uint64]*cachedStmt
 }
 
 func newSession(s *Server, id uint64, conn net.Conn) *session {
@@ -68,7 +67,7 @@ func newSession(s *Server, id uint64, conn net.Conn) *session {
 		label: fmt.Sprintf("sess#%d", id),
 		ctx:   s.baseCtx,
 		reqCh: make(chan *wire.Request, s.cfg.QueueDepth),
-		stmts: make(map[uint64]*sql.Prepared),
+		stmts: make(map[uint64]*cachedStmt),
 		// The configured cap applies from the first statement, so a
 		// client that never sends Hello cannot dodge it.
 		timeout: s.cfg.MaxStmtTimeout,
@@ -199,31 +198,31 @@ func (se *session) handle(rq *wire.Request) *wire.Response {
 	case wire.MsgQuit:
 		return nil
 	case wire.MsgPrepare:
-		pp, err := se.prepare(rq.SQL)
+		cs, err := se.prepare(rq.SQL)
 		if err != nil {
 			return sqlError(err)
 		}
 		id := se.srv.stmtIDs.Add(1)
-		se.stmts[id] = pp
-		return &wire.Response{Type: wire.MsgPrepared, Stmt: id, NumParams: pp.NumParams}
+		se.stmts[id] = cs
+		return &wire.Response{Type: wire.MsgPrepared, Stmt: id, NumParams: cs.pp.NumParams}
 	case wire.MsgStmtClose:
 		delete(se.stmts, rq.Stmt)
 		return &wire.Response{Type: wire.MsgOK}
 	case wire.MsgExec:
-		pp, err := se.srv.cache.get(rq.SQL)
+		cs, err := se.srv.cache.get(rq.SQL)
 		if err != nil {
 			return sqlError(err)
 		}
-		return se.execPrepared(pp, rq.Params)
+		return se.execPrepared(cs, rq.Params)
 	case wire.MsgStmtExec:
-		pp, ok := se.stmts[rq.Stmt]
+		cs, ok := se.stmts[rq.Stmt]
 		if !ok {
 			// CodeUnknownStmt tells the driver the statement provably
 			// did not execute (safe to re-prepare and retry).
 			return &wire.Response{Type: wire.MsgError, Code: wire.CodeUnknownStmt,
 				Err: fmt.Sprintf("unknown statement handle %d", rq.Stmt)}
 		}
-		return se.execPrepared(pp, rq.Params)
+		return se.execPrepared(cs, rq.Params)
 	default:
 		return &wire.Response{Type: wire.MsgError, Code: wire.CodeProtocol,
 			Err: fmt.Sprintf("unexpected request type 0x%02x", rq.Type)}
@@ -233,26 +232,26 @@ func (se *session) handle(rq *wire.Request) *wire.Response {
 // prepare resolves a statement template through the shared cache and
 // validates it against the current catalog by a throwaway bind with
 // NULL parameters, so syntax and column errors surface at Prepare time.
-func (se *session) prepare(text string) (*sql.Prepared, error) {
-	pp, err := se.srv.cache.get(text)
+func (se *session) prepare(text string) (*cachedStmt, error) {
+	cs, err := se.srv.cache.get(text)
 	if err != nil {
 		return nil, err
 	}
-	nulls := make([]value.Value, pp.NumParams)
+	nulls := make([]value.Value, cs.pp.NumParams)
 	for i := range nulls {
 		nulls[i] = value.Null(value.Varchar)
 	}
-	if _, err := pp.Bind(se.srv.resolver, nulls); err != nil {
+	if _, err := cs.pp.Bind(se.srv.resolver, nulls); err != nil {
 		return nil, err
 	}
-	return pp, nil
+	return cs, nil
 }
 
 // execPrepared binds and executes one statement under a fresh statement
 // context (session deadline applied, cancel registered for out-of-band
 // Cancel frames) on a worker-pool slot.
-func (se *session) execPrepared(pp *sql.Prepared, params []value.Value) *wire.Response {
-	st, err := pp.Bind(se.srv.resolver, params)
+func (se *session) execPrepared(cs *cachedStmt, params []value.Value) *wire.Response {
+	st, err := cs.pp.Bind(se.srv.resolver, params)
 	if err != nil {
 		return sqlError(err)
 	}
@@ -282,7 +281,7 @@ func (se *session) execPrepared(pp *sql.Prepared, params []value.Value) *wire.Re
 	}
 	defer se.srv.pool.Release()
 
-	rs, err := se.srv.execStatement(ctx, st)
+	rs, err := se.srv.execStatement(ctx, st, cs)
 	mStatements.Inc()
 	if err != nil {
 		mStmtErrors.Inc()

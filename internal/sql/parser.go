@@ -21,6 +21,10 @@ type Statement struct {
 	// ExplainAnalyze marks an EXPLAIN ANALYZE-wrapped Query: execute it
 	// traced and return the per-stage trace as the result set.
 	ExplainAnalyze bool
+	// Explain marks a plain EXPLAIN-wrapped Query: plan it without
+	// executing and return the chosen plan tree as the result set.
+	// Only read statements (SELECT and aggregates) can be explained.
+	Explain bool
 	// ShowMetrics marks SHOW METRICS: return the process metrics
 	// registry as a (metric, value) result set.
 	ShowMetrics bool
@@ -180,17 +184,28 @@ func (p *parser) statement() (*Statement, error) {
 	switch {
 	case p.isKeyword("EXPLAIN"):
 		p.advance()
-		if err := p.expectKeyword("ANALYZE"); err != nil {
-			return nil, fmt.Errorf("sql: only EXPLAIN ANALYZE is supported: %w", err)
+		analyze := p.isKeyword("ANALYZE")
+		if analyze {
+			p.advance()
 		}
 		st, err := p.statement()
 		if err != nil {
 			return nil, err
 		}
-		if st.Query == nil || st.ExplainAnalyze || st.ShowMetrics {
-			return nil, fmt.Errorf("sql: EXPLAIN ANALYZE wants a SELECT/INSERT/UPDATE/DELETE statement")
+		if st.Query == nil || st.ExplainAnalyze || st.Explain || st.ShowMetrics {
+			if analyze {
+				return nil, fmt.Errorf("sql: EXPLAIN ANALYZE wants a SELECT/INSERT/UPDATE/DELETE statement")
+			}
+			return nil, fmt.Errorf("sql: EXPLAIN wants a SELECT statement")
 		}
-		st.ExplainAnalyze = true
+		if analyze {
+			st.ExplainAnalyze = true
+			return st, nil
+		}
+		if st.Query.Kind != query.Select && st.Query.Kind != query.Aggregate {
+			return nil, fmt.Errorf("sql: EXPLAIN plans read statements only (use EXPLAIN ANALYZE for DML)")
+		}
+		st.Explain = true
 		return st, nil
 	case p.isKeyword("SHOW"):
 		p.advance()

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Benchmark snapshot: run the parallel-execution and concurrent-clients
-# experiments and record their BENCH_<experiment>.json snapshots in the
-# repo root. The JSON embeds GOMAXPROCS/NumCPU, so snapshots taken on
+# Benchmark snapshot: run the parallel-execution, concurrent-clients and
+# planner experiments and record their BENCH_<experiment>.json snapshots
+# in the repo root. The JSON embeds GOMAXPROCS/NumCPU, so snapshots taken on
 # different machines stay comparable — re-run after executor changes and
 # commit the updated files when the shape moved.
 #
@@ -13,5 +13,6 @@ scale="${1:-0.25}"
 
 go run ./cmd/hsbench -exp parallel -scale "$scale" -json .
 go run ./cmd/hsbench -exp concurrent-clients -scale "$scale" -json .
+go run ./cmd/hsbench -exp planner -scale "$scale" -json .
 
 echo "bench snapshot: OK (scale $scale)"
