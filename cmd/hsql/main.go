@@ -226,6 +226,9 @@ func remoteShell(addr string) {
 				}
 				fmt.Printf("stmt cache: %.0f hits / %.0f misses\n",
 					vals["hs_server_stmt_cache_hits"], vals["hs_server_stmt_cache_misses"])
+				fmt.Printf("txns: %.0f active, %.0f begun, %.0f committed, %.0f aborted, %.0f conflicts\n",
+					vals["hs_txn_active"], vals["hs_txn_begin_total"], vals["hs_txn_commit_total"],
+					vals["hs_txn_abort_total"], vals["hs_txn_conflict_total"])
 			default:
 				fmt.Println("unknown remote command (only \\quit, \\ping, \\metrics and \\stats work over -connect):", trimmed)
 			}
@@ -258,6 +261,10 @@ func execute(db *engine.Database, resolver sql.Resolver, stmtText string) {
 	st, err := sql.Parse(stmtText, resolver)
 	if err != nil {
 		fmt.Println("error:", err)
+		return
+	}
+	if st.Txn != sql.TxnNone {
+		fmt.Println("error: BEGIN/COMMIT/ROLLBACK need a server session (connect with -connect)")
 		return
 	}
 	if st.CreateTable != nil {
@@ -376,6 +383,9 @@ func (s *session) command(line string) bool {
 			ps := s.db.Pool().Stats()
 			fmt.Printf("worker pool: %d slots (%d in use, %d queued; %d tasks done, peak queue %d)\n",
 				ps.Size, ps.InUse, ps.Queued, ps.Done, ps.PeakQueued)
+			ts := db.TxnStats()
+			fmt.Printf("txns: %d active, %d begun, %d committed, %d aborted, %d conflicts\n",
+				ts.Active, ts.Begins, ts.Commits, ts.Aborts, ts.Conflicts)
 			snap := s.mon.Snapshot()
 			fmt.Printf("observed %d queries (%d in window)\n", snap.Seen, snap.WindowSeen)
 			ph := metrics.Default().Histogram("hs_planning_seconds",

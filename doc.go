@@ -219,6 +219,69 @@
 // durability measures the insert-throughput cost of durability across
 // group-commit batch sizes against the in-memory engine.
 //
+// # Transactions
+//
+// The engine runs multi-statement transactions under MVCC snapshot
+// isolation (internal/txn). BEGIN / COMMIT / ROLLBACK thread through
+// the parser, the wire protocol and the Go driver:
+//
+//	tx, err := conn.Begin(ctx)          // client.Tx over TCP
+//	tx.Exec(ctx, "UPDATE acct SET bal = ? WHERE id = ?", ...)
+//	tx.Query(ctx, "SELECT ...")          // sees its own writes
+//	err = tx.Commit(ctx)                 // or tx.Rollback(ctx)
+//
+// engine.Database.Begin is the same thing in-process. Semantics:
+//
+//   - Snapshot isolation: every statement reads as of its transaction's
+//     begin timestamp (auto-commit statements as of the newest commit).
+//     Writers never block readers and readers never block writers: a
+//     long analytical scan runs concurrently with committing OLTP
+//     transactions and still sees a point-in-time-consistent state.
+//     Uncommitted writes live in per-primary-key version chains (the
+//     overlay) layered over whichever physical layout the table uses;
+//     chains carry no physical positions, so an online layout migration
+//     can cut over underneath an open transaction.
+//   - First-updater-wins conflicts: claiming a key already claimed by a
+//     live transaction, or modified since the claimant's snapshot,
+//     fails immediately (no waiting, no deadlocks) with a
+//     serialization-conflict error. Over the wire it carries
+//     CodeTxnConflict; client.IsRetryable(err) (or Error.Retryable)
+//     tells the application to retry the whole transaction from Begin.
+//     The server already rolled it back — further statements keep
+//     failing until the client acknowledges with ROLLBACK. Disjoint-row
+//     writers commit fully concurrently.
+//   - Atomic durable commit: a transaction's whole effect is one WAL
+//     commit record through the same group-commit path as auto-commit
+//     statements. Recovery replays committed transactions exactly and
+//     discards in-flight ones — a torn tail mid-record rolls the whole
+//     transaction back, never part of it (asserted per byte cut in the
+//     recovery tests).
+//   - DDL is auto-commit only; statements on tables without a primary
+//     key cannot join a transaction.
+//   - Committed versions are folded into base storage behind the commit
+//     (opportunistically after each commit, and by the migrate
+//     scheduler's maintenance tick via engine.Vacuum), then pruned once
+//     no live snapshot can still need them, so the overlay stays small
+//     and reads keep the vectorized base-scan fast paths.
+//
+// Failure handling in the driver: losing the connection inside a
+// transaction surfaces an error instead of transparently redialing —
+// the server rolled the transaction back with the session, so a silent
+// reconnect would replay statements outside it. Rollback then releases
+// the transaction and the connection resumes normal auto-reconnect.
+//
+// Observability: hs_txn_{begin,commit,abort,conflict}_total and the
+// hs_txn_active gauge are exported via SHOW METRICS, /metrics and
+// /status; \stats in hsql prints the same counters, and the workload
+// monitor attributes commits/aborts per session. The transactional
+// variant of `hsbench -exp concurrent-clients` measures mixed
+// transactional throughput and abort rate against the single-RW-lock
+// baseline (engine.SetSerialWrites: each transaction holds a global
+// gate from BEGIN to COMMIT and auto-commit reads wait it out — the
+// blocking a lock-based engine needs for the same atomicity).
+// examples/txn is a runnable tour: visibility, a conflict with retry,
+// and recovery.
+//
 // # Network service
 //
 // cmd/hsqld serves one engine over TCP; internal/client is the Go

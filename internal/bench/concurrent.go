@@ -218,6 +218,14 @@ func ConcurrentClients(cfg Config) (*Result, error) {
 	}
 	res.Notes = append(res.Notes, note)
 
+	// Transactional variant: the same mixed workload driven through
+	// explicit transactions on the MVCC path vs the single-write-lock
+	// baseline, at the top of the sweep (16 clients).
+	if err := concurrentTxnPhase(cfg, res); err != nil {
+		srv.Shutdown(ctx)
+		return nil, err
+	}
+
 	sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {

@@ -79,6 +79,19 @@ func IsCancelled(err error) bool {
 	return errors.As(err, &se) && se.Cancelled()
 }
 
+// Retryable reports whether the error is a snapshot-isolation
+// write-write conflict: the transaction rolled back cleanly without
+// applying anything, so rerunning the whole transaction (from Begin) is
+// safe and expected. Individual statements are NOT safe to retry in
+// isolation — retry the transaction function.
+func (e *Error) Retryable() bool { return e.Code == wire.CodeTxnConflict }
+
+// IsRetryable reports whether err is a retryable transaction conflict.
+func IsRetryable(err error) bool {
+	var se *Error
+	return errors.As(err, &se) && se.Retryable()
+}
+
 // Result is one statement's outcome.
 type Result struct {
 	Cols     []string
@@ -118,6 +131,14 @@ type Conn struct {
 	// session-level Cancel frame can safely target.
 	sent uint64
 	recv atomic.Uint64
+
+	// txn is the open explicit transaction (guarded by mu). While it is
+	// set the connection will NOT redial after a connection loss: a
+	// server transaction lives in its session, so statements on a fresh
+	// session would silently auto-commit outside it. The transaction
+	// must be resolved (Commit/Rollback, even failing ones) before the
+	// connection becomes usable again.
+	txn *Tx
 }
 
 // Dial connects to an hsqld server.
@@ -218,6 +239,13 @@ func (c *Conn) roundTrip(ctx context.Context, rq *wire.Request) (*wire.Response,
 		return nil, errors.New("client: connection closed")
 	}
 	if c.c == nil {
+		if c.txn != nil {
+			// No transparent redial inside a transaction: the server
+			// rolled it back when the session died, and a retried
+			// statement on a new session would auto-commit outside it.
+			c.mu.Unlock()
+			return nil, errors.New("client: connection lost inside a transaction (the server rolled it back; retry from Begin)")
+		}
 		if c.opts.NoReconnect {
 			c.mu.Unlock()
 			return nil, errors.New("client: connection lost")
@@ -322,6 +350,127 @@ func (c *Conn) Query(ctx context.Context, sqlText string, params ...value.Value)
 // Ping round-trips a liveness probe.
 func (c *Conn) Ping(ctx context.Context) error {
 	_, err := c.roundTrip(ctx, &wire.Request{Type: wire.MsgPing})
+	return err
+}
+
+// Tx is an explicit transaction (BEGIN…COMMIT) on the connection's
+// server session. Statements run under snapshot isolation: reads see
+// the state committed at Begin plus the transaction's own writes;
+// write-write conflicts abort with a Retryable error (first updater
+// wins). The whole transaction — not individual statements — is the
+// retry unit.
+//
+// A Tx pins its Conn's session: do not issue non-transactional
+// statements on the Conn (from any goroutine) while a Tx is open — they
+// would execute inside the transaction. Rollback is always safe to
+// defer; it is a no-op after Commit.
+type Tx struct {
+	c  *Conn
+	mu sync.Mutex
+	// done: Commit or Rollback already resolved the transaction.
+	done bool
+}
+
+// Begin opens an explicit transaction. Only one transaction may be open
+// per connection.
+func (c *Conn) Begin(ctx context.Context) (*Tx, error) {
+	tx := &Tx{c: c}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("client: connection closed")
+	}
+	if c.txn != nil {
+		c.mu.Unlock()
+		return nil, errors.New("client: transaction already open on this connection")
+	}
+	// Redial here if needed: once the slot is reserved, roundTrip
+	// refuses to reconnect (a fresh session would not hold the
+	// transaction), but no transaction exists yet at this point.
+	if c.c == nil && !c.opts.NoReconnect {
+		if err := c.connectLocked(); err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+	}
+	c.txn = tx // reserve before the round trip so concurrent Begins fail fast
+	c.mu.Unlock()
+	if _, err := c.roundTrip(ctx, &wire.Request{Type: wire.MsgExec, SQL: "BEGIN"}); err != nil {
+		c.mu.Lock()
+		c.txn = nil
+		c.mu.Unlock()
+		return nil, err
+	}
+	return tx, nil
+}
+
+// Exec runs one statement inside the transaction. After a statement
+// error the server has aborted the transaction; further statements
+// return the abort reason until Rollback.
+func (tx *Tx) Exec(ctx context.Context, sqlText string, params ...value.Value) (*Result, error) {
+	tx.mu.Lock()
+	done := tx.done
+	tx.mu.Unlock()
+	if done {
+		return nil, errors.New("client: transaction has already finished")
+	}
+	rs, err := tx.c.roundTrip(ctx, &wire.Request{Type: wire.MsgExec, SQL: sqlText, Params: params})
+	if err != nil {
+		return nil, err
+	}
+	return toResult(rs), nil
+}
+
+// Query is Exec for statements expected to return rows.
+func (tx *Tx) Query(ctx context.Context, sqlText string, params ...value.Value) (*Result, error) {
+	return tx.Exec(ctx, sqlText, params...)
+}
+
+// Commit makes the transaction's writes visible and durable. A
+// Retryable error means a conflict aborted it (nothing was applied);
+// any other error after the request went on the wire leaves the outcome
+// unacknowledged, like a failed auto-commit write. Either way the Tx is
+// finished and the connection is free again.
+func (tx *Tx) Commit(ctx context.Context) error {
+	return tx.finish(ctx, "COMMIT")
+}
+
+// Rollback discards the transaction. It is a no-op after Commit (or a
+// previous Rollback), so defer tx.Rollback(ctx) is always safe; a lost
+// connection is also success, since the server rolls back with the
+// session.
+func (tx *Tx) Rollback(ctx context.Context) error {
+	err := tx.finish(ctx, "ROLLBACK")
+	if err != nil {
+		var se *Error
+		if !errors.As(err, &se) {
+			// Transport-level failure: the session died and took the
+			// transaction with it — the rollback happened server-side.
+			return nil
+		}
+	}
+	return err
+}
+
+// finish resolves the transaction with COMMIT or ROLLBACK and releases
+// the connection's transaction slot whatever the outcome.
+func (tx *Tx) finish(ctx context.Context, stmt string) error {
+	tx.mu.Lock()
+	if tx.done {
+		tx.mu.Unlock()
+		if stmt == "ROLLBACK" {
+			return nil
+		}
+		return errors.New("client: transaction has already finished")
+	}
+	tx.done = true
+	tx.mu.Unlock()
+	_, err := tx.c.roundTrip(ctx, &wire.Request{Type: wire.MsgExec, SQL: stmt})
+	tx.c.mu.Lock()
+	if tx.c.txn == tx {
+		tx.c.txn = nil
+	}
+	tx.c.mu.Unlock()
 	return err
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -169,5 +170,88 @@ func TestClientConnectionLostSurfaces(t *testing.T) {
 	// With NoReconnect the next call fails fast instead of redialing.
 	if _, err := c.Exec(ctx, "anything"); err == nil {
 		t.Fatal("NoReconnect redialed anyway")
+	}
+}
+
+// TestTxnConnectionLossNoRetry pins the reconnect/transaction contract:
+// when the connection dies inside an open transaction, the client must
+// surface the loss instead of silently redialing and replaying the
+// statement outside the (rolled-back) transaction. After Rollback
+// releases the transaction, the connection redials normally.
+func TestTxnConnectionLossNoRetry(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var conns, statements int32
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			first := atomic.AddInt32(&conns, 1) == 1
+			go func(conn net.Conn, first bool) {
+				defer conn.Close()
+				for {
+					rq, err := wire.ReadRequest(conn, 0)
+					if err != nil {
+						return
+					}
+					switch {
+					case rq.Type == wire.MsgHello:
+						wire.WriteResponse(conn, &wire.Response{Type: wire.MsgWelcome, Session: 1})
+					case rq.Type == wire.MsgQuit:
+						return
+					case first && rq.SQL == "INSERT INTO kv VALUES (1)":
+						return // cut the connection mid-transaction
+					default:
+						atomic.AddInt32(&statements, 1)
+						wire.WriteResponse(conn, &wire.Response{Type: wire.MsgOK})
+					}
+				}
+			}(conn, first)
+		}
+	}()
+
+	c, err := Dial(ln.Addr().String(), Options{DialTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	tx, err := c.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(ctx, "INSERT INTO kv VALUES (1)"); err == nil {
+		t.Fatal("statement on a cut connection succeeded")
+	}
+	// The client must NOT have redialed to retry the insert: the server
+	// rolled the transaction back with the session, so a replay would
+	// run outside any transaction.
+	if n := atomic.LoadInt32(&conns); n != 1 {
+		t.Fatalf("client redialed inside a transaction (%d connections)", n)
+	}
+	if _, err := tx.Exec(ctx, "INSERT INTO kv VALUES (2)"); err == nil {
+		t.Fatal("follow-up statement inside a lost transaction succeeded")
+	}
+	// Rollback acknowledges the server-side rollback; transport errors
+	// during it are not the caller's problem.
+	if err := tx.Rollback(ctx); err != nil {
+		t.Fatalf("rollback after connection loss: %v", err)
+	}
+	// With the transaction released, auto-reconnect resumes.
+	if _, err := c.Exec(ctx, "SELECT 1"); err != nil {
+		t.Fatalf("exec after rollback did not redial: %v", err)
+	}
+	if n := atomic.LoadInt32(&conns); n != 2 {
+		t.Fatalf("expected exactly one redial, got %d connections", n)
+	}
+	if n := atomic.LoadInt32(&statements); n != 2 { // BEGIN + SELECT 1
+		t.Fatalf("server answered %d statements, want 2 (no replays)", n)
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"hybridstore/internal/rowstore"
 	"hybridstore/internal/schema"
 	"hybridstore/internal/trace"
+	"hybridstore/internal/txn"
 	"hybridstore/internal/value"
 	"hybridstore/internal/wal"
 )
@@ -83,6 +84,12 @@ type tableRuntime struct {
 	entry *catalog.TableEntry
 	store storage
 	tail  *migrationTail
+
+	// ov is the table's MVCC version overlay (nil for tables without a
+	// primary key, which stay on the legacy serial write path). It is
+	// created with the table and survives layout migrations — chains
+	// reference primary keys, never physical row positions.
+	ov *txn.Table
 }
 
 // Database is a hybrid-store database instance. New creates a purely
@@ -119,6 +126,27 @@ type Database struct {
 	// alternatives with; nil falls back to the deterministic default
 	// profile (see SetCostModel).
 	costModel atomic.Pointer[costmodel.Model]
+
+	// txns issues MVCC timestamps and tracks live transactions; commits
+	// publish to the version overlays under the read lock, and pending
+	// lists the committed transactions not yet folded into base storage
+	// (applied in commit order under the write lock; see mvcc.go).
+	// foldedTS is the newest folded commit timestamp (write-lock
+	// guarded); serialWrites forces the legacy single-write-lock DML
+	// path for benchmarking baselines.
+	txns         *txn.Manager
+	pendingMu    sync.Mutex
+	pending      []pendingCommit
+	foldedTS     uint64
+	serialWrites atomic.Bool
+
+	// txnGate is the single-RW-lock baseline (serialWrites on): explicit
+	// transactions hold it exclusively from Begin to Commit/Rollback and
+	// auto-commit statements take the shared side, so readers are
+	// excluded from in-flight write transactions — the classic lock-based
+	// way to make a multi-statement transaction atomic to observers,
+	// and exactly the blocking MVCC snapshot reads avoid.
+	txnGate sync.RWMutex
 }
 
 // defaultPlanModel caches the analytic default cost model shared by
@@ -131,6 +159,7 @@ func New() *Database {
 		cat:    catalog.New(),
 		tables: make(map[string]*tableRuntime),
 		pool:   exec.Default(),
+		txns:   txn.NewManager(),
 	}
 }
 
@@ -238,7 +267,11 @@ func (db *Database) createTableLocked(sch *schema.Table, store catalog.StoreKind
 	if err := db.cat.Add(entry); err != nil {
 		return err
 	}
-	db.tables[k] = &tableRuntime{entry: entry, store: st}
+	rt := &tableRuntime{entry: entry, store: st}
+	if len(sch.PrimaryKey) > 0 {
+		rt.ov = txn.NewTable(sch.Name)
+	}
+	db.tables[k] = rt
 	return nil
 }
 
@@ -280,7 +313,14 @@ func (db *Database) Rows(name string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return rt.store.Rows(), nil
+	n := rt.store.Rows()
+	if rt.ov != nil {
+		// Committed-but-unfolded overlay versions are part of the
+		// table's current state even though base storage hasn't
+		// absorbed them yet.
+		n += rt.ov.NetRows(db.txns.ReadTS(), db.foldedTS)
+	}
+	return n, nil
 }
 
 // ErrIndexNotMaterialized reports that an index declaration could not be
@@ -434,6 +474,10 @@ func (db *Database) Compact(name string) error {
 		db.mu.Unlock()
 		return err
 	}
+	// Fold pending commits first: compaction should see (and merge) the
+	// committed reality, and the fold doubles as the version-chain GC
+	// hook of the compaction scheduler.
+	db.foldLocked()
 	rt.store.Compact()
 	db.mu.Unlock()
 	// Refresh catalog statistics to match the compacted state (fresh
@@ -493,7 +537,9 @@ func (db *Database) MemoryBytes(name string) (int, error) {
 }
 
 // Exec executes one query, measuring its runtime and notifying the
-// observer. DML takes the write lock; reads take the read lock.
+// observer. DML on tables with a primary key runs through the MVCC
+// overlay under the read lock; reads take the read lock with a snapshot
+// timestamp, so neither blocks the other.
 func (db *Database) Exec(q *query.Query) (*Result, error) {
 	return db.ExecContext(context.Background(), q)
 }
@@ -538,40 +584,50 @@ func (db *Database) execWithPlan(ctx context.Context, q *query.Query, planned *p
 	)
 	isDML := false
 	start := time.Now()
+	etx := TxnFromContext(ctx)
 	switch q.Kind {
 	case query.Insert, query.Update, query.Delete:
 		isDML = true
-		var seq uint64
-		sp := tr.Start("apply")
-		db.mu.Lock()
-		if db.closed.Load() {
-			db.mu.Unlock()
-			return nil, ErrClosed
-		}
-		res, seq, err = db.execDML(q)
-		db.mu.Unlock()
-		sp.End()
-		// Group commit: the record was enqueued in apply order under the
-		// write lock; the durability wait happens outside it, so
-		// concurrent writers share one fsync (the WAL's group-commit
-		// batching) and readers are never blocked on disk.
-		if err == nil && seq != 0 {
-			wsp := tr.Start("wal_wait")
-			wstart := time.Now()
-			if werr := db.log.WaitDurable(seq); werr != nil {
-				err = fmt.Errorf("engine: %s applied but not durable: %w", q.Kind, werr)
-			}
-			mWALWaitSeconds.Observe(time.Since(wstart).Nanoseconds())
-			wsp.End()
-		}
-		if err == nil {
-			sp.AddRowsOut(int64(res.Affected))
+		// Routing: statements of an explicit transaction claim versions
+		// on the MVCC overlay; auto-commit statements on MVCC-capable
+		// tables run as single-statement transactions (read lock only,
+		// disjoint writers in parallel); primary-key-less tables — and
+		// the SetSerialWrites bench baseline — keep the legacy
+		// single-write-lock path.
+		switch {
+		case etx != nil:
+			res, err = db.execTxnDML(tr, etx, q)
+		case db.useMVCCDML(q.Table):
+			res, err = db.execAutoTxnDML(ctx, tr, q)
+		default:
+			res, err = db.execSerialDML(ctx, tr, q)
 		}
 	default:
+		if etx != nil {
+			if err := etx.usable(); err != nil {
+				return nil, err
+			}
+		} else if db.serialWrites.Load() {
+			// Single-RW-lock baseline: an auto-commit read waits out any
+			// open write transaction (which holds txnGate exclusively),
+			// the way a lock-based engine keeps in-flight transactions
+			// invisible. MVCC mode never takes this lock — snapshot
+			// reads proceed against committed versions.
+			db.txnGate.RLock()
+			defer db.txnGate.RUnlock()
+		}
 		db.mu.RLock()
 		if db.closed.Load() {
 			db.mu.RUnlock()
 			return nil, ErrClosed
+		}
+		// The statement's snapshot: its transaction's begin timestamp
+		// (plus its own uncommitted writes), or the newest committed
+		// state for auto-commit reads. The fold holds the write lock, so
+		// base+overlay cannot shift underneath this read lock.
+		snap := stmtSnap{ts: db.txns.ReadTS()}
+		if etx != nil {
+			snap = stmtSnap{ts: etx.tx.BeginTS, tx: etx.tx}
 		}
 		// A cached plan is honored only while the catalog version it
 		// was built against is current; DDL, migrations, index changes
@@ -583,7 +639,7 @@ func (db *Database) execWithPlan(ctx context.Context, q *query.Query, planned *p
 		}
 		if err == nil {
 			sp := tr.Start(readStage(q))
-			res, err = db.execPlan(ctx, q, p)
+			res, err = db.execPlan(ctx, q, p, snap)
 			if err == nil {
 				sp.AddRowsOut(int64(len(res.Rows)))
 			}

@@ -22,7 +22,7 @@ import (
 // structural, so a cached generic plan and the bound statement always
 // agree). Column references in the query use combined indexing: left
 // columns first, then right columns.
-func (db *Database) execJoinPlan(ctx context.Context, q *query.Query, p *plan.Plan, sh *readShape) (*Result, error) {
+func (db *Database) execJoinPlan(ctx context.Context, q *query.Query, p *plan.Plan, sh *readShape, snap stmtSnap) (*Result, error) {
 	left, err := db.runtime(q.Table)
 	if err != nil {
 		return nil, err
@@ -54,8 +54,13 @@ func (db *Database) execJoinPlan(ctx context.Context, q *query.Query, p *plan.Pl
 	// builds the hash table.
 	buildLeft := p.BuildLeft
 
-	ls := joinSide{rt: left, pred: leftPred, need: needL, joinCol: q.Join.LeftCol, width: nL, offset: 0}
-	rs := joinSide{rt: right, pred: rightPred, need: needR, joinCol: q.Join.RightCol, width: nR, offset: nL}
+	// Snapshot views: a side whose version overlay contributes rows at
+	// the statement's snapshot scans through the merged serial path; a
+	// nil view keeps that side's vectorized fast paths.
+	ls := joinSide{rt: left, view: db.tableView(left, snap.ts, snap.tx),
+		pred: leftPred, need: needL, joinCol: q.Join.LeftCol, width: nL, offset: 0}
+	rs := joinSide{rt: right, view: db.tableView(right, snap.ts, snap.tx),
+		pred: rightPred, need: needR, joinCol: q.Join.RightCol, width: nR, offset: nL}
 	build, probe := rs, ls
 	if buildLeft {
 		build, probe = ls, rs
@@ -73,7 +78,7 @@ func (db *Database) execJoinPlan(ctx context.Context, q *query.Query, p *plan.Pl
 	// full-width scratch copy per row.
 	hash := make(map[uint64][]*buildRow)
 	buildNeed := append(append([]int{}, build.need...), build.joinCol)
-	if bs, ok := build.rt.store.(execBatchScanner); ok && ex.Parallel(bs.NumBlocks()) {
+	if bs, ok := build.rt.store.(execBatchScanner); ok && build.view == nil && ex.Parallel(bs.NumBlocks()) {
 		// Parallel build: blocks materialize their rows concurrently;
 		// the hash inserts run serially afterwards in block order, so
 		// bucket chains match the serial build exactly.
@@ -101,7 +106,7 @@ func (db *Database) execJoinPlan(ctx context.Context, q *query.Query, p *plan.Pl
 				hash[h] = append(hash[h], br)
 			}
 		}
-	} else if bs, ok := build.rt.store.(batchScanner); ok {
+	} else if bs, ok := build.rt.store.(batchScanner); ok && build.view == nil {
 		keyIdx := len(buildNeed) - 1 // joinCol is last in buildNeed
 		bs.ScanBatches(build.pred, buildNeed, func(rids []int32, colVals [][]value.Value) bool {
 			if stop != nil && stop() {
@@ -123,7 +128,7 @@ func (db *Database) execJoinPlan(ctx context.Context, q *query.Query, p *plan.Pl
 		})
 	} else {
 		buildVisited := 0
-		build.rt.store.Scan(build.pred, buildNeed, func(row []value.Value) bool {
+		mergedScan(build.rt, build.view, build.pred, buildNeed, func(row []value.Value) bool {
 			if stop != nil {
 				buildVisited++
 				if buildVisited%scanCancelBatch == 0 && stop() {
@@ -188,18 +193,18 @@ func (db *Database) execJoinPlan(ctx context.Context, q *query.Query, p *plan.Pl
 	if sh.topk != nil {
 		acc = newTopK(q.Limit, q.OrderBy)
 	}
-	if cs, ok := probe.rt.store.(*colStorage); ok &&
+	if cs, ok := probe.rt.store.(*colStorage); ok && probe.view == nil &&
 		q.Kind == query.Aggregate && postPred == nil &&
 		groupsOnSide(q.GroupBy, build.offset, build.width) {
 		probeJoinColumnar(cs.t, q, &probe, &build, hash, aggRes, ex)
-	} else if bs, ok := probe.rt.store.(execBatchScanner); ok &&
+	} else if bs, ok := probe.rt.store.(execBatchScanner); ok && probe.view == nil &&
 		q.Kind == query.Aggregate && ex.Parallel(bs.NumBlocks()) {
 		probeJoinParallel(bs, q, &probe, &build, buildNeed, hash, aggRes, postPred, nL+nR, ex)
 	} else {
 		limitHit := false
 		probeVisited := 0
 		probeNeed := append(append([]int{}, probe.need...), probe.joinCol)
-		probe.rt.store.Scan(probe.pred, probeNeed, func(row []value.Value) bool {
+		mergedScan(probe.rt, probe.view, probe.pred, probeNeed, func(row []value.Value) bool {
 			if stop != nil {
 				probeVisited++
 				if probeVisited%scanCancelBatch == 0 && stop() {
@@ -336,6 +341,7 @@ func (db *Database) execJoinPlan(ctx context.Context, q *query.Query, p *plan.Pl
 // joinSide describes one input of a hash join.
 type joinSide struct {
 	rt      *tableRuntime
+	view    *overlayView // statement's MVCC view (nil: base is current)
 	pred    expr.Predicate
 	need    []int
 	joinCol int

@@ -36,6 +36,24 @@ var (
 		"completed online layout migrations")
 	mCheckpoints = metrics.Default().Counter("hs_engine_checkpoints_total",
 		"completed snapshot checkpoints")
+
+	// Transaction instruments. begin/commit/abort/active count explicit
+	// (BEGIN…COMMIT) transactions; conflicts additionally counts the
+	// first-updater-wins aborts auto-commit statements retry through
+	// internally, so it is the contention signal even without explicit
+	// transactions.
+	mTxnBegins = metrics.Default().Counter("hs_txn_begin_total",
+		"explicit transactions begun")
+	mTxnCommits = metrics.Default().Counter("hs_txn_commit_total",
+		"explicit transactions committed")
+	mTxnAborts = metrics.Default().Counter("hs_txn_abort_total",
+		"explicit transactions aborted (rollback, statement failure or conflict)")
+	mTxnConflicts = metrics.Default().Counter("hs_txn_conflict_total",
+		"snapshot-isolation write-write conflicts detected (including internal auto-commit retries)")
+	mTxnFoldErrors = metrics.Default().Counter("hs_txn_fold_errors_total",
+		"commit folds re-queued after a base-storage error")
+	mTxnActive = metrics.Default().Gauge("hs_txn_active",
+		"explicit transactions currently open")
 )
 
 func kindCounter(k query.Kind) *metrics.Counter {

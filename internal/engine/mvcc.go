@@ -1,0 +1,942 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"hybridstore/internal/expr"
+	"hybridstore/internal/query"
+	"hybridstore/internal/schema"
+	"hybridstore/internal/trace"
+	"hybridstore/internal/txn"
+	"hybridstore/internal/value"
+	"hybridstore/internal/wal"
+)
+
+// This file is the engine side of MVCC snapshot isolation: it routes DML
+// through the internal/txn version overlay, publishes commits to the WAL
+// as atomic RecTxnCommit records, folds committed versions into base
+// storage in the background, and gives every read statement a stable
+// snapshot view so analytical scans never block (or are blocked by)
+// writers.
+//
+// Division of labor with internal/txn: the txn package owns timestamps,
+// version chains and conflict detection; this file owns everything that
+// touches engine state — claim validation against schemas and base
+// storage, WAL records, the fold, and the statement-level merged view.
+//
+// Locking: DML statements and commits run under db.mu.RLock (plus the
+// txn manager's commit lock), so disjoint-row writers proceed in
+// parallel and readers are never excluded by a writer. Only the fold —
+// which mutates base storage — takes db.mu.Lock, the same exclusion the
+// legacy serial DML path uses.
+
+// errTxnDone reports use of a transaction after Commit or Rollback.
+var errTxnDone = errors.New("engine: transaction has already finished")
+
+// IsConflict reports whether err is a snapshot-isolation write-write
+// conflict (first-updater-wins abort). Conflicts are retryable: rerun
+// the whole transaction against the newer state.
+func IsConflict(err error) bool { return errors.Is(err, txn.ErrConflict) }
+
+// TxnObserver is an optional extension of QueryObserver: observers that
+// implement it receive every explicit transaction completion with its
+// session label, so the workload monitor can attribute per-session
+// commit/abort counts.
+type TxnObserver interface {
+	ObserveTxn(session string, committed bool)
+}
+
+// txnCtxKey is the context key WithTxn stores the session transaction
+// under.
+type txnCtxKey struct{}
+
+// WithTxn tags a context with an open transaction; statements executed
+// under it become part of the transaction instead of auto-committing.
+// The server pins its session executor this way.
+func WithTxn(ctx context.Context, t *Txn) context.Context {
+	return context.WithValue(ctx, txnCtxKey{}, t)
+}
+
+// TxnFromContext returns the transaction attached by WithTxn (nil when
+// absent).
+func TxnFromContext(ctx context.Context) *Txn {
+	t, _ := ctx.Value(txnCtxKey{}).(*Txn)
+	return t
+}
+
+// Txn is an explicit multi-statement transaction. Statements run under
+// it via ExecContext (or ExecContext on the database with a WithTxn
+// context); nothing is visible to other sessions or durable until
+// Commit. Any statement error aborts the whole transaction — further
+// statements return the abort reason until Rollback acknowledges it.
+// A Txn serves one statement at a time; sessions already serialize
+// their statements, which is the intended usage.
+type Txn struct {
+	db      *Database
+	session string
+
+	mu    sync.Mutex
+	tx    *txn.Txn
+	done  bool  // Commit or Rollback called
+	err   error // sticky abort reason (statement failure or conflict)
+	gated bool  // holds db.txnGate (serial-writes baseline mode)
+}
+
+// ungate releases the serial-writes transaction gate if this
+// transaction holds it. Idempotent; called on every path that ends the
+// transaction (commit, rollback, statement-failure abort).
+func (t *Txn) ungate() {
+	t.mu.Lock()
+	g := t.gated
+	t.gated = false
+	t.mu.Unlock()
+	if g {
+		t.db.txnGate.Unlock()
+	}
+}
+
+// Begin opens a transaction with a snapshot of the currently committed
+// state. The context only contributes the session label for monitor
+// attribution.
+func (db *Database) Begin(ctx context.Context) (*Txn, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
+	t := &Txn{db: db, session: SessionFromContext(ctx)}
+	if db.serialWrites.Load() {
+		// Single-write-lock baseline: hold the global transaction gate
+		// for the whole BEGIN..COMMIT window (including client round
+		// trips), the way a lock-based engine provides multi-statement
+		// atomicity without version chains.
+		db.txnGate.Lock()
+		t.gated = true
+	}
+	t.tx = db.txns.Begin()
+	mTxnBegins.Inc()
+	mTxnActive.Add(1)
+	return t, nil
+}
+
+// ExecContext runs one statement inside the transaction.
+func (t *Txn) ExecContext(ctx context.Context, q *query.Query) (*Result, error) {
+	return t.db.execWithPlan(WithTxn(ctx, t), q, nil)
+}
+
+// Exec is ExecContext with a background context.
+func (t *Txn) Exec(q *query.Query) (*Result, error) {
+	return t.ExecContext(context.Background(), q)
+}
+
+// usable returns the sticky abort reason, errTxnDone after Commit or
+// Rollback, and nil while the transaction can accept statements.
+func (t *Txn) usable() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return t.err
+	}
+	if t.done {
+		return errTxnDone
+	}
+	return nil
+}
+
+// fail aborts the transaction because a statement failed: every claim is
+// released immediately (other writers stop conflicting on them) and the
+// reason sticks until Rollback.
+func (t *Txn) fail(cause error) {
+	t.mu.Lock()
+	if t.done || t.err != nil {
+		t.mu.Unlock()
+		return
+	}
+	t.err = fmt.Errorf("engine: transaction aborted: %w", cause)
+	t.mu.Unlock()
+	t.db.txns.Abort(t.tx)
+	t.db.finishTxn(t.session, false)
+	t.ungate()
+}
+
+// CommitTS returns the commit timestamp (0 before a successful Commit).
+func (t *Txn) CommitTS() uint64 { return t.tx.CommitTS() }
+
+// Commit publishes the transaction atomically and waits for durability.
+// Committing an already-aborted transaction returns the abort reason.
+func (t *Txn) Commit(ctx context.Context) error {
+	t.mu.Lock()
+	if t.err != nil {
+		err := t.err
+		t.done = true
+		t.mu.Unlock()
+		return err
+	}
+	if t.done {
+		t.mu.Unlock()
+		return errTxnDone
+	}
+	t.done = true
+	t.mu.Unlock()
+	err := t.db.commitTxn(ctx, t)
+	t.ungate()
+	return err
+}
+
+// Rollback discards the transaction. It is a no-op (and success) on a
+// transaction that already aborted or finished, so defer t.Rollback()
+// is always safe.
+func (t *Txn) Rollback() error {
+	t.mu.Lock()
+	if t.done || t.err != nil {
+		t.done = true
+		t.mu.Unlock()
+		return nil
+	}
+	t.done = true
+	t.mu.Unlock()
+	t.db.txns.Abort(t.tx)
+	t.db.finishTxn(t.session, false)
+	t.ungate()
+	return nil
+}
+
+// finishTxn records an explicit transaction's completion in the metrics
+// and the session monitor.
+func (db *Database) finishTxn(session string, committed bool) {
+	if committed {
+		mTxnCommits.Inc()
+	} else {
+		mTxnAborts.Inc()
+	}
+	mTxnActive.Add(-1)
+	if obs := db.observer(); obs != nil {
+		if to, ok := obs.(TxnObserver); ok {
+			to.ObserveTxn(session, committed)
+		}
+	}
+}
+
+// commitTxn is the commit path of an explicit transaction: stamp and
+// publish under the read lock, wait for WAL durability outside every
+// lock, then opportunistically fold.
+func (db *Database) commitTxn(ctx context.Context, t *Txn) error {
+	db.mu.RLock()
+	if db.closed.Load() {
+		db.mu.RUnlock()
+		db.txns.Abort(t.tx)
+		db.finishTxn(t.session, false)
+		return ErrClosed
+	}
+	tr := trace.FromContext(ctx)
+	sp := tr.Start("commit")
+	seq, enqErr := db.publishCommit(t.tx)
+	db.mu.RUnlock()
+	sp.End()
+	db.finishTxn(t.session, true)
+	if enqErr != nil {
+		return fmt.Errorf("engine: transaction applied but not durable: %w", enqErr)
+	}
+	if seq != 0 {
+		wsp := tr.Start("wal_wait")
+		wstart := time.Now()
+		werr := db.log.WaitDurable(seq)
+		mWALWaitSeconds.Observe(time.Since(wstart).Nanoseconds())
+		wsp.End()
+		if werr != nil {
+			return fmt.Errorf("engine: transaction applied but not durable: %w", werr)
+		}
+	}
+	db.foldBehind()
+	return nil
+}
+
+// publishCommit makes a transaction's writes visible: under the commit
+// lock the manager stamps every claimed version with the next timestamp
+// while this callback enqueues the atomic WAL commit record and appends
+// the fold work item — so commit-timestamp order, WAL order and fold
+// order all agree. A transaction with no writes commits vacuously
+// without burning a timestamp. Caller holds db.mu.RLock, which excludes
+// the fold and checkpoints but not other committers.
+func (db *Database) publishCommit(t *txn.Txn) (seq uint64, err error) {
+	if t.Writes() == 0 {
+		db.txns.Abort(t)
+		return 0, nil
+	}
+	ops := db.collectCommitOps(t)
+	db.txns.Commit(t, func(ts uint64) {
+		if len(ops) == 0 {
+			return // every written table was dropped mid-transaction
+		}
+		if db.log != nil {
+			seq, err = db.log.Enqueue(&wal.Record{Kind: wal.RecTxnCommit, Txn: ops})
+		}
+		db.pendingMu.Lock()
+		db.pending = append(db.pending, pendingCommit{ts: ts, tables: ops})
+		db.pendingMu.Unlock()
+	})
+	return seq, err
+}
+
+// collectCommitOps assembles the physical per-table effect of a
+// transaction from its write set: for every claimed key the key itself
+// (DelPKs, skipped for pure inserts of previously absent keys — bulk
+// loads must not pay a delete scan per batch) and, unless the claim is
+// a tombstone, the final row image. Caller holds db.mu.RLock.
+func (db *Database) collectCommitOps(t *txn.Txn) []wal.TxnTable {
+	byTable := make(map[string]*wal.TxnTable)
+	t.Pending(func(tb *txn.Table, pk, row []value.Value, fresh bool) {
+		name := tb.Name()
+		tt := byTable[name]
+		if tt == nil {
+			rt, err := db.runtime(name)
+			if err != nil {
+				return // table dropped after the claim; nothing to apply
+			}
+			tt = &wal.TxnTable{Name: name, Width: rt.entry.Schema.NumColumns(), PKWidth: len(pk)}
+			byTable[name] = tt
+		}
+		if !fresh {
+			tt.DelPKs = append(tt.DelPKs, pk)
+		}
+		if row != nil {
+			tt.Rows = append(tt.Rows, row)
+		}
+	})
+	names := make([]string, 0, len(byTable))
+	for name := range byTable {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ops := make([]wal.TxnTable, 0, len(names))
+	for _, name := range names {
+		ops = append(ops, *byTable[name])
+	}
+	return ops
+}
+
+// pendingCommit is one committed transaction awaiting its fold into base
+// storage.
+type pendingCommit struct {
+	ts     uint64
+	tables []wal.TxnTable
+}
+
+// foldForceBacklog is the pending-commit depth at which a committer
+// stops try-locking and takes the write lock outright: a waiting writer
+// gates new read locks, so the fold is admitted even under a constant
+// reader stream and the overlay stays bounded. Kept small: every
+// unfolded commit pushes concurrent scans onto the merged (overlay-
+// aware) path, so a deep backlog taxes every reader, while a forced
+// fold of a few commits only stalls for the in-flight readers to drain.
+const foldForceBacklog = 16
+
+// foldBehind opportunistically folds pending commits after a commit
+// released its locks: free databases fold immediately via TryLock, busy
+// ones defer to a later commit, Vacuum or the next checkpoint — unless
+// the backlog crossed foldForceBacklog, where the fold blocks.
+func (db *Database) foldBehind() {
+	db.pendingMu.Lock()
+	backlog := len(db.pending)
+	db.pendingMu.Unlock()
+	if backlog == 0 {
+		return
+	}
+	if backlog < foldForceBacklog {
+		if db.mu.TryLock() {
+			db.foldLocked()
+			db.mu.Unlock()
+		}
+		return
+	}
+	db.mu.Lock()
+	db.foldLocked()
+	db.mu.Unlock()
+}
+
+// foldLocked applies every pending committed transaction to base storage
+// in commit order, then prunes version chains no possible reader still
+// needs (newest committed version both folded and visible to the oldest
+// live snapshot). Callers hold db.mu.Lock, which excludes commits (they
+// hold the read lock), so the pending list drains without racing new
+// appends into the applied prefix.
+func (db *Database) foldLocked() {
+	db.pendingMu.Lock()
+	pend := db.pending
+	db.pending = nil
+	db.pendingMu.Unlock()
+	for i, pc := range pend {
+		if err := db.applyCommitLocked(&pc); err != nil {
+			// The overlay validated these rows at claim time, so this is
+			// a base-storage invariant break (e.g. serial writes toggled
+			// under live chains). Re-queue the unapplied suffix — the
+			// chains keep serving correct reads — and surface via metric.
+			mTxnFoldErrors.Inc()
+			db.pendingMu.Lock()
+			db.pending = append(pend[i:], db.pending...)
+			db.pendingMu.Unlock()
+			return
+		}
+		if pc.ts > db.foldedTS {
+			db.foldedTS = pc.ts
+		}
+	}
+	minActive := db.txns.MinActiveTS()
+	for _, rt := range db.tables {
+		if rt.ov != nil {
+			rt.ov.Prune(db.foldedTS, minActive)
+		}
+	}
+}
+
+// applyCommitLocked folds one committed transaction into base storage.
+func (db *Database) applyCommitLocked(pc *pendingCommit) error {
+	for i := range pc.tables {
+		tt := &pc.tables[i]
+		rt, err := db.runtime(tt.Name)
+		if err != nil {
+			continue // dropped since the commit
+		}
+		if err := applyTxnTable(rt, tt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyTxnTable applies one table's slice of a committed transaction to
+// its base storage: delete every written key, then insert the final row
+// images. Shared by the background fold (under db.mu.Lock) and WAL
+// recovery; both record into a migration tail if one is installed, so an
+// in-flight layout migration replays folded commits too.
+func applyTxnTable(rt *tableRuntime, tt *wal.TxnTable) error {
+	if len(tt.DelPKs) > 0 {
+		pred := pkSetPred(rt.entry.Schema, tt.DelPKs)
+		rt.store.Delete(pred)
+		rt.recordTail(dmlOp{kind: query.Delete, pred: pred})
+	}
+	if len(tt.Rows) > 0 {
+		if err := rt.store.Insert(tt.Rows); err != nil {
+			return err
+		}
+		rt.recordTail(dmlOp{kind: query.Insert, rows: tt.Rows})
+	}
+	return nil
+}
+
+// pkSetPred builds the predicate matching exactly the given primary
+// keys: IN for single-column keys, OR-of-AND equality for composite
+// ones.
+func pkSetPred(sch *schema.Table, pks [][]value.Value) expr.Predicate {
+	pk := sch.PrimaryKey
+	if len(pk) == 1 {
+		vals := make([]value.Value, len(pks))
+		for i, k := range pks {
+			vals[i] = k[0]
+		}
+		return &expr.In{Col: pk[0], Vals: vals}
+	}
+	ors := make([]expr.Predicate, len(pks))
+	for i, k := range pks {
+		ands := make([]expr.Predicate, len(pk))
+		for j, c := range pk {
+			ands[j] = &expr.Comparison{Col: c, Op: expr.Eq, Val: k[j]}
+		}
+		ors[i] = &expr.And{Preds: ands}
+	}
+	return &expr.Or{Preds: ors}
+}
+
+// Vacuum folds every pending committed transaction into base storage and
+// prunes version chains no live snapshot can still need. The migration
+// scheduler calls it alongside delta-merge compaction; it is also safe
+// to call directly at any time.
+func (db *Database) Vacuum() {
+	db.mu.Lock()
+	db.foldLocked()
+	db.mu.Unlock()
+}
+
+// SetSerialWrites forces auto-commit DML through the legacy single-
+// write-lock path instead of the MVCC overlay, and makes explicit
+// transactions hold a global gate from Begin to Commit/Rollback — one
+// write transaction at a time, across its client round trips, which is
+// how a lock-based engine provides multi-statement atomicity without
+// version chains. This is the baseline the transactional
+// concurrent-clients bench compares against. Toggle only on a quiesced
+// database (no open transactions, overlay folded): serial writes mutate
+// base storage in place underneath any surviving version chains. In
+// this mode auto-commit reads block behind open write transactions, so
+// a server embedding the engine must size its worker pool above the
+// concurrent reader count or a blocked reader can hold the slot the
+// gate holder needs to finish.
+func (db *Database) SetSerialWrites(on bool) { db.serialWrites.Store(on) }
+
+// TxnStats is a point-in-time summary of transaction activity. Counters
+// are process-wide instruments (shared across databases in one process,
+// like every hs_ metric).
+type TxnStats struct {
+	Active    int64
+	Begins    int64
+	Commits   int64
+	Aborts    int64
+	Conflicts int64
+}
+
+// TxnStats reports the transaction counters surfaced in /status and
+// the REPL's \stats.
+func (db *Database) TxnStats() TxnStats {
+	return TxnStats{
+		Active:    mTxnActive.Value(),
+		Begins:    mTxnBegins.Value(),
+		Commits:   mTxnCommits.Value(),
+		Aborts:    mTxnAborts.Value(),
+		Conflicts: mTxnConflicts.Value(),
+	}
+}
+
+// mvccCapable reports whether a table's DML runs through the MVCC
+// overlay: it needs a primary key (versions are keyed by it) and a
+// storage that answers point PK lookups — which every built-in layout
+// with a primary key provides, across migrations.
+func (rt *tableRuntime) mvccCapable() bool {
+	if rt.ov == nil {
+		return false
+	}
+	_, ok := rt.store.(pkLookuper)
+	return ok
+}
+
+// useMVCCDML decides the write path of one auto-commit DML statement.
+func (db *Database) useMVCCDML(table string) bool {
+	if db.serialWrites.Load() {
+		return false
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rt, err := db.runtime(table)
+	return err == nil && rt.mvccCapable()
+}
+
+// autoCommitRetries bounds the internal first-updater-wins retry loop of
+// auto-commit DML: a single statement is its own transaction, so a
+// conflict can be retried transparently against the newer state instead
+// of surfacing an abort the client would just replay.
+const autoCommitRetries = 100
+
+// backoffConflict pauses between internal conflict retries: yields
+// first, then sub-millisecond sleeps, so a hot key degrades into short
+// waits instead of a spin.
+func backoffConflict(attempt int) {
+	if attempt < 4 {
+		runtime.Gosched()
+		return
+	}
+	d := time.Duration(attempt) * 20 * time.Microsecond
+	if d > time.Millisecond {
+		d = time.Millisecond
+	}
+	time.Sleep(d)
+}
+
+// execAutoTxnDML runs one auto-commit DML statement as a single-
+// statement transaction on the MVCC overlay: claim under the read lock,
+// publish, wait for durability, retry internally on conflict. Concurrent
+// statements on disjoint rows proceed in parallel; they only share the
+// brief commit critical section and the WAL's group commit.
+func (db *Database) execAutoTxnDML(ctx context.Context, tr *trace.Trace, q *query.Query) (*Result, error) {
+	for attempt := 0; ; attempt++ {
+		db.mu.RLock()
+		if db.closed.Load() {
+			db.mu.RUnlock()
+			return nil, ErrClosed
+		}
+		rt, err := db.runtime(q.Table)
+		if err != nil {
+			db.mu.RUnlock()
+			return nil, err
+		}
+		if !rt.mvccCapable() {
+			// The table was re-created without a primary key between the
+			// route decision and here; fall back to the serial path.
+			db.mu.RUnlock()
+			return db.execSerialDML(ctx, tr, q)
+		}
+		sp := tr.Start("apply")
+		t := db.txns.Begin()
+		res, err := db.applyTxnDML(rt, t, q)
+		var seq uint64
+		var enqErr error
+		if err == nil {
+			seq, enqErr = db.publishCommit(t)
+		} else {
+			db.txns.Abort(t)
+		}
+		db.mu.RUnlock()
+		sp.End()
+		if err != nil {
+			if IsConflict(err) {
+				mTxnConflicts.Inc()
+				if attempt < autoCommitRetries && ctx.Err() == nil {
+					backoffConflict(attempt)
+					continue
+				}
+			}
+			return nil, err
+		}
+		if enqErr != nil {
+			return nil, fmt.Errorf("engine: %s applied but not durable: %w", q.Kind, enqErr)
+		}
+		if seq != 0 {
+			wsp := tr.Start("wal_wait")
+			wstart := time.Now()
+			werr := db.log.WaitDurable(seq)
+			mWALWaitSeconds.Observe(time.Since(wstart).Nanoseconds())
+			wsp.End()
+			if werr != nil {
+				return nil, fmt.Errorf("engine: %s applied but not durable: %w", q.Kind, werr)
+			}
+		}
+		sp.AddRowsOut(int64(res.Affected))
+		db.foldBehind()
+		return res, nil
+	}
+}
+
+// execTxnDML runs one DML statement inside an explicit transaction: the
+// statement claims its rows and returns — nothing reaches base storage
+// or the WAL until Commit. Any error (conflict or plain failure) aborts
+// the whole transaction, releasing every claim; the abort reason sticks
+// until Rollback.
+func (db *Database) execTxnDML(tr *trace.Trace, etx *Txn, q *query.Query) (*Result, error) {
+	if err := etx.usable(); err != nil {
+		return nil, err
+	}
+	db.mu.RLock()
+	if db.closed.Load() {
+		db.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	rt, err := db.runtime(q.Table)
+	if err == nil && !rt.mvccCapable() {
+		err = fmt.Errorf("engine: table %q has no primary key; DML on it is not supported inside a transaction", q.Table)
+	}
+	var res *Result
+	if err == nil {
+		sp := tr.Start("apply")
+		res, err = db.applyTxnDML(rt, etx.tx, q)
+		sp.End()
+	}
+	db.mu.RUnlock()
+	if err != nil {
+		if IsConflict(err) {
+			mTxnConflicts.Inc()
+		}
+		etx.fail(err)
+		return nil, err
+	}
+	return res, nil
+}
+
+// execSerialDML is the legacy single-write-lock DML path, kept for
+// tables without a primary key (nothing to hang version chains off) and
+// as the SetSerialWrites bench baseline. It folds first so base storage
+// is current before being mutated in place.
+func (db *Database) execSerialDML(ctx context.Context, tr *trace.Trace, q *query.Query) (*Result, error) {
+	if db.serialWrites.Load() {
+		// Baseline mode: auto-commit writes may not land in the middle
+		// of an open (gate-holding) transaction's window.
+		db.txnGate.RLock()
+		defer db.txnGate.RUnlock()
+	}
+	var seq uint64
+	sp := tr.Start("apply")
+	db.mu.Lock()
+	if db.closed.Load() {
+		db.mu.Unlock()
+		return nil, ErrClosed
+	}
+	db.foldLocked()
+	res, seq, err := db.execDML(q)
+	db.mu.Unlock()
+	sp.End()
+	// Group commit: the record was enqueued in apply order under the
+	// write lock; the durability wait happens outside it, so concurrent
+	// writers share one fsync and readers are never blocked on disk.
+	if err == nil && seq != 0 {
+		wsp := tr.Start("wal_wait")
+		wstart := time.Now()
+		if werr := db.log.WaitDurable(seq); werr != nil {
+			err = fmt.Errorf("engine: %s applied but not durable: %w", q.Kind, werr)
+		}
+		mWALWaitSeconds.Observe(time.Since(wstart).Nanoseconds())
+		wsp.End()
+	}
+	if err == nil {
+		sp.AddRowsOut(int64(res.Affected))
+	}
+	return res, err
+}
+
+// applyTxnDML runs one DML statement as claims on rt's overlay for
+// transaction t. Matching for UPDATE/DELETE happens at t's snapshot;
+// primary-key uniqueness (INSERT, key-moving UPDATE) is checked against
+// current reality — the overlay's newest committed state, else base
+// storage — mirroring the stores' own checks. Conflicts surface wrapping
+// txn.ErrConflict. Caller holds db.mu.RLock, so base storage is stable
+// (folds and legacy writes hold the write lock).
+func (db *Database) applyTxnDML(rt *tableRuntime, t *txn.Txn, q *query.Query) (*Result, error) {
+	sch := rt.entry.Schema
+	hp := rt.store.(pkLookuper)
+	switch q.Kind {
+	case query.Insert:
+		return txnInsert(rt, sch, hp, t, q)
+	case query.Update:
+		return db.txnUpdate(rt, sch, hp, t, q)
+	case query.Delete:
+		return db.txnDelete(rt, sch, t, q)
+	}
+	return nil, fmt.Errorf("engine: bad DML kind %v", q.Kind)
+}
+
+func txnInsert(rt *tableRuntime, sch *schema.Table, hp pkLookuper, t *txn.Txn, q *query.Query) (*Result, error) {
+	coerced := make([][]value.Value, len(q.Rows))
+	batch := make(map[string]struct{}, len(q.Rows))
+	for i, row := range q.Rows {
+		cr, err := sch.CoerceRow(row)
+		if err != nil {
+			return nil, err
+		}
+		if err := sch.ValidateRow(cr); err != nil {
+			return nil, err
+		}
+		pk := sch.PKValues(cr)
+		key := value.TupleKey(pk)
+		if _, dup := batch[key]; dup {
+			return nil, fmt.Errorf("engine: duplicate primary key %v within insert batch in table %q", pk, sch.Name)
+		}
+		batch[key] = struct{}{}
+		coerced[i] = cr
+	}
+	for _, cr := range coerced {
+		pk := sch.PKValues(cr)
+		cur, chained := rt.ov.VisibleForWrite(t, pk)
+		if (chained && cur != nil) || (!chained && hp.HasPK(pk)) {
+			return nil, fmt.Errorf("engine: duplicate primary key %v in table %q", pk, sch.Name)
+		}
+		// When no chain exists the key has no live base row either (the
+		// HasPK check above), so the new chain carries no pre-image.
+		if err := rt.ov.Claim(t, pk, cr, nil); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: len(coerced)}, nil
+}
+
+func (db *Database) txnUpdate(rt *tableRuntime, sch *schema.Table, hp pkLookuper, t *txn.Txn, q *query.Query) (*Result, error) {
+	// Validate assignments up front, mirroring the stores' strict checks.
+	for col, v := range q.Set {
+		if col < 0 || col >= sch.NumColumns() {
+			return nil, fmt.Errorf("engine: update column %d out of range in %q", col, sch.Name)
+		}
+		c := sch.Columns[col]
+		if v.IsNull() {
+			if !c.Nullable {
+				return nil, fmt.Errorf("engine: column %q of table %q is NOT NULL", c.Name, sch.Name)
+			}
+			continue
+		}
+		if v.Type() != c.Type {
+			return nil, fmt.Errorf("engine: column %q of table %q expects %s, got %s", c.Name, sch.Name, c.Type, v.Type())
+		}
+	}
+	olds := db.matchForWrite(rt, t, q.Pred)
+	if len(olds) == 0 {
+		return &Result{}, nil
+	}
+	pkChanged := false
+	for _, k := range sch.PrimaryKey {
+		if _, ok := q.Set[k]; ok {
+			pkChanged = true
+			break
+		}
+	}
+	news := make([][]value.Value, len(olds))
+	for i, old := range olds {
+		nr := make([]value.Value, len(old))
+		copy(nr, old)
+		for c, v := range q.Set {
+			nr[c] = v
+		}
+		news[i] = nr
+	}
+	if pkChanged {
+		// Key-moving updates pre-validate their targets against current
+		// reality; a target occupied by any live row — including one this
+		// statement also moves — is rejected, like the stores do.
+		targets := make(map[string]struct{}, len(news))
+		for i, nr := range news {
+			npk := sch.PKValues(nr)
+			nkey := value.TupleKey(npk)
+			if _, dup := targets[nkey]; dup {
+				return nil, fmt.Errorf("engine: update would assign duplicate primary key %v to multiple rows in %q", npk, sch.Name)
+			}
+			targets[nkey] = struct{}{}
+			if nkey == value.TupleKey(sch.PKValues(olds[i])) {
+				continue
+			}
+			cur, chained := rt.ov.VisibleForWrite(t, npk)
+			if (chained && cur != nil) || (!chained && hp.HasPK(npk)) {
+				return nil, fmt.Errorf("engine: update would duplicate primary key %v in table %q", npk, sch.Name)
+			}
+		}
+	}
+	for i, old := range olds {
+		opk := sch.PKValues(old)
+		if pkChanged {
+			npk := sch.PKValues(news[i])
+			if value.TupleKey(opk) != value.TupleKey(npk) {
+				// Key move: tombstone the old key, claim the new one.
+				if err := rt.ov.Claim(t, opk, nil, old); err != nil {
+					return nil, err
+				}
+				if err := rt.ov.Claim(t, npk, news[i], nil); err != nil {
+					return nil, err
+				}
+				continue
+			}
+		}
+		if err := rt.ov.Claim(t, opk, news[i], old); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: len(olds)}, nil
+}
+
+func (db *Database) txnDelete(rt *tableRuntime, sch *schema.Table, t *txn.Txn, q *query.Query) (*Result, error) {
+	olds := db.matchForWrite(rt, t, q.Pred)
+	for _, old := range olds {
+		if err := rt.ov.Claim(t, sch.PKValues(old), nil, old); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: len(olds)}, nil
+}
+
+// matchForWrite collects (copies of) the rows matching pred at t's
+// snapshot, merged across base storage and the overlay. A matched row
+// that came from base IS the key's base row — chains created from it use
+// it as the pre-image older snapshots keep reading. Caller holds
+// db.mu.RLock.
+func (db *Database) matchForWrite(rt *tableRuntime, t *txn.Txn, pred expr.Predicate) [][]value.Value {
+	view := db.tableView(rt, t.BeginTS, t)
+	var olds [][]value.Value
+	mergedScan(rt, view, pred, nil, func(row []value.Value) bool {
+		cp := make([]value.Value, len(row))
+		copy(cp, row)
+		olds = append(olds, cp)
+		return true
+	})
+	return olds
+}
+
+// stmtSnap carries one read statement's snapshot: the timestamp it reads
+// at and the explicit transaction it runs in (nil outside one, so only
+// committed versions are visible).
+type stmtSnap struct {
+	ts uint64
+	tx *txn.Txn
+}
+
+// overlayView is one statement's materialized view of a table's version
+// overlay: base rows whose primary key appears in masked are superseded
+// (the overlay owns those keys), and rows lists every full-width row the
+// overlay contributes at the statement's snapshot. The view is built
+// once per statement under the read lock and is immune to concurrent
+// claims and commits: they only ever add versions newer than the
+// snapshot.
+type overlayView struct {
+	masked map[string]struct{}
+	rows   [][]value.Value
+}
+
+// tableView builds the statement-level view of rt's overlay. nil means
+// the overlay contributes nothing and base storage alone IS the snapshot
+// — the common case every vectorized/parallel fast path keys off.
+// Caller holds db.mu.RLock (the fold, which moves overlay contents into
+// base, holds the write lock, so base+overlay stay consistent for the
+// whole statement).
+func (db *Database) tableView(rt *tableRuntime, ts uint64, tx *txn.Txn) *overlayView {
+	if rt.ov == nil || rt.ov.Len() == 0 {
+		return nil
+	}
+	hp, ok := rt.store.(pkLookuper)
+	if !ok {
+		return nil
+	}
+	v := &overlayView{masked: make(map[string]struct{})}
+	// Delta (not Snapshot): only chains whose visible version diverges
+	// from the folded base state reach the view, so an overlay holding
+	// nothing but live claims yields nil and reads keep the fast path.
+	rt.ov.Delta(ts, db.foldedTS, tx, func(pk, row []value.Value, visible bool) {
+		if hp.HasPK(pk) {
+			v.masked[value.TupleKey(pk)] = struct{}{}
+		}
+		if visible {
+			v.rows = append(v.rows, row)
+		}
+	})
+	if len(v.masked) == 0 && len(v.rows) == 0 {
+		return nil
+	}
+	return v
+}
+
+// mergedScan is the serial base scan merged with a statement's overlay
+// view: superseded base rows are skipped, then the overlay's visible
+// rows are emitted through the same predicate. With a nil view it is
+// exactly the base scan. When a view is present the projection is
+// widened to include the primary key (rows are indexed by absolute
+// column position either way, and overlay rows always carry full width),
+// so callers' column indexing is unaffected.
+func mergedScan(rt *tableRuntime, view *overlayView, pred expr.Predicate, cols []int, fn func(row []value.Value) bool) {
+	if view == nil {
+		rt.store.Scan(pred, cols, fn)
+		return
+	}
+	sch := rt.entry.Schema
+	scanCols := cols
+	if scanCols != nil {
+		scanCols = unionCols(scanCols, sch.PrimaryKey)
+	}
+	pkbuf := make([]value.Value, len(sch.PrimaryKey))
+	stopped := false
+	rt.store.Scan(pred, scanCols, func(row []value.Value) bool {
+		for i, c := range sch.PrimaryKey {
+			pkbuf[i] = row[c]
+		}
+		if _, ok := view.masked[value.TupleKey(pkbuf)]; ok {
+			return true
+		}
+		if !fn(row) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if stopped {
+		return
+	}
+	for _, row := range view.rows {
+		if pred != nil && !pred.Matches(row) {
+			continue
+		}
+		if !fn(row) {
+			return
+		}
+	}
+}

@@ -157,6 +157,24 @@ func (db *Database) applyRecord(rec *wal.Record) error {
 			op.kind = query.Delete
 		}
 		return replayOps(rt.store, []dmlOp{op})
+	case wal.RecTxnCommit:
+		// One committed transaction's atomic effect. Log order equals
+		// commit order, so the physical delete-then-insert images replay
+		// to exactly the folded state; a transaction whose commit record
+		// never became durable contributes nothing (rolled back). Tables
+		// dropped later in the log no longer exist when their drop record
+		// precedes this one's fold on the live side — tolerate them.
+		for i := range rec.Txn {
+			tt := &rec.Txn[i]
+			rt, err := db.runtime(tt.Name)
+			if err != nil {
+				continue
+			}
+			if err := applyTxnTable(rt, tt); err != nil {
+				return err
+			}
+		}
+		return nil
 	default:
 		return fmt.Errorf("engine: unknown WAL record kind %v", rec.Kind)
 	}
@@ -180,6 +198,13 @@ func (db *Database) checkpointLocked() error {
 		mCheckpointSeconds.Observe(time.Since(cpStart).Nanoseconds())
 		mCheckpoints.Inc()
 	}()
+	// Fold every pending committed transaction first: the snapshot
+	// serializes base storage only, and the WAL reset below discards the
+	// commit records. We hold the write lock, so no commit is in flight
+	// (commits run under the read lock) — after the fold, base storage
+	// IS the committed state. Uncommitted claims live only in version
+	// chains and are correctly absent from the snapshot.
+	db.foldLocked()
 	// Everything acknowledged must be on disk in the log before the
 	// snapshot claims to supersede it.
 	if err := db.log.Sync(); err != nil {

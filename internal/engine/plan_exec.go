@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"hybridstore/internal/agg"
 	"hybridstore/internal/costmodel"
 	"hybridstore/internal/plan"
 	"hybridstore/internal/query"
@@ -179,27 +180,30 @@ func nodeSpanName(n plan.Node) string { return fmt.Sprintf("%s#%d", n.Kind(), n.
 // predicates, projections and keys are re-derived from the bound query q
 // — plans are generic over parameter values — while the plan contributes
 // the structural decisions (build side, pushdown, top-K) and the node
-// ids for tracing. Caller holds db.mu.RLock.
-func (db *Database) execPlan(ctx context.Context, q *query.Query, p *plan.Plan) (*Result, error) {
+// ids for tracing. snap is the statement's MVCC snapshot; tables whose
+// version overlay contributes nothing at it (the common case) run the
+// unchanged fast paths. Caller holds db.mu.RLock.
+func (db *Database) execPlan(ctx context.Context, q *query.Query, p *plan.Plan, snap stmtSnap) (*Result, error) {
 	sh, err := shapeOf(p)
 	if err != nil {
 		return nil, err
 	}
 	if sh.join != nil {
-		return db.execJoinPlan(ctx, q, p, &sh)
+		return db.execJoinPlan(ctx, q, p, &sh, snap)
 	}
 	if q.Kind == query.Aggregate {
-		return db.execAggPlan(ctx, q, &sh)
+		return db.execAggPlan(ctx, q, &sh, snap)
 	}
-	return db.execScanPlan(ctx, q, &sh)
+	return db.execScanPlan(ctx, q, &sh, snap)
 }
 
 // execScanPlan executes a planned single-table SELECT.
-func (db *Database) execScanPlan(ctx context.Context, q *query.Query, sh *readShape) (*Result, error) {
+func (db *Database) execScanPlan(ctx context.Context, q *query.Query, sh *readShape, snap stmtSnap) (*Result, error) {
 	rt, err := db.runtime(q.Table)
 	if err != nil {
 		return nil, err
 	}
+	view := db.tableView(rt, snap.ts, snap.tx)
 	sch := rt.entry.Schema
 	cols := q.Cols
 	if cols == nil {
@@ -234,7 +238,7 @@ func (db *Database) execScanPlan(ctx context.Context, q *query.Query, sh *readSh
 	// storage counters (blocks decoded vs zone-map-skipped,
 	// main/delta rows) the trace wants.
 	ex := db.execCtx(ctx)
-	if bs, ok := rt.store.(execBatchScanner); ok &&
+	if bs, ok := rt.store.(execBatchScanner); ok && view == nil &&
 		(ex.Parallel(bs.NumBlocks()) || ex.Tracer() != nil) &&
 		(q.Limit <= 0 || ordered) {
 		pos := make([]int, sch.NumColumns())
@@ -347,7 +351,7 @@ func (db *Database) execScanPlan(ctx context.Context, q *query.Query, sh *readSh
 		acc = newTopK(q.Limit, q.OrderBy)
 	}
 	var seq int64
-	rt.store.Scan(q.Pred, scanCols, func(row []value.Value) bool {
+	mergedScan(rt, view, q.Pred, scanCols, func(row []value.Value) bool {
 		if stop != nil {
 			visited++
 			if visited%scanCancelBatch == 0 && stop() {
@@ -413,8 +417,11 @@ func finishScanSpan(tr *trace.Trace, ssp *trace.Span, sh *readShape, rows int) {
 }
 
 // execAggPlan executes a planned single-table aggregate through the
-// storage layer's fused scan+aggregate kernel.
-func (db *Database) execAggPlan(ctx context.Context, q *query.Query, sh *readShape) (*Result, error) {
+// storage layer's fused scan+aggregate kernel — or, when the statement's
+// snapshot view overlays versioned rows, through a merged row-at-a-time
+// accumulation (the kernels only see base storage, which would miss or
+// double-count versioned keys).
+func (db *Database) execAggPlan(ctx context.Context, q *query.Query, sh *readShape, snap stmtSnap) (*Result, error) {
 	rt, err := db.runtime(q.Table)
 	if err != nil {
 		return nil, err
@@ -425,7 +432,41 @@ func (db *Database) execAggPlan(ctx context.Context, q *query.Query, sh *readSha
 	if tr != nil && sh.agg != nil {
 		asp = tr.Start(nodeSpanName(sh.agg))
 	}
-	ar := rt.store.Aggregate(q.Aggs, q.GroupBy, q.Pred, db.execCtx(ctx))
+	var ar *agg.Result
+	if view := db.tableView(rt, snap.ts, snap.tx); view != nil {
+		ar = agg.NewResult(q.Aggs, q.GroupBy)
+		ar.SetOutputTypes(sch.ColTypes())
+		stop := stopFunc(ctx)
+		visited := 0
+		groupKey := make([]value.Value, len(q.GroupBy))
+		mergedScan(rt, view, q.Pred, nil, func(row []value.Value) bool {
+			if stop != nil {
+				visited++
+				if visited%scanCancelBatch == 0 && stop() {
+					return false
+				}
+			}
+			var g *agg.Group
+			if len(q.GroupBy) > 0 {
+				for i, c := range q.GroupBy {
+					groupKey[i] = row[c]
+				}
+				g = ar.GroupFor(groupKey)
+			} else {
+				g = ar.Global()
+			}
+			for i, s := range q.Aggs {
+				if s.Col < 0 {
+					g.Accs[i].AddCount(1)
+				} else {
+					g.Accs[i].Add(row[s.Col])
+				}
+			}
+			return true
+		})
+	} else {
+		ar = rt.store.Aggregate(q.Aggs, q.GroupBy, q.Pred, db.execCtx(ctx))
+	}
 	if err := ctx.Err(); err != nil {
 		asp.End()
 		return nil, err

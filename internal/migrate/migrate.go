@@ -247,8 +247,13 @@ func (m *Manager) Evaluate(hysteresis float64) ([]string, error) {
 }
 
 // CompactCheck triggers Compact on every table whose delta fragments
-// exceed the configured threshold, returning the compacted tables.
+// exceed the configured threshold, returning the compacted tables. It
+// also folds and prunes the MVCC transaction overlay (Vacuum): the
+// background maintenance tick doubles as version-chain garbage
+// collection, bounding overlay growth under write-heavy transactional
+// load even when no table crosses the compaction threshold.
 func (m *Manager) CompactCheck() []string {
+	m.db.Vacuum()
 	if m.cfg.CompactDeltaRows <= 0 {
 		return nil
 	}

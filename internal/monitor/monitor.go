@@ -59,6 +59,8 @@ type sessionCounts struct {
 	Queries  int
 	OLAP     int
 	DML      int
+	Commits  int
+	Aborts   int
 	Duration time.Duration
 	Tables   map[string]int
 }
@@ -136,6 +138,28 @@ func sampleQuery(q *query.Query) *query.Query {
 // Observe implements engine.QueryObserver.
 func (m *Monitor) Observe(q *query.Query, d time.Duration) {
 	m.ObserveSession("", q, d)
+}
+
+// ObserveTxn implements engine.TxnObserver: explicit transaction
+// completions are attributed to their session, so the window shows
+// which tenants commit and which churn through aborts.
+func (m *Monitor) ObserveTxn(session string, committed bool) {
+	if session == "" {
+		return
+	}
+	m.mu.Lock()
+	ep := m.ring[m.head]
+	sc := ep.sessions[session]
+	if sc == nil {
+		sc = &sessionCounts{Tables: map[string]int{}}
+		ep.sessions[session] = sc
+	}
+	if committed {
+		sc.Commits++
+	} else {
+		sc.Aborts++
+	}
+	m.mu.Unlock()
 }
 
 // ObserveSession implements engine.SessionObserver: the statement is

@@ -61,10 +61,14 @@ func (tw TableWindow) String() string {
 // window — the multi-tenant attribution the network server feeds the
 // advisor.
 type SessionWindow struct {
-	Name     string
-	Queries  int
-	OLAP     int
-	DML      int
+	Name    string
+	Queries int
+	OLAP    int
+	DML     int
+	// Commits/Aborts count the session's explicit transaction
+	// completions (BEGIN…COMMIT/ROLLBACK) in the window.
+	Commits  int
+	Aborts   int
 	Duration time.Duration
 	// Tables lists the tables the session touched, sorted by name.
 	Tables []string
@@ -72,8 +76,12 @@ type SessionWindow struct {
 
 // String renders the session window compactly for shell display.
 func (sw SessionWindow) String() string {
-	return fmt.Sprintf("%s: %d ops (olap %d, dml %d), %v total, tables [%s]",
+	s := fmt.Sprintf("%s: %d ops (olap %d, dml %d), %v total, tables [%s]",
 		sw.Name, sw.Queries, sw.OLAP, sw.DML, sw.Duration, strings.Join(sw.Tables, " "))
+	if sw.Commits > 0 || sw.Aborts > 0 {
+		s += fmt.Sprintf(", txns %d/%d commit/abort", sw.Commits, sw.Aborts)
+	}
+	return s
 }
 
 // Snapshot is a point-in-time view of the rolling window: the advisor
@@ -150,6 +158,8 @@ func (m *Monitor) Snapshot() *Snapshot {
 			sw.Queries += sc.Queries
 			sw.OLAP += sc.OLAP
 			sw.DML += sc.DML
+			sw.Commits += sc.Commits
+			sw.Aborts += sc.Aborts
 			sw.Duration += sc.Duration
 			for t, n := range sc.Tables {
 				sessTables[name][t] += n

@@ -82,6 +82,16 @@ type statusTable struct {
 	Rows  int    `json:"rows"`
 }
 
+// statusTxns is the transaction section of /status, mirroring the
+// hs_txn_* instruments.
+type statusTxns struct {
+	Active    int64 `json:"active"`
+	Begins    int64 `json:"begins"`
+	Commits   int64 `json:"commits"`
+	Aborts    int64 `json:"aborts"`
+	Conflicts int64 `json:"conflicts"`
+}
+
 type statusBody struct {
 	Addr          string        `json:"addr"`
 	UptimeSeconds float64       `json:"uptime_seconds"`
@@ -92,6 +102,7 @@ type statusBody struct {
 	PlanCacheHits int64         `json:"plan_cache_hits"`
 	PlanCacheMiss int64         `json:"plan_cache_misses"`
 	PlanCacheSize int           `json:"plan_cache_size"`
+	Txns          statusTxns    `json:"txns"`
 	SlowThreshold string        `json:"slow_query_threshold"`
 	Tables        []statusTable `json:"tables"`
 }
@@ -100,6 +111,7 @@ func (ds *DebugServer) writeStatus(w http.ResponseWriter, s *Server) {
 	ps := s.pool.Stats()
 	hits, misses := s.cache.Stats()
 	pHits, pMiss, pSize := s.PlanCacheStats()
+	ts := s.db.TxnStats()
 	body := statusBody{
 		Addr:          s.Addr().String(),
 		UptimeSeconds: time.Since(ds.start).Seconds(),
@@ -113,6 +125,10 @@ func (ds *DebugServer) writeStatus(w http.ResponseWriter, s *Server) {
 		PlanCacheHits: pHits,
 		PlanCacheMiss: pMiss,
 		PlanCacheSize: pSize,
+		Txns: statusTxns{
+			Active: ts.Active, Begins: ts.Begins, Commits: ts.Commits,
+			Aborts: ts.Aborts, Conflicts: ts.Conflicts,
+		},
 		SlowThreshold: s.db.SlowQueryLogHandle().Threshold().String(),
 		Tables:        []statusTable{},
 	}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"hybridstore/internal/engine"
+	"hybridstore/internal/sql"
 	"hybridstore/internal/value"
 	"hybridstore/internal/wire"
 )
@@ -57,6 +58,15 @@ type session struct {
 	// the server-wide counter) into the shared cache's templates. Only
 	// the executor touches it.
 	stmts map[uint64]*cachedStmt
+
+	// tx is the session's open explicit transaction (BEGIN…COMMIT); nil
+	// outside one. Only the executor touches it; statements executed
+	// while it is set join the transaction instead of auto-committing.
+	// After a statement failure the engine has already aborted the
+	// transaction, but tx stays set (statements keep returning the abort
+	// reason) until the client acknowledges with ROLLBACK — mirroring
+	// the usual SQL session contract.
+	tx *engine.Txn
 }
 
 func newSession(s *Server, id uint64, conn net.Conn) *session {
@@ -95,6 +105,12 @@ const reqProtoErr = wire.MsgError
 // run is the session's executor loop (and lifecycle owner).
 func (se *session) run() {
 	defer func() {
+		// A connection dying mid-transaction must not leave write claims
+		// pinning other writers: roll back whatever is still open.
+		if se.tx != nil {
+			se.tx.Rollback()
+			se.tx = nil
+		}
 		se.conn.Close()
 		se.srv.dropSession(se)
 	}()
@@ -255,8 +271,17 @@ func (se *session) execPrepared(cs *cachedStmt, params []value.Value) *wire.Resp
 	if err != nil {
 		return sqlError(err)
 	}
+	if st.Txn != sql.TxnNone {
+		return se.execTxnCtl(st.Txn)
+	}
+	if se.tx != nil && st.CreateTable != nil {
+		return sqlError(errors.New("server: DDL is not allowed inside a transaction"))
+	}
 
 	ctx := engine.WithSession(se.ctx, se.label)
+	if se.tx != nil {
+		ctx = engine.WithTxn(ctx, se.tx)
+	}
 	var cancel context.CancelFunc
 	if se.timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, se.timeout)
@@ -290,11 +315,65 @@ func (se *session) execPrepared(cs *cachedStmt, params []value.Value) *wire.Resp
 			return ctxError(err)
 		case errors.Is(err, engine.ErrClosed):
 			return &wire.Response{Type: wire.MsgError, Code: wire.CodeShutdown, Err: err.Error()}
+		case engine.IsConflict(err):
+			// First-updater-wins abort: the engine already rolled the
+			// transaction back (explicit transactions stay open for
+			// ROLLBACK; auto-commit statements exhausted their internal
+			// retries). The client should retry from BEGIN.
+			return &wire.Response{Type: wire.MsgError, Code: wire.CodeTxnConflict, Err: err.Error()}
 		default:
 			return sqlError(err)
 		}
 	}
 	return rs
+}
+
+// execTxnCtl serves BEGIN/COMMIT/ROLLBACK. Transaction control runs on
+// the executor goroutine without a worker-pool slot: BEGIN and ROLLBACK
+// are instant, and COMMIT's cost is the WAL group-commit wait, which
+// holds no engine resources a pool slot would meter.
+func (se *session) execTxnCtl(kind sql.TxnKind) *wire.Response {
+	switch kind {
+	case sql.TxnBegin:
+		if se.tx != nil {
+			return sqlError(errors.New("server: transaction already open (COMMIT or ROLLBACK it first)"))
+		}
+		tx, err := se.srv.db.Begin(engine.WithSession(se.ctx, se.label))
+		if err != nil {
+			if errors.Is(err, engine.ErrClosed) {
+				return &wire.Response{Type: wire.MsgError, Code: wire.CodeShutdown, Err: err.Error()}
+			}
+			return sqlError(err)
+		}
+		se.tx = tx
+		return &wire.Response{Type: wire.MsgOK}
+	case sql.TxnCommit:
+		if se.tx == nil {
+			return sqlError(errors.New("server: COMMIT outside a transaction"))
+		}
+		tx := se.tx
+		se.tx = nil
+		if err := tx.Commit(engine.WithSession(se.ctx, se.label)); err != nil {
+			switch {
+			case engine.IsConflict(err):
+				return &wire.Response{Type: wire.MsgError, Code: wire.CodeTxnConflict, Err: err.Error()}
+			case errors.Is(err, engine.ErrClosed):
+				return &wire.Response{Type: wire.MsgError, Code: wire.CodeShutdown, Err: err.Error()}
+			default:
+				return sqlError(err)
+			}
+		}
+		return &wire.Response{Type: wire.MsgOK}
+	default: // sql.TxnRollback
+		if se.tx != nil {
+			se.tx.Rollback()
+			se.tx = nil
+		}
+		// ROLLBACK outside a transaction is a no-op, not an error: it is
+		// how drivers reset session state after seeing an ambiguous
+		// failure.
+		return &wire.Response{Type: wire.MsgOK}
+	}
 }
 
 func sqlError(err error) *wire.Response {

@@ -12,11 +12,30 @@ import (
 	"hybridstore/internal/value"
 )
 
-// Statement is a parsed SQL statement: either DDL (CreateTable) or DML/DQL
-// (Query).
+// TxnKind identifies a transaction-control statement.
+type TxnKind int
+
+const (
+	// TxnNone: the statement is not transaction control.
+	TxnNone TxnKind = iota
+	// TxnBegin: BEGIN [TRANSACTION|WORK] / START TRANSACTION.
+	TxnBegin
+	// TxnCommit: COMMIT [TRANSACTION|WORK].
+	TxnCommit
+	// TxnRollback: ROLLBACK [TRANSACTION|WORK].
+	TxnRollback
+)
+
+// Statement is a parsed SQL statement: either DDL (CreateTable), DML/DQL
+// (Query), or transaction control (Txn).
 type Statement struct {
 	CreateTable *schema.Table
 	Query       *query.Query
+
+	// Txn marks BEGIN/COMMIT/ROLLBACK. Parsing is context-free; whether
+	// the control statement is legal (e.g. COMMIT outside a transaction)
+	// is the session's concern.
+	Txn TxnKind
 
 	// ExplainAnalyze marks an EXPLAIN ANALYZE-wrapped Query: execute it
 	// traced and return the per-stage trace as the result set.
@@ -243,8 +262,34 @@ func (p *parser) statement() (*Statement, error) {
 			return nil, err
 		}
 		return &Statement{Query: q}, nil
+	case p.isKeyword("BEGIN"):
+		p.advance()
+		p.acceptTxnNoise()
+		return &Statement{Txn: TxnBegin}, nil
+	case p.isKeyword("START"):
+		p.advance()
+		if err := p.expectKeyword("TRANSACTION"); err != nil {
+			return nil, err
+		}
+		return &Statement{Txn: TxnBegin}, nil
+	case p.isKeyword("COMMIT"):
+		p.advance()
+		p.acceptTxnNoise()
+		return &Statement{Txn: TxnCommit}, nil
+	case p.isKeyword("ROLLBACK"):
+		p.advance()
+		p.acceptTxnNoise()
+		return &Statement{Txn: TxnRollback}, nil
 	default:
 		return nil, fmt.Errorf("sql: expected statement at position %d, got %q", p.peek().pos, p.peek().text)
+	}
+}
+
+// acceptTxnNoise consumes the optional TRANSACTION/WORK keyword after
+// BEGIN/COMMIT/ROLLBACK.
+func (p *parser) acceptTxnNoise() {
+	if !p.acceptKeyword("TRANSACTION") {
+		p.acceptKeyword("WORK")
 	}
 }
 

@@ -30,6 +30,15 @@ const (
 	RecUpdate
 	// RecDelete removes rows matching a predicate.
 	RecDelete
+	// RecTxnCommit is one committed transaction's atomic effect: for
+	// each touched table, the primary keys whose rows the transaction
+	// superseded or deleted, and the full images of the rows it left
+	// live. The record is physical (net row images, not the statements
+	// that produced them) so replay order only needs to respect commit
+	// order — which the engine guarantees equals log order. A crash
+	// before the record is durable loses the whole transaction; there
+	// is no partial replay.
+	RecTxnCommit
 )
 
 // String names the record kind.
@@ -49,6 +58,8 @@ func (k RecordKind) String() string {
 		return "UPDATE"
 	case RecDelete:
 		return "DELETE"
+	case RecTxnCommit:
+		return "TXN-COMMIT"
 	default:
 		return fmt.Sprintf("RecordKind(%d)", uint8(k))
 	}
@@ -71,6 +82,21 @@ type Record struct {
 	Rows  [][]value.Value     // RecInsert
 	Pred  expr.Predicate      // RecUpdate, RecDelete
 	Set   map[int]value.Value // RecUpdate
+
+	// Txn is the per-table payload of a RecTxnCommit.
+	Txn []TxnTable
+}
+
+// TxnTable is one table's slice of a committed transaction: delete the
+// rows carrying DelPKs, then insert Rows. DelPKs lists every primary key
+// the transaction wrote (including keys of rows it re-inserts), so
+// replay is delete-then-insert without needing the pre-state.
+type TxnTable struct {
+	Name    string
+	Width   int // table arity, frames Rows
+	PKWidth int // primary-key arity, frames DelPKs
+	DelPKs  [][]value.Value
+	Rows    [][]value.Value
 }
 
 // encode appends the record payload to the encoder.
@@ -97,6 +123,15 @@ func (r *Record) encode(e *Encoder) {
 		e.Set(r.Set)
 	case RecDelete:
 		e.Predicate(r.Pred)
+	case RecTxnCommit:
+		e.Uvarint(uint64(len(r.Txn)))
+		for _, tt := range r.Txn {
+			e.String(tt.Name)
+			e.Varint(int64(tt.Width))
+			e.Varint(int64(tt.PKWidth))
+			e.Rows(tt.DelPKs)
+			e.Rows(tt.Rows)
+		}
 	}
 }
 
@@ -125,6 +160,20 @@ func decodeRecord(d *Decoder) (*Record, error) {
 		r.Set = d.Set()
 	case RecDelete:
 		r.Pred = d.Predicate()
+	case RecTxnCommit:
+		n := d.Uvarint()
+		if d.Err() == nil && n > uint64(d.Remaining()) {
+			return nil, fmt.Errorf("wal: implausible txn table count %d", n)
+		}
+		for i := uint64(0); i < n && d.Err() == nil; i++ {
+			tt := TxnTable{Name: d.String(), Width: d.Int(), PKWidth: d.Int()}
+			if d.Err() == nil && (tt.Width <= 0 || tt.Width > d.Remaining()+1 || tt.PKWidth <= 0 || tt.PKWidth > tt.Width) {
+				return nil, fmt.Errorf("wal: implausible txn table framing (width %d, pk %d)", tt.Width, tt.PKWidth)
+			}
+			tt.DelPKs = d.Rows(tt.PKWidth)
+			tt.Rows = d.Rows(tt.Width)
+			r.Txn = append(r.Txn, tt)
+		}
 	default:
 		return nil, fmt.Errorf("wal: unknown record kind %d", r.Kind)
 	}

@@ -92,6 +92,11 @@ const (
 	// does not hold. The statement provably did not execute, so drivers
 	// may re-prepare and retry transparently without double-applying.
 	CodeUnknownStmt byte = 6
+	// CodeTxnConflict: a first-updater-wins write-write conflict aborted
+	// the session's transaction under snapshot isolation. The transaction
+	// rolled back cleanly; the whole transaction (not the statement) is
+	// safe to retry from BEGIN.
+	CodeTxnConflict byte = 7
 )
 
 // Request is one client→server message; only the fields of its Type are
