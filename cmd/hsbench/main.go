@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment to run (fig6a, fig6b, fig7a, fig7b, fig8, fig9a, fig9b, fig10, ablation, durability, concurrent-clients, parallel, planner, all)")
+		exp   = flag.String("exp", "all", "experiment to run (fig6a, fig6b, fig7a, fig7b, fig8, fig9a, fig9b, fig10, ablation, durability, concurrent-clients, parallel, planner, ingest, all)")
 		scale = flag.Float64("scale", 1.0, "table-size scale factor (1.0 = default scaled-down sizes)")
 		seed  = flag.Int64("seed", 2012, "random seed for data and workload generation")
 		reps  = flag.Int("reps", 3, "repetitions per direct measurement (median reported)")

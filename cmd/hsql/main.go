@@ -1,6 +1,8 @@
 // Command hsql is an interactive SQL shell for the hybrid-store engine.
 // It supports the engine's SQL dialect (CREATE TABLE, SELECT with
-// aggregates and joins, INSERT, UPDATE, DELETE) plus shell commands:
+// aggregates and joins, INSERT, UPDATE, DELETE, and COPY <table> FROM
+// VALUES ... — the bulk-ingest fast path: one atomic WAL record and
+// one group-commit wait for the whole batch) plus shell commands:
 //
 //	\store <table> row|column     move a table between stores (blocking)
 //	\stats                        show the live rolling workload window
@@ -67,8 +69,10 @@ type session struct {
 }
 
 func main() {
-	auto := flag.Duration("auto", 0, "auto-advise interval (0 disables, e.g. 30s)")
+	auto := flag.Duration("auto", 0, "auto-advise interval; also the idle ceiling of the delta-merge cadence (0 disables, e.g. 30s)")
 	hysteresis := flag.Float64("hysteresis", -1, "min relative improvement before auto-migrating (-1 = default)")
+	compactRows := flag.Int("compact-delta", 0, "delta rows that trigger a background merge on a column store (0 = default 50000)")
+	compactMin := flag.Duration("compact-min-interval", 0, "floor of the adaptive delta-merge cadence under bulk-ingest (COPY) pressure; needs -auto (0 = default 1s, negative disables adaptation)")
 	dataDir := flag.String("data", "", "data directory for durable mode (WAL + snapshots; empty = in-memory)")
 	groupCommit := flag.Int("group-commit", 0, "max WAL records per fsync batch (0 = default)")
 	connect := flag.String("connect", "", "connect to a running hsqld at host:port instead of embedding the engine")
@@ -102,10 +106,17 @@ func main() {
 	}
 	adv := advisor.New(costmodel.DefaultModel())
 	mon := monitor.New(db, monitor.DefaultConfig())
+	mcfg := migrate.DefaultConfig()
+	if *compactRows > 0 {
+		mcfg.CompactDeltaRows = *compactRows
+	}
+	if *compactMin != 0 {
+		mcfg.CompactMinInterval = *compactMin
+	}
 	s := &session{
 		db:  db,
 		mon: mon,
-		mgr: migrate.NewManager(db, adv, mon, migrate.DefaultConfig()),
+		mgr: migrate.NewManager(db, adv, mon, mcfg),
 	}
 	if *auto > 0 {
 		if err := s.mgr.AutoAdvise(*auto, *hysteresis); err != nil {

@@ -9,9 +9,15 @@
 //
 // With -data the engine is durable: statements are write-ahead logged
 // before acknowledgment and a restart (even after kill -9) recovers
-// every acknowledged write. With -auto the online advisor watches the
-// live workload — attributed per client session — and migrates table
-// layouts in the background.
+// every acknowledged write. Bulk loads should use COPY <table> FROM
+// VALUES ... (client.CopyIn in the Go driver): each batch is one
+// atomic WAL record and one group-commit wait, so durable ingest runs
+// far faster than per-row INSERT at the same durability. With -auto
+// the online advisor watches the live workload — attributed per client
+// session — and migrates table layouts in the background; the same
+// loop merges column-store deltas on an adaptive cadence between
+// -compact-min-interval (under ingest pressure) and the -auto interval
+// (idle), triggering at -compact-delta rows.
 //
 // With -http a debug HTTP listener is bound alongside the protocol
 // port, serving /metrics (Prometheus text exposition of the process
@@ -53,8 +59,10 @@ func main() {
 		listen      = flag.String("listen", ":7878", "TCP listen address")
 		dataDir     = flag.String("data", "", "data directory for durable mode (WAL + snapshots; empty = in-memory)")
 		groupCommit = flag.Int("group-commit", 0, "max WAL records per fsync batch (0 = default)")
-		auto        = flag.Duration("auto", 0, "auto-advise interval for background layout migration (0 disables)")
+		auto        = flag.Duration("auto", 0, "auto-advise interval for background layout migration; also the idle ceiling of the delta-merge cadence (0 disables)")
 		hysteresis  = flag.Float64("hysteresis", -1, "min relative improvement before auto-migrating (-1 = default)")
+		compactRows = flag.Int("compact-delta", 0, "delta rows that trigger a background merge on a column store (0 = default 50000)")
+		compactMin  = flag.Duration("compact-min-interval", 0, "floor of the adaptive delta-merge cadence under bulk-ingest (COPY) pressure; needs -auto (0 = default 1s, negative disables adaptation)")
 		maxSessions = flag.Int("max-sessions", 0, "max concurrent client sessions (0 = default 128)")
 		workers     = flag.Int("workers", 0, "worker-pool slots shared by statement admission and morsel-parallel scans (0 = GOMAXPROCS)")
 		queueDepth  = flag.Int("queue-depth", 0, "pipelined requests buffered per session (0 = default 32)")
@@ -100,7 +108,14 @@ func main() {
 	}
 
 	mon := monitor.New(db, monitor.DefaultConfig())
-	mgr := migrate.NewManager(db, advisor.New(costmodel.DefaultModel()), mon, migrate.DefaultConfig())
+	mcfg := migrate.DefaultConfig()
+	if *compactRows > 0 {
+		mcfg.CompactDeltaRows = *compactRows
+	}
+	if *compactMin != 0 {
+		mcfg.CompactMinInterval = *compactMin
+	}
+	mgr := migrate.NewManager(db, advisor.New(costmodel.DefaultModel()), mon, mcfg)
 	if *auto > 0 {
 		if err := mgr.AutoAdvise(*auto, *hysteresis); err != nil {
 			logger.Fatalf("auto-advise: %v", err)

@@ -282,6 +282,46 @@
 // examples/txn is a runnable tour: visibility, a conflict with retry,
 // and recovery.
 //
+// # Streaming ingest & delta merge
+//
+// COPY <table> FROM VALUES (...), (...) is the bulk-ingest fast path:
+// the whole batch applies atomically as one WAL record and one
+// group-commit wait — per batch, not per row — at exactly the
+// durability of a single-row INSERT. Recovery surfaces each batch
+// completely or not at all (asserted per byte of torn WAL tail in the
+// engine recovery tests, across all four layouts). Over the wire the
+// Go driver streams it:
+//
+//	cp, err := conn.CopyIn(ctx, "events", 4)  // table, column count
+//	for _, r := range rows {
+//		err = cp.Send(r...)                   // buffers, flushes ~4096-row frames
+//	}
+//	n, err := cp.Close()                      // n = rows durably acknowledged
+//
+// CopyIn slices the stream into frames and keeps a bounded window of
+// them in flight on the session pipeline, overlapping client-side
+// encoding with the server's fsync batches. Atomicity is per frame,
+// not per stream: on failure Close reports the first error together
+// with the rows already durable, and a frame that collides with an
+// existing primary key is rejected whole. COPY refuses to run inside
+// an open transaction (CodeUnsupported) — each batch is its own
+// atomic unit.
+//
+// Sustained ingest into a column store grows its write-optimized
+// delta; the migrate manager's merge scheduler keeps that bounded
+// adaptively. It diffs the workload monitor's per-table ingest totals
+// into a live rows/sec rate and schedules the next delta-merge check
+// for when that rate would fill Config.CompactDeltaRows, clamped
+// between Config.CompactMinInterval (the floor a firehose pins it to,
+// default 1s) and the AutoAdvise interval (the idle ceiling).
+// hs_ingest_* counters and the hs_delta_merge_* family (merges run,
+// rows merged, live cadence and observed ingest rate) expose the loop;
+// `hsbench -exp ingest` measures COPY vs single-statement INSERT at
+// equal durability (acceptance: >= 5x), differential-checks that
+// acknowledged rows are exactly the durable ones, and soaks a column
+// store to assert the delta stays bounded mid-stream
+// (BENCH_ingest.json).
+//
 // # Network service
 //
 // cmd/hsqld serves one engine over TCP; internal/client is the Go

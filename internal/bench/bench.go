@@ -183,6 +183,7 @@ func Experiments() []Experiment {
 		{"concurrent-clients", "Concurrent network clients: mixed DML + analytics over TCP", ConcurrentClients},
 		{"parallel", "Morsel-driven parallel execution: serial vs shared worker pool", Parallel},
 		{"planner", "Cost-based planner: pushdown/join-order/top-K wins and plan-cache hit rate", Planner},
+		{"ingest", "Streaming bulk ingest: COPY vs INSERT at equal durability + adaptive delta-merge soak", Ingest},
 	}
 }
 

@@ -54,7 +54,7 @@ func TestLookupAndUnknown(t *testing.T) {
 }
 
 func TestExperimentRegistryComplete(t *testing.T) {
-	want := []string{"fig6a", "fig6b", "fig7a", "fig7b", "fig8", "fig9a", "fig9b", "fig10", "ablation", "durability", "concurrent-clients", "parallel", "planner"}
+	want := []string{"fig6a", "fig6b", "fig7a", "fig7b", "fig8", "fig9a", "fig9b", "fig10", "ablation", "durability", "concurrent-clients", "parallel", "planner", "ingest"}
 	have := Experiments()
 	if len(have) != len(want) {
 		t.Fatalf("experiments = %d, want %d", len(have), len(want))
@@ -232,5 +232,30 @@ func TestParallelExperimentSmoke(t *testing.T) {
 		if sp[0] < 0.9 {
 			t.Errorf("%s: parallel slower than serial beyond tolerance (speedup %.2fx)", q, sp[0])
 		}
+	}
+}
+
+// TestIngestExperimentSmoke is the CI bench smoke for the bulk-ingest
+// path: the experiment hard-fails on any lost/duplicated row or an
+// unbounded soak delta, and the COPY-vs-INSERT ratio must clear the
+// acceptance floor with margin to spare even on slow CI disks.
+func TestIngestExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ingest experiment smoke skipped in -short")
+	}
+	cfg := quickCfg()
+	res, err := Ingest(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := res.Series["copy vs insert"]
+	if len(ratio) != 1 {
+		t.Fatal("missing copy vs insert series")
+	}
+	if ratio[0] < 5 {
+		t.Errorf("durable COPY only %.1fx single-statement INSERT, acceptance floor is 5x", ratio[0])
+	}
+	if len(res.Series["soak rows/s"]) != 1 || len(res.Series["soak peak delta rows"]) != 1 {
+		t.Error("missing soak series")
 	}
 }

@@ -208,10 +208,11 @@ func ConcurrentClients(cfg Config) (*Result, error) {
 	}
 	res.Notes = append(res.Notes, fmt.Sprintf("differential check vs single-session oracle: %s", lost))
 
-	// Cancellation probe: abort an in-flight analytical scan over a
-	// table big enough that the scan is genuinely in flight when the
-	// cancel frame lands.
-	note, err := cancelProbe(db, addr, cfg.scaled(2_400_000))
+	// Cancellation probe: abort an in-flight analytical scan. The
+	// scan-started hook makes the interleaving deterministic, so the
+	// table only needs to be big enough for a meaningful full-scan
+	// reference time, not big enough to outrun a sleep.
+	note, err := cancelProbe(db, addr, cfg.scaled(600_000))
 	if err != nil {
 		srv.Shutdown(ctx)
 		return nil, err
@@ -334,16 +335,40 @@ func cancelProbe(db *engine.Database, addr string, rows int) (string, error) {
 		return "", err
 	}
 	full := time.Since(t0)
+
+	// Deterministic in-flight cancel: the scan-started hook parks the
+	// probe scan at its start until the out-of-band cancel frame has
+	// cancelled the statement context server-side, instead of racing a
+	// sleep sized off the full-scan time against scan speed.
+	started := make(chan struct{})
+	engine.SetScanStartedHook(func(hctx context.Context, table string) {
+		if table != "nettbig" {
+			return
+		}
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		select {
+		case <-hctx.Done():
+		case <-time.After(10 * time.Second): // safety: never wedge the bench
+		}
+	})
+	defer engine.SetScanStartedHook(nil)
 	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	go func() {
-		time.Sleep(full / 4)
+		select {
+		case <-started:
+		case <-time.After(10 * time.Second):
+		}
 		cancel()
 	}()
 	t0 = time.Now()
 	_, err = c.Query(cctx, aggSQL)
 	aborted := time.Since(t0)
 	if err == nil {
-		return fmt.Sprintf("cancellation probe: scan finished in %v before the cancel landed (full scan %v)", aborted, full), nil
+		return "", fmt.Errorf("cancellation probe: scan finished despite the scan-started gate")
 	}
 	if !client.IsCancelled(err) {
 		return "", fmt.Errorf("cancellation probe: unexpected error %w", err)

@@ -1,0 +1,253 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"hybridstore/internal/advisor"
+	"hybridstore/internal/agg"
+	"hybridstore/internal/catalog"
+	"hybridstore/internal/client"
+	"hybridstore/internal/costmodel"
+	"hybridstore/internal/engine"
+	"hybridstore/internal/migrate"
+	"hybridstore/internal/monitor"
+	"hybridstore/internal/query"
+	"hybridstore/internal/schema"
+	"hybridstore/internal/server"
+	"hybridstore/internal/value"
+)
+
+func ingestSchema(name string) *schema.Table {
+	return schema.MustNew(name, []schema.Column{
+		{Name: "id", Type: value.Bigint},
+		{Name: "grp", Type: value.Integer},
+		{Name: "amount", Type: value.Double},
+		{Name: "note", Type: value.Varchar},
+	}, "id")
+}
+
+func ingestRow(id int64) []value.Value {
+	return []value.Value{
+		value.NewBigint(id),
+		value.NewInt(id % 97),
+		value.NewDouble(float64(id) * 0.5),
+		value.NewVarchar(fmt.Sprintf("n%02d", id%50)),
+	}
+}
+
+// ingestDifferential checks the table holds ids [0, n) exactly once:
+// COUNT catches lost rows, the primary key plus COUNT catches
+// duplicates, and the id SUM/MIN/MAX pin the exact set.
+func ingestDifferential(db *engine.Database, table string, n int64) error {
+	res, err := db.Exec(&query.Query{Kind: query.Aggregate, Table: table,
+		Aggs: []agg.Spec{{Func: agg.Count, Col: -1}, {Func: agg.Sum, Col: 0}, {Func: agg.Min, Col: 0}, {Func: agg.Max, Col: 0}}})
+	if err != nil {
+		return err
+	}
+	row := res.Rows[0]
+	if got := row[0].Int(); got != n {
+		return fmt.Errorf("differential FAILED: %d rows durable, want %d (lost or duplicated)", got, n)
+	}
+	wantSum := n * (n - 1) / 2
+	if got := int64(row[1].Double()); got != wantSum {
+		return fmt.Errorf("differential FAILED: id sum %d, want %d", got, wantSum)
+	}
+	if lo, hi := row[2].Int(), row[3].Int(); lo != 0 || hi != n-1 {
+		return fmt.Errorf("differential FAILED: id range [%d,%d], want [0,%d]", lo, hi, n-1)
+	}
+	return nil
+}
+
+// Ingest is the streaming bulk-ingest experiment: against one durable
+// (fsync-on-commit) engine served over TCP, it measures single-statement
+// INSERT throughput vs the COPY fast path at equal durability, runs a
+// post-phase differential check (zero lost, zero duplicated rows), and
+// finishes with a sustained-ingest soak into a column store while the
+// adaptive delta-merge cadence keeps the write-optimized delta bounded.
+func Ingest(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	insertRows := cfg.scaled(4_000)
+	copyRows := cfg.scaled(400_000)
+	soakFor := time.Duration(float64(10*time.Second) * cfg.Scale)
+	if soakFor < time.Second {
+		soakFor = time.Second
+	}
+
+	dir, err := os.MkdirTemp(cfg.DataDir, "hsbench-ingest-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	db, err := engine.OpenOptions(dir, engine.Options{}) // production durability: fsync group commit
+	if err != nil {
+		return nil, err
+	}
+	mon := monitor.New(db, monitor.DefaultConfig())
+	if err := db.CreateTable(ingestSchema("ing"), catalog.RowStore); err != nil {
+		return nil, err
+	}
+	srv, err := server.Serve(db, "127.0.0.1:0", server.Config{})
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	defer func() {
+		sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		defer cancel()
+		srv.Shutdown(sctx) //nolint:errcheck // teardown
+	}()
+
+	c, err := client.Dial(srv.Addr().String(), client.Options{Name: "ingest"})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	res := &Result{
+		Columns: []string{"path", "rows", "seconds", "rows/s", "vs INSERT"},
+		Notes: []string{
+			"one durable engine over TCP; INSERT pays one group-commit wait per row, COPY one per frame (~4096 rows)",
+			"acceptance: durable COPY >= 5x single-statement INSERT throughput at equal durability",
+		},
+	}
+
+	// Phase 1: single-statement prepared INSERTs, one row per statement —
+	// the pre-COPY ingest ceiling.
+	ins, err := c.Prepare(ctx, "INSERT INTO ing VALUES (?, ?, ?, ?)")
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	for i := 0; i < insertRows; i++ {
+		if _, err := ins.Exec(ctx, ingestRow(int64(i))...); err != nil {
+			return nil, err
+		}
+	}
+	insElapsed := time.Since(start)
+	insRPS := float64(insertRows) / insElapsed.Seconds()
+	res.AddRow(
+		[]string{"INSERT", fmt.Sprintf("%d", insertRows), secs(insElapsed), fmt.Sprintf("%.0f", insRPS), "1.00"},
+		map[string]float64{"insert rows/s": insRPS},
+	)
+
+	// Phase 2: the COPY streaming fast path, same table, same durability.
+	cp, err := c.CopyIn(ctx, "ing", 4)
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	for i := 0; i < copyRows; i++ {
+		if err := cp.Send(ingestRow(int64(insertRows + i))...); err != nil {
+			return nil, err
+		}
+	}
+	acked, err := cp.Close()
+	if err != nil {
+		return nil, err
+	}
+	copyElapsed := time.Since(start)
+	if acked != copyRows {
+		return nil, fmt.Errorf("ingest: CopyIn acknowledged %d rows, want %d", acked, copyRows)
+	}
+	copyRPS := float64(copyRows) / copyElapsed.Seconds()
+	ratio := copyRPS / insRPS
+	res.AddRow(
+		[]string{"COPY", fmt.Sprintf("%d", copyRows), secs(copyElapsed), fmt.Sprintf("%.0f", copyRPS), fmt.Sprintf("%.2f", ratio)},
+		map[string]float64{"copy rows/s": copyRPS, "copy vs insert": ratio},
+	)
+	res.Notes = append(res.Notes, fmt.Sprintf("COPY vs INSERT at equal durability: %.1fx (acceptance >= 5x)", ratio))
+
+	// Differential: exactly the acknowledged rows, no more, no less.
+	if err := ingestDifferential(db, "ing", int64(insertRows+copyRows)); err != nil {
+		return nil, err
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf("differential check: PASS (%d rows, ids exact)", insertRows+copyRows))
+
+	// Phase 3: sustained-ingest soak into a column store with the
+	// adaptive merge cadence active. The delta must stay bounded — merges
+	// keep folding it into read-optimized fragments mid-stream — instead
+	// of growing with everything ingested.
+	const mergeThreshold = 50_000
+	if err := db.CreateTable(ingestSchema("soakt"), catalog.ColumnStore); err != nil {
+		return nil, err
+	}
+	mgr := migrate.NewManager(db, advisor.New(costmodel.DefaultModel()), mon, migrate.Config{
+		CompactDeltaRows:   mergeThreshold,
+		CompactMinInterval: 100 * time.Millisecond,
+		MinWindowQueries:   1 << 30, // soak exercises compaction, not layout moves
+	})
+	if err := mgr.AutoAdvise(time.Second, -1); err != nil {
+		return nil, err
+	}
+	defer mgr.Stop()
+
+	maxDelta := 0
+	sampleDone := make(chan struct{})
+	samplerStop := make(chan struct{})
+	go func() {
+		defer close(sampleDone)
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-samplerStop:
+				return
+			case <-tick.C:
+				if d, err := db.DeltaRows("soakt"); err == nil && d > maxDelta {
+					maxDelta = d
+				}
+			}
+		}
+	}()
+	soak, err := c.CopyIn(ctx, "soakt", 4)
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	deadline := start.Add(soakFor)
+	soaked := 0
+	for time.Now().Before(deadline) {
+		if err := soak.Send(ingestRow(int64(soaked))...); err != nil {
+			return nil, err
+		}
+		soaked++
+	}
+	soakAcked, err := soak.Close()
+	if err != nil {
+		return nil, err
+	}
+	soakElapsed := time.Since(start)
+	close(samplerStop)
+	<-sampleDone
+	if soakAcked != soaked {
+		return nil, fmt.Errorf("ingest soak: %d rows acked, want %d", soakAcked, soaked)
+	}
+	if err := ingestDifferential(db, "soakt", int64(soaked)); err != nil {
+		return nil, err
+	}
+	merges := 0
+	for _, ev := range mgr.Events() {
+		if ev.Action == "compact" {
+			merges++
+		}
+	}
+	// Bounded means the delta never accumulated the whole stream: either
+	// it stayed under the merge threshold outright, or background merges
+	// ran and kept its peak well below the total ingested.
+	bounded := maxDelta <= mergeThreshold || (merges > 0 && maxDelta < soaked)
+	if !bounded {
+		return nil, fmt.Errorf("ingest soak: delta unbounded (peak %d rows over %d ingested, %d merges)", maxDelta, soaked, merges)
+	}
+	soakRPS := float64(soaked) / soakElapsed.Seconds()
+	res.AddRow(
+		[]string{"COPY soak", fmt.Sprintf("%d", soaked), secs(soakElapsed), fmt.Sprintf("%.0f", soakRPS), fmt.Sprintf("%.2f", soakRPS/insRPS)},
+		map[string]float64{"soak rows/s": soakRPS, "soak peak delta rows": float64(maxDelta), "soak merges": float64(merges)},
+	)
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"soak: %v sustained ingest into a column store; peak delta %d rows, %d background merges (threshold %d) — bounded: %v",
+		soakElapsed.Round(time.Millisecond), maxDelta, merges, mergeThreshold, bounded))
+	return res, nil
+}

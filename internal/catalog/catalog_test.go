@@ -240,3 +240,21 @@ func TestNilStatsAccessors(t *testing.T) {
 		t.Error("nil String")
 	}
 }
+
+// Regression: a stored NDV above the row count (stale stats, overshoot,
+// approximate sources) must clamp to the row count — equality
+// selectivity is 1/NDV, so an uncapped NDV collapses cardinality
+// estimates toward zero and mis-prices join build sides.
+func TestDistinctClampedToRowCount(t *testing.T) {
+	st := &TableStats{NumRows: 50, DistinctN: []int{5000, 10, 0}}
+	if d := st.Distinct(0); d != 50 {
+		t.Errorf("Distinct(0) = %d, want clamp to 50", d)
+	}
+	if d := st.Distinct(1); d != 10 {
+		t.Errorf("Distinct(1) = %d, want 10 untouched", d)
+	}
+	// 0 keeps meaning "unknown" so default-selectivity fallbacks hold.
+	if d := st.Distinct(2); d != 0 {
+		t.Errorf("Distinct(2) = %d, want 0", d)
+	}
+}

@@ -25,12 +25,22 @@ type TableStats struct {
 // Rows implements expr.ColumnStats.
 func (s *TableStats) Rows() int { return s.NumRows }
 
-// Distinct implements expr.ColumnStats.
+// Distinct implements expr.ColumnStats. The stored estimate is clamped
+// to the row count: a column cannot hold more distinct values than rows,
+// and an overcounted NDV (stale stats, extrapolation overshoot, the
+// column store's approximate dictionary sum) would drive 1/NDV equality
+// selectivities — and with them group-by/join cardinalities — toward
+// zero, mis-pricing build sides. 0 still means "unknown" and keeps the
+// default-selectivity fallbacks.
 func (s *TableStats) Distinct(col int) int {
 	if s == nil || col < 0 || col >= len(s.DistinctN) {
 		return 0
 	}
-	return s.DistinctN[col]
+	d := s.DistinctN[col]
+	if d > s.NumRows {
+		d = s.NumRows
+	}
+	return d
 }
 
 // MinMax implements expr.ColumnStats.

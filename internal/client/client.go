@@ -587,6 +587,153 @@ func (st *Stmt) Close(ctx context.Context) error {
 	return err
 }
 
+// Copy batching defaults: a frame flushes when it holds copyBatchRows
+// rows or its estimated encoding reaches the frame budget, and at most
+// copyMaxInflight frames ride the pipeline unacknowledged (enough to
+// overlap encoding with the server's group-commit fsync without turning
+// backpressure into "pipeline full" errors).
+const (
+	copyBatchRows   = 4096
+	copyMaxInflight = 4
+)
+
+// Copy is a streaming bulk-ingest into one table. Send buffers rows;
+// full batches go on the wire as dedicated copy frames, each applied by
+// the server as ONE atomic, durable WAL record. Close flushes the rest
+// and returns the total rows acknowledged.
+//
+// Atomicity is per frame, not per stream: if the connection (or server)
+// dies mid-stream, every acknowledged frame is fully applied and the
+// in-flight one is applied either fully or not at all — the stream as a
+// whole is not transactional. A Copy is not safe for concurrent use and
+// pins its Conn the same way a Tx does: don't run other statements on
+// the connection until Close returns.
+type Copy struct {
+	c     *Conn
+	ctx   context.Context
+	table string
+	width int
+
+	rows  [][]value.Value
+	bytes int
+
+	sem chan struct{} // in-flight frame slots
+	wg  sync.WaitGroup
+
+	mu     sync.Mutex // guards err, total (written by flush goroutines)
+	err    error
+	total  int
+	closed bool
+}
+
+// CopyIn starts a streaming bulk ingest into table, whose rows must
+// have width columns in schema order. The context governs the whole
+// stream: cancelling it aborts in-flight frames server-side.
+//
+// The fast path bypasses MVCC versioning, so CopyIn cannot run inside
+// an explicit transaction — the server rejects such frames with a typed
+// unsupported error.
+func (c *Conn) CopyIn(ctx context.Context, table string, width int) (*Copy, error) {
+	if table == "" || width <= 0 {
+		return nil, fmt.Errorf("client: CopyIn needs a table and positive width (got %q, %d)", table, width)
+	}
+	return &Copy{
+		c: c, ctx: ctx, table: table, width: width,
+		sem: make(chan struct{}, copyMaxInflight),
+	}, nil
+}
+
+// Send buffers one row, flushing a frame when the batch is full. It
+// blocks only when copyMaxInflight frames are already unacknowledged
+// (natural backpressure against a slow server). The row slice is
+// retained until its frame is acknowledged; do not reuse it.
+func (cp *Copy) Send(row ...value.Value) error {
+	if len(row) != cp.width {
+		return fmt.Errorf("client: copy row has %d values, table %q takes %d", len(row), cp.table, cp.width)
+	}
+	cp.mu.Lock()
+	closed, err := cp.closed, cp.err
+	cp.mu.Unlock()
+	if closed {
+		return errors.New("client: copy already closed")
+	}
+	if err != nil {
+		return err
+	}
+	cp.rows = append(cp.rows, row)
+	cp.bytes += rowWeight(row)
+	if len(cp.rows) >= copyBatchRows || cp.bytes >= cp.c.opts.MaxFrame/2 {
+		cp.flush()
+	}
+	return nil
+}
+
+// flush ships the buffered batch as one pipelined copy frame.
+func (cp *Copy) flush() {
+	rows := cp.rows
+	cp.rows = nil
+	cp.bytes = 0
+	if len(rows) == 0 {
+		return
+	}
+	cp.sem <- struct{}{} // wait for an in-flight slot
+	cp.wg.Add(1)
+	go func() {
+		defer func() {
+			<-cp.sem
+			cp.wg.Done()
+		}()
+		rs, err := cp.c.roundTrip(cp.ctx, &wire.Request{
+			Type: wire.MsgCopy, Table: cp.table, Width: cp.width, Rows: rows,
+		})
+		cp.mu.Lock()
+		defer cp.mu.Unlock()
+		if err != nil {
+			if cp.err == nil {
+				cp.err = err
+			}
+			return
+		}
+		cp.total += rs.Affected
+	}()
+}
+
+// Close flushes the remaining rows, waits for every in-flight frame's
+// acknowledgement, and returns the total row count the server applied
+// durably. On error, the count still reflects exactly the acknowledged
+// frames.
+func (cp *Copy) Close() (int, error) {
+	cp.mu.Lock()
+	if cp.closed {
+		total, err := cp.total, cp.err
+		cp.mu.Unlock()
+		return total, err
+	}
+	cp.closed = true
+	failed := cp.err != nil
+	cp.mu.Unlock()
+	if !failed {
+		cp.flush()
+	}
+	cp.wg.Wait()
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.total, cp.err
+}
+
+// rowWeight estimates a row's wire encoding size for frame budgeting;
+// it only needs to be a safe overestimate of the common case.
+func rowWeight(row []value.Value) int {
+	n := 4
+	for _, v := range row {
+		n += 12
+		if !v.IsNull() && v.Type() == value.Varchar {
+			n += len(v.Varchar())
+		}
+	}
+	return n
+}
+
 // Close sends Quit and closes the connection. Subsequent calls fail.
 func (c *Conn) Close() error {
 	c.mu.Lock()

@@ -365,9 +365,21 @@ func Load(sch *schema.Table, main, delta [][]value.Value) (*Table, error) {
 
 // DistinctCount returns the (approximate) number of distinct values in
 // column col: exact after a merge, an upper bound while delta values
-// overlap the main dictionary.
+// overlap the main dictionary. The raw dictionary sum can exceed the
+// live row count (overlapping delta values, deleted rows keep their
+// dictionary entries), so it is clamped to [1, Rows()] on non-empty
+// tables — planner cardinality divides by NDV, and an NDV above the row
+// count would collapse equality/group estimates toward zero and
+// mis-price join build sides.
 func (t *Table) DistinctCount(col int) int {
-	return t.cols[col].mainDict.Len() + t.cols[col].deltaDict.Len()
+	d := t.cols[col].mainDict.Len() + t.cols[col].deltaDict.Len()
+	if live := t.Rows(); d > live {
+		d = live
+	}
+	if d < 1 && t.live > 0 {
+		d = 1
+	}
+	return d
 }
 
 // CompressionRate returns the achieved dictionary-compression rate of

@@ -445,6 +445,46 @@ func TestCompressionRateAndMemory(t *testing.T) {
 	}
 }
 
+// Regression: the raw dictionary sum (main + delta) overcounts NDV when
+// delta values overlap the main dictionary or rows are deleted; the
+// estimate feeds planner cardinality, so it must stay within [1, Rows()].
+func TestDistinctCountClampedOnSkewedColumn(t *testing.T) {
+	tb := New(testSchema())
+	tb.AutoMerge = false
+	// Main fragment: 100 rows, grp cycles over the same 3 values.
+	rows := make([][]value.Value, 0, 100)
+	for i := 0; i < 100; i++ {
+		rows = append(rows, mkRow(int64(i), int64(i%3), float64(i), "x"))
+	}
+	if err := tb.Insert(rows); err != nil {
+		t.Fatal(err)
+	}
+	tb.Merge()
+	// Delta fragment: the same 3 skewed values again — every delta
+	// dictionary entry overlaps main.
+	rows = rows[:0]
+	for i := 100; i < 200; i++ {
+		rows = append(rows, mkRow(int64(i), int64(i%3), float64(i), "x"))
+	}
+	if err := tb.Insert(rows); err != nil {
+		t.Fatal(err)
+	}
+	if d := tb.DistinctCount(1); d < 1 || d > tb.Rows() {
+		t.Fatalf("DistinctCount(grp) = %d outside [1, %d]", d, tb.Rows())
+	}
+	// Delete almost everything: dictionaries keep their entries but the
+	// estimate must not exceed the surviving rows.
+	tb.Delete(&expr.Comparison{Col: 0, Op: expr.Lt, Val: value.NewBigint(198)})
+	if live := tb.Rows(); live != 2 {
+		t.Fatalf("Rows after delete = %d, want 2", live)
+	}
+	for col := 0; col < 4; col++ {
+		if d := tb.DistinctCount(col); d < 1 || d > 2 {
+			t.Fatalf("DistinctCount(%d) = %d outside [1, 2] after mass delete", col, d)
+		}
+	}
+}
+
 func TestMinMax(t *testing.T) {
 	tb := loaded(t, 100)
 	tb.Merge()

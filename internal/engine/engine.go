@@ -603,6 +603,7 @@ func (db *Database) execWithPlan(ctx context.Context, q *query.Query, planned *p
 			res, err = db.execSerialDML(ctx, tr, q)
 		}
 	default:
+		notifyScanStarted(ctx, q.Table)
 		if etx != nil {
 			if err := etx.usable(); err != nil {
 				return nil, err

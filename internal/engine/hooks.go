@@ -1,0 +1,33 @@
+package engine
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// scanStartedHook, when installed, is invoked at the start of every read
+// statement (before any engine lock is taken). See SetScanStartedHook.
+var scanStartedHook atomic.Pointer[func(ctx context.Context, table string)]
+
+// SetScanStartedHook installs a process-wide test/bench hook invoked
+// when a read statement is about to execute, with the statement's
+// context and target table. It runs before the engine takes any lock,
+// so the hook may block (e.g. until the context is cancelled) without
+// stalling other statements. Cancellation probes use it to synchronize
+// on "the scan is in flight" instead of sizing scans by wall clock,
+// which made them timing-sensitive on single-CPU machines. Pass nil to
+// clear. Not for production use.
+func SetScanStartedHook(fn func(ctx context.Context, table string)) {
+	if fn == nil {
+		scanStartedHook.Store(nil)
+		return
+	}
+	scanStartedHook.Store(&fn)
+}
+
+// notifyScanStarted invokes the hook, if any.
+func notifyScanStarted(ctx context.Context, table string) {
+	if h := scanStartedHook.Load(); h != nil {
+		(*h)(ctx, table)
+	}
+}

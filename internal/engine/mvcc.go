@@ -224,7 +224,18 @@ func (db *Database) finishTxn(session string, committed bool) {
 // commitTxn is the commit path of an explicit transaction: stamp and
 // publish under the read lock, wait for WAL durability outside every
 // lock, then opportunistically fold.
+//
+// Transactions holding buffered PK-less inserts commit under the write
+// lock instead and fold immediately: a PK-less table has no version
+// overlay readers could resolve the commit through, so its rows must be
+// in base storage before any later snapshot can observe the commit
+// timestamp — the serialized path PK-less auto-commit DML already uses.
 func (db *Database) commitTxn(ctx context.Context, t *Txn) error {
+	buffered := false
+	t.tx.Buffered(func(*txn.BufferedInsert) { buffered = true })
+	if buffered {
+		return db.commitTxnSerial(ctx, t)
+	}
 	db.mu.RLock()
 	if db.closed.Load() {
 		db.mu.RUnlock()
@@ -252,6 +263,43 @@ func (db *Database) commitTxn(ctx context.Context, t *Txn) error {
 		}
 	}
 	db.foldBehind()
+	return nil
+}
+
+// commitTxnSerial commits a transaction that buffered PK-less inserts:
+// publish under the write lock and fold before releasing it, so base
+// storage already carries the rows when readers at newer snapshots are
+// admitted. The durability wait still happens outside every lock.
+func (db *Database) commitTxnSerial(ctx context.Context, t *Txn) error {
+	db.mu.Lock()
+	if db.closed.Load() {
+		db.mu.Unlock()
+		db.txns.Abort(t.tx)
+		db.finishTxn(t.session, false)
+		return ErrClosed
+	}
+	tr := trace.FromContext(ctx)
+	sp := tr.Start("commit")
+	seq, enqErr := db.publishCommit(t.tx)
+	if enqErr == nil {
+		db.foldLocked()
+	}
+	db.mu.Unlock()
+	sp.End()
+	db.finishTxn(t.session, true)
+	if enqErr != nil {
+		return fmt.Errorf("engine: transaction applied but not durable: %w", enqErr)
+	}
+	if seq != 0 {
+		wsp := tr.Start("wal_wait")
+		wstart := time.Now()
+		werr := db.log.WaitDurable(seq)
+		mWALWaitSeconds.Observe(time.Since(wstart).Nanoseconds())
+		wsp.End()
+		if werr != nil {
+			return fmt.Errorf("engine: transaction applied but not durable: %w", werr)
+		}
+	}
 	return nil
 }
 
@@ -306,6 +354,18 @@ func (db *Database) collectCommitOps(t *txn.Txn) []wal.TxnTable {
 		if row != nil {
 			tt.Rows = append(tt.Rows, row)
 		}
+	})
+	t.Buffered(func(b *txn.BufferedInsert) {
+		if _, err := db.runtime(b.Table); err != nil {
+			return // table dropped after the insert buffered
+		}
+		tt := byTable[b.Table]
+		if tt == nil {
+			// PKWidth 0: a PK-less batch has no delete set.
+			tt = &wal.TxnTable{Name: b.Table, Width: b.Width}
+			byTable[b.Table] = tt
+		}
+		tt.Rows = append(tt.Rows, b.Rows...)
 	})
 	names := make([]string, 0, len(byTable))
 	for name := range byTable {
@@ -622,14 +682,25 @@ func (db *Database) execTxnDML(tr *trace.Trace, etx *Txn, q *query.Query) (*Resu
 		return nil, ErrClosed
 	}
 	rt, err := db.runtime(q.Table)
-	if err == nil && !rt.mvccCapable() {
-		err = fmt.Errorf("engine: table %q has no primary key; DML on it is not supported inside a transaction", q.Table)
-	}
 	var res *Result
-	if err == nil {
+	switch {
+	case err != nil:
+	case rt.mvccCapable():
 		sp := tr.Start("apply")
 		res, err = db.applyTxnDML(rt, etx.tx, q)
 		sp.End()
+	case rt.ov == nil && q.Kind == query.Insert:
+		// PK-less table: no primary key means no chain to claim and no
+		// row another transaction could conflict on, so inserts simply
+		// buffer in the transaction and commit through the serialized
+		// (write-lock) path — see commitTxn.
+		sp := tr.Start("apply")
+		res, err = txnBufferInsert(rt, etx.tx, q)
+		sp.End()
+	default:
+		// Genuinely unsupported overlay path: UPDATE/DELETE need a key to
+		// version (PK-less), or the storage lost point-PK lookups.
+		err = fmt.Errorf("%w: %s on table %q inside a transaction (no primary key to version rows by)", ErrUnsupported, q.Kind, q.Table)
 	}
 	db.mu.RUnlock()
 	if err != nil {
@@ -701,6 +772,27 @@ func (db *Database) applyTxnDML(rt *tableRuntime, t *txn.Txn, q *query.Query) (*
 		return db.txnDelete(rt, sch, t, q)
 	}
 	return nil, fmt.Errorf("engine: bad DML kind %v", q.Kind)
+}
+
+// txnBufferInsert queues an insert into a PK-less table inside an
+// explicit transaction: rows are coerced and validated now (statement
+// errors must surface at the statement), then wait in the transaction
+// until commit applies them to base storage atomically.
+func txnBufferInsert(rt *tableRuntime, t *txn.Txn, q *query.Query) (*Result, error) {
+	sch := rt.entry.Schema
+	coerced := make([][]value.Value, len(q.Rows))
+	for i, row := range q.Rows {
+		cr, err := sch.CoerceRow(row)
+		if err != nil {
+			return nil, err
+		}
+		if err := sch.ValidateRow(cr); err != nil {
+			return nil, err
+		}
+		coerced[i] = cr
+	}
+	t.BufferInsert(sch.Name, sch.NumColumns(), coerced)
+	return &Result{Affected: len(coerced)}, nil
 }
 
 func txnInsert(rt *tableRuntime, sch *schema.Table, hp pkLookuper, t *txn.Txn, q *query.Query) (*Result, error) {
@@ -871,7 +963,18 @@ type overlayView struct {
 // base, holds the write lock, so base+overlay stay consistent for the
 // whole statement).
 func (db *Database) tableView(rt *tableRuntime, ts uint64, tx *txn.Txn) *overlayView {
-	if rt.ov == nil || rt.ov.Len() == 0 {
+	if rt.ov == nil {
+		// PK-less tables have no overlay, but a transaction reading its
+		// own buffered inserts must see them (read-your-writes); they are
+		// invisible to everyone else until commit folds them into base.
+		if tx != nil {
+			if rows := tx.BufferedRows(rt.entry.Schema.Name); len(rows) > 0 {
+				return &overlayView{rows: rows}
+			}
+		}
+		return nil
+	}
+	if rt.ov.Len() == 0 {
 		return nil
 	}
 	hp, ok := rt.store.(pkLookuper)

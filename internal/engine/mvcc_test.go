@@ -202,7 +202,7 @@ func TestTxnSnapshotReadsAreStable(t *testing.T) {
 	}
 }
 
-func TestTxnRejectsPKlessTable(t *testing.T) {
+func TestTxnPKlessTable(t *testing.T) {
 	db := New()
 	sch := schema.MustNew("nopk", []schema.Column{
 		{Name: "a", Type: value.Bigint, Nullable: true},
@@ -210,18 +210,57 @@ func TestTxnRejectsPKlessTable(t *testing.T) {
 	if err := db.CreateTable(sch, catalog.RowStore); err != nil {
 		t.Fatal(err)
 	}
+
+	// BEGIN…INSERT…COMMIT on a PK-less table buffers and commits.
 	tx := begin(t, db)
-	defer tx.Rollback()
-	_, err := tx.Exec(&query.Query{Kind: query.Insert, Table: "nopk",
-		Rows: [][]value.Value{{value.NewBigint(1)}}})
-	if err == nil {
-		t.Fatal("PK-less DML accepted inside a transaction")
+	if _, err := tx.Exec(&query.Query{Kind: query.Insert, Table: "nopk",
+		Rows: [][]value.Value{{value.NewBigint(1)}, {value.NewBigint(2)}}}); err != nil {
+		t.Fatalf("PK-less insert rejected inside a transaction: %v", err)
 	}
-	// Reads of PK-less tables are fine inside a transaction.
-	// (the statement error aborted the txn, so use a fresh one)
+	// Read-your-writes inside the transaction…
+	res, err := tx.Exec(&query.Query{Kind: query.Select, Table: "nopk"})
+	if err != nil || len(res.Rows) != 2 {
+		t.Fatalf("buffered rows invisible to own txn: %v %v", res, err)
+	}
+	// …but invisible to everyone else before commit.
+	out := mustExec(t, db, &query.Query{Kind: query.Select, Table: "nopk"})
+	if len(out.Rows) != 0 {
+		t.Fatalf("uncommitted PK-less insert leaked: %d rows", len(out.Rows))
+	}
+	if err := tx.Commit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	out = mustExec(t, db, &query.Query{Kind: query.Select, Table: "nopk"})
+	if len(out.Rows) != 2 {
+		t.Fatalf("committed PK-less insert: got %d rows, want 2", len(out.Rows))
+	}
+
+	// Rollback discards the buffer.
 	tx2 := begin(t, db)
-	defer tx2.Rollback()
-	if _, err := tx2.Exec(&query.Query{Kind: query.Select, Table: "nopk"}); err != nil {
+	if _, err := tx2.Exec(&query.Query{Kind: query.Insert, Table: "nopk",
+		Rows: [][]value.Value{{value.NewBigint(3)}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	out = mustExec(t, db, &query.Query{Kind: query.Select, Table: "nopk"})
+	if len(out.Rows) != 2 {
+		t.Fatalf("rollback left traces: %d rows", len(out.Rows))
+	}
+
+	// UPDATE/DELETE have no key to version by — typed unsupported error.
+	tx3 := begin(t, db)
+	defer tx3.Rollback()
+	_, err = tx3.Exec(&query.Query{Kind: query.Delete, Table: "nopk", Pred: idEq(1)})
+	if !IsUnsupported(err) {
+		t.Fatalf("PK-less delete in txn: got %v, want ErrUnsupported", err)
+	}
+
+	// Reads of PK-less tables are fine inside a transaction.
+	tx4 := begin(t, db)
+	defer tx4.Rollback()
+	if _, err := tx4.Exec(&query.Query{Kind: query.Select, Table: "nopk"}); err != nil {
 		t.Fatalf("PK-less read rejected: %v", err)
 	}
 }

@@ -230,11 +230,15 @@ func bigAnalyticsDB(t testing.TB, store catalog.StoreKind, n int) *Database {
 }
 
 // TestExecContextCancelAbortsScan verifies that a cancelled context
-// aborts in-flight reads at a batch boundary — quickly, without
-// finishing the full scan — on both store executors.
+// aborts in-flight reads at a batch boundary on both store executors.
+// The scan-started hook pins the interleaving — the read parks at its
+// start until the cancel has landed — so the test asserts the abort
+// deterministically instead of racing a wall-clock sleep against scan
+// speed and tolerating "finished first" outcomes.
 func TestExecContextCancelAbortsScan(t *testing.T) {
+	defer SetScanStartedHook(nil)
 	for _, store := range []catalog.StoreKind{catalog.RowStore, catalog.ColumnStore} {
-		db := bigAnalyticsDB(t, store, 200_000)
+		db := bigAnalyticsDB(t, store, 50_000)
 		aggQ := &query.Query{
 			Kind: query.Aggregate, Table: "ord",
 			Aggs:    []agg.Spec{{Func: agg.Sum, Col: 2}, {Func: agg.Min, Col: 0}, {Func: agg.Max, Col: 0}},
@@ -244,27 +248,44 @@ func TestExecContextCancelAbortsScan(t *testing.T) {
 		selQ := &query.Query{Kind: query.Select, Table: "ord"}
 		for name, q := range map[string]*query.Query{"aggregate": aggQ, "select": selQ} {
 			// Pre-cancelled context: nothing runs.
+			SetScanStartedHook(nil)
 			ctx, cancel := context.WithCancel(context.Background())
 			cancel()
 			if _, err := db.ExecContext(ctx, q); !errors.Is(err, context.Canceled) {
 				t.Fatalf("%v/%s pre-cancelled: err = %v", store, name, err)
 			}
-			// Cancel mid-flight: the read must abort and report it.
+			// Cancel mid-flight: the hook signals the scan's start and
+			// holds it there until the context dies, so by the time rows
+			// flow the cancel is guaranteed to be observable at the first
+			// batch boundary.
+			started := make(chan struct{})
+			SetScanStartedHook(func(hctx context.Context, table string) {
+				select {
+				case started <- struct{}{}:
+				default:
+				}
+				select {
+				case <-hctx.Done():
+				case <-time.After(5 * time.Second): // safety: never wedge the suite
+				}
+			})
 			ctx, cancel = context.WithCancel(context.Background())
 			errCh := make(chan error, 1)
 			go func() {
 				_, err := db.ExecContext(ctx, q)
 				errCh <- err
 			}()
-			time.Sleep(200 * time.Microsecond)
+			select {
+			case <-started:
+			case <-time.After(5 * time.Second):
+				t.Fatalf("%v/%s: scan never reached the started hook", store, name)
+			}
 			cancel()
 			select {
 			case err := <-errCh:
-				if err != nil && !errors.Is(err, context.Canceled) {
-					t.Fatalf("%v/%s: err = %v", store, name, err)
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("%v/%s: err = %v, want context.Canceled", store, name, err)
 				}
-				// err == nil means the query finished before the cancel
-				// landed — legal, just not the interesting interleaving.
 			case <-time.After(5 * time.Second):
 				t.Fatalf("%v/%s: cancelled query did not return", store, name)
 			}

@@ -142,14 +142,17 @@ func (db *Database) applyRecord(rec *wal.Record) error {
 		return err
 	case wal.RecSetLayout:
 		return db.setLayoutLocked(rec.Table, rec.Store, rec.Spec)
-	case wal.RecInsert, wal.RecUpdate, wal.RecDelete:
+	case wal.RecInsert, wal.RecCopy, wal.RecUpdate, wal.RecDelete:
 		rt, err := db.runtime(rec.Table)
 		if err != nil {
 			return err
 		}
 		op := dmlOp{rows: rec.Rows, pred: rec.Pred, set: rec.Set}
 		switch rec.Kind {
-		case wal.RecInsert:
+		case wal.RecInsert, wal.RecCopy:
+			// A COPY batch replays exactly like an insert of its rows; the
+			// record boundary is the atomicity unit — a torn tail dropped
+			// the whole frame, so recovery never sees a partial batch.
 			op.kind = query.Insert
 		case wal.RecUpdate:
 			op.kind = query.Update

@@ -23,6 +23,7 @@ import (
 	"hybridstore/internal/advisor"
 	"hybridstore/internal/catalog"
 	"hybridstore/internal/engine"
+	"hybridstore/internal/metrics"
 	"hybridstore/internal/monitor"
 )
 
@@ -41,17 +42,38 @@ type Config struct {
 	// CompactDeltaRows triggers Compact on a table whose write-optimized
 	// delta fragments exceed this many rows (0 disables the watcher).
 	CompactDeltaRows int
+	// CompactMinInterval floors the adaptive compaction cadence: under
+	// heavy bulk ingest the manager checks deltas as often as this,
+	// relaxing back toward the AutoAdvise interval when ingest is idle.
+	// 0 disables adaptation (compaction checks at the AutoAdvise
+	// interval only).
+	CompactMinInterval time.Duration
 }
 
 // DefaultConfig returns the standard thresholds.
 func DefaultConfig() Config {
 	return Config{
-		Hysteresis:       0.1,
-		Cooldown:         30 * time.Second,
-		MinWindowQueries: 100,
-		CompactDeltaRows: 50000,
+		Hysteresis:         0.1,
+		Cooldown:           30 * time.Second,
+		MinWindowQueries:   100,
+		CompactDeltaRows:   50000,
+		CompactMinInterval: time.Second,
 	}
 }
+
+// Delta-merge instruments: how often the background merge runs, how
+// many delta rows it folded into read-optimized fragments, and the
+// adaptive cadence it is currently running at.
+var (
+	mMergeTotal = metrics.Default().Counter("hs_delta_merge_total",
+		"background delta merges (Compact) triggered")
+	mMergeRows = metrics.Default().Counter("hs_delta_merge_rows_total",
+		"delta rows folded into read-optimized fragments by background merges")
+	mMergeInterval = metrics.Default().Gauge("hs_delta_merge_interval_ms",
+		"current adaptive delta-merge check cadence in milliseconds")
+	mIngestRate = metrics.Default().Gauge("hs_delta_merge_ingest_rows_per_sec",
+		"bulk-ingest row rate the merge cadence last adapted to")
+)
 
 // Event records one manager action for auditing (\migrate log in hsql).
 type Event struct {
@@ -76,6 +98,12 @@ type Manager struct {
 	stopCh   chan struct{}
 	wg       sync.WaitGroup
 	now      func() time.Time // test hook
+
+	// Adaptive-cadence state: the last ingest totals reading and when it
+	// was taken, so successive compactDelay calls can compute the bulk
+	// ingest rate without the monitor carrying a window for us.
+	lastIngest   map[string]int64
+	lastIngestAt time.Time
 }
 
 // NewManager wires the manager to a database, advisor and monitor.
@@ -265,16 +293,63 @@ func (m *Manager) CompactCheck() []string {
 		}
 		if err := m.db.Compact(name); err == nil {
 			m.record(name, "compact", fmt.Sprintf("delta=%d rows", delta))
+			mMergeTotal.Inc()
+			mMergeRows.Add(int64(delta))
 			compacted = append(compacted, name)
 		}
 	}
 	return compacted
 }
 
-// AutoAdvise starts the background advisory loop: every interval it runs
-// a compaction check and — once the rolling window holds enough queries —
-// an Evaluate with the given hysteresis (negative = config default).
-// It returns an error if the loop is already running; Stop ends it.
+// compactDelay computes the next compaction-check delay from the bulk
+// ingest rate observed since the previous call: the expected time for a
+// delta to grow from empty to the merge threshold at the current rate,
+// clamped between the configured floor and the AutoAdvise interval
+// ceiling. Idle ingest relaxes to the ceiling; a firehose pins the
+// cadence at the floor.
+func (m *Manager) compactDelay(ceiling time.Duration) time.Duration {
+	floor := m.cfg.CompactMinInterval
+	delay := ceiling
+	defer func() { mMergeInterval.Set(delay.Milliseconds()) }()
+	if floor <= 0 || floor >= ceiling || m.cfg.CompactDeltaRows <= 0 || m.mon == nil {
+		return delay
+	}
+	totals := m.mon.IngestRows()
+	now := m.now()
+	m.mu.Lock()
+	elapsed := now.Sub(m.lastIngestAt)
+	first := m.lastIngestAt.IsZero()
+	var grew int64
+	for t, n := range totals {
+		grew += n - m.lastIngest[t]
+	}
+	m.lastIngest = totals
+	m.lastIngestAt = now
+	m.mu.Unlock()
+	if first || grew <= 0 || elapsed <= 0 {
+		mIngestRate.Set(0)
+		return delay
+	}
+	rate := float64(grew) / elapsed.Seconds()
+	mIngestRate.Set(int64(rate))
+	delay = time.Duration(float64(m.cfg.CompactDeltaRows) / rate * float64(time.Second))
+	if delay < floor {
+		delay = floor
+	}
+	if delay > ceiling {
+		delay = ceiling
+	}
+	return delay
+}
+
+// AutoAdvise starts the background advisory loop: every interval it
+// evaluates the workload — once the rolling window holds enough queries
+// — with the given hysteresis (negative = config default). Compaction
+// checks run on their own adaptive timer: between CompactMinInterval
+// and the AutoAdvise interval, paced by the observed bulk-ingest rate
+// (see compactDelay), so sustained COPY streams get their deltas merged
+// long before the advisory tick would notice them. It returns an error
+// if the loop is already running; Stop ends it.
 func (m *Manager) AutoAdvise(interval time.Duration, hysteresis float64) error {
 	if interval <= 0 {
 		return fmt.Errorf("migrate: non-positive auto-advise interval %v", interval)
@@ -294,12 +369,16 @@ func (m *Manager) AutoAdvise(interval time.Duration, hysteresis float64) error {
 		defer m.wg.Done()
 		ticker := time.NewTicker(interval)
 		defer ticker.Stop()
+		compact := time.NewTimer(m.compactDelay(interval))
+		defer compact.Stop()
 		for {
 			select {
 			case <-stop:
 				return
-			case <-ticker.C:
+			case <-compact.C:
 				m.CompactCheck()
+				compact.Reset(m.compactDelay(interval))
+			case <-ticker.C:
 				if m.mon.Seen() < m.cfg.MinWindowQueries {
 					continue
 				}

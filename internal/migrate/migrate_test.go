@@ -306,3 +306,55 @@ func TestAutoAdvise(t *testing.T) {
 	}
 	t.Fatal("auto-advise loop never migrated the table")
 }
+
+// TestAdaptiveCompactCadence pins the cadence math: the next compaction
+// delay is the time the current bulk-ingest rate needs to fill the merge
+// threshold, clamped between the floor and the AutoAdvise ceiling.
+func TestAdaptiveCompactCadence(t *testing.T) {
+	db := engine.New()
+	defer db.Close()
+	mon := monitor.New(db, monitor.DefaultConfig())
+	m := NewManager(db, advisor.New(costmodel.DefaultModel()), mon, Config{
+		CompactDeltaRows:   1000,
+		CompactMinInterval: time.Second,
+	})
+	base := time.Now()
+	m.now = func() time.Time { return base }
+
+	const ceiling = time.Minute
+	// First reading establishes the baseline: no rate yet, ceiling.
+	if d := m.compactDelay(ceiling); d != ceiling {
+		t.Fatalf("first delay = %v, want ceiling %v", d, ceiling)
+	}
+	// 10k rows/s against a 1000-row threshold wants 0.1s — clamped to
+	// the floor.
+	mon.ObserveIngest("t", 10000)
+	base = base.Add(time.Second)
+	if d := m.compactDelay(ceiling); d != time.Second {
+		t.Fatalf("firehose delay = %v, want floor 1s", d)
+	}
+	// 10 rows/s wants 100s — clamped to the ceiling.
+	mon.ObserveIngest("t", 100)
+	base = base.Add(10 * time.Second)
+	if d := m.compactDelay(ceiling); d != ceiling {
+		t.Fatalf("trickle delay = %v, want ceiling %v", d, ceiling)
+	}
+	// 200 rows/s wants exactly 5s — inside the band, used as-is.
+	mon.ObserveIngest("t", 2000)
+	base = base.Add(10 * time.Second)
+	if d := m.compactDelay(ceiling); d != 5*time.Second {
+		t.Fatalf("mid-band delay = %v, want 5s", d)
+	}
+	// Idle relaxes back to the ceiling.
+	base = base.Add(10 * time.Second)
+	if d := m.compactDelay(ceiling); d != ceiling {
+		t.Fatalf("idle delay = %v, want ceiling %v", d, ceiling)
+	}
+	// Adaptation off (no floor): always the ceiling.
+	m.cfg.CompactMinInterval = 0
+	mon.ObserveIngest("t", 100000)
+	base = base.Add(time.Second)
+	if d := m.compactDelay(ceiling); d != ceiling {
+		t.Fatalf("unadaptive delay = %v, want ceiling %v", d, ceiling)
+	}
+}

@@ -99,6 +99,13 @@ type Monitor struct {
 	ring []*epoch
 	head int
 	seen int
+
+	// ingestRows counts rows applied through the bulk-ingest (COPY) fast
+	// path per table, cumulatively. Consumers (the migrate manager's
+	// adaptive compaction cadence) diff successive readings to get the
+	// delta growth rate; keeping raw totals here means no reader's
+	// window shape is baked into the monitor.
+	ingestRows map[string]int64
 }
 
 // The planner consults the monitor for live selectivity feedback.
@@ -112,7 +119,7 @@ func New(db *engine.Database, cfg Config) *Monitor {
 	if cfg.SampleCap <= 0 {
 		cfg.SampleCap = DefaultConfig().SampleCap
 	}
-	m := &Monitor{db: db, cfg: cfg, ring: make([]*epoch, cfg.Epochs)}
+	m := &Monitor{db: db, cfg: cfg, ring: make([]*epoch, cfg.Epochs), ingestRows: map[string]int64{}}
 	m.ring[0] = newEpoch()
 	db.SetObserver(m)
 	return m
@@ -300,6 +307,28 @@ func (m *Monitor) AvgSelectivity(table string) (float64, bool) {
 	return sum / float64(cnt), true
 }
 
+// ObserveIngest implements engine.IngestObserver: every bulk-ingest
+// (COPY) batch reports its row count here. Ingest rows land directly in
+// a table's write-optimized delta, so their rate is the signal the
+// adaptive delta-merge cadence runs on.
+func (m *Monitor) ObserveIngest(table string, rows int) {
+	m.mu.Lock()
+	m.ingestRows[strings.ToLower(table)] += int64(rows)
+	m.mu.Unlock()
+}
+
+// IngestRows returns a copy of the cumulative per-table bulk-ingest row
+// counts. Diff two readings to get a growth rate.
+func (m *Monitor) IngestRows() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.ingestRows))
+	for t, n := range m.ingestRows {
+		out[t] = n
+	}
+	return out
+}
+
 // Seen returns the total number of observed queries.
 func (m *Monitor) Seen() int {
 	m.mu.Lock()
@@ -315,4 +344,5 @@ func (m *Monitor) Reset() {
 	m.head = 0
 	m.ring[0] = newEpoch()
 	m.seen = 0
+	m.ingestRows = map[string]int64{}
 }

@@ -455,6 +455,11 @@ func (s *Server) execStatement(ctx context.Context, st *sql.Statement, cs *cache
 	switch {
 	case st.ShowMetrics:
 		res = engine.MetricsResult()
+	case st.Copy:
+		// Bulk-ingest fast path: one atomic WAL record for the whole
+		// batch. CopyRows itself rejects execution inside an explicit
+		// transaction with a typed unsupported error.
+		res, err = s.db.CopyRows(ctx, st.Query.Table, st.Query.Rows)
 	case st.Explain:
 		res, err = s.db.ExplainContext(ctx, st.Query)
 	case st.ExplainAnalyze:

@@ -239,6 +239,8 @@ func (se *session) handle(rq *wire.Request) *wire.Response {
 				Err: fmt.Sprintf("unknown statement handle %d", rq.Stmt)}
 		}
 		return se.execPrepared(cs, rq.Params)
+	case wire.MsgCopy:
+		return se.execCopy(rq)
 	default:
 		return &wire.Response{Type: wire.MsgError, Code: wire.CodeProtocol,
 			Err: fmt.Sprintf("unexpected request type 0x%02x", rq.Type)}
@@ -310,22 +312,75 @@ func (se *session) execPrepared(cs *cachedStmt, params []value.Value) *wire.Resp
 	mStatements.Inc()
 	if err != nil {
 		mStmtErrors.Inc()
-		switch {
-		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-			return ctxError(err)
-		case errors.Is(err, engine.ErrClosed):
-			return &wire.Response{Type: wire.MsgError, Code: wire.CodeShutdown, Err: err.Error()}
-		case engine.IsConflict(err):
-			// First-updater-wins abort: the engine already rolled the
-			// transaction back (explicit transactions stay open for
-			// ROLLBACK; auto-commit statements exhausted their internal
-			// retries). The client should retry from BEGIN.
-			return &wire.Response{Type: wire.MsgError, Code: wire.CodeTxnConflict, Err: err.Error()}
-		default:
-			return sqlError(err)
-		}
+		return execError(err)
 	}
 	return rs
+}
+
+// execCopy serves one MsgCopy bulk-ingest frame: the whole batch is
+// applied and made durable atomically through the engine's ingest fast
+// path. It takes a worker-pool slot and registers for out-of-band
+// cancel exactly like a statement, but skips SQL parsing entirely —
+// the frame already carries typed rows.
+func (se *session) execCopy(rq *wire.Request) *wire.Response {
+	if se.tx != nil {
+		// The ingest path bypasses MVCC versioning, so its rows cannot
+		// join a snapshot transaction; the typed code tells drivers not
+		// to retry the same frame on this session.
+		return &wire.Response{Type: wire.MsgError, Code: wire.CodeUnsupported,
+			Err: "server: COPY inside an open transaction is not supported (COMMIT or ROLLBACK first)"}
+	}
+	ctx := engine.WithSession(se.ctx, se.label)
+	var cancel context.CancelFunc
+	if se.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, se.timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	se.cancelMu.Lock()
+	se.curCancel = cancel
+	se.cancelMu.Unlock()
+	defer func() {
+		se.cancelMu.Lock()
+		se.curCancel = nil
+		se.cancelMu.Unlock()
+		cancel()
+	}()
+
+	if err := se.srv.pool.Acquire(ctx); err != nil {
+		return ctxError(err)
+	}
+	defer se.srv.pool.Release()
+
+	res, err := se.srv.db.CopyRows(ctx, rq.Table, rq.Rows)
+	mStatements.Inc()
+	if err != nil {
+		mStmtErrors.Inc()
+		return execError(err)
+	}
+	return &wire.Response{Type: wire.MsgOK, Affected: res.Affected, Duration: res.Duration}
+}
+
+// execError maps an execution failure onto the wire's error codes.
+func execError(err error) *wire.Response {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return ctxError(err)
+	case errors.Is(err, engine.ErrClosed):
+		return &wire.Response{Type: wire.MsgError, Code: wire.CodeShutdown, Err: err.Error()}
+	case engine.IsConflict(err):
+		// First-updater-wins abort: the engine already rolled the
+		// transaction back (explicit transactions stay open for
+		// ROLLBACK; auto-commit statements exhausted their internal
+		// retries). The client should retry from BEGIN.
+		return &wire.Response{Type: wire.MsgError, Code: wire.CodeTxnConflict, Err: err.Error()}
+	case engine.IsUnsupported(err):
+		// Well-formed but the engine genuinely cannot execute it;
+		// retrying unchanged will never succeed.
+		return &wire.Response{Type: wire.MsgError, Code: wire.CodeUnsupported, Err: err.Error()}
+	default:
+		return sqlError(err)
+	}
 }
 
 // execTxnCtl serves BEGIN/COMMIT/ROLLBACK. Transaction control runs on

@@ -47,6 +47,12 @@ type Statement struct {
 	// ShowMetrics marks SHOW METRICS: return the process metrics
 	// registry as a (metric, value) result set.
 	ShowMetrics bool
+
+	// Copy marks a COPY t FROM VALUES bulk-ingest statement. Query holds
+	// the target table and rows like an INSERT, but execution routes
+	// through the engine's bulk-ingest fast path: the whole batch is one
+	// WAL group-commit record, applied and made durable atomically.
+	Copy bool
 }
 
 // Resolver looks up table schemas during parsing; the engine's catalog is
@@ -211,7 +217,7 @@ func (p *parser) statement() (*Statement, error) {
 		if err != nil {
 			return nil, err
 		}
-		if st.Query == nil || st.ExplainAnalyze || st.Explain || st.ShowMetrics {
+		if st.Query == nil || st.Copy || st.ExplainAnalyze || st.Explain || st.ShowMetrics {
 			if analyze {
 				return nil, fmt.Errorf("sql: EXPLAIN ANALYZE wants a SELECT/INSERT/UPDATE/DELETE statement")
 			}
@@ -250,6 +256,12 @@ func (p *parser) statement() (*Statement, error) {
 			return nil, err
 		}
 		return &Statement{Query: q}, nil
+	case p.isKeyword("COPY"):
+		q, err := p.copyStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &Statement{Query: q, Copy: true}, nil
 	case p.isKeyword("UPDATE"):
 		q, err := p.updateStmt()
 		if err != nil {
@@ -889,6 +901,46 @@ func (p *parser) insertStmt() (*query.Query, error) {
 		return nil, err
 	}
 	q := &query.Query{Kind: query.Insert, Table: name}
+	q.Rows, err = p.valuesRows(sch, name)
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// copyStmt parses COPY t FROM VALUES (...), (...) — the bulk-ingest
+// statement. The grammar matches INSERT's VALUES list; only the
+// execution path differs (whole batch as one atomic WAL record).
+func (p *parser) copyStmt() (*query.Query, error) {
+	p.advance() // COPY
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	sch, err := p.lookupTable(name)
+	if err != nil {
+		return nil, err
+	}
+	p.left, p.leftName = sch, name
+	p.right = nil
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	q := &query.Query{Kind: query.Insert, Table: name}
+	q.Rows, err = p.valuesRows(sch, name)
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// valuesRows parses the (...), (...) literal-row list shared by INSERT
+// and COPY, enforcing the table's column arity on every row.
+func (p *parser) valuesRows(sch *schema.Table, name string) ([][]value.Value, error) {
+	var rows [][]value.Value
 	for {
 		if err := p.expectPunct("("); err != nil {
 			return nil, err
@@ -913,12 +965,12 @@ func (p *parser) insertStmt() (*query.Query, error) {
 		if len(row) != sch.NumColumns() {
 			return nil, fmt.Errorf("sql: table %q expects %d values, got %d", name, sch.NumColumns(), len(row))
 		}
-		q.Rows = append(q.Rows, row)
+		rows = append(rows, row)
 		if !p.acceptPunct(",") {
 			break
 		}
 	}
-	return q, nil
+	return rows, nil
 }
 
 // updateStmt parses UPDATE t SET col = lit, ... [WHERE ...].

@@ -39,6 +39,13 @@ const (
 	// before the record is durable loses the whole transaction; there
 	// is no partial replay.
 	RecTxnCommit
+	// RecCopy appends one bulk-ingest batch (already coerced rows). It
+	// is encoded exactly like RecInsert but kept distinct so recovery
+	// and tooling can tell streamed batches from single statements; one
+	// record covers a whole client frame, making the batch atomic under
+	// crash recovery — a torn tail replays every row of the batch or
+	// none of them.
+	RecCopy
 )
 
 // String names the record kind.
@@ -60,6 +67,8 @@ func (k RecordKind) String() string {
 		return "DELETE"
 	case RecTxnCommit:
 		return "TXN-COMMIT"
+	case RecCopy:
+		return "COPY"
 	default:
 		return fmt.Sprintf("RecordKind(%d)", uint8(k))
 	}
@@ -115,7 +124,7 @@ func (r *Record) encode(e *Encoder) {
 	case RecSetLayout:
 		e.Byte(byte(r.Store))
 		e.Spec(r.Spec)
-	case RecInsert:
+	case RecInsert, RecCopy:
 		e.Varint(int64(r.Width))
 		e.Rows(r.Rows)
 	case RecUpdate:
@@ -149,7 +158,7 @@ func decodeRecord(d *Decoder) (*Record, error) {
 	case RecSetLayout:
 		r.Store = catalog.StoreKind(d.Byte())
 		r.Spec = d.Spec()
-	case RecInsert:
+	case RecInsert, RecCopy:
 		r.Width = d.Int()
 		if d.Err() == nil && (r.Width <= 0 || r.Width > d.Remaining()+1) {
 			return nil, fmt.Errorf("wal: implausible insert width %d", r.Width)
@@ -167,10 +176,16 @@ func decodeRecord(d *Decoder) (*Record, error) {
 		}
 		for i := uint64(0); i < n && d.Err() == nil; i++ {
 			tt := TxnTable{Name: d.String(), Width: d.Int(), PKWidth: d.Int()}
-			if d.Err() == nil && (tt.Width <= 0 || tt.Width > d.Remaining()+1 || tt.PKWidth <= 0 || tt.PKWidth > tt.Width) {
+			// PKWidth 0 is legal: PK-less tables commit buffered inserts
+			// with no delete set (there is no key to delete by).
+			if d.Err() == nil && (tt.Width <= 0 || tt.Width > d.Remaining()+1 || tt.PKWidth < 0 || tt.PKWidth > tt.Width) {
 				return nil, fmt.Errorf("wal: implausible txn table framing (width %d, pk %d)", tt.Width, tt.PKWidth)
 			}
-			tt.DelPKs = d.Rows(tt.PKWidth)
+			if tt.PKWidth > 0 {
+				tt.DelPKs = d.Rows(tt.PKWidth)
+			} else if dels := d.Uvarint(); d.Err() == nil && dels != 0 {
+				return nil, fmt.Errorf("wal: %d delete keys on pk-less txn table", dels)
+			}
 			tt.Rows = d.Rows(tt.Width)
 			r.Txn = append(r.Txn, tt)
 		}

@@ -56,6 +56,12 @@ const (
 	MsgCancel byte = 0x07
 	// MsgQuit closes the session after the pipeline drains.
 	MsgQuit byte = 0x08
+	// MsgCopy appends one bulk-ingest batch (thousands of rows encoded
+	// with the shared WAL codec) to a table. The whole frame is applied
+	// atomically and durably as one WAL group-commit record; the reply
+	// is MsgOK carrying the row count. Frames pipeline like any other
+	// request.
+	MsgCopy byte = 0x09
 )
 
 // Response message types.
@@ -97,6 +103,11 @@ const (
 	// rolled back cleanly; the whole transaction (not the statement) is
 	// safe to retry from BEGIN.
 	CodeTxnConflict byte = 7
+	// CodeUnsupported: the statement is well-formed but the engine
+	// genuinely cannot execute it (e.g. COPY inside an open transaction,
+	// or versioned DML on a PK-less table). Unlike CodeSQL it is never
+	// worth retrying unchanged.
+	CodeUnsupported byte = 8
 )
 
 // Request is one client→server message; only the fields of its Type are
@@ -116,6 +127,11 @@ type Request struct {
 	SQL    string
 	Stmt   uint64
 	Params []value.Value
+
+	// Copy: target table, row arity and the batch itself.
+	Table string
+	Width int
+	Rows  [][]value.Value
 }
 
 // Response is one server→client message; only the fields of its Type
@@ -203,6 +219,10 @@ func EncodeRequest(rq *Request) []byte {
 		encodeParams(e, rq.Params)
 	case MsgStmtClose:
 		e.Uvarint(rq.Stmt)
+	case MsgCopy:
+		e.String(rq.Table)
+		e.Varint(int64(rq.Width))
+		e.Rows(rq.Rows)
 	case MsgPing, MsgCancel, MsgQuit:
 		// Type byte only.
 	}
@@ -234,6 +254,15 @@ func DecodeRequest(payload []byte) (*Request, error) {
 		}
 	case MsgStmtClose:
 		rq.Stmt = d.Uvarint()
+	case MsgCopy:
+		rq.Table = d.String()
+		rq.Width = d.Int()
+		if d.Err() == nil && (rq.Width <= 0 || rq.Width > d.Remaining()+1) {
+			return nil, fmt.Errorf("wire: implausible copy width %d", rq.Width)
+		}
+		// The codec's Rows already bounds up-front allocation and
+		// validates the claimed count against the remaining bytes.
+		rq.Rows = d.Rows(rq.Width)
 	case MsgPing, MsgCancel, MsgQuit:
 	default:
 		return nil, fmt.Errorf("wire: unknown request type 0x%02x", rq.Type)

@@ -14,5 +14,6 @@ scale="${1:-0.25}"
 go run ./cmd/hsbench -exp parallel -scale "$scale" -json .
 go run ./cmd/hsbench -exp concurrent-clients -scale "$scale" -json .
 go run ./cmd/hsbench -exp planner -scale "$scale" -json .
+go run ./cmd/hsbench -exp ingest -scale "$scale" -json .
 
 echo "bench snapshot: OK (scale $scale)"

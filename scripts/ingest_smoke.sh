@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Ingest smoke: start a durable hsqld, stream 100k rows over TCP through
+# the COPY fast path (client.CopyIn via scripts/ingest_copy.go) plus one
+# SQL-level COPY ... FROM VALUES statement, kill -9 the daemon, restart
+# it on the same data directory, and verify every acknowledged row
+# survived — exact count and id range, zero lost, zero duplicated.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+work="$(mktemp -d)"
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+data="$work/data"
+port="${SMOKE_PORT:-17890}"
+rows=100000
+
+go build -o "$work/hsqld" ./cmd/hsqld
+go build -o "$work/hsql" ./cmd/hsql
+
+wait_ready() {
+  local p="$1"
+  for _ in $(seq 1 100); do
+    if printf '%s\n' '\ping' | "$work/hsql" -connect "127.0.0.1:$p" 2>/dev/null | grep -q pong; then
+      return 0
+    fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+      echo "FAIL: hsqld exited during startup" >&2
+      return 1
+    fi
+    sleep 0.1
+  done
+  echo "FAIL: hsqld never became ready on port $p" >&2
+  return 1
+}
+
+echo "== start hsqld (durable) =="
+"$work/hsqld" -listen "127.0.0.1:$port" -data "$data" &
+pid=$!
+wait_ready "$port"
+
+echo "== create table + SQL-level COPY =="
+"$work/hsql" -connect "127.0.0.1:$port" <<'EOF'
+CREATE TABLE ing (k BIGINT NOT NULL, v VARCHAR, PRIMARY KEY (k));
+COPY ing FROM VALUES (1000000, 'sql-a'), (1000001, 'sql-b'), (1000002, 'sql-c');
+EOF
+
+echo "== stream $rows rows via client.CopyIn =="
+acked="$(go run scripts/ingest_copy.go -addr "127.0.0.1:$port" -table ing -rows "$rows")"
+[ "$acked" = "$rows" ] || { echo "FAIL: CopyIn acknowledged $acked rows, want $rows" >&2; exit 1; }
+
+want=$((rows + 3))
+pre="$(printf '%s\n' 'SELECT COUNT(*) FROM ing;' | "$work/hsql" -connect "127.0.0.1:$port")"
+echo "$pre" | grep -q "^$want$" || { echo "FAIL: pre-crash count is not $want" >&2; echo "$pre" >&2; exit 1; }
+
+echo "== kill -9 =="
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+
+echo "== restart on the same data dir, verify every acknowledged row =="
+port=$((port + 1))
+"$work/hsqld" -listen "127.0.0.1:$port" -data "$data" &
+pid=$!
+wait_ready "$port"
+
+out="$("$work/hsql" -connect "127.0.0.1:$port" <<'EOF'
+SELECT COUNT(*) FROM ing;
+SELECT MIN(k) FROM ing;
+SELECT MAX(k) FROM ing;
+EOF
+)"
+echo "$out"
+echo "$out" | grep -q "^$want$"   || { echo "FAIL: recovered count is not $want (lost or duplicated rows)" >&2; exit 1; }
+echo "$out" | grep -q '^0$'       || { echo "FAIL: MIN(k) is not 0" >&2; exit 1; }
+echo "$out" | grep -q '^1000002$' || { echo "FAIL: MAX(k) is not 1000002 (SQL COPY batch lost)" >&2; exit 1; }
+
+echo "== graceful drain =="
+kill -TERM "$pid"
+wait "$pid"
+pid=""
+
+echo "ingest smoke: OK"
